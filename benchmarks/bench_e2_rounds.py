@@ -1,0 +1,66 @@
+"""E2 — round/iteration bounds: measured vs the O(log_{1+ε} m) envelopes.
+
+The paper's parallelism hinges on polylogarithmic round counts; this
+bench sweeps both m (at fixed ε) and ε (at fixed m) and records every
+phase counter against its named envelope from analysis.rounds.
+"""
+
+from repro.analysis.rounds import round_envelopes
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import epsilon_sweep, fl_scaling_suite
+from repro.core.greedy import parallel_greedy
+from repro.core.lp_rounding import parallel_lp_rounding
+from repro.core.primal_dual import parallel_primal_dual
+from repro.lp.solve import solve_primal
+from repro.metrics.generators import euclidean_instance
+
+EPS = 0.2
+
+
+def test_e2_rounds_vs_m(benchmark):
+    table = ExperimentTable("E2a", "round counts vs m at ε = 0.2")
+    for name, inst in fl_scaling_suite():
+        env = round_envelopes(inst.m, EPS)
+        g = parallel_greedy(inst, epsilon=EPS, seed=0)
+        pd = parallel_primal_dual(inst, epsilon=EPS, seed=0)
+        lr = parallel_lp_rounding(inst, solve_primal(inst), epsilon=EPS, seed=0)
+        table.add(
+            m=inst.m,
+            greedy_outer=g.rounds["greedy_outer"],
+            greedy_outer_bound=env["greedy_outer"],
+            greedy_subselect=g.rounds["greedy_subselect"],
+            pd_iterations=pd.rounds["pd_iterations"],
+            pd_bound=env["pd_iterations"],
+            rounding=lr.rounds["rounding"],
+            rounding_bound=env["rounding"],
+        )
+        assert g.rounds["greedy_outer"] <= env["greedy_outer"]
+        assert pd.rounds["pd_iterations"] <= env["pd_iterations"]
+        assert lr.rounds["rounding"] <= env["rounding"]
+    table.emit()
+
+    inst = fl_scaling_suite()[0][1]
+    benchmark(lambda: parallel_primal_dual(inst, epsilon=EPS, seed=0).rounds["pd_iterations"])
+
+
+def test_e2_rounds_vs_epsilon(benchmark):
+    table = ExperimentTable("E2b", "round counts vs ε at m = 1600")
+    inst = euclidean_instance(20, 80, seed=7)
+    primal = solve_primal(inst)
+    for eps in epsilon_sweep():
+        env = round_envelopes(inst.m, eps)
+        g = parallel_greedy(inst, epsilon=eps, seed=0)
+        pd = parallel_primal_dual(inst, epsilon=eps, seed=0)
+        lr = parallel_lp_rounding(inst, primal, epsilon=eps, seed=0)
+        table.add(
+            epsilon=float(eps),
+            greedy_outer=g.rounds["greedy_outer"],
+            pd_iterations=pd.rounds["pd_iterations"],
+            pd_bound=env["pd_iterations"],
+            rounding=lr.rounds["rounding"],
+        )
+        assert pd.rounds["pd_iterations"] <= env["pd_iterations"]
+        assert g.rounds["greedy_outer"] <= env["greedy_outer"]
+    table.emit()
+
+    benchmark(lambda: parallel_greedy(inst, epsilon=0.5, seed=0).cost)

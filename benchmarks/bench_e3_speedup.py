@@ -1,0 +1,96 @@
+"""E3 — parallelism: Brent speedup curves and real GIL-free threading.
+
+Two measurements of the RNC claim:
+
+1. *Model level* — W/D parallelism and the Brent speedup curve
+   ``T₁/T_p`` per algorithm from ledger totals (the paper's claim).
+2. *Metal level* — wall-clock speedup of the primitive layer under the
+   thread backend (NumPy kernels release the GIL), demonstrating the
+   substitution argument in DESIGN.md on this machine's cores.
+"""
+
+import os
+
+import numpy as np
+
+from repro.bench.harness import ExperimentTable
+from repro.core.greedy import parallel_greedy
+from repro.core.kcenter import parallel_kcenter
+from repro.core.primal_dual import parallel_primal_dual
+from repro.metrics.generators import euclidean_clustering, euclidean_instance
+from repro.pram.backends import SerialBackend, ThreadBackend
+from repro.pram.brent import parallelism, speedup_curve
+from repro.pram.machine import PramMachine
+
+
+def test_e3_brent_curves(benchmark):
+    table = ExperimentTable("E3a", "model parallelism W/D and Brent speedups")
+    inst = euclidean_instance(20, 160, seed=0)
+    cl = euclidean_clustering(90, 5, seed=0)
+    runs = {
+        "greedy": lambda: parallel_greedy(inst, epsilon=0.2, seed=0).model_costs,
+        "primal-dual": lambda: parallel_primal_dual(inst, epsilon=0.2, seed=0).model_costs,
+        "k-center": lambda: parallel_kcenter(cl, seed=0).model_costs,
+    }
+    for name, fn in runs.items():
+        costs = fn()
+        curve = dict(speedup_curve(costs, [1, 16, 256, 4096]))
+        table.add(
+            algorithm=name,
+            work=costs.work,
+            depth=costs.depth,
+            parallelism=parallelism(costs),
+            speedup_p16=curve[16],
+            speedup_p256=curve[256],
+            speedup_p4096=curve[4096],
+        )
+        assert parallelism(costs) > 16  # far more parallelism than cores
+        assert curve[16] > 8  # near-linear at small p
+    table.emit()
+
+    benchmark(lambda: runs["primal-dual"]().work)
+
+
+def _row_reduce_workload(backend, data):
+    m = PramMachine(backend=backend)
+    total = 0.0
+    for _ in range(4):
+        total += float(m.reduce(data, "add", axis=1).sum())
+        total += float(m.reduce(np.sqrt(data), "min", axis=1).sum())
+    return total
+
+
+def test_e3_thread_backend_wall_clock(benchmark):
+    """Wall-clock check that threads help on large primitives (NumPy
+    releases the GIL). On a 2-core box expect modest but real gains;
+    we assert 'not slower than 0.8× serial' to stay robust on loaded
+    CI machines, and record the actual ratio in the table."""
+    import time
+
+    rng = np.random.default_rng(0)
+    data = rng.random((4096, 2048))
+    serial = SerialBackend()
+    threads = ThreadBackend(os.cpu_count() or 2, grain=1 << 12)
+
+    def timed(fn, reps=3):
+        best = np.inf
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_serial = timed(lambda: _row_reduce_workload(serial, data))
+    t_thread = timed(lambda: _row_reduce_workload(threads, data))
+    table = ExperimentTable("E3b", "thread-backend wall clock on primitives")
+    table.add(
+        cores=os.cpu_count(),
+        serial_s=t_serial,
+        thread_s=t_thread,
+        speedup=t_serial / t_thread,
+    )
+    table.emit()
+    threads.close()
+    assert t_thread < t_serial / 0.8  # no worse than 25% slowdown, usually faster
+
+    benchmark(lambda: _row_reduce_workload(serial, data))

@@ -1,0 +1,41 @@
+"""F1 — Figure 1: the primal/dual LP pair.
+
+Reproduces the paper's one figure computationally: constructs both
+programs for a suite of instances, solves them, and verifies weak and
+strong duality (equal optimal values, feasible solutions on both
+sides). The timed kernel is the primal solve.
+"""
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import fl_lp_suite, fl_ratio_suite
+from repro.lp.duality import check_dual_feasible, check_primal_feasible, duality_gap
+from repro.lp.solve import solve_dual, solve_primal
+
+
+def test_f1_duality_table(benchmark, medium_instance):
+    table = ExperimentTable("F1", "Figure 1 LP pair: strong duality on every workload")
+    for name, inst in fl_ratio_suite() + fl_lp_suite():
+        p = solve_primal(inst)
+        d = solve_dual(inst)
+        check_primal_feasible(inst, p.x, p.y)
+        check_dual_feasible(inst, d.alpha, d.beta)
+        gap = duality_gap(p.value, d.value)
+        assert gap < 1e-6, f"strong duality violated on {name}"
+        table.add(
+            instance=name,
+            m=inst.m,
+            primal=p.value,
+            dual=d.value,
+            gap=gap,
+            frac_open=float((p.y > 1e-9).sum()),
+        )
+    table.emit()
+
+    benchmark(lambda: solve_primal(medium_instance).value)
+
+
+def test_f1_dual_solve_speed(benchmark, medium_instance):
+    value = benchmark(lambda: solve_dual(medium_instance).value)
+    assert value == pytest.approx(solve_primal(medium_instance).value, rel=1e-6)

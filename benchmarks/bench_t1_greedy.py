@@ -1,0 +1,71 @@
+"""T1 — Theorem 4.9: parallel greedy facility location.
+
+Paper claims: (3.722+ε)-approximation (factor-revealing LP; the
+self-contained proof gives 6+ε) in O(m log²_{1+ε} m) work. Measured:
+worst-case ratio against exact optima (small suite) and LP lower bounds
+(medium suite); dual-fitting slack (Lemma 4.6/4.7); timed kernel.
+"""
+
+import numpy as np
+
+from repro.baselines.brute_force import brute_force_facility_location
+from repro.baselines.greedy_jms import greedy_jms
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import fl_lp_suite, fl_ratio_suite
+from repro.core.greedy import parallel_greedy
+from repro.lp.duality import dual_fitting_slack
+from repro.lp.solve import lp_lower_bound
+
+EPS = 0.1
+
+
+def test_t1_quality_vs_opt(benchmark, medium_instance):
+    table = ExperimentTable(
+        "T1a", "greedy vs exact optimum (claim: ≤ 3.722+ε; proven 6+ε)"
+    )
+    worst = 0.0
+    for name, inst in fl_ratio_suite():
+        opt, _ = brute_force_facility_location(inst)
+        ratios = [
+            parallel_greedy(inst, epsilon=EPS, seed=s).cost / opt for s in range(3)
+        ]
+        seq = greedy_jms(inst).cost / opt
+        worst = max(worst, max(ratios))
+        table.add(
+            instance=name,
+            opt=opt,
+            parallel_worst=max(ratios),
+            parallel_mean=float(np.mean(ratios)),
+            sequential_jms=seq,
+        )
+    table.emit()
+    assert worst <= 3.722 + EPS
+
+    benchmark(lambda: parallel_greedy(medium_instance, epsilon=EPS, seed=0).cost)
+
+
+def test_t1_quality_vs_lp(benchmark, medium_instance):
+    table = ExperimentTable("T1b", "greedy vs LP lower bound (medium instances)")
+    for name, inst in fl_lp_suite():
+        lp = lp_lower_bound(inst)
+        sol = parallel_greedy(inst, epsilon=EPS, seed=1)
+        table.add(instance=name, m=inst.m, lp=lp, ratio_vs_lp=sol.cost / lp,
+                  outer_rounds=sol.rounds["greedy_outer"])
+        assert sol.cost <= (6 + EPS) * lp * (1 + 1e-9)
+    table.emit()
+
+    benchmark(lambda: parallel_greedy(medium_instance, epsilon=EPS, seed=1).cost)
+
+
+def test_t1_dual_fitting_slack(benchmark):
+    """Lemma 4.6: α shrinks into feasibility within γ = 1.861."""
+    table = ExperimentTable("T1c", "greedy dual-fitting slack (claim: ≤ 1.861)")
+    for name, inst in fl_ratio_suite():
+        sol = parallel_greedy(inst, epsilon=EPS, seed=2, preprocess=False)
+        slack = dual_fitting_slack(inst, sol.alpha)
+        table.add(instance=name, slack=slack)
+        assert slack <= 1.861 * (1 + 1e-6)
+    table.emit()
+
+    inst = fl_ratio_suite()[0][1]
+    benchmark(lambda: parallel_greedy(inst, epsilon=EPS, seed=0, preprocess=False).cost)

@@ -1,0 +1,86 @@
+"""T2 — Theorem 5.4: parallel primal–dual facility location.
+
+Paper claims: (3+ε)-approximation in O(m log_{1+ε} m) work — work
+efficient vs the sequential O(m log m) Jain–Vazirani. Measured: ratio
+vs exact optima and LP bounds, Claim 5.1 dual feasibility, the Eq. (5)
+LMP inequality, and iteration counts vs the 3·log_{1+ε} m bound.
+"""
+
+import math
+
+import numpy as np
+
+from repro.baselines.brute_force import brute_force_facility_location
+from repro.baselines.jv_sequential import jv_sequential
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import fl_lp_suite, fl_ratio_suite
+from repro.core.primal_dual import parallel_primal_dual
+from repro.lp.duality import check_dual_feasible
+from repro.lp.solve import lp_lower_bound
+
+EPS = 0.1
+
+
+def test_t2_quality_vs_opt(benchmark, medium_instance):
+    table = ExperimentTable("T2a", "primal–dual vs exact optimum (claim: ≤ 3+ε)")
+    for name, inst in fl_ratio_suite():
+        opt, _ = brute_force_facility_location(inst)
+        ratios = [
+            parallel_primal_dual(inst, epsilon=EPS, seed=s).cost / opt for s in range(3)
+        ]
+        seq = jv_sequential(inst).cost / opt
+        table.add(
+            instance=name,
+            opt=opt,
+            parallel_worst=max(ratios),
+            parallel_mean=float(np.mean(ratios)),
+            sequential_jv=seq,
+        )
+        assert max(ratios) <= (3 + EPS) * (1 + 1e-9) + 3.0 / inst.m
+    table.emit()
+
+    benchmark(lambda: parallel_primal_dual(medium_instance, epsilon=EPS, seed=0).cost)
+
+
+def test_t2_dual_feasibility_and_lmp(benchmark, medium_instance):
+    """Claim 5.1 + Eq. (5) on every workload (exact, not sampled)."""
+    table = ExperimentTable("T2b", "primal–dual duals: feasibility + LMP inequality")
+    for name, inst in fl_ratio_suite() + fl_lp_suite():
+        sol = parallel_primal_dual(inst, epsilon=EPS, seed=1)
+        check_dual_feasible(inst, sol.alpha, tol=1e-7)
+        lp = lp_lower_bound(inst)
+        lmp_lhs = 3 * sol.facility_cost + sol.connection_cost
+        lmp_rhs = 3 * sol.extra["gamma"] / inst.m + 3 * (1 + EPS) * sol.alpha.sum()
+        assert sol.alpha.sum() <= lp * (1 + 1e-7)
+        assert lmp_lhs <= lmp_rhs * (1 + 1e-9)
+        table.add(
+            instance=name,
+            dual_value=float(sol.alpha.sum()),
+            lp_opt=lp,
+            dual_over_lp=float(sol.alpha.sum()) / lp if lp > 0 else 1.0,
+            lmp_lhs=lmp_lhs,
+            lmp_rhs=lmp_rhs,
+        )
+    table.emit()
+
+    benchmark(lambda: parallel_primal_dual(medium_instance, epsilon=EPS, seed=1).alpha.sum())
+
+
+def test_t2_iterations_vs_bound(benchmark, medium_instance):
+    table = ExperimentTable("T2c", "primal–dual iterations vs 3·log_{1+ε} m bound")
+    for name, inst in fl_lp_suite():
+        sol = parallel_primal_dual(inst, epsilon=EPS, seed=2)
+        bound = 3 * math.log(inst.m) / math.log1p(EPS) + 8
+        table.add(
+            instance=name,
+            m=inst.m,
+            iterations=sol.rounds["pd_iterations"],
+            bound=bound,
+            utilization=sol.rounds["pd_iterations"] / bound,
+        )
+        assert sol.rounds["pd_iterations"] <= bound
+    table.emit()
+
+    benchmark(
+        lambda: parallel_primal_dual(medium_instance, epsilon=EPS, seed=2).rounds["pd_iterations"]
+    )

@@ -1,0 +1,70 @@
+"""T4 — Theorem 6.5: LP filtering + rounding, (4+ε) vs the LP optimum.
+
+Paper claims: given an optimal LP solution, an RNC rounding with cost
+≤ (4+ε)·LP in O(m log m log_{1+ε} m) work. Measured: ratio vs the LP
+value (the natural reference — the claim is relative to the LP), Claim
+6.3 facility accounting, Claim 6.4 per-client service bounds.
+"""
+
+import numpy as np
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import fl_lp_suite, fl_ratio_suite
+from repro.core.lp_rounding import parallel_lp_rounding
+from repro.lp.solve import solve_primal
+
+EPS = 0.1
+A = 1.0 / 3.0
+
+
+def test_t4_quality_vs_lp(benchmark, medium_instance):
+    table = ExperimentTable("T4a", "LP rounding vs LP optimum (claim: ≤ 4+ε)")
+    for name, inst in fl_ratio_suite() + fl_lp_suite():
+        primal = solve_primal(inst)
+        ratios = [
+            parallel_lp_rounding(inst, primal, epsilon=EPS, seed=s).cost / primal.value
+            for s in range(3)
+        ]
+        table.add(
+            instance=name,
+            lp=primal.value,
+            worst=max(ratios),
+            mean=float(np.mean(ratios)),
+        )
+        assert max(ratios) <= 4 * (1 + EPS) * (1 + 1e-9) + 1.0 / inst.m
+    table.emit()
+
+    primal = solve_primal(medium_instance)
+    benchmark(lambda: parallel_lp_rounding(medium_instance, primal, epsilon=EPS, seed=0).cost)
+
+
+def test_t4_claims(benchmark, medium_instance):
+    table = ExperimentTable("T4b", "Claims 6.3/6.4: facility and service accounting")
+    for name, inst in fl_ratio_suite():
+        primal = solve_primal(inst)
+        sol = parallel_lp_rounding(inst, primal, epsilon=EPS, filter_alpha=A, seed=1)
+        y_budget = float((sol.extra["y_prime"] * inst.f).sum())
+        assert sol.facility_cost <= y_budget * (1 + 1e-9)
+        delta = sol.extra["delta"]
+        served = inst.connection_distances(sol.opened)
+        normal = delta > sol.extra["theta"] / inst.m**2
+        bound = 3 * (1 + A) * (1 + EPS)
+        assert np.all(served[normal] <= bound * delta[normal] * (1 + 1e-9))
+        table.add(
+            instance=name,
+            facility_cost=sol.facility_cost,
+            y_budget=y_budget,
+            worst_service_multiple=float(
+                np.max(served[normal] / np.maximum(delta[normal], 1e-30), initial=0.0)
+            ),
+            service_bound=bound,
+            rounds=sol.rounds["rounding"],
+        )
+    table.emit()
+
+    primal = solve_primal(medium_instance)
+    benchmark(
+        lambda: parallel_lp_rounding(
+            medium_instance, primal, epsilon=EPS, filter_alpha=A, seed=1
+        ).facility_cost
+    )

@@ -1,0 +1,75 @@
+"""T5 — Theorem 7.1: parallel local search for k-median / k-means.
+
+Paper claims: (5+ε) for k-median, (81+ε) for k-means, in
+O(k²(n−k)n log_{1+ε} n) work for k ∈ polylog(n). Measured: ratios vs
+exact optima and the k-median LP, swap-round counts vs the Arya bound.
+"""
+
+import math
+
+import numpy as np
+
+from repro.baselines.brute_force import brute_force_kmeans, brute_force_kmedian
+from repro.baselines.local_search_seq import local_search_kmedian_seq
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import clustering_ratio_suite, clustering_scaling_suite
+from repro.core.local_search import parallel_kmeans, parallel_kmedian
+from repro.lp.solve import solve_kmedian_lp
+
+EPS = 0.3
+
+
+def test_t5_kmedian_quality(benchmark, medium_clustering):
+    table = ExperimentTable("T5a", "k-median local search vs optimum (claim: ≤ 5+ε)")
+    for name, inst in clustering_ratio_suite():
+        opt, _ = brute_force_kmedian(inst, max_subsets=500_000)
+        ratios = [parallel_kmedian(inst, epsilon=EPS, seed=s).cost / opt for s in range(3)]
+        seq = local_search_kmedian_seq(inst, epsilon=EPS).cost / opt
+        table.add(
+            instance=name,
+            opt=opt,
+            parallel_worst=max(ratios),
+            parallel_mean=float(np.mean(ratios)),
+            sequential=seq,
+        )
+        assert max(ratios) <= (5 + EPS) * (1 + 1e-9)
+    table.emit()
+
+    benchmark(lambda: parallel_kmedian(medium_clustering, epsilon=EPS, seed=0).cost)
+
+
+def test_t5_kmeans_quality(benchmark, medium_clustering):
+    table = ExperimentTable("T5b", "k-means local search vs optimum (claim: ≤ 81+ε)")
+    for name, inst in clustering_ratio_suite():
+        opt, _ = brute_force_kmeans(inst, max_subsets=500_000)
+        ratio = parallel_kmeans(inst, epsilon=EPS, seed=0).cost / opt
+        table.add(instance=name, opt=opt, ratio=ratio)
+        assert ratio <= (81 + EPS) * (1 + 1e-9)
+    table.emit()
+
+    benchmark(lambda: parallel_kmeans(medium_clustering, epsilon=EPS, seed=0).cost)
+
+
+def test_t5_rounds_vs_lp_bound(benchmark, medium_clustering):
+    """Swap rounds against the O(k/β · log(start/opt)) bound, with the
+    k-median LP as the opt proxy on larger instances."""
+    table = ExperimentTable("T5c", "local-search swap rounds vs bound")
+    beta = EPS / (1 + EPS)
+    for name, inst in clustering_scaling_suite(sizes=(40, 60, 90), k=4):
+        sol = parallel_kmedian(inst, epsilon=EPS, seed=1)
+        lp = solve_kmedian_lp(inst)
+        start = sol.extra["initial_cost"]
+        bound = (
+            math.log(max(start / max(lp, 1e-12), 2.0)) / -math.log1p(-beta / inst.k) + 1
+        )
+        table.add(
+            n=inst.n,
+            swaps=len(sol.extra["swaps"]),
+            bound=bound,
+            start_over_lp=start / max(lp, 1e-12),
+            final_over_lp=sol.cost / max(lp, 1e-12),
+        )
+        assert len(sol.extra["swaps"]) <= bound
+    table.emit()
+
+    benchmark(lambda: parallel_kmedian(medium_clustering, epsilon=EPS, seed=1).cost)

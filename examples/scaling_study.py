@@ -1,0 +1,62 @@
+"""Work/depth scaling study — the measurements behind the RNC claims.
+
+Sweeps instance sizes, records the PRAM ledger for each algorithm,
+fits the work exponent (with the claimed polylog factor divided out),
+and prints Brent speedup projections T₁/T_p = W/(W/p + D).
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import (
+    PramMachine,
+    euclidean_clustering,
+    euclidean_instance,
+    parallel_greedy,
+    parallel_kcenter,
+    parallel_primal_dual,
+    speedup_curve,
+)
+from repro.analysis.scaling import fit_work_exponent
+
+
+def sweep_fl(run, sizes):
+    ms, works, depths = [], [], []
+    for nf, nc in sizes:
+        inst = euclidean_instance(nf, nc, seed=nf + nc)
+        machine = PramMachine(seed=0)
+        run(inst, machine)
+        ms.append(inst.m)
+        works.append(machine.ledger.work)
+        depths.append(machine.ledger.depth)
+    return ms, works, depths
+
+
+def main():
+    sizes = [(10, 40), (14, 80), (20, 160), (28, 320), (40, 640)]
+
+    print("— facility location: work scaling (claim: m · polylog m) —")
+    algos = {
+        "greedy (§4)": (lambda i, m: parallel_greedy(i, epsilon=0.2, machine=m), 2.0),
+        "primal–dual (§5)": (lambda i, m: parallel_primal_dual(i, epsilon=0.2, machine=m), 1.0),
+    }
+    for name, (run, logpow) in algos.items():
+        ms, works, depths = sweep_fl(run, sizes)
+        fit = fit_work_exponent(ms, works, log_power=logpow)
+        print(f"\n{name}: fitted exponent {fit.exponent:.3f} (claim 1.0, log^{logpow:.0f} removed)")
+        print(f"{'m':>8}{'work':>14}{'depth':>10}{'W/D':>10}")
+        for m_, w, d in zip(ms, works, depths):
+            print(f"{m_:>8}{w:>14.0f}{d:>10.0f}{w / d:>10.1f}")
+
+    print("\n— k-center (§6.1): Brent speedup projection at m = n² = 8100 —")
+    inst = euclidean_clustering(90, 5, seed=1)
+    machine = PramMachine(seed=0)
+    parallel_kcenter(inst, machine=machine)
+    costs = machine.ledger.snapshot()
+    print(f"work {costs.work:.0f}, depth {costs.depth:.0f}")
+    print(f"{'p':>8}{'T_p':>14}{'speedup':>10}")
+    for p, s in speedup_curve(costs, [1, 2, 4, 16, 64, 256, 1024, 1 << 16]):
+        print(f"{p:>8}{costs.work / p + costs.depth:>14.0f}{s:>10.2f}")
+
+
+if __name__ == "__main__":
+    main()

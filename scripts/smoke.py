@@ -1,0 +1,80 @@
+"""End-to-end smoke: every core algorithm on small instances, with
+invariant checks against LP bounds and brute force. Not a test file —
+a fast development harness (`python scripts/smoke.py`)."""
+
+import numpy as np
+
+from repro import (
+    euclidean_instance,
+    euclidean_clustering,
+    parallel_greedy,
+    parallel_primal_dual,
+    parallel_kcenter,
+    parallel_lp_rounding,
+    parallel_kmedian,
+    parallel_kmeans,
+    lp_lower_bound,
+)
+from repro.baselines import (
+    brute_force_facility_location,
+    brute_force_kcenter,
+    brute_force_kmedian,
+    greedy_jms,
+    jv_sequential,
+    gonzalez_kcenter,
+    hochbaum_shmoys_kcenter,
+    wang_cheng_kcenter,
+    local_search_kmedian_seq,
+)
+from repro.lp import check_dual_feasible, solve_primal
+
+
+def main():
+    inst = euclidean_instance(8, 24, seed=7)
+    opt, _ = brute_force_facility_location(inst)
+    lp = lp_lower_bound(inst)
+    print(f"FL instance: opt={opt:.4f} lp={lp:.4f}")
+
+    g = parallel_greedy(inst, epsilon=0.1, seed=1)
+    print(f"greedy: cost={g.cost:.4f} ratio={g.cost/opt:.3f} rounds={g.rounds}")
+    check_dual_feasible(inst, g.alpha / 3.0)
+
+    pd = parallel_primal_dual(inst, epsilon=0.1, seed=1)
+    print(f"primal-dual: cost={pd.cost:.4f} ratio={pd.cost/opt:.3f} rounds={pd.rounds.get('pd_iterations')}")
+    check_dual_feasible(inst, pd.alpha)
+    assert np.sum(pd.alpha) <= lp * (1 + 1e-7), (np.sum(pd.alpha), lp)
+
+    pr = solve_primal(inst)
+    lr = parallel_lp_rounding(inst, pr, epsilon=0.1, seed=1)
+    print(f"lp-rounding: cost={lr.cost:.4f} ratio-vs-lp={lr.cost/lp:.3f} rounds={lr.rounds}")
+    assert lr.cost <= 4 * (1 + 0.1) * lp * 1.01 + lp / inst.m, lr.cost / lp
+
+    sg = greedy_jms(inst)
+    sj = jv_sequential(inst)
+    print(f"seq greedy: {sg.cost:.4f} ({sg.cost/opt:.3f})  seq JV: {sj.cost:.4f} ({sj.cost/opt:.3f})")
+    check_dual_feasible(inst, sj.alpha)
+
+    cl = euclidean_clustering(40, 4, seed=3)
+    kc_opt, _ = brute_force_kcenter(cl, max_subsets=200000)
+    kc = parallel_kcenter(cl, seed=2)
+    gz = gonzalez_kcenter(cl)
+    hs = hochbaum_shmoys_kcenter(cl)
+    wc = wang_cheng_kcenter(cl)
+    print(f"kcenter: opt={kc_opt:.4f} par={kc.cost:.4f} ({kc.cost/kc_opt:.3f}) "
+          f"gonz={cl.kcenter_cost(gz):.4f} hs={hs.radius:.4f} wc={wc.radius:.4f}")
+    assert kc.cost <= 2 * kc_opt * 1.0001
+
+    km_opt, _ = brute_force_kmedian(cl, max_subsets=200000)
+    km = parallel_kmedian(cl, epsilon=0.3, seed=4)
+    kms = local_search_kmedian_seq(cl, epsilon=0.3)
+    print(f"kmedian: opt={km_opt:.4f} par={km.cost:.4f} ({km.cost/km_opt:.3f}) seq={kms.cost:.4f}")
+    assert km.cost <= 5.5 * km_opt
+
+    kmn = parallel_kmeans(cl, epsilon=0.3, seed=4)
+    print(f"kmeans: par={kmn.cost:.4f}")
+    print("work/depth greedy:", g.model_costs.work, g.model_costs.depth)
+    print("ALL SMOKE CHECKS PASSED")
+
+
+if __name__ == "__main__":
+    main()

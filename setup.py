@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the package installs in offline
+environments whose setuptools predates native wheel building (legacy
+``setup.py develop`` path). All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

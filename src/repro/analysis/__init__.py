@@ -1,0 +1,25 @@
+"""Analysis toolkit: the measurement side of the reproduction.
+
+Turns the paper's claims into measured quantities: Eq. (2) bounds,
+approximation ratios against exact/LP references, work-exponent fits on
+ledger data (for the work-efficiency claims), and round-count envelopes
+(for the ``O(log_{1+ε} m)`` claims).
+"""
+
+from repro.analysis.bounds import eq2_bounds, verify_eq2
+from repro.analysis.certificates import Certificate, certify_facility_location
+from repro.analysis.ratios import RatioReport, measure_ratio
+from repro.analysis.scaling import fit_work_exponent, predicted_work
+from repro.analysis.rounds import round_envelopes
+
+__all__ = [
+    "eq2_bounds",
+    "verify_eq2",
+    "Certificate",
+    "certify_facility_location",
+    "RatioReport",
+    "measure_ratio",
+    "fit_work_exponent",
+    "predicted_work",
+    "round_envelopes",
+]

@@ -1,0 +1,56 @@
+"""Eq. (2) — the paper's cheap upper/lower bounds on ``opt``.
+
+For ``γ_j = min_i (f_i + d(j, i))`` and ``γ = max_j γ_j``::
+
+    γ ≤ opt ≤ Σ_j γ_j ≤ γ·n_c
+
+These bounds gate both preprocessing steps (§4, §5) and the iteration
+bounds, so they get their own verified implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InfeasibleSolutionError
+from repro.metrics.instance import FacilityLocationInstance
+
+
+@dataclass(frozen=True)
+class Eq2Bounds:
+    """The four quantities of Eq. (2), in order."""
+
+    gamma: float
+    sum_gamma_j: float
+    gamma_times_nc: float
+    gamma_j: np.ndarray
+
+
+def eq2_bounds(instance: FacilityLocationInstance) -> Eq2Bounds:
+    """Compute ``γ_j``, ``γ``, ``Σ γ_j``, and ``γ·n_c``."""
+    gamma_j = np.min(instance.D + instance.f[:, None], axis=0)
+    gamma = float(gamma_j.max())
+    return Eq2Bounds(
+        gamma=gamma,
+        sum_gamma_j=float(gamma_j.sum()),
+        gamma_times_nc=gamma * instance.n_clients,
+        gamma_j=gamma_j,
+    )
+
+
+def verify_eq2(instance: FacilityLocationInstance, opt: float, *, tol: float = 1e-9) -> Eq2Bounds:
+    """Assert ``γ ≤ opt ≤ Σ γ_j ≤ γ n_c`` for a known optimum ``opt``."""
+    b = eq2_bounds(instance)
+    if not (b.gamma <= opt + tol):
+        raise InfeasibleSolutionError(f"Eq.(2) lower bound broken: γ={b.gamma} > opt={opt}")
+    if not (opt <= b.sum_gamma_j + tol):
+        raise InfeasibleSolutionError(
+            f"Eq.(2) upper bound broken: opt={opt} > Σγ_j={b.sum_gamma_j}"
+        )
+    if not (b.sum_gamma_j <= b.gamma_times_nc + tol):
+        raise InfeasibleSolutionError(
+            f"Eq.(2) chain broken: Σγ_j={b.sum_gamma_j} > γ·n_c={b.gamma_times_nc}"
+        )
+    return b

@@ -1,0 +1,66 @@
+"""Work-exponent fitting for the E1 work-efficiency experiments.
+
+The paper's work bounds have the form ``O(m^p · polylog m)``. Fitting a
+straight line to ``(log m, log(work / log^q m))`` over a size sweep
+recovers the polynomial exponent ``p``; the benches assert the fitted
+exponent is near the claim (the polylog factor is divided out first, so
+it cannot masquerade as polynomial growth over a small sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class WorkFit:
+    """Least-squares fit of ``log work ~ p·log m + c`` (polylog removed)."""
+
+    exponent: float
+    constant: float
+    log_power: float
+    residual: float
+    sizes: tuple
+    works: tuple
+
+
+def fit_work_exponent(sizes, works, *, log_power: float = 0.0) -> WorkFit:
+    """Fit the polynomial exponent of ``works ≈ C·m^p·(log m)^q``.
+
+    Parameters
+    ----------
+    sizes, works:
+        Matched sequences from a size sweep (≥ 3 points).
+    log_power:
+        The claimed polylog power ``q`` to divide out before fitting.
+    """
+    m = np.asarray(sizes, dtype=float)
+    w = np.asarray(works, dtype=float)
+    if m.size != w.size or m.size < 3:
+        raise InvalidParameterError("need >= 3 matched (size, work) points")
+    if np.any(m <= 1) or np.any(w <= 0):
+        raise InvalidParameterError("sizes must exceed 1 and works be positive")
+    y = np.log(w) - log_power * np.log(np.log(m))
+    x = np.log(m)
+    A = np.column_stack([x, np.ones_like(x)])
+    coef, res, _, _ = np.linalg.lstsq(A, y, rcond=None)
+    residual = float(res[0]) if res.size else 0.0
+    return WorkFit(
+        exponent=float(coef[0]),
+        constant=float(coef[1]),
+        log_power=log_power,
+        residual=residual,
+        sizes=tuple(float(v) for v in m),
+        works=tuple(float(v) for v in w),
+    )
+
+
+def predicted_work(fit: WorkFit, size: float) -> float:
+    """Evaluate the fitted model at ``size``."""
+    return float(
+        np.exp(fit.constant) * size**fit.exponent * np.log(size) ** fit.log_power
+    )

@@ -1,0 +1,49 @@
+"""Sequential baselines and exact solvers.
+
+The paper positions each parallel algorithm against a sequential
+counterpart ("within a logarithmic factor of the serial algorithm");
+this package implements those counterparts from scratch, plus exact
+brute-force solvers used to *measure* approximation ratios on small
+instances:
+
+* :mod:`greedy_jms` — Jain et al. (JACM 2003) greedy, the 1.861-approx
+  sequential algorithm that §4 parallelizes.
+* :mod:`jv_sequential` — Jain–Vazirani (JACM 2001) primal–dual
+  3-approximation that §5 parallelizes (event-driven exact raising).
+* :mod:`gonzalez` — farthest-point 2-approx k-center (Gonzalez 1985).
+* :mod:`hochbaum_shmoys` — sequential bottleneck binary search that
+  §6.1 parallelizes.
+* :mod:`wang_cheng` — an O(n³)-work proxy for the prior parallel
+  k-center algorithm the paper improves upon (Wang & Cheng 1990).
+* :mod:`local_search_seq` — sequential single-swap local search for
+  k-median/k-means (Arya et al. 2004) that §7 parallelizes.
+* :mod:`brute_force` — exact optima by enumeration, for ratio
+  measurement on small instances.
+"""
+
+from repro.baselines.brute_force import (
+    brute_force_facility_location,
+    brute_force_kcenter,
+    brute_force_kmeans,
+    brute_force_kmedian,
+)
+from repro.baselines.greedy_jms import greedy_jms
+from repro.baselines.jv_sequential import jv_sequential
+from repro.baselines.gonzalez import gonzalez_kcenter
+from repro.baselines.hochbaum_shmoys import hochbaum_shmoys_kcenter
+from repro.baselines.wang_cheng import wang_cheng_kcenter
+from repro.baselines.local_search_seq import local_search_kmeans_seq, local_search_kmedian_seq
+
+__all__ = [
+    "brute_force_facility_location",
+    "brute_force_kmedian",
+    "brute_force_kmeans",
+    "brute_force_kcenter",
+    "greedy_jms",
+    "jv_sequential",
+    "gonzalez_kcenter",
+    "hochbaum_shmoys_kcenter",
+    "wang_cheng_kcenter",
+    "local_search_kmedian_seq",
+    "local_search_kmeans_seq",
+]

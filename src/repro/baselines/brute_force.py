@@ -1,0 +1,80 @@
+"""Exact solvers by enumeration, for measuring approximation ratios.
+
+These deliberately refuse instances whose enumeration space is large:
+they exist to certify optima on test instances, not to compete.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
+
+
+def brute_force_facility_location(
+    instance: FacilityLocationInstance, *, max_facilities: int = 16
+) -> tuple[float, np.ndarray]:
+    """Exact facility-location optimum over all non-empty facility subsets.
+
+    Returns ``(opt_cost, best_facility_indices)``. Enumerates ``2^{n_f}−1``
+    subsets; refuses ``n_f > max_facilities``.
+    """
+    nf = instance.n_facilities
+    if nf > max_facilities:
+        raise InvalidParameterError(
+            f"brute force caps at {max_facilities} facilities, instance has {nf}"
+        )
+    D, f = instance.D, instance.f
+    best_cost = np.inf
+    best: np.ndarray | None = None
+    # Grow subsets in Gray-code-free simple order; vectorized min over rows.
+    for mask in range(1, 1 << nf):
+        idx = np.flatnonzero([(mask >> i) & 1 for i in range(nf)])
+        cost = f[idx].sum() + D[idx].min(axis=0).sum()
+        if cost < best_cost:
+            best_cost = cost
+            best = idx
+    assert best is not None
+    return float(best_cost), best
+
+
+def _brute_force_centers(instance: ClusteringInstance, objective, *, max_subsets: int):
+    n, k = instance.n, instance.k
+    if comb(n, k) > max_subsets:
+        raise InvalidParameterError(
+            f"brute force caps at {max_subsets} subsets, C({n},{k})={comb(n, k)}"
+        )
+    D = instance.D
+    best_cost, best = np.inf, None
+    for centers in combinations(range(n), k):
+        idx = np.asarray(centers)
+        d = D[:, idx].min(axis=1)
+        cost = objective(d)
+        if cost < best_cost:
+            best_cost, best = cost, idx
+    return float(best_cost), best
+
+
+def brute_force_kmedian(
+    instance: ClusteringInstance, *, max_subsets: int = 500_000
+) -> tuple[float, np.ndarray]:
+    """Exact k-median optimum by enumerating all k-subsets."""
+    return _brute_force_centers(instance, lambda d: d.sum(), max_subsets=max_subsets)
+
+
+def brute_force_kmeans(
+    instance: ClusteringInstance, *, max_subsets: int = 500_000
+) -> tuple[float, np.ndarray]:
+    """Exact k-means (sum of squared distances) optimum by enumeration."""
+    return _brute_force_centers(instance, lambda d: (d * d).sum(), max_subsets=max_subsets)
+
+
+def brute_force_kcenter(
+    instance: ClusteringInstance, *, max_subsets: int = 500_000
+) -> tuple[float, np.ndarray]:
+    """Exact k-center (bottleneck radius) optimum by enumeration."""
+    return _brute_force_centers(instance, lambda d: d.max(), max_subsets=max_subsets)

@@ -1,0 +1,30 @@
+"""Gonzalez's farthest-point k-center 2-approximation (TCS 1985).
+
+The simplest optimal-factor sequential algorithm for k-center:
+repeatedly add the point farthest from the current center set. Used as
+a baseline for §6.1 and as the classical warm start it competes with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.instance import ClusteringInstance
+from repro.util.validation import check_k
+
+
+def gonzalez_kcenter(instance: ClusteringInstance, *, first: int = 0) -> np.ndarray:
+    """Return ``k`` center indices by farthest-point traversal.
+
+    Deterministic given ``first`` (the seed center). Guarantees
+    ``kcenter_cost ≤ 2·opt``.
+    """
+    D = instance.D
+    n, k = instance.n, check_k(instance.k, instance.n)
+    centers = np.empty(k, dtype=int)
+    centers[0] = int(first) % n
+    dist = D[:, centers[0]].copy()
+    for t in range(1, k):
+        centers[t] = int(np.argmax(dist))
+        np.minimum(dist, D[:, centers[t]], out=dist)
+    return np.unique(centers)

@@ -1,0 +1,82 @@
+"""Sequential greedy facility location of Jain et al. (JACM 2003).
+
+The algorithm §4 parallelizes: repeatedly pick the globally cheapest
+star ``(i, C′)`` (facility plus client subset minimizing ``(f_i +
+Σ d)/|C′|``), open the facility, zero its cost, and remove the star's
+clients. Approximation factor 1.861 (via factor-revealing LP).
+
+This implementation recomputes the cheapest star per iteration in
+``O(m log m)`` vectorized time — ``O(n_c · m log m)`` total, which is a
+perfectly serviceable baseline at benchmark sizes (the authors' refined
+bookkeeping reaches ``O(m log m)`` total but changes no output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.instance import FacilityLocationInstance
+
+
+@dataclass
+class GreedyJMSResult:
+    """Output of the sequential greedy: open set, cost, and per-iteration
+    trace (star prices), used by tests to cross-validate the parallel
+    algorithm's behaviour."""
+
+    opened: np.ndarray
+    cost: float
+    iterations: int
+    star_prices: list[float] = field(default_factory=list)
+
+
+def cheapest_star_prices(D_active: np.ndarray, f_current: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Price and size of the cheapest star at every facility.
+
+    For facility ``i`` with active-client distances sorted ascending,
+    the cheapest star over ``k`` clients has price ``(f_i + Σ_{t≤k}
+    d_t)/k``; the best ``k`` is where the running price stops
+    decreasing (Fact 4.2 / §4 step 1). Returns ``(prices, sizes)``.
+    """
+    nf, nc = D_active.shape
+    order = np.sort(D_active, axis=1)
+    prefix = np.cumsum(order, axis=1)
+    ks = np.arange(1, nc + 1, dtype=float)
+    prices = (f_current[:, None] + prefix) / ks
+    best_k = np.argmin(prices, axis=1)
+    return prices[np.arange(nf), best_k], best_k + 1
+
+
+def greedy_jms(instance: FacilityLocationInstance) -> GreedyJMSResult:
+    """Run the sequential greedy to completion; returns the open set."""
+    D, f = instance.D, instance.f.copy()
+    nf, nc = D.shape
+    active = np.ones(nc, dtype=bool)
+    opened = np.zeros(nf, dtype=bool)
+    prices_trace: list[float] = []
+    iterations = 0
+
+    while active.any():
+        iterations += 1
+        D_act = D[:, active]
+        prices, sizes = cheapest_star_prices(D_act, f)
+        i = int(np.argmin(prices))
+        price = float(prices[i])
+        k = int(sizes[i])
+        prices_trace.append(price)
+        # The star's clients are the k closest active clients of i.
+        act_idx = np.flatnonzero(active)
+        chosen = act_idx[np.argsort(D_act[i], kind="stable")[:k]]
+        opened[i] = True
+        f[i] = 0.0
+        active[chosen] = False
+
+    opened_idx = np.flatnonzero(opened)
+    return GreedyJMSResult(
+        opened=opened_idx,
+        cost=instance.cost(opened_idx),
+        iterations=iterations,
+        star_prices=prices_trace,
+    )

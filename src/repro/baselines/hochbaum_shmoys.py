@@ -1,0 +1,72 @@
+"""Sequential Hochbaum–Shmoys k-center (Math. OR 1985).
+
+The bottleneck method §6.1 parallelizes: binary search over the sorted
+distinct distances; at threshold ``t``, greedily build a maximal
+dominator set of the threshold graph ``H_t`` (no two chosen nodes
+within two hops); the smallest ``t`` whose dominator set has ≤ k nodes
+yields a 2-approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.instance import ClusteringInstance
+
+
+@dataclass
+class HSResult:
+    """Centers, achieved radius, the selected threshold, and probe count."""
+
+    centers: np.ndarray
+    radius: float
+    threshold: float
+    probes: int
+
+
+def greedy_dominator_set(adjacency: np.ndarray) -> np.ndarray:
+    """Sequential maximal dominator set: scan nodes in index order,
+    keep any node not within two hops of an already-kept node."""
+    n = adjacency.shape[0]
+    blocked = np.zeros(n, dtype=bool)
+    chosen: list[int] = []
+    for v in range(n):
+        if blocked[v]:
+            continue
+        chosen.append(v)
+        nbrs = adjacency[v]
+        blocked |= nbrs
+        blocked |= adjacency[nbrs].any(axis=0)
+        blocked[v] = True
+    return np.asarray(chosen, dtype=int)
+
+
+def hochbaum_shmoys_kcenter(instance: ClusteringInstance) -> HSResult:
+    """Binary-search bottleneck 2-approximation for k-center."""
+    D, k = instance.D, instance.k
+    thresholds = np.unique(D)
+    lo, hi = 0, thresholds.size - 1
+    probes = 0
+    best_centers = None
+    best_t = thresholds[-1]
+    # Invariant: H at thresholds[hi] passes (≤ k dominators); at the top
+    # threshold everything is one hop apart, so a single center suffices.
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        t = thresholds[mid]
+        probes += 1
+        dom = greedy_dominator_set(D <= t)
+        if dom.size <= k:
+            best_centers, best_t = dom, t
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    assert best_centers is not None  # the largest threshold always passes
+    return HSResult(
+        centers=best_centers,
+        radius=instance.kcenter_cost(best_centers),
+        threshold=float(best_t),
+        probes=probes,
+    )

@@ -1,0 +1,95 @@
+"""Sequential single-swap local search for k-median / k-means.
+
+The Arya et al. (SICOMP 2004) algorithm §7 parallelizes: from any
+initial k-set, repeatedly apply a swap ``(i ∈ S, i′ ∉ S)`` that
+improves the objective by at least a ``(1 − β/k)`` factor (β = ε/(1+ε);
+the polynomial-time variant of "any improving swap"). 5-approx for
+k-median, (81+ε) for k-means by the same analysis (Gupta–Tangwongsan).
+
+Kept deliberately close to the parallel version's semantics so tests
+can compare outcomes swap-for-swap; the difference is purely that this
+one evaluates swaps serially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.gonzalez import gonzalez_kcenter
+from repro.errors import ConvergenceError
+from repro.metrics.instance import ClusteringInstance
+from repro.util.validation import check_epsilon
+
+
+@dataclass
+class LocalSearchSeqResult:
+    """Centers, final objective, and the number of swaps applied."""
+
+    centers: np.ndarray
+    cost: float
+    swaps: int
+
+
+def _nearest_two(Dc: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Nearest and second-nearest center distances (and nearest index)
+    for each client, given the client × center distance block."""
+    order = np.argsort(Dc, axis=1, kind="stable")
+    near = order[:, 0]
+    d1 = Dc[np.arange(Dc.shape[0]), near]
+    d2 = Dc[np.arange(Dc.shape[0]), order[:, 1]] if Dc.shape[1] > 1 else np.full(Dc.shape[0], np.inf)
+    return d1, d2, near
+
+
+def _local_search(instance: ClusteringInstance, power: float, epsilon: float, max_rounds: int | None):
+    D = instance.D**power
+    n, k = instance.n, instance.k
+    beta = epsilon / (1.0 + epsilon)
+    centers = gonzalez_kcenter(instance)
+    if centers.size < k:  # farthest-point may collapse on duplicate points
+        extra = np.setdiff1d(np.arange(n), centers)[: k - centers.size]
+        centers = np.concatenate([centers, extra])
+    centers = np.sort(centers)
+    cost = float(D[:, centers].min(axis=1).sum())
+    swaps = 0
+    limit = max_rounds if max_rounds is not None else max(64, 8 * k * int(np.ceil(np.log(n + 1) / beta)))
+
+    for _ in range(limit):
+        Dc = D[:, centers]
+        d1, d2, near = _nearest_two(Dc)
+        out_mask = np.ones(n, dtype=bool)
+        out_mask[centers] = False
+        candidates = np.flatnonzero(out_mask)
+        if candidates.size == 0:  # k = n: nothing to swap in
+            return LocalSearchSeqResult(centers=centers, cost=cost, swaps=swaps)
+        # base[a, j]: client j's service cost if center slot a is dropped.
+        base = np.where(near[None, :] == np.arange(k)[:, None], d2[None, :], d1[None, :])
+        # new_cost[a, c] = Σ_j min(base[a, j], D[j, cand_c])
+        new_cost = np.minimum(base[:, None, :], D[:, candidates].T[None, :, :]).sum(axis=2)
+        a, c = np.unravel_index(np.argmin(new_cost), new_cost.shape)
+        if new_cost[a, c] < (1.0 - beta / k) * cost:
+            centers = np.sort(np.concatenate([np.delete(centers, a), [candidates[c]]]))
+            cost = float(new_cost[a, c])
+            swaps += 1
+        else:
+            return LocalSearchSeqResult(centers=centers, cost=cost, swaps=swaps)
+    if max_rounds is None:
+        raise ConvergenceError("sequential local search exceeded its round bound")
+    return LocalSearchSeqResult(centers=centers, cost=cost, swaps=swaps)
+
+
+def local_search_kmedian_seq(
+    instance: ClusteringInstance, *, epsilon: float = 0.5, max_rounds: int | None = None
+) -> LocalSearchSeqResult:
+    """Sequential (5+ε)-approx local search for k-median."""
+    check_epsilon(epsilon, upper=1.0)
+    return _local_search(instance, power=1.0, epsilon=epsilon, max_rounds=max_rounds)
+
+
+def local_search_kmeans_seq(
+    instance: ClusteringInstance, *, epsilon: float = 0.5, max_rounds: int | None = None
+) -> LocalSearchSeqResult:
+    """Sequential (81+ε)-approx local search for k-means."""
+    check_epsilon(epsilon, upper=1.0)
+    return _local_search(instance, power=2.0, epsilon=epsilon, max_rounds=max_rounds)

@@ -1,0 +1,29 @@
+"""Plain-text / markdown table rendering for experiment output."""
+
+from __future__ import annotations
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_markdown_table(rows: list, columns: list) -> str:
+    """Render dict rows as a GitHub-flavored markdown table."""
+    if not rows:
+        return "(no rows)"
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(r[i]) for r in cells)) for i, c in enumerate(columns)
+    ]
+    def line(values):
+        return "| " + " | ".join(v.ljust(w) for v, w in zip(values, widths)) + " |"
+    out = [line([str(c) for c in columns])]
+    out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)

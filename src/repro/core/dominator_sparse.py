@@ -1,0 +1,106 @@
+"""Lemma 3.1 remark — sparse dominator sets in ``O(|E| log |V|)`` work.
+
+The paper notes: *"For sparse matrices, which we do not use in this
+paper, this can easily be improved to O(|E| log |V|) work."* This module
+is that improvement: the same in-place Luby select step, but every
+neighborhood reduction runs over a CSR adjacency in ``O(nnz)`` work
+instead of ``O(n²)``.
+
+The kernel is segmented minimum over the CSR row structure
+(``np.minimum.reduceat``), i.e., a prefix-sum-style basic operation in
+the §2 sense — charged as work ``|E|``, depth ``log n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.pram.machine import PramMachine
+
+
+def _to_csr(adjacency) -> sparse.csr_matrix:
+    if sparse.issparse(adjacency):
+        A = adjacency.tocsr().astype(bool)
+    else:
+        A = sparse.csr_matrix(np.asarray(adjacency, dtype=bool))
+    if A.shape[0] != A.shape[1]:
+        raise InvalidParameterError(f"adjacency must be square, got {A.shape}")
+    if (A != A.T).nnz != 0:
+        raise InvalidParameterError("adjacency must be symmetric (simple undirected graph)")
+    A = A.tolil()
+    A.setdiag(False)
+    return A.tocsr()
+
+
+def _segmented_min(machine: PramMachine, A: sparse.csr_matrix, values: np.ndarray) -> np.ndarray:
+    """``out[i] = min_{j ∈ Γ(i)} values[j]`` in O(nnz) work (+inf on
+    isolated rows)."""
+    n = A.shape[0]
+    nnz = A.indptr[-1]
+    if nnz == 0:
+        return np.full(n, np.inf)
+    gathered = np.append(values[A.indices], np.inf)
+    starts = np.minimum(A.indptr[:-1], nnz)
+    out = np.minimum.reduceat(gathered, starts)
+    out[np.diff(A.indptr) == 0] = np.inf
+    machine.ledger.charge_basic("sparse_neighbor_min", int(nnz))
+    return out
+
+
+def _neighbor_any(machine: PramMachine, A: sparse.csr_matrix, mask: np.ndarray) -> np.ndarray:
+    """``out[i] = any(mask[Γ(i)])`` via a sparse matvec, O(nnz) work."""
+    out = (A @ mask.astype(np.int8)) > 0
+    machine.ledger.charge_basic("sparse_neighbor_any", max(int(A.indptr[-1]), 1))
+    return out
+
+
+def max_dominator_set_sparse(
+    adjacency,
+    machine: PramMachine | None = None,
+    *,
+    max_rounds: int | None = None,
+) -> np.ndarray:
+    """Sparse ``MaxDom`` — identical semantics to
+    :func:`repro.core.dominator.max_dominator_set`, ``O(|E| log |V|)``
+    work.
+
+    Parameters
+    ----------
+    adjacency:
+        scipy.sparse matrix or dense boolean array (symmetric).
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean selection mask: maximal, and independent in ``G²``.
+    """
+    machine = machine if machine is not None else PramMachine()
+    A = _to_csr(adjacency)
+    n = A.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    limit = (n + 1) if max_rounds is None else int(max_rounds)
+
+    candidate = np.ones(n, dtype=bool)
+    selected = np.zeros(n, dtype=bool)
+    for _ in range(limit):
+        if not candidate.any():
+            return selected
+        machine.bump_round("maxdom_sparse")
+        pi = machine.random_priorities(n).astype(float)
+        pim = np.where(candidate, pi, np.inf)
+        machine.ledger.charge_basic("map", n, depth=1)
+        hop1 = _segmented_min(machine, A, pim)
+        hop2 = _segmented_min(machine, A, np.minimum(pim, hop1))
+        sel = candidate & np.isfinite(pim) & (pim <= hop2)
+        machine.ledger.charge_basic("map", n, depth=1)
+        selected |= sel
+        hop1_hit = _neighbor_any(machine, A, sel)
+        hop2_hit = _neighbor_any(machine, A, hop1_hit)
+        candidate &= ~(sel | hop1_hit | hop2_hit)
+        machine.ledger.charge_basic("map", n, depth=1)
+    if candidate.any():
+        raise ConvergenceError(f"sparse MaxDom exceeded {limit} rounds (n={n})")
+    return selected

@@ -1,0 +1,229 @@
+"""§4 — Parallel greedy facility location (Algorithm 4.1, Theorem 4.9).
+
+Parallelizes the Jain et al. greedy ("repeatedly open the cheapest
+star") by admitting *every* facility whose cheapest maximal star is
+within a ``(1+ε)`` factor of the round minimum ``τ``, then running a
+randomized **facility subselection** so facilities are only opened when
+at least a ``1/(2(1+ε))`` fraction of their neighborhood chose them —
+the clean-up that keeps the dual-fitting accounting intact.
+
+Structure per outer round (clients remaining):
+
+1. cheapest maximal star price per facility (presorted prefix sums,
+   :mod:`repro.core.stars`);
+2. ``τ = min price``; admit ``I = {i : price ≤ τ(1+ε)}``;
+3. bipartite ``H`` on ``(I, C′)`` with edges ``d(i,j) ≤ τ(1+ε)``;
+4. subselection: clients vote for their minimum-priority admitted
+   neighbor under a random permutation; facilities with votes ≥
+   ``deg/(2(1+ε))`` open, their neighborhoods leave; facilities whose
+   *reduced* star price rises above ``τ(1+ε)`` leave ``I`` (they return
+   in a later outer round) — Lemma 4.8 bounds the subselection rounds.
+
+The ``γ/m²`` preprocessing (open all stars priced ≤ γ/m², costing at
+most ``opt/m`` extra) bounds the outer rounds by ``O(log_{1+ε} m)``.
+
+Dual artifacts: each removed client records ``α_j = τ`` of its removal
+round; Lemma 4.3 (``cost ≤ 2(1+ε)² Σ α_j``) and Lemma 4.7 (``α/3`` is
+dual feasible) are then executable — the tests run both.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.result import FacilityLocationSolution
+from repro.core.stars import cheapest_star_prices_masked, presort_distances
+from repro.errors import ConvergenceError
+from repro.metrics.instance import FacilityLocationInstance
+from repro.pram.machine import PramMachine
+from repro.util.validation import check_epsilon
+
+_REL_TOL = 1.0 + 1e-12  # float-safe threshold comparisons
+
+
+def _instance_gamma(machine: PramMachine, D: np.ndarray, f: np.ndarray) -> float:
+    """Eq. (2) bound ``γ = max_j min_i (f_i + d(j, i))``."""
+    total = machine.map(lambda d, ff: d + ff, D, np.broadcast_to(f[:, None], D.shape))
+    gamma_j = machine.reduce(total, "min", axis=0)
+    return float(machine.reduce(gamma_j, "max"))
+
+
+def parallel_greedy(
+    instance: FacilityLocationInstance,
+    *,
+    epsilon: float = 0.1,
+    machine: PramMachine | None = None,
+    seed=None,
+    preprocess: bool = True,
+    max_outer_rounds: int | None = None,
+    max_subselect_rounds: int | None = None,
+) -> FacilityLocationSolution:
+    """Run Algorithm 4.1 to completion.
+
+    Parameters
+    ----------
+    epsilon:
+        The slack parameter ``0 < ε ≤ 1``; smaller ε tracks the
+        sequential greedy more closely (better cost, more rounds).
+    machine:
+        PRAM machine to execute/charge on (fresh serial one if absent;
+        ``seed`` is only used when constructing a fresh machine).
+    preprocess:
+        Apply the ``γ/m²`` cheap-star preprocessing (§4, "Bounding the
+        number of rounds"). Disable to measure its effect (bench E5).
+    max_outer_rounds / max_subselect_rounds:
+        Safety bounds (defaults: ``n_c + 8`` outer — each outer round
+        removes ≥ 1 client — and a large multiple of the Lemma 4.8
+        expectation for subselection); exceeding them raises
+        :class:`~repro.errors.ConvergenceError`.
+
+    Returns
+    -------
+    FacilityLocationSolution
+        With ``alpha`` (the dual-fitting vector), round counters
+        ``greedy_outer`` / ``greedy_subselect``, ledger costs, and
+        ``extra = {gamma, tau_trace, preprocessed_clients}``.
+    """
+    eps = check_epsilon(epsilon, upper=1.0)
+    machine = machine if machine is not None else PramMachine(seed=seed)
+    D = instance.D
+    f_cur = instance.f.astype(float).copy()
+    nf, nc = D.shape
+    m = max(instance.m, 2)
+
+    outer_cap = max_outer_rounds if max_outer_rounds is not None else nc + 8
+    if max_subselect_rounds is not None:
+        sub_cap = max_subselect_rounds
+    else:
+        sub_cap = 64 + 16 * math.ceil(math.log(m) / math.log1p(eps))
+
+    start = machine.snapshot()
+    order, D_sorted = presort_distances(machine, D)
+    active = np.ones(nc, dtype=bool)
+    opened = np.zeros(nf, dtype=bool)
+    alpha = np.zeros(nc, dtype=float)
+    tau_trace: list[float] = []
+    gamma = _instance_gamma(machine, D, instance.f.astype(float))
+    preprocessed = 0
+
+    if preprocess:
+        threshold = gamma / (m * m)
+        prices = cheapest_star_prices_masked(machine, D_sorted, order, f_cur, active)
+        pre_open = machine.map(lambda p: p <= threshold * _REL_TOL, prices)
+        if pre_open.any():
+            # Star members (Fact 4.2(1)): active clients with d ≤ price.
+            member = machine.map(
+                lambda d, p, po: po & (d <= p * _REL_TOL),
+                D,
+                np.broadcast_to(prices[:, None], D.shape),
+                np.broadcast_to(pre_open[:, None], D.shape),
+            )
+            served = machine.reduce(member, "or", axis=0)
+            opened |= pre_open
+            f_cur = machine.where(pre_open, 0.0, f_cur)
+            active &= ~served
+            preprocessed = int(served.sum())
+
+    while active.any():
+        outer = machine.bump_round("greedy_outer")
+        if outer > outer_cap:
+            raise ConvergenceError(
+                f"greedy exceeded {outer_cap} outer rounds (m={m}, eps={eps})"
+            )
+        prices = cheapest_star_prices_masked(machine, D_sorted, order, f_cur, active)
+        tau = float(machine.reduce(prices, "min"))
+        tau_trace.append(tau)
+        cut = tau * (1.0 + eps) * _REL_TOL
+        I = machine.map(lambda p: p <= cut, prices)
+        E = machine.map(
+            lambda d, Ii, a: Ii & a & (d <= cut),
+            D,
+            np.broadcast_to(I[:, None], D.shape),
+            np.broadcast_to(active[None, :], D.shape),
+        )
+
+        sub = 0
+        while True:
+            deg = machine.reduce(E.astype(float), "add", axis=1)
+            I = machine.map(lambda Ii, dg: Ii & (dg > 0), I, deg)
+            E = machine.map(lambda e, Ii: e & Ii, E, np.broadcast_to(I[:, None], E.shape))
+            if not I.any():
+                break
+            sub += 1
+            machine.bump_round("greedy_subselect")
+            if sub > sub_cap:
+                raise ConvergenceError(
+                    f"greedy subselection exceeded {sub_cap} rounds (m={m}, eps={eps})"
+                )
+
+            # 4(a–b): random permutation; every client picks its
+            # minimum-priority admitted neighbor.
+            Pi = machine.random_priorities(nf).astype(float)
+            col_priorities = machine.where(E, Pi[:, None], np.inf)
+            phi = machine.argmin(col_priorities, axis=0)
+            has_edge = machine.reduce(E, "or", axis=0)
+
+            # 4(c): votes per facility; open the well-supported ones.
+            vote_matrix = machine.map(
+                lambda ph, he, row: (ph == row) & he,
+                np.broadcast_to(phi[None, :], E.shape),
+                np.broadcast_to(has_edge[None, :], E.shape),
+                np.broadcast_to(np.arange(nf)[:, None], E.shape),
+            )
+            votes = machine.reduce(vote_matrix.astype(float), "add", axis=1)
+            open_now = machine.map(
+                lambda Ii, v, dg: Ii & (dg > 0) & (v * (2.0 * (1.0 + eps)) >= dg * (1.0 - 1e-12)),
+                I,
+                votes,
+                deg,
+            )
+            if open_now.any():
+                served = machine.reduce(
+                    machine.where(E, np.broadcast_to(open_now[:, None], E.shape), False),
+                    "or",
+                    axis=0,
+                )
+                opened |= open_now
+                f_cur = machine.where(open_now, 0.0, f_cur)
+                I = machine.map(lambda Ii, o: Ii & ~o, I, open_now)
+                alpha = machine.where(served & active, tau, alpha)
+                active &= ~served
+                E = machine.map(
+                    lambda e, srv, Ii: e & ~srv & Ii,
+                    E,
+                    np.broadcast_to(served[None, :], E.shape),
+                    np.broadcast_to(I[:, None], E.shape),
+                )
+
+            # 4(d): drop facilities whose reduced star price exceeds the cut.
+            wsum = machine.reduce(machine.where(E, D, 0.0), "add", axis=1)
+            deg_now = machine.reduce(E.astype(float), "add", axis=1)
+            drop = machine.map(
+                lambda Ii, dg, ws, fc: Ii & (dg > 0) & ((fc + ws) > cut * dg * _REL_TOL),
+                I,
+                deg_now,
+                wsum,
+                f_cur,
+            )
+            if drop.any():
+                I = machine.map(lambda Ii, dr: Ii & ~dr, I, drop)
+                E = machine.map(lambda e, Ii: e & Ii, E, np.broadcast_to(I[:, None], E.shape))
+
+    opened_idx = np.flatnonzero(opened)
+    return FacilityLocationSolution(
+        opened=opened_idx,
+        cost=instance.cost(opened_idx),
+        facility_cost=instance.facility_cost(opened_idx),
+        connection_cost=instance.connection_cost(opened_idx),
+        alpha=alpha,
+        rounds=dict(machine.ledger.rounds),
+        model_costs=machine.ledger.since(start),
+        extra={
+            "gamma": gamma,
+            "tau_trace": tau_trace,
+            "preprocessed_clients": preprocessed,
+            "epsilon": eps,
+        },
+    )

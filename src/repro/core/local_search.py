@@ -1,0 +1,186 @@
+"""§7 — Parallel local search for k-median and k-means (Theorem 7.1).
+
+The natural local search ("swap one center if it helps") parallelized
+along the paper's two key ideas:
+
+1. **Good warm start.** Any optimal k-center solution is an
+   ``n``-approximation for k-median, so the §6.1 parallel 2-approx
+   k-center gives a ``2n``-approximate start — making
+   ``O(log_{1+ε/(1+ε)·1/k}) = O(k log n / β)`` improving rounds enough.
+2. **All swaps in parallel.** With the client→center distances and each
+   client's nearest/second-nearest center in hand, *every* candidate
+   swap ``(i ∈ S, i′ ∉ S)`` is evaluated simultaneously:
+   ``Δcost(i→i′) = Σ_j min(base_i(j), d(j, i′)) − cost``, where
+   ``base_i(j)`` is ``j``'s service cost with ``i`` dropped — one
+   ``O(k·n·n)``-work batch of basic matrix operations per round.
+
+A swap is applied only if it improves the objective by a factor
+``(1 − β/k)``, ``β = ε/(1+ε)`` — the polynomial-round variant whose
+local optima are ``(5+ε)``-approximate for k-median and ``(81+ε)`` for
+k-means (squared distances; Gupta–Tangwongsan analysis).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.kcenter import parallel_kcenter
+from repro.core.result import ClusteringSolution
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.metrics.instance import ClusteringInstance
+from repro.pram.machine import PramMachine
+from repro.util.validation import check_epsilon
+
+_OBJECTIVE_POWER = {"kmedian": 1.0, "kmeans": 2.0}
+
+
+def _initial_centers(
+    instance: ClusteringInstance, machine: PramMachine, initial
+) -> np.ndarray:
+    """Warm start: caller-provided centers or the parallel k-center
+    2-approximation (padded arbitrarily if it used fewer than k)."""
+    if initial is not None:
+        centers = np.unique(np.asarray(initial, dtype=int))
+        if centers.size == 0 or centers.min() < 0 or centers.max() >= instance.n:
+            raise InvalidParameterError(f"invalid initial centers {initial!r}")
+    else:
+        centers = parallel_kcenter(instance, machine=machine).centers
+    if centers.size < instance.k:
+        pad = np.setdiff1d(np.arange(instance.n), centers)[: instance.k - centers.size]
+        centers = np.concatenate([centers, pad])
+    return np.sort(centers[: instance.k])
+
+
+def parallel_local_search(
+    instance: ClusteringInstance,
+    objective: str = "kmedian",
+    *,
+    epsilon: float = 0.5,
+    machine: PramMachine | None = None,
+    seed=None,
+    initial=None,
+    max_rounds: int | None = None,
+) -> ClusteringSolution:
+    """Run the §7 parallel local search to a ``(1−β/k)``-local optimum.
+
+    Parameters
+    ----------
+    objective:
+        ``"kmedian"`` (distances) or ``"kmeans"`` (squared distances).
+    epsilon:
+        Improvement slack ``0 < ε < 1`` (β = ε/(1+ε)); smaller ε means
+        more rounds and a guarantee closer to 5 (resp. 81).
+    initial:
+        Optional warm-start centers (defaults to parallel k-center).
+    max_rounds:
+        Safety bound; defaults to the Arya et al. round bound for a
+        ``2n``-approximate start, with headroom.
+
+    Returns
+    -------
+    ClusteringSolution
+        ``extra`` records the swap trace and the warm-start cost.
+    """
+    if objective not in _OBJECTIVE_POWER:
+        raise InvalidParameterError(
+            f"objective must be one of {sorted(_OBJECTIVE_POWER)}, got {objective!r}"
+        )
+    eps = check_epsilon(epsilon, upper=1.0 - 1e-9)
+    machine = machine if machine is not None else PramMachine(seed=seed)
+    n, k = instance.n, instance.k
+    beta = eps / (1.0 + eps)
+
+    start = machine.snapshot()
+    centers = _initial_centers(instance, machine, initial)
+    power = _OBJECTIVE_POWER[objective]
+    # Service costs; for k-means these are squared distances (one map).
+    Dp = machine.map(lambda d: d**power, instance.D) if power != 1.0 else instance.D
+
+    if max_rounds is not None:
+        cap = max_rounds
+    else:
+        # O(log_{1/(1-β/k)}(start/opt)) with start ≤ (2n)^power · opt.
+        cap = math.ceil(power * math.log(2 * max(n, 2)) * (k / beta)) + 16
+
+    def service_state(c: np.ndarray):
+        Dc = machine.take_columns(Dp, c)
+        near_pos = machine.argmin(Dc, axis=1)
+        d1 = Dc[np.arange(n), near_pos]
+        masked = Dc.copy()
+        masked[np.arange(n), near_pos] = np.inf
+        machine.ledger.charge_basic("map", Dc.size, depth=1)  # masking pass
+        d2 = machine.reduce(masked, "min", axis=1) if c.size > 1 else np.full(n, np.inf)
+        return d1, d2, near_pos
+
+    d1, d2, near_pos = service_state(centers)
+    cost = float(machine.reduce(d1, "add"))
+    initial_cost = cost
+    swaps: list[tuple[int, int, float]] = []
+
+    rounds = 0
+    while True:
+        rounds += 1
+        machine.bump_round("local_search")
+        if rounds > cap:
+            raise ConvergenceError(
+                f"local search exceeded {cap} rounds (n={n}, k={k}, eps={eps})"
+            )
+        out_mask = np.ones(n, dtype=bool)
+        out_mask[centers] = False
+        candidates = np.flatnonzero(out_mask)
+        if candidates.size == 0:
+            break  # k = n: every node is a center
+
+        # base[a, j]: client j's cost with center slot a removed.
+        base = machine.map(
+            lambda np_, d2_, d1_, row: np.where(np_ == row, d2_, d1_),
+            np.broadcast_to(near_pos[None, :], (k, n)),
+            np.broadcast_to(d2[None, :], (k, n)),
+            np.broadcast_to(d1[None, :], (k, n)),
+            np.broadcast_to(np.arange(k)[:, None], (k, n)),
+        )
+        # new_cost[a, c] = Σ_j min(base[a, j], Dp[candidate_c, j])
+        cand_rows = machine.take_columns(Dp.T, candidates).T  # (n_cand, n)
+        trial = machine.map(
+            np.minimum,
+            np.broadcast_to(base[:, None, :], (k, candidates.size, n)),
+            np.broadcast_to(cand_rows[None, :, :], (k, candidates.size, n)),
+        )
+        new_cost = machine.reduce(trial, "add", axis=2)
+        flat_best = int(machine.argmin(new_cost))
+        a, c = np.unravel_index(flat_best, new_cost.shape)
+        best = float(new_cost[a, c])
+        if best < (1.0 - beta / k) * cost:
+            swaps.append((int(centers[a]), int(candidates[c]), best))
+            centers = np.sort(np.concatenate([np.delete(centers, a), [candidates[c]]]))
+            d1, d2, near_pos = service_state(centers)
+            cost = best
+        else:
+            break
+
+    cost_fn = instance.kmedian_cost if objective == "kmedian" else instance.kmeans_cost
+    return ClusteringSolution(
+        centers=centers,
+        cost=cost_fn(centers),
+        objective=objective,
+        rounds=dict(machine.ledger.rounds),
+        model_costs=machine.ledger.since(start),
+        extra={
+            "initial_cost": initial_cost,
+            "swaps": swaps,
+            "epsilon": eps,
+            "beta": beta,
+        },
+    )
+
+
+def parallel_kmedian(instance: ClusteringInstance, **kwargs) -> ClusteringSolution:
+    """Convenience wrapper: §7 local search with the k-median objective."""
+    return parallel_local_search(instance, "kmedian", **kwargs)
+
+
+def parallel_kmeans(instance: ClusteringInstance, **kwargs) -> ClusteringSolution:
+    """Convenience wrapper: §7 local search with the k-means objective."""
+    return parallel_local_search(instance, "kmeans", **kwargs)

@@ -1,0 +1,203 @@
+"""§5 — Parallel primal–dual facility location (Algorithm 5.1, Thm 5.4).
+
+Parallelizes Jain–Vazirani by raising all unfrozen client duals along
+the geometric schedule ``α = (γ/m²)(1+ε)^ℓ`` instead of continuously:
+
+* a facility opens once ``Σ_j max(0, (1+ε)α_j − d(j,i)) ≥ f_i`` —
+  the ``(1+ε)`` lookahead guarantees no facility is ever *overtight*
+  at the recorded α (Claim 5.1: the produced α, canonically completed
+  with ``β_ij = max(0, α_j − d(j,i))``, is dual feasible — the test
+  suite asserts this on every run);
+* a client freezes once an open facility is within ``(1+ε)α_j``;
+* edges ``(1+ε)α_j > d(j,i)`` to open facilities accumulate in a
+  bipartite contribution graph ``H``;
+* postprocessing takes ``I = MaxUDom(H)`` so each client pays at most
+  one surviving facility, giving the ``(3+ε)`` guarantee via
+  Lemmas 5.2/5.3 (the LMP inequality Eq. (5) is also asserted).
+
+Preprocessing opens every facility payable at level ``γ/m²`` for free
+(total damage ≤ 3γ/m) which pins the iteration count at
+``≤ 3·log_{1+ε} m + O(1)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.dominator import max_u_dominator_set
+from repro.core.greedy import _instance_gamma
+from repro.core.result import FacilityLocationSolution
+from repro.errors import ConvergenceError
+from repro.metrics.instance import FacilityLocationInstance
+from repro.pram.machine import PramMachine
+from repro.util.validation import check_epsilon
+
+_REL_TOL = 1.0 + 1e-12
+
+
+def parallel_primal_dual(
+    instance: FacilityLocationInstance,
+    *,
+    epsilon: float = 0.1,
+    machine: PramMachine | None = None,
+    seed=None,
+    preprocess: bool = True,
+    max_iterations: int | None = None,
+) -> FacilityLocationSolution:
+    """Run Algorithm 5.1 to completion.
+
+    Parameters
+    ----------
+    epsilon:
+        Geometric raising slack ``ε > 0``; the guarantee is ``(3+ε′)``
+        with ``ε′ → 0`` as ``ε → 0``.
+    preprocess:
+        Open "free" facilities at level ``γ/m²`` first (§5
+        preprocessing). Disable for the E5 ablation — without it the
+        iteration count depends on the instance's distance spread.
+    max_iterations:
+        Safety bound; the default is the analysis bound
+        ``3·log_{1+ε}(m) + 8`` when preprocessing is on, and a spread-
+        dependent bound otherwise.
+
+    Returns
+    -------
+    FacilityLocationSolution
+        ``alpha`` holds the exact duals; ``extra`` includes the free
+        facility set ``F0``, the tentative set ``F_T``, and the
+        surviving independent set ``I``.
+    """
+    eps = check_epsilon(epsilon)
+    machine = machine if machine is not None else PramMachine(seed=seed)
+    D = instance.D
+    f = instance.f.astype(float)
+    nf, nc = D.shape
+    m = max(instance.m, 2)
+
+    start = machine.snapshot()
+    gamma = _instance_gamma(machine, D, f)
+    # Degenerate but legal: γ = 0 means every client has a zero-cost,
+    # zero-distance facility; the preprocessing opens them all below.
+    base = gamma / (m * m) if gamma > 0 else 0.0
+
+    alpha = np.zeros(nc, dtype=float)
+    frozen = np.zeros(nc, dtype=bool)
+    free_open = np.zeros(nf, dtype=bool)  # F0
+    tent_open = np.zeros(nf, dtype=bool)  # F_T (opened during main loop)
+    H = np.zeros((nf, nc), dtype=bool)
+
+    if preprocess or gamma == 0.0:
+        paid0 = machine.reduce(
+            machine.map(lambda d: np.maximum(0.0, base * _REL_TOL - d), D), "add", axis=1
+        )
+        free_open = machine.map(lambda p, ff: p >= ff / _REL_TOL, paid0, f)
+        if free_open.any():
+            near = machine.map(
+                lambda d, fo: fo & (d <= base * _REL_TOL),
+                D,
+                np.broadcast_to(free_open[:, None], D.shape),
+            )
+            freely = machine.reduce(near, "or", axis=0)
+            frozen |= freely  # α stays 0 for freely connected clients
+
+    # The schedule sweeps [γ/m², n_c·γ] regardless of preprocessing, so
+    # the §5 bound ℓ ≤ 3·log_{1+ε} m applies to both modes (preprocessing
+    # buys dual feasibility, not fewer iterations — see tests/benches).
+    if max_iterations is not None:
+        iter_cap = max_iterations
+    else:
+        iter_cap = math.ceil(3.0 * math.log(m) / math.log1p(eps)) + 8
+
+    if gamma == 0.0:
+        frozen[:] = True  # everyone has a free zero-distance facility
+
+    iterations = 0
+    while not frozen.all():
+        iterations += 1
+        machine.bump_round("pd_iterations")
+        if iterations > iter_cap:
+            raise ConvergenceError(
+                f"primal–dual exceeded {iter_cap} iterations (m={m}, eps={eps})"
+            )
+        t = base * (1.0 + eps) ** (iterations - 1) if base > 0 else 0.0
+        # Step 1: raise unfrozen duals to the schedule level.
+        alpha = machine.where(frozen, alpha, t)
+        # Step 2: open facilities whose (1+ε)-lookahead payment covers f.
+        paid = machine.reduce(
+            machine.map(
+                lambda d, a: np.maximum(0.0, (1.0 + eps) * a - d),
+                D,
+                np.broadcast_to(alpha[None, :], D.shape),
+            ),
+            "add",
+            axis=1,
+        )
+        openable = machine.map(
+            lambda p, ff, fo, to: (p * _REL_TOL >= ff) & ~fo & ~to, paid, f, free_open, tent_open
+        )
+        tent_open |= openable
+        # Step 3: freeze unfrozen clients reaching any open facility.
+        any_open = machine.map(lambda fo, to: fo | to, free_open, tent_open)
+        if any_open.any():
+            reachable = machine.reduce(
+                machine.map(
+                    lambda d, a, op: op & ((1.0 + eps) * a * _REL_TOL >= d),
+                    D,
+                    np.broadcast_to(alpha[None, :], D.shape),
+                    np.broadcast_to(any_open[:, None], D.shape),
+                ),
+                "or",
+                axis=0,
+            )
+            frozen |= reachable
+        # Step 4: accumulate contribution edges to tentatively open facilities.
+        H |= machine.map(
+            lambda d, a, to: to & ((1.0 + eps) * a > d),
+            D,
+            np.broadcast_to(alpha[None, :], D.shape),
+            np.broadcast_to(tent_open[:, None], D.shape),
+        )
+        # Exhaustion rule: if every facility is open but clients remain
+        # unfrozen, connect them directly (α_j = min_i d(j,i)).
+        if not frozen.all() and bool(np.all(free_open | tent_open)):
+            nearest = machine.reduce(D, "min", axis=0)
+            alpha = machine.where(frozen, alpha, np.maximum(nearest, alpha))
+            frozen[:] = True
+            H |= machine.map(
+                lambda d, a, to: to & ((1.0 + eps) * a > d),
+                D,
+                np.broadcast_to(alpha[None, :], D.shape),
+                np.broadcast_to(tent_open[:, None], D.shape),
+            )
+
+    # Post-processing: survivors = maximal U-dominator set of H over F_T.
+    if tent_open.any():
+        survivors = max_u_dominator_set(H, machine, candidates=tent_open)
+    else:
+        survivors = np.zeros(nf, dtype=bool)
+    final_open = survivors | free_open
+    if not final_open.any():
+        # Only possible when no client exists to pay anything — open the
+        # cheapest facility to return a valid solution shape.
+        final_open[int(np.argmin(f))] = True
+
+    opened_idx = np.flatnonzero(final_open)
+    return FacilityLocationSolution(
+        opened=opened_idx,
+        cost=instance.cost(opened_idx),
+        facility_cost=instance.facility_cost(opened_idx),
+        connection_cost=instance.connection_cost(opened_idx),
+        alpha=alpha,
+        rounds=dict(machine.ledger.rounds),
+        model_costs=machine.ledger.since(start),
+        extra={
+            "gamma": gamma,
+            "F0": np.flatnonzero(free_open),
+            "F_T": np.flatnonzero(tent_open),
+            "I": np.flatnonzero(survivors),
+            "H": H,
+            "epsilon": eps,
+        },
+    )

@@ -1,0 +1,70 @@
+"""Solution objects returned by the core algorithms.
+
+A solution is fundamentally just a facility/center set — Eq. (1) and
+the §2 objectives are functions of that set alone (clients always
+connect to the closest open facility). These dataclasses additionally
+carry the measured model costs (from the PRAM ledger), round counters,
+and any analysis artifacts (e.g., the dual vector α produced by the
+greedy and primal–dual algorithms) that the tests and benchmarks
+verify claims against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pram.ledger import CostSnapshot
+
+
+@dataclass
+class FacilityLocationSolution:
+    """Result of a facility-location algorithm.
+
+    Attributes
+    ----------
+    opened:
+        Sorted indices of open facilities.
+    cost / facility_cost / connection_cost:
+        Eq. (1) objective and its two parts, evaluated with
+        closest-open-facility assignment.
+    alpha:
+        The dual vector constructed by the algorithm's analysis
+        (greedy: τ at client-removal time; primal–dual: the raised
+        duals), or ``None`` for algorithms without one.
+    rounds:
+        Named round counters (e.g., ``greedy_outer``,
+        ``greedy_subselect``, ``pd_iterations``).
+    model_costs:
+        Work/depth/cache charged to the PRAM ledger during the run.
+    extra:
+        Algorithm-specific artifacts (documented per algorithm).
+    """
+
+    opened: np.ndarray
+    cost: float
+    facility_cost: float
+    connection_cost: float
+    alpha: np.ndarray | None = None
+    rounds: dict = field(default_factory=dict)
+    model_costs: CostSnapshot | None = None
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.opened = np.asarray(self.opened, dtype=int)
+
+
+@dataclass
+class ClusteringSolution:
+    """Result of a k-median / k-means / k-center algorithm."""
+
+    centers: np.ndarray
+    cost: float
+    objective: str
+    rounds: dict = field(default_factory=dict)
+    model_costs: CostSnapshot | None = None
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.centers = np.asarray(self.centers, dtype=int)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidInstanceError(ReproError):
+    """An instance violates a structural requirement.
+
+    Examples: non-square distance matrix, negative distances or opening
+    costs, triangle-inequality violation beyond tolerance, empty facility
+    or client sets.
+    """
+
+
+class InvalidParameterError(ReproError):
+    """An algorithm parameter is outside its documented domain.
+
+    Examples: ``epsilon <= 0``, ``k <= 0`` or ``k > n``, a non-positive
+    block size for the cache model.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm exceeded its round/iteration safety bound.
+
+    The parallel algorithms in the paper have high-probability round
+    bounds; the implementations enforce a generous multiple of those
+    bounds and raise this error rather than looping forever if the bound
+    is breached (which would indicate a bug, not bad luck).
+    """
+
+
+class LPSolveError(ReproError):
+    """The LP substrate failed to find an optimal solution.
+
+    Raised when ``scipy.optimize.linprog`` reports anything other than
+    successful convergence for the facility-location primal or dual.
+    """
+
+
+class InfeasibleSolutionError(ReproError):
+    """A produced solution violates a verified invariant.
+
+    Raised by checkers when, e.g., a dual solution is infeasible or a
+    k-clustering opens more than ``k`` centers.
+    """

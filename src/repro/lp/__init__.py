@@ -1,0 +1,49 @@
+"""Linear-programming substrate: the Figure 1 primal/dual pair.
+
+The paper's Figure 1 gives the LP relaxation of metric uncapacitated
+facility location and its dual. This package constructs both as sparse
+LPs, solves them with ``scipy.optimize.linprog`` (HiGHS), and provides
+feasibility / duality checkers used throughout the analyses:
+
+* the LP-rounding algorithm (§6.2) consumes an optimal primal solution;
+* the greedy (§4) and primal–dual (§5) analyses are *dual-fitting*
+  arguments, whose invariants (Claim 5.1, Lemma 4.7) are checked here;
+* LP optima are the standard lower bounds for measuring approximation
+  ratios on instances too large for brute force.
+
+A k-median LP is included for lower-bounding §7's local search.
+"""
+
+from repro.lp.model import build_dual, build_kmedian_lp, build_primal
+from repro.lp.solve import (
+    DualSolution,
+    PrimalSolution,
+    lp_lower_bound,
+    solve_dual,
+    solve_kmedian_lp,
+    solve_primal,
+)
+from repro.lp.duality import (
+    beta_from_alpha,
+    check_dual_feasible,
+    check_primal_feasible,
+    dual_fitting_slack,
+    duality_gap,
+)
+
+__all__ = [
+    "build_primal",
+    "build_dual",
+    "build_kmedian_lp",
+    "PrimalSolution",
+    "DualSolution",
+    "solve_primal",
+    "solve_dual",
+    "solve_kmedian_lp",
+    "lp_lower_bound",
+    "check_primal_feasible",
+    "check_dual_feasible",
+    "beta_from_alpha",
+    "dual_fitting_slack",
+    "duality_gap",
+]

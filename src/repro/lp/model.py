@@ -1,0 +1,151 @@
+"""Sparse constructions of the Figure 1 LPs.
+
+Variable layouts (documented here once; solvers and checkers rely on
+them):
+
+Primal (minimize)::
+
+    vars  = [x_00 … x_{ij} … x_{n_f-1,n_c-1}, y_0 … y_{n_f-1}]
+    x_ij at index i·n_c + j;  y_i at index n_f·n_c + i
+    min   Σ_ij d(j,i)·x_ij + Σ_i f_i·y_i
+    s.t.  Σ_i x_ij ≥ 1            for each client j
+          y_i − x_ij ≥ 0          for each pair (i, j)
+          x, y ≥ 0
+
+Dual (maximize)::
+
+    vars  = [α_0 … α_{n_c-1}, β_00 … β_{ij} …]
+    α_j at index j;  β_ij at index n_c + i·n_c + j
+    max   Σ_j α_j
+    s.t.  Σ_j β_ij ≤ f_i          for each facility i
+          α_j − β_ij ≤ d(j,i)     for each pair (i, j)
+          α, β ≥ 0
+
+k-median LP (for §7 lower bounds)::
+
+    vars  = [x_ij …, y_i …] over the n × n clustering instance
+    min   Σ_ij d(j,i)·x_ij
+    s.t.  Σ_i x_ij ≥ 1, y_i − x_ij ≥ 0, Σ_i y_i ≤ k, x, y ≥ 0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
+
+
+@dataclass(frozen=True)
+class LinearProgram:
+    """A linear program in ``scipy.optimize.linprog`` form.
+
+    Minimize ``c @ v`` subject to ``A_ub @ v <= b_ub`` and ``v >= 0``.
+    ``sense`` records whether the *modelled* problem was a min or max
+    (max problems are stored negated, as linprog requires).
+    """
+
+    c: np.ndarray
+    A_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    sense: str  # "min" | "max"
+    n_vars: int
+
+    def objective_value(self, v: np.ndarray) -> float:
+        """Modelled objective at ``v`` (sign-corrected for max problems)."""
+        raw = float(self.c @ v)
+        return -raw if self.sense == "max" else raw
+
+
+def build_primal(instance: FacilityLocationInstance) -> LinearProgram:
+    """The facility-location LP relaxation (Figure 1, left)."""
+    nf, nc = instance.n_facilities, instance.n_clients
+    nx = nf * nc
+    c = np.concatenate([instance.D.reshape(-1), instance.f])
+
+    # -Σ_i x_ij <= -1  (one row per client)
+    cover_rows = np.repeat(np.arange(nc), nf)
+    cover_cols = (np.tile(np.arange(nf), nc) * nc) + np.repeat(np.arange(nc), nf)
+    cover_vals = -np.ones(nf * nc)
+
+    # x_ij - y_i <= 0  (one row per pair)
+    pair = np.arange(nx)
+    link_rows = nc + np.concatenate([pair, pair])
+    link_cols = np.concatenate([pair, nx + pair // nc])
+    link_vals = np.concatenate([np.ones(nx), -np.ones(nx)])
+
+    A = sparse.coo_matrix(
+        (
+            np.concatenate([cover_vals, link_vals]),
+            (np.concatenate([cover_rows, link_rows]), np.concatenate([cover_cols, link_cols])),
+        ),
+        shape=(nc + nx, nx + nf),
+    ).tocsr()
+    b = np.concatenate([-np.ones(nc), np.zeros(nx)])
+    return LinearProgram(c=c, A_ub=A, b_ub=b, sense="min", n_vars=nx + nf)
+
+
+def build_dual(instance: FacilityLocationInstance) -> LinearProgram:
+    """The facility-location dual LP (Figure 1, right), stored negated."""
+    nf, nc = instance.n_facilities, instance.n_clients
+    nx = nf * nc
+    # maximize Σ α_j  →  minimize −Σ α_j
+    c = np.concatenate([-np.ones(nc), np.zeros(nx)])
+
+    # Σ_j β_ij <= f_i  (one row per facility)
+    budget_rows = np.repeat(np.arange(nf), nc)
+    budget_cols = nc + np.arange(nx)
+    budget_vals = np.ones(nx)
+
+    # α_j − β_ij <= d(j, i)  (one row per pair)
+    pair = np.arange(nx)
+    slack_rows = nf + np.concatenate([pair, pair])
+    slack_cols = np.concatenate([pair % nc, nc + pair])
+    slack_vals = np.concatenate([np.ones(nx), -np.ones(nx)])
+
+    A = sparse.coo_matrix(
+        (
+            np.concatenate([budget_vals, slack_vals]),
+            (np.concatenate([budget_rows, slack_rows]), np.concatenate([budget_cols, slack_cols])),
+        ),
+        shape=(nf + nx, nc + nx),
+    ).tocsr()
+    b = np.concatenate([instance.f, instance.D.reshape(-1)])
+    return LinearProgram(c=c, A_ub=A, b_ub=b, sense="max", n_vars=nc + nx)
+
+
+def build_kmedian_lp(instance: ClusteringInstance) -> LinearProgram:
+    """LP relaxation of k-median over an ``n × n`` clustering instance."""
+    n = instance.n
+    k = instance.k
+    nx = n * n
+    c = np.concatenate([instance.D.T.reshape(-1), np.zeros(n)])  # D[j,i] indexed x_ij = (center i, client j)
+
+    cover_rows = np.repeat(np.arange(n), n)
+    cover_cols = (np.tile(np.arange(n), n) * n) + np.repeat(np.arange(n), n)
+    cover_vals = -np.ones(nx)
+
+    pair = np.arange(nx)
+    link_rows = n + np.concatenate([pair, pair])
+    link_cols = np.concatenate([pair, nx + pair // n])
+    link_vals = np.concatenate([np.ones(nx), -np.ones(nx)])
+
+    # Σ_i y_i <= k
+    budget_rows = np.full(n, n + nx)
+    budget_cols = nx + np.arange(n)
+    budget_vals = np.ones(n)
+
+    A = sparse.coo_matrix(
+        (
+            np.concatenate([cover_vals, link_vals, budget_vals]),
+            (
+                np.concatenate([cover_rows, link_rows, budget_rows]),
+                np.concatenate([cover_cols, link_cols, budget_cols]),
+            ),
+        ),
+        shape=(n + nx + 1, nx + n),
+    ).tocsr()
+    b = np.concatenate([-np.ones(n), np.zeros(nx), [float(k)]])
+    return LinearProgram(c=c, A_ub=A, b_ub=b, sense="min", n_vars=nx + n)

@@ -1,0 +1,76 @@
+"""HiGHS-backed solvers for the Figure 1 LPs.
+
+These are *substrate*, not contribution: the paper assumes an optimal
+LP solution is available to the §6.2 rounding algorithm and uses LP
+optima implicitly as lower bounds (weak duality) in the analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import LPSolveError
+from repro.lp.model import build_dual, build_kmedian_lp, build_primal
+from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
+
+
+@dataclass(frozen=True)
+class PrimalSolution:
+    """Optimal primal solution: ``x[i, j]`` fractional assignment,
+    ``y[i]`` fractional opening, and the objective ``value``."""
+
+    x: np.ndarray
+    y: np.ndarray
+    value: float
+
+
+@dataclass(frozen=True)
+class DualSolution:
+    """Optimal dual solution: client potentials ``alpha[j]``, payments
+    ``beta[i, j]``, and the objective ``value``."""
+
+    alpha: np.ndarray
+    beta: np.ndarray
+    value: float
+
+
+def _run(lp, what: str):
+    res = linprog(lp.c, A_ub=lp.A_ub, b_ub=lp.b_ub, bounds=(0, None), method="highs")
+    if not res.success:
+        raise LPSolveError(f"{what} LP failed: {res.message}")
+    return res
+
+
+def solve_primal(instance: FacilityLocationInstance) -> PrimalSolution:
+    """Solve the facility-location LP relaxation to optimality."""
+    nf, nc = instance.n_facilities, instance.n_clients
+    lp = build_primal(instance)
+    res = _run(lp, "primal facility-location")
+    x = res.x[: nf * nc].reshape(nf, nc)
+    y = res.x[nf * nc :]
+    return PrimalSolution(x=x, y=y, value=float(res.fun))
+
+
+def solve_dual(instance: FacilityLocationInstance) -> DualSolution:
+    """Solve the facility-location dual LP to optimality."""
+    nf, nc = instance.n_facilities, instance.n_clients
+    lp = build_dual(instance)
+    res = _run(lp, "dual facility-location")
+    alpha = res.x[:nc]
+    beta = res.x[nc:].reshape(nf, nc)
+    return DualSolution(alpha=alpha, beta=beta, value=-float(res.fun))
+
+
+def lp_lower_bound(instance: FacilityLocationInstance) -> float:
+    """The LP optimum — a lower bound on the integral optimum ``opt``."""
+    return solve_primal(instance).value
+
+
+def solve_kmedian_lp(instance: ClusteringInstance) -> float:
+    """k-median LP optimum (lower bound on the k-median optimum)."""
+    lp = build_kmedian_lp(instance)
+    res = _run(lp, "k-median")
+    return float(res.fun)

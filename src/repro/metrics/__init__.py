@@ -1,0 +1,52 @@
+"""Metric spaces, problem instances, and workload generators.
+
+Everything the paper's problems are *about* lives here: metric spaces
+``(X, d)`` with validated triangle inequality, facility-location
+instances (facility set ``F``, client set ``C``, opening costs ``f_i``,
+distance matrix ``d(j, i)``), clustering instances (every node both a
+client and a candidate center, plus the budget ``k``), and generators
+that produce the synthetic workloads used throughout the benchmarks.
+"""
+
+from repro.metrics.space import MetricSpace
+from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
+from repro.metrics.validation import check_metric_matrix, triangle_violation
+from repro.metrics.generators import (
+    clustered_clustering,
+    clustered_instance,
+    clustered_points,
+    euclidean_clustering,
+    euclidean_instance,
+    euclidean_points,
+    graph_instance,
+    grid_points,
+    line_instance,
+    powerlaw_cluster_instance,
+    random_metric_instance,
+    star_instance,
+    two_scale_instance,
+)
+from repro.metrics.io import load_instance, save_instance
+
+__all__ = [
+    "MetricSpace",
+    "FacilityLocationInstance",
+    "ClusteringInstance",
+    "check_metric_matrix",
+    "triangle_violation",
+    "euclidean_instance",
+    "clustered_instance",
+    "euclidean_points",
+    "clustered_points",
+    "euclidean_clustering",
+    "clustered_clustering",
+    "grid_points",
+    "graph_instance",
+    "line_instance",
+    "powerlaw_cluster_instance",
+    "random_metric_instance",
+    "star_instance",
+    "two_scale_instance",
+    "load_instance",
+    "save_instance",
+]

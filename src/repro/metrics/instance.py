@@ -1,0 +1,216 @@
+"""Problem-instance objects for the four facility-location problems.
+
+Two instance shapes cover the whole paper:
+
+* :class:`FacilityLocationInstance` — facilities with opening costs and
+  clients, for (metric) uncapacitated facility location (§4, §5, §6.2).
+  The core data is the ``n_f × n_c`` distance matrix ``D[i, j] = d(i, j)``
+  and cost vector ``f``; ``m = n_f · n_c`` is the paper's input size.
+* :class:`ClusteringInstance` — a node set where every node is a client
+  and a candidate center, plus the budget ``k``, for k-median, k-means,
+  and k-center (§6.1, §7).
+
+Both evaluate their own objectives (Eq. 1 and the §2 definitions), so a
+"solution" anywhere in this library is simply a set of open facilities
+or centers — assignments are always implied (closest open facility).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError, InvalidParameterError
+from repro.metrics.space import MetricSpace
+
+
+def _as_open_indices(opened, n: int) -> np.ndarray:
+    """Normalize a facility set given as indices or boolean mask."""
+    arr = np.asarray(opened)
+    if arr.dtype == bool:
+        if arr.shape != (n,):
+            raise InvalidParameterError(f"boolean facility mask must have shape ({n},), got {arr.shape}")
+        idx = np.flatnonzero(arr)
+    else:
+        idx = np.unique(arr.astype(int))
+        if idx.size and (idx.min() < 0 or idx.max() >= n):
+            raise InvalidParameterError(f"facility index out of range [0, {n}): {idx}")
+    if idx.size == 0:
+        raise InvalidParameterError("a solution must open at least one facility")
+    return idx
+
+
+class FacilityLocationInstance:
+    """A metric uncapacitated facility-location instance.
+
+    Parameters
+    ----------
+    D:
+        ``n_f × n_c`` matrix of facility-to-client distances.
+    f:
+        Length-``n_f`` vector of non-negative opening costs.
+    metric / facility_ids / client_ids:
+        Optional underlying :class:`MetricSpace` with the index sets
+        ``F`` and ``C``, for analyses needing client–client or
+        facility–facility distances. ``D`` must equal the corresponding
+        block of the metric.
+    """
+
+    __slots__ = ("_D", "_f", "metric", "facility_ids", "client_ids")
+
+    def __init__(
+        self,
+        D: np.ndarray,
+        f: np.ndarray,
+        *,
+        metric: MetricSpace | None = None,
+        facility_ids: np.ndarray | None = None,
+        client_ids: np.ndarray | None = None,
+    ):
+        D = np.asarray(D, dtype=float)
+        f = np.asarray(f, dtype=float)
+        if D.ndim != 2:
+            raise InvalidInstanceError(f"D must be 2-D (facilities × clients), got ndim={D.ndim}")
+        if D.shape[0] == 0 or D.shape[1] == 0:
+            raise InvalidInstanceError(f"instance needs ≥1 facility and ≥1 client, got D shape {D.shape}")
+        if f.shape != (D.shape[0],):
+            raise InvalidInstanceError(f"f must have shape ({D.shape[0]},), got {f.shape}")
+        if not (np.all(np.isfinite(D)) and np.all(np.isfinite(f))):
+            raise InvalidInstanceError("distances and costs must be finite")
+        if np.any(D < 0) or np.any(f < 0):
+            raise InvalidInstanceError("distances and opening costs must be non-negative")
+        if (metric is None) != (facility_ids is None) or (metric is None) != (client_ids is None):
+            raise InvalidInstanceError("metric, facility_ids, client_ids must be given together")
+        if metric is not None:
+            facility_ids = np.asarray(facility_ids, dtype=int)
+            client_ids = np.asarray(client_ids, dtype=int)
+            block = metric.submatrix(facility_ids, client_ids)
+            if block.shape != D.shape or np.max(np.abs(block - D)) > 1e-9:
+                raise InvalidInstanceError("D disagrees with the underlying metric block")
+        self._D = D
+        self._f = f
+        self._D.setflags(write=False)
+        self._f.setflags(write=False)
+        self.metric = metric
+        self.facility_ids = facility_ids
+        self.client_ids = client_ids
+
+    @classmethod
+    def from_metric(cls, metric: MetricSpace, facility_ids, client_ids, f) -> "FacilityLocationInstance":
+        """Carve an instance out of a metric space by index sets."""
+        facility_ids = np.asarray(facility_ids, dtype=int)
+        client_ids = np.asarray(client_ids, dtype=int)
+        D = metric.submatrix(facility_ids, client_ids)
+        return cls(D, f, metric=metric, facility_ids=facility_ids, client_ids=client_ids)
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def D(self) -> np.ndarray:
+        """Facility-to-client distances, shape ``(n_f, n_c)`` (read-only)."""
+        return self._D
+
+    @property
+    def f(self) -> np.ndarray:
+        """Opening costs, shape ``(n_f,)`` (read-only)."""
+        return self._f
+
+    @property
+    def n_facilities(self) -> int:
+        """Number of candidate facilities ``|F|``."""
+        return self._D.shape[0]
+
+    @property
+    def n_clients(self) -> int:
+        """Number of clients ``|C|``."""
+        return self._D.shape[1]
+
+    @property
+    def m(self) -> int:
+        """The paper's input-size parameter ``m = n_f · n_c``."""
+        return self._D.size
+
+    # -- objective (Eq. 1) ---------------------------------------------------
+
+    def connection_distances(self, opened) -> np.ndarray:
+        """``d(j, F_S)`` for every client ``j`` given open set ``F_S``."""
+        idx = _as_open_indices(opened, self.n_facilities)
+        return np.min(self._D[idx, :], axis=0)
+
+    def assignment(self, opened) -> np.ndarray:
+        """Closest-open-facility assignment (facility index per client)."""
+        idx = _as_open_indices(opened, self.n_facilities)
+        return idx[np.argmin(self._D[idx, :], axis=0)]
+
+    def facility_cost(self, opened) -> float:
+        """Opening-cost part of Eq. (1): ``Σ_{i∈F_S} f_i``."""
+        idx = _as_open_indices(opened, self.n_facilities)
+        return float(np.sum(self._f[idx]))
+
+    def connection_cost(self, opened) -> float:
+        """Connection part of Eq. (1): ``Σ_j d(j, F_S)``."""
+        return float(np.sum(self.connection_distances(opened)))
+
+    def cost(self, opened) -> float:
+        """The facility-location objective ``Σ f_i + Σ_j d(j, F_S)``."""
+        return self.facility_cost(opened) + self.connection_cost(opened)
+
+    def __repr__(self) -> str:
+        return f"FacilityLocationInstance(n_f={self.n_facilities}, n_c={self.n_clients})"
+
+
+class ClusteringInstance:
+    """A k-median / k-means / k-center instance over a metric space.
+
+    Every node is simultaneously a client and a candidate center, per
+    the paper's §2 conventions for these problems.
+    """
+
+    __slots__ = ("space", "k")
+
+    def __init__(self, space: MetricSpace, k: int):
+        if not isinstance(space, MetricSpace):
+            raise InvalidInstanceError("ClusteringInstance requires a MetricSpace")
+        k = int(k)
+        if not 1 <= k <= space.n:
+            raise InvalidParameterError(f"k must be in [1, {space.n}], got {k}")
+        self.space = space
+        self.k = k
+
+    @property
+    def n(self) -> int:
+        """Number of nodes (each is a client and a candidate center)."""
+        return self.space.n
+
+    @property
+    def D(self) -> np.ndarray:
+        """Full ``n × n`` distance matrix (read-only)."""
+        return self.space.D
+
+    # -- objectives -----------------------------------------------------------
+
+    def _center_distances(self, centers) -> np.ndarray:
+        centers = _as_open_indices(centers, self.n)
+        return np.min(self.space.D[:, centers], axis=1)
+
+    def check_budget(self, centers) -> np.ndarray:
+        """Validate ``|centers| ≤ k``; return the center index array."""
+        idx = _as_open_indices(centers, self.n)
+        if idx.size > self.k:
+            raise InvalidParameterError(f"solution opens {idx.size} centers but k={self.k}")
+        return idx
+
+    def kmedian_cost(self, centers) -> float:
+        """``Σ_j d(j, F_S)`` — the k-median objective."""
+        return float(np.sum(self._center_distances(centers)))
+
+    def kmeans_cost(self, centers) -> float:
+        """``Σ_j d²(j, F_S)`` — the k-means objective (general metric)."""
+        d = self._center_distances(centers)
+        return float(np.sum(d * d))
+
+    def kcenter_cost(self, centers) -> float:
+        """``max_j d(j, F_S)`` — the k-center (bottleneck) objective."""
+        return float(np.max(self._center_distances(centers)))
+
+    def __repr__(self) -> str:
+        return f"ClusteringInstance(n={self.n}, k={self.k})"

@@ -1,0 +1,62 @@
+"""Instance (de)serialization.
+
+Instances round-trip through NumPy ``.npz`` archives so benchmark
+workloads can be frozen to disk and examples can ship reproducible
+inputs. The format stores only validated payloads, so loading skips
+re-validation of the (possibly large) triangle-inequality check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidInstanceError
+from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
+from repro.metrics.space import MetricSpace
+
+_KIND_FL = "facility-location"
+_KIND_CLUSTER = "clustering"
+
+
+def save_instance(path, instance) -> None:
+    """Write an instance to ``path`` as an ``.npz`` archive."""
+    if isinstance(instance, FacilityLocationInstance):
+        payload = {
+            "kind": np.asarray(_KIND_FL),
+            "D": instance.D,
+            "f": instance.f,
+        }
+        if instance.metric is not None:
+            payload["metric_D"] = instance.metric.D
+            payload["facility_ids"] = instance.facility_ids
+            payload["client_ids"] = instance.client_ids
+        np.savez_compressed(path, **payload)
+    elif isinstance(instance, ClusteringInstance):
+        np.savez_compressed(
+            path,
+            kind=np.asarray(_KIND_CLUSTER),
+            D=instance.space.D,
+            k=np.asarray(instance.k),
+        )
+    else:
+        raise InvalidInstanceError(f"cannot save object of type {type(instance).__name__}")
+
+
+def load_instance(path):
+    """Read an instance previously written by :func:`save_instance`."""
+    with np.load(path, allow_pickle=False) as data:
+        kind = str(data["kind"])
+        if kind == _KIND_FL:
+            if "metric_D" in data:
+                metric = MetricSpace(data["metric_D"], validate=False)
+                return FacilityLocationInstance(
+                    data["D"],
+                    data["f"],
+                    metric=metric,
+                    facility_ids=data["facility_ids"],
+                    client_ids=data["client_ids"],
+                )
+            return FacilityLocationInstance(data["D"], data["f"])
+        if kind == _KIND_CLUSTER:
+            return ClusteringInstance(MetricSpace(data["D"], validate=False), int(data["k"]))
+    raise InvalidInstanceError(f"unrecognized instance kind {kind!r} in {path}")

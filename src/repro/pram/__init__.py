@@ -1,0 +1,44 @@
+"""Work–depth (PRAM) machine simulator — the paper's §2 cost model.
+
+The paper expresses every algorithm as a polylogarithmic number of calls
+to a small vocabulary of *basic matrix operations* (parallel loops over
+vectors/matrices, transposition, row sorting, and summation / prefix
+sums / distribution across rows or columns with ``min``/``max``/``add``
+operators). On an EREW PRAM a basic operation on ``m`` elements costs
+``O(m)`` work and ``O(log m)`` depth; sorting ``m`` elements costs
+``O(m log m)`` work and ``O(log m)`` depth; in the parallel
+cache-oblivious model the cache complexities are ``O(m/B)`` and
+``O((m/B) log_{M/B} m)`` respectively.
+
+:class:`PramMachine` executes those primitives with NumPy (optionally a
+thread-parallel backend — NumPy ufuncs release the GIL, so row-blocked
+threads are genuinely parallel) while charging the model costs to a
+:class:`CostLedger`. All of the paper's asymptotic claims (work bounds,
+round counts, polylog depth, Brent speedup ``T_p = W/p + D``) become
+directly measurable quantities.
+"""
+
+from repro.pram.operators import ADD, AND, MAX, MIN, OR, AssociativeOp, get_operator
+from repro.pram.ledger import CostLedger, CostSnapshot
+from repro.pram.backends import Backend, SerialBackend, ThreadBackend
+from repro.pram.machine import PramMachine
+from repro.pram.brent import brent_time, parallelism, speedup_curve
+
+__all__ = [
+    "AssociativeOp",
+    "ADD",
+    "MIN",
+    "MAX",
+    "OR",
+    "AND",
+    "get_operator",
+    "CostLedger",
+    "CostSnapshot",
+    "Backend",
+    "SerialBackend",
+    "ThreadBackend",
+    "PramMachine",
+    "brent_time",
+    "parallelism",
+    "speedup_curve",
+]

@@ -1,0 +1,168 @@
+"""Execution backends for the PRAM primitives.
+
+Two backends implement the same tiny kernel interface:
+
+* :class:`SerialBackend` — plain NumPy. The default; model costs are
+  charged identically regardless of backend.
+* :class:`ThreadBackend` — row-blocked ``ThreadPoolExecutor``. NumPy
+  ufuncs release the GIL while crunching, so threads deliver genuine
+  wall-clock parallelism on large arrays (this is the substitution for
+  physical PRAM processors noted in DESIGN.md: the GIL does not
+  serialize NumPy kernels). Small arrays fall through to serial
+  execution because thread handoff would dominate.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.pram.operators import AssociativeOp
+
+
+class Backend:
+    """Kernel interface shared by all backends."""
+
+    name = "abstract"
+
+    def elementwise(self, fn, arrays: tuple[np.ndarray, ...]) -> np.ndarray:
+        """Apply vectorized ``fn`` to ``arrays`` (already broadcast)."""
+        raise NotImplementedError
+
+    def reduce(self, op: AssociativeOp, a: np.ndarray, axis) -> np.ndarray:
+        raise NotImplementedError
+
+    def scan(self, op: AssociativeOp, a: np.ndarray, axis: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def sort(self, a: np.ndarray, axis: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def argsort(self, a: np.ndarray, axis: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (no-op for serial)."""
+
+
+class SerialBackend(Backend):
+    """Direct NumPy execution on the calling thread."""
+
+    name = "serial"
+
+    def elementwise(self, fn, arrays):
+        return fn(*arrays)
+
+    def reduce(self, op, a, axis):
+        return op.reduce(a, axis=axis)
+
+    def scan(self, op, a, axis):
+        return op.scan(a, axis=axis)
+
+    def sort(self, a, axis):
+        return np.sort(a, axis=axis, kind="stable")
+
+    def argsort(self, a, axis):
+        return np.argsort(a, axis=axis, kind="stable")
+
+
+class ThreadBackend(Backend):
+    """Row-blocked thread-parallel execution.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker thread count; defaults to ``os.cpu_count()``.
+    grain:
+        Minimum elements per task; arrays smaller than
+        ``grain * num_workers`` run serially to avoid dispatch overhead.
+    """
+
+    name = "thread"
+
+    def __init__(self, num_workers: int | None = None, *, grain: int = 1 << 14):
+        workers = num_workers if num_workers is not None else (os.cpu_count() or 1)
+        if workers < 1:
+            raise InvalidParameterError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(workers)
+        self.grain = int(grain)
+        self._pool = ThreadPoolExecutor(max_workers=self.num_workers) if self.num_workers > 1 else None
+        self._serial = SerialBackend()
+
+    # -- helpers ----------------------------------------------------------
+
+    def _too_small(self, a: np.ndarray) -> bool:
+        return (
+            self._pool is None
+            or a.ndim == 0
+            or a.shape[0] < 2
+            or a.size < self.grain * self.num_workers
+        )
+
+    def _row_chunks(self, n_rows: int):
+        """Split ``range(n_rows)`` into at most ``num_workers`` slices."""
+        per = -(-n_rows // self.num_workers)
+        return [slice(s, min(s + per, n_rows)) for s in range(0, n_rows, per)]
+
+    def _parallel_over_rows(self, a: np.ndarray, task):
+        chunks = self._row_chunks(a.shape[0])
+        parts = list(self._pool.map(task, chunks))
+        return parts, chunks
+
+    # -- kernel interface ---------------------------------------------------
+
+    def elementwise(self, fn, arrays):
+        lead = max(arrays, key=lambda x: np.asarray(x).size)
+        lead = np.asarray(lead)
+        if self._too_small(lead) or any(
+            np.asarray(x).shape != lead.shape for x in arrays
+        ):
+            return self._serial.elementwise(fn, arrays)
+        parts, _ = self._parallel_over_rows(
+            lead, lambda sl: fn(*(np.asarray(x)[sl] for x in arrays))
+        )
+        return np.concatenate(parts, axis=0)
+
+    def reduce(self, op, a, axis):
+        if self._too_small(a):
+            return self._serial.reduce(op, a, axis)
+        if axis in (1, -1) and a.ndim == 2:
+            # Independent row reductions: perfectly row-parallel.
+            parts, _ = self._parallel_over_rows(a, lambda sl: op.reduce(a[sl], axis=1))
+            return np.concatenate(parts, axis=0)
+        if axis is None:
+            parts, _ = self._parallel_over_rows(a, lambda sl: op.reduce(a[sl], axis=None))
+            return op.reduce(np.asarray(parts), axis=None)
+        if axis == 0 and a.ndim == 2:
+            # Tree-combine partial column reductions from row blocks.
+            parts, _ = self._parallel_over_rows(a, lambda sl: op.reduce(a[sl], axis=0))
+            return op.reduce(np.stack(parts, axis=0), axis=0)
+        return self._serial.reduce(op, a, axis)
+
+    def scan(self, op, a, axis):
+        if self._too_small(a) or not (a.ndim == 2 and axis in (1, -1)):
+            return self._serial.scan(op, a, axis)
+        parts, _ = self._parallel_over_rows(a, lambda sl: op.scan(a[sl], axis=1))
+        return np.concatenate(parts, axis=0)
+
+    def sort(self, a, axis):
+        if self._too_small(a) or not (a.ndim == 2 and axis in (1, -1)):
+            return self._serial.sort(a, axis)
+        parts, _ = self._parallel_over_rows(a, lambda sl: np.sort(a[sl], axis=1, kind="stable"))
+        return np.concatenate(parts, axis=0)
+
+    def argsort(self, a, axis):
+        if self._too_small(a) or not (a.ndim == 2 and axis in (1, -1)):
+            return self._serial.argsort(a, axis)
+        parts, _ = self._parallel_over_rows(
+            a, lambda sl: np.argsort(a[sl], axis=1, kind="stable")
+        )
+        return np.concatenate(parts, axis=0)
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -1,0 +1,32 @@
+"""Brent's-theorem projections from ledger totals.
+
+A computation with work ``W`` and depth ``D`` runs on ``p`` processors
+in time ``T_p = W/p + D`` (Brent). The available *parallelism* is
+``W/D`` — the asymptote of the speedup curve. These are the quantities
+the paper's RNC claims are about, and benches E3 reports them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+from repro.pram.ledger import CostSnapshot
+
+
+def brent_time(costs: CostSnapshot, p: int) -> float:
+    """Simulated running time on ``p`` processors: ``W/p + D``."""
+    if p < 1:
+        raise InvalidParameterError(f"processor count must be >= 1, got {p}")
+    return costs.work / p + costs.depth
+
+
+def parallelism(costs: CostSnapshot) -> float:
+    """Average available parallelism ``W/D`` (infinite-processor speedup)."""
+    if costs.depth <= 0:
+        return float("inf") if costs.work > 0 else 1.0
+    return costs.work / costs.depth
+
+
+def speedup_curve(costs: CostSnapshot, processors: list[int]) -> list[tuple[int, float]]:
+    """Speedup ``T_1 / T_p`` for each processor count in ``processors``."""
+    t1 = brent_time(costs, 1)
+    return [(p, t1 / brent_time(costs, p)) for p in processors]

@@ -1,0 +1,131 @@
+"""Cost ledger: accumulates work, depth, and cache charges.
+
+The ledger is the measurement instrument behind every work/depth claim
+in EXPERIMENTS.md. Primitives report ``(work, depth, cache)`` charges;
+the ledger accumulates them under sequential composition (depth adds —
+the paper's algorithms issue primitives one after another, each itself
+fully parallel) and tracks per-primitive call counts plus named round
+counters so benchmarks can report "rounds executed" directly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostSnapshot:
+    """Immutable view of ledger totals, subtractable for interval costs."""
+
+    work: float
+    depth: float
+    cache: float
+    calls: int
+
+    def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
+        return CostSnapshot(
+            work=self.work - other.work,
+            depth=self.depth - other.depth,
+            cache=self.cache - other.cache,
+            calls=self.calls - other.calls,
+        )
+
+
+@dataclass
+class CostLedger:
+    """Accumulator for the §2 cost model.
+
+    Parameters
+    ----------
+    cache_size:
+        Model cache capacity ``M`` in elements (tall cache ``M > B²``).
+    block_size:
+        Model cache block size ``B`` in elements.
+    """
+
+    cache_size: float = float(2**20)
+    block_size: float = 64.0
+    work: float = 0.0
+    depth: float = 0.0
+    cache: float = 0.0
+    calls_by_op: Counter = field(default_factory=Counter)
+    work_by_op: Counter = field(default_factory=Counter)
+    rounds: Counter = field(default_factory=Counter)
+
+    def __post_init__(self):
+        if self.block_size <= 1:
+            raise ValueError(f"block_size must exceed 1, got {self.block_size}")
+        if self.cache_size < self.block_size**2:
+            raise ValueError(
+                "tall-cache assumption M > B^2 violated: "
+                f"M={self.cache_size}, B={self.block_size}"
+            )
+
+    # -- charging ---------------------------------------------------------
+
+    def charge(self, op: str, *, work: float, depth: float, cache: float) -> None:
+        """Record one primitive invocation."""
+        self.work += work
+        self.depth += depth
+        self.cache += cache
+        self.calls_by_op[op] += 1
+        self.work_by_op[op] += work
+
+    def charge_basic(self, op: str, size: int, *, depth: float | None = None) -> None:
+        """Charge a basic matrix operation on ``size`` elements.
+
+        Work ``size``, depth ``⌈log₂ size⌉`` (callers may override for
+        O(1)-depth elementwise maps), cache ``size/B``.
+        """
+        if size <= 0:
+            return
+        d = math.ceil(math.log2(size)) + 1 if depth is None else depth
+        self.charge(op, work=float(size), depth=float(d), cache=size / self.block_size)
+
+    def charge_sort(self, op: str, total: int, key_length: int) -> None:
+        """Charge sorting ``total`` elements in sequences of ``key_length``.
+
+        EREW: ``O(m log m)`` work, ``O(log m)`` depth (rows sorted in
+        parallel, so depth depends on the row length); cache-oblivious:
+        ``O((m/B) log_{M/B} m)``.
+        """
+        if total <= 0 or key_length <= 1:
+            self.charge_basic(op, max(total, 1))
+            return
+        logk = math.log2(key_length)
+        log_mb = max(1.0, math.log(total) / math.log(self.cache_size / self.block_size))
+        self.charge(
+            op,
+            work=total * logk,
+            depth=logk,
+            cache=(total / self.block_size) * log_mb,
+        )
+
+    # -- rounds & snapshots -------------------------------------------------
+
+    def bump_round(self, label: str) -> int:
+        """Increment and return the named round counter."""
+        self.rounds[label] += 1
+        return self.rounds[label]
+
+    @property
+    def total_calls(self) -> int:
+        """Total primitive invocations recorded so far."""
+        return sum(self.calls_by_op.values())
+
+    def snapshot(self) -> CostSnapshot:
+        """Immutable copy of the current totals."""
+        return CostSnapshot(self.work, self.depth, self.cache, self.total_calls)
+
+    def since(self, start: CostSnapshot) -> CostSnapshot:
+        """Costs accrued since ``start`` was taken."""
+        return self.snapshot() - start
+
+    def reset(self) -> None:
+        """Zero all accumulators (cache/block parameters are preserved)."""
+        self.work = self.depth = self.cache = 0.0
+        self.calls_by_op.clear()
+        self.work_by_op.clear()
+        self.rounds.clear()

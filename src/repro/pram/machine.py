@@ -1,0 +1,244 @@
+"""The PRAM machine: §2 basic matrix operations with cost accounting.
+
+Algorithms in :mod:`repro.core` perform **all** asymptotically relevant
+computation through a :class:`PramMachine`, so the ledger's totals *are*
+the algorithm's work/depth/cache in the paper's model. The machine
+executes primitives on a swappable backend (serial NumPy or GIL-free
+thread-parallel NumPy) and returns ordinary ``numpy.ndarray`` results.
+
+Cost conventions (paper §2):
+
+==================  ==============  =============  ======================
+primitive           work            depth          cache
+==================  ==============  =============  ======================
+``map``             ``m``           ``1``          ``m/B``
+``reduce``/``scan`` ``m``           ``log m``      ``m/B``
+``distribute``      ``m``           ``1``          ``m/B``
+``transpose``       ``m``           ``1``          ``m/B``
+``pack``            ``m``           ``log m``      ``m/B``
+``sort_rows``       ``m log r``     ``log r``      ``(m/B) log_{M/B} m``
+``random``          ``m``           ``1``          ``m/B``
+==================  ==============  =============  ======================
+
+(``m`` = elements touched, ``r`` = row length being sorted.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.pram.backends import Backend, SerialBackend
+from repro.pram.ledger import CostLedger, CostSnapshot
+from repro.pram.operators import AssociativeOp, get_operator
+from repro.util.rng import ensure_rng
+
+
+def _coerce_op(op: "str | AssociativeOp") -> AssociativeOp:
+    return op if isinstance(op, AssociativeOp) else get_operator(op)
+
+
+class PramMachine:
+    """Executes basic matrix operations and charges the §2 cost model.
+
+    Parameters
+    ----------
+    backend:
+        Kernel executor; defaults to :class:`SerialBackend`.
+    ledger:
+        Cost accumulator; a fresh :class:`CostLedger` by default.
+    seed:
+        Seed/Generator for the machine's random primitives.
+    """
+
+    def __init__(self, backend: Backend | None = None, ledger: CostLedger | None = None, seed=None):
+        self.backend = backend if backend is not None else SerialBackend()
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.rng = ensure_rng(seed)
+
+    # -- elementwise -------------------------------------------------------
+
+    def map(self, fn, *arrays: np.ndarray) -> np.ndarray:
+        """Parallel loop: apply vectorized ``fn`` elementwise.
+
+        ``fn`` must be a NumPy-vectorized callable; all array arguments
+        participate in one fully parallel step (depth 1).
+        """
+        arrs = tuple(np.asarray(a) for a in arrays)
+        out = self.backend.elementwise(fn, arrs)
+        size = max((a.size for a in arrs), default=0)
+        self.ledger.charge_basic("map", max(size, np.asarray(out).size), depth=1)
+        return np.asarray(out)
+
+    def where(self, cond, a, b) -> np.ndarray:
+        """Elementwise select — a single parallel step."""
+        return self.map(np.where, cond, a, b)
+
+    # -- reductions & scans --------------------------------------------------
+
+    def reduce(self, a: np.ndarray, op="add", axis=None) -> np.ndarray:
+        """Summation across rows/columns/all with an associative operator."""
+        a = np.asarray(a)
+        oper = _coerce_op(op)
+        out = self.backend.reduce(oper, a, axis)
+        self.ledger.charge_basic(f"reduce[{oper.name}]", a.size)
+        return np.asarray(out)
+
+    def scan(self, a: np.ndarray, op="add", axis: int = -1) -> np.ndarray:
+        """Inclusive prefix combine along ``axis``."""
+        a = np.asarray(a)
+        oper = _coerce_op(op)
+        out = self.backend.scan(oper, a, axis)
+        self.ledger.charge_basic(f"scan[{oper.name}]", a.size)
+        return np.asarray(out)
+
+    def exclusive_scan(self, a: np.ndarray, op="add", axis: int = -1) -> np.ndarray:
+        """Exclusive prefix combine: element ``i`` gets the combine of ``a[:i]``."""
+        a = np.asarray(a)
+        oper = _coerce_op(op)
+        inc = self.scan(a, oper, axis=axis)
+        out = np.empty_like(inc)
+        index = [slice(None)] * a.ndim
+        index[axis] = slice(None, -1)
+        src = tuple(index)
+        index[axis] = slice(1, None)
+        dst = tuple(index)
+        out[dst] = inc[src]
+        index[axis] = 0
+        out[tuple(index)] = oper.identity
+        self.ledger.charge_basic("shift", a.size, depth=1)
+        return out
+
+    def argmin(self, a: np.ndarray, axis=None) -> np.ndarray:
+        """Index of the minimum (a min-reduction carrying indices)."""
+        a = np.asarray(a)
+        out = np.argmin(a, axis=axis)
+        self.ledger.charge_basic("reduce[argmin]", a.size)
+        return np.asarray(out)
+
+    def argmax(self, a: np.ndarray, axis=None) -> np.ndarray:
+        """Index of the maximum (a max-reduction carrying indices)."""
+        a = np.asarray(a)
+        out = np.argmax(a, axis=axis)
+        self.ledger.charge_basic("reduce[argmax]", a.size)
+        return np.asarray(out)
+
+    # -- data movement -------------------------------------------------------
+
+    def distribute(self, v: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+        """Broadcast ``v`` across rows or columns to ``shape`` (copying)."""
+        v = np.asarray(v)
+        try:
+            out = np.broadcast_to(v, shape).copy()
+        except ValueError as exc:
+            raise InvalidParameterError(
+                f"cannot distribute shape {v.shape} to {shape}: {exc}"
+            ) from exc
+        self.ledger.charge_basic("distribute", out.size, depth=1)
+        return out
+
+    def transpose(self, a: np.ndarray) -> np.ndarray:
+        """Matrix transposition (materialized, per the cache model)."""
+        a = np.asarray(a)
+        out = np.ascontiguousarray(a.T)
+        self.ledger.charge_basic("transpose", a.size, depth=1)
+        return out
+
+    def gather_rows(self, a: np.ndarray, order: np.ndarray) -> np.ndarray:
+        """Per-row gather: ``out[r, c] = a[r, order[r, c]]``.
+
+        The paper's §4 presorting pattern: reorder each facility's row
+        once, then address it by rank in later rounds. One parallel
+        read per element (EREW-safe because ``order`` rows are
+        permutations).
+        """
+        a = np.asarray(a)
+        order = np.asarray(order, dtype=np.intp)
+        if a.shape[0] != order.shape[0]:
+            raise InvalidParameterError(
+                f"gather_rows row mismatch: values {a.shape} vs order {order.shape}"
+            )
+        out = np.take_along_axis(a, order, axis=1)
+        self.ledger.charge_basic("gather", out.size, depth=1)
+        return out
+
+    def take_columns(self, a: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Column selection ``a[:, idx]`` — a distribution-style copy."""
+        a = np.asarray(a)
+        idx = np.asarray(idx, dtype=np.intp)
+        out = a[:, idx]
+        self.ledger.charge_basic("gather", max(out.size, 1), depth=1)
+        return out
+
+    def pack(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Filter: keep ``values`` where ``mask`` (compaction via a scan)."""
+        values = np.asarray(values)
+        mask = np.asarray(mask, dtype=bool)
+        if values.shape[: mask.ndim] != mask.shape:
+            raise InvalidParameterError(
+                f"pack mask shape {mask.shape} incompatible with values {values.shape}"
+            )
+        out = values[mask]
+        self.ledger.charge_basic("pack", max(values.size, 1))
+        return out
+
+    # -- sorting ---------------------------------------------------------------
+
+    def sort_rows(self, a: np.ndarray) -> np.ndarray:
+        """Sort each row of a 2-D matrix ascending."""
+        a = np.asarray(a)
+        if a.ndim != 2:
+            raise InvalidParameterError(f"sort_rows requires a 2-D matrix, got ndim={a.ndim}")
+        out = self.backend.sort(a, axis=1)
+        self.ledger.charge_sort("sort_rows", a.size, a.shape[1])
+        return np.asarray(out)
+
+    def argsort_rows(self, a: np.ndarray) -> np.ndarray:
+        """Per-row ascending argsort of a 2-D matrix."""
+        a = np.asarray(a)
+        if a.ndim != 2:
+            raise InvalidParameterError(f"argsort_rows requires a 2-D matrix, got ndim={a.ndim}")
+        out = self.backend.argsort(a, axis=1)
+        self.ledger.charge_sort("argsort_rows", a.size, a.shape[1])
+        return np.asarray(out)
+
+    def sort(self, a: np.ndarray) -> np.ndarray:
+        """Sort a 1-D vector ascending."""
+        a = np.asarray(a)
+        if a.ndim != 1:
+            raise InvalidParameterError(f"sort requires a vector, got ndim={a.ndim}")
+        out = np.sort(a, kind="stable")
+        self.ledger.charge_sort("sort", a.size, a.size)
+        return out
+
+    # -- randomness --------------------------------------------------------------
+
+    def random_uniform(self, shape) -> np.ndarray:
+        """Per-element uniform(0,1) draws — one parallel step."""
+        out = self.rng.random(shape)
+        self.ledger.charge_basic("random", out.size, depth=1)
+        return out
+
+    def random_priorities(self, n: int) -> np.ndarray:
+        """Distinct random priorities for Luby select steps.
+
+        The paper draws u.a.r. from ``{1..2n⁴}``; a random permutation
+        gives the same distinct-with-certainty behavior.
+        """
+        out = self.rng.permutation(n)
+        self.ledger.charge_basic("random", max(n, 1), depth=1)
+        return out
+
+    # -- bookkeeping ---------------------------------------------------------------
+
+    def bump_round(self, label: str) -> int:
+        """Count one round of the named phase (for E2 round benches)."""
+        return self.ledger.bump_round(label)
+
+    def snapshot(self) -> CostSnapshot:
+        """Current ledger totals (subtract later to cost an interval)."""
+        return self.ledger.snapshot()
+
+    def close(self) -> None:
+        """Release backend worker resources (thread pools)."""
+        self.backend.close()

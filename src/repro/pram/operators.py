@@ -1,0 +1,64 @@
+"""Associative operators usable in reductions, scans, and distributions.
+
+The paper (§2) requires summation and prefix sums "using a variety of
+associative operators, including min, max, and addition". Each operator
+bundles the NumPy ufunc with its identity element so reductions over
+empty slices and exclusive scans are well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class AssociativeOp:
+    """An associative binary operator with an identity element.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier used in ledgers and error messages.
+    ufunc:
+        The NumPy universal function implementing the operator.
+    identity:
+        Two-sided identity element (the result of reducing an empty
+        sequence).
+    """
+
+    name: str
+    ufunc: np.ufunc
+    identity: float | int | bool
+
+    def reduce(self, a: np.ndarray, axis=None) -> np.ndarray:
+        """Reduce ``a`` along ``axis`` (all axes when ``None``)."""
+        if a.size == 0 and axis is None:
+            return np.asarray(self.identity, dtype=a.dtype if a.dtype.kind != "b" else bool)
+        return self.ufunc.reduce(a, axis=axis) if axis is not None else self.ufunc.reduce(a, axis=None)
+
+    def scan(self, a: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Inclusive prefix combine of ``a`` along ``axis``."""
+        return self.ufunc.accumulate(a, axis=axis)
+
+
+ADD = AssociativeOp("add", np.add, 0)
+MIN = AssociativeOp("min", np.minimum, np.inf)
+MAX = AssociativeOp("max", np.maximum, -np.inf)
+OR = AssociativeOp("or", np.logical_or, False)
+AND = AssociativeOp("and", np.logical_and, True)
+
+_REGISTRY: dict[str, AssociativeOp] = {op.name: op for op in (ADD, MIN, MAX, OR, AND)}
+
+
+def get_operator(name: str) -> AssociativeOp:
+    """Look up a registered operator by name (``add``/``min``/``max``/``or``/``and``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown associative operator {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

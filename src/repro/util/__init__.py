@@ -1,0 +1,18 @@
+"""Shared utilities: RNG plumbing and argument validation."""
+
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.validation import (
+    check_epsilon,
+    check_k,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_epsilon",
+    "check_k",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,46 @@
+"""Argument validation helpers shared across the library.
+
+These raise :class:`repro.errors.InvalidParameterError` with messages
+that name the offending parameter, so every public entry point can
+validate in one line.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+
+
+def check_epsilon(epsilon: float, *, name: str = "epsilon", upper: float | None = None) -> float:
+    """Validate a slack parameter ``epsilon > 0`` (optionally ``<= upper``)."""
+    eps = float(epsilon)
+    if not eps > 0.0:
+        raise InvalidParameterError(f"{name} must be > 0, got {epsilon!r}")
+    if upper is not None and eps > upper:
+        raise InvalidParameterError(f"{name} must be <= {upper}, got {epsilon!r}")
+    return eps
+
+
+def check_k(k: int, n: int, *, name: str = "k") -> int:
+    """Validate a center-count ``1 <= k <= n``."""
+    kk = int(k)
+    if kk != k:
+        raise InvalidParameterError(f"{name} must be an integer, got {k!r}")
+    if not 1 <= kk <= n:
+        raise InvalidParameterError(f"{name} must be in [1, {n}], got {k!r}")
+    return kk
+
+
+def check_positive_int(value: int, *, name: str) -> int:
+    """Validate a strictly positive integer parameter."""
+    v = int(value)
+    if v != value or v <= 0:
+        raise InvalidParameterError(f"{name} must be a positive integer, got {value!r}")
+    return v
+
+
+def check_probability(p: float, *, name: str = "p") -> float:
+    """Validate a probability in the closed interval [0, 1]."""
+    pp = float(p)
+    if not 0.0 <= pp <= 1.0:
+        raise InvalidParameterError(f"{name} must be in [0, 1], got {p!r}")
+    return pp

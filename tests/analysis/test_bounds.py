@@ -1,0 +1,48 @@
+"""Eq. (2) bounds: correctness vs brute force and chain ordering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import eq2_bounds, verify_eq2
+from repro.baselines.brute_force import brute_force_facility_location
+from repro.errors import InfeasibleSolutionError
+from repro.metrics.instance import FacilityLocationInstance
+
+
+def test_gamma_j_hand_example():
+    D = np.array([[1.0, 2.0], [3.0, 0.5]])
+    f = np.array([10.0, 1.0])
+    b = eq2_bounds(FacilityLocationInstance(D, f))
+    # γ_0 = min(11, 4) = 4; γ_1 = min(12, 1.5) = 1.5.
+    assert b.gamma_j.tolist() == [4.0, 1.5]
+    assert b.gamma == 4.0
+    assert b.sum_gamma_j == 5.5
+    assert b.gamma_times_nc == 8.0
+
+
+@pytest.mark.parametrize("fixture", ["tiny_fl", "small_fl", "clustered_fl", "star_fl"])
+def test_chain_holds_around_true_opt(fixture, request):
+    inst = request.getfixturevalue(fixture)
+    opt, _ = brute_force_facility_location(inst)
+    verify_eq2(inst, opt)
+
+
+def test_verify_rejects_fake_opt_below_gamma(small_fl):
+    b = eq2_bounds(small_fl)
+    with pytest.raises(InfeasibleSolutionError, match="lower bound"):
+        verify_eq2(small_fl, b.gamma * 0.5)
+
+
+def test_verify_rejects_fake_opt_above_sum(small_fl):
+    b = eq2_bounds(small_fl)
+    with pytest.raises(InfeasibleSolutionError, match="upper bound"):
+        verify_eq2(small_fl, b.sum_gamma_j * 2)
+
+
+def test_single_client_gamma_equals_opt():
+    D = np.array([[2.0], [5.0]])
+    f = np.array([1.0, 1.0])
+    inst = FacilityLocationInstance(D, f)
+    b = eq2_bounds(inst)
+    opt, _ = brute_force_facility_location(inst)
+    assert b.gamma == pytest.approx(opt) == pytest.approx(3.0)

@@ -1,0 +1,90 @@
+"""Solution certificates: provable a-posteriori ratio bounds."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.certificates import Certificate, certify_facility_location
+from repro.baselines.brute_force import brute_force_facility_location
+from repro.core.greedy import parallel_greedy
+from repro.core.primal_dual import parallel_primal_dual
+from repro.errors import InvalidParameterError
+from repro.lp.solve import lp_lower_bound
+from repro.metrics.instance import FacilityLocationInstance
+
+
+class TestSoundness:
+    """A certificate must never overstate quality: the certified bound
+    must hold against the true optimum."""
+
+    @pytest.mark.parametrize("fixture", ["tiny_fl", "small_fl", "clustered_fl", "star_fl"])
+    def test_bound_valid_vs_true_opt(self, fixture, request):
+        inst = request.getfixturevalue(fixture)
+        opt, _ = brute_force_facility_location(inst)
+        sol = parallel_primal_dual(inst, epsilon=0.1, seed=0)
+        cert = certify_facility_location(inst, sol.opened, alpha=sol.alpha)
+        assert cert.lower_bound <= opt + 1e-7
+        assert sol.cost / opt <= cert.ratio_bound * (1 + 1e-9)
+
+    def test_greedy_alpha_shrunk_still_sound(self, small_fl):
+        opt, _ = brute_force_facility_location(small_fl)
+        sol = parallel_greedy(small_fl, epsilon=0.1, seed=0, preprocess=False)
+        cert = certify_facility_location(small_fl, sol.opened, alpha=sol.alpha)
+        assert cert.lower_bound <= opt + 1e-7
+        assert cert.source in ("dual", "dual/shrunk", "lp", "eq2")
+
+
+class TestSelection:
+    def test_feasible_dual_beats_eq2(self, small_fl):
+        sol = parallel_primal_dual(small_fl, epsilon=0.1, seed=0)
+        cert = certify_facility_location(small_fl, sol.opened, alpha=sol.alpha)
+        assert cert.source == "dual"
+
+    def test_lp_beats_everything_when_supplied(self, small_fl):
+        sol = parallel_primal_dual(small_fl, epsilon=0.1, seed=0)
+        lp = lp_lower_bound(small_fl)
+        cert = certify_facility_location(
+            small_fl, sol.opened, alpha=sol.alpha, lp_value=lp
+        )
+        assert cert.source == "lp"
+        assert cert.lower_bound == pytest.approx(lp)
+
+    def test_eq2_fallback_without_dual(self, small_fl):
+        sol = parallel_greedy(small_fl, epsilon=0.1, seed=0)
+        cert = certify_facility_location(small_fl, sol.opened)
+        assert cert.source == "eq2"
+        assert cert.ratio_bound >= 1.0
+
+    def test_primal_dual_certificate_usually_tight(self, small_fl):
+        """Σα lands within a few percent of LP on this workload, so the
+        certified ratio should be close to the true ratio."""
+        opt, _ = brute_force_facility_location(small_fl)
+        sol = parallel_primal_dual(small_fl, epsilon=0.1, seed=0)
+        cert = certify_facility_location(small_fl, sol.opened, alpha=sol.alpha)
+        true_ratio = sol.cost / opt
+        assert cert.ratio_bound <= true_ratio * 1.15
+
+
+class TestValidation:
+    def test_rejects_impossible_lp_value(self, small_fl):
+        sol = parallel_primal_dual(small_fl, epsilon=0.1, seed=0)
+        with pytest.raises(InvalidParameterError, match="never"):
+            certify_facility_location(
+                small_fl, sol.opened, lp_value=sol.cost * 2
+            )
+
+    def test_zero_cost_degenerate_instance(self):
+        D = np.array([[0.0, 0.0]])
+        inst = FacilityLocationInstance(D, np.zeros(1))
+        cert = certify_facility_location(inst, [0])
+        assert cert.ratio_bound == 1.0
+
+    def test_str_render(self, small_fl):
+        sol = parallel_primal_dual(small_fl, epsilon=0.1, seed=0)
+        cert = certify_facility_location(small_fl, sol.opened, alpha=sol.alpha)
+        text = str(cert)
+        assert "certified via dual" in text and "opt ≥" in text
+
+    def test_is_frozen(self):
+        cert = Certificate(cost=1.0, lower_bound=1.0, ratio_bound=1.0, source="lp")
+        with pytest.raises(AttributeError):
+            cert.cost = 2.0

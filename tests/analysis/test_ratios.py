@@ -1,0 +1,52 @@
+"""Ratio harness: trial plumbing, claim flags, formatting."""
+
+import pytest
+
+from repro.analysis.ratios import measure_ratio
+from repro.errors import InvalidParameterError
+
+
+def test_measures_constant_algorithm():
+    rep = measure_ratio("const", lambda rng: 15.0, 10.0, claimed_factor=2.0, trials=3)
+    assert rep.worst_ratio == pytest.approx(1.5)
+    assert rep.mean_ratio == pytest.approx(1.5)
+    assert rep.within_claim
+
+
+def test_violation_flagged():
+    rep = measure_ratio("bad", lambda rng: 30.0, 10.0, claimed_factor=2.0, trials=2)
+    assert not rep.within_claim
+    assert "VIOLATED" in rep.row()
+
+
+def test_trials_see_distinct_rngs():
+    seen = []
+    def run(rng):
+        seen.append(rng.random())
+        return 10.0
+    measure_ratio("x", run, 10.0, claimed_factor=1.0, trials=4)
+    assert len(set(seen)) == 4
+
+
+def test_deterministic_across_calls():
+    run = lambda rng: 10.0 + rng.random()
+    a = measure_ratio("x", run, 10.0, claimed_factor=2.0, trials=3, seed=5)
+    b = measure_ratio("x", run, 10.0, claimed_factor=2.0, trials=3, seed=5)
+    assert a.worst_ratio == b.worst_ratio
+
+
+def test_worst_at_least_mean():
+    run = lambda rng: 10.0 + 5 * rng.random()
+    rep = measure_ratio("x", run, 10.0, claimed_factor=2.0, trials=5)
+    assert rep.worst_ratio >= rep.mean_ratio
+
+
+def test_reference_must_be_positive():
+    with pytest.raises(InvalidParameterError):
+        measure_ratio("x", lambda rng: 1.0, 0.0, claimed_factor=1.0)
+
+
+def test_row_contains_key_fields():
+    rep = measure_ratio("algo-name", lambda rng: 12.0, 10.0, claimed_factor=3.0, trials=2)
+    row = rep.row()
+    assert "algo-name" in row and "1.2" in row and "ok" in row

@@ -1,0 +1,45 @@
+"""Round envelopes: monotonicity and sanity of the named bounds."""
+
+import pytest
+
+from repro.analysis.rounds import round_envelopes
+
+
+def test_contains_all_phases():
+    env = round_envelopes(1000, 0.1)
+    assert set(env) == {
+        "greedy_outer",
+        "greedy_subselect",
+        "pd_iterations",
+        "rounding",
+        "luby",
+    }
+
+
+def test_smaller_epsilon_larger_envelopes():
+    a = round_envelopes(1000, 0.05)
+    b = round_envelopes(1000, 0.5)
+    for key in ("greedy_outer", "pd_iterations", "rounding"):
+        assert a[key] > b[key]
+
+
+def test_larger_m_larger_envelopes():
+    a = round_envelopes(100, 0.1)
+    b = round_envelopes(100_000, 0.1)
+    for key, val in a.items():
+        assert b[key] > val
+
+
+def test_luby_independent_of_epsilon():
+    assert round_envelopes(512, 0.05)["luby"] == round_envelopes(512, 1.0)["luby"]
+
+
+def test_pd_formula_value():
+    import math
+    env = round_envelopes(1000, 0.1)
+    assert env["pd_iterations"] == pytest.approx(3 * math.log(1000) / math.log(1.1) + 8)
+
+
+def test_tiny_m_clamped():
+    env = round_envelopes(1, 0.1)
+    assert all(v > 0 for v in env.values())

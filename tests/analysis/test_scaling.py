@@ -1,0 +1,60 @@
+"""Work-exponent fitting: exact recovery on synthetic power laws."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import fit_work_exponent, predicted_work
+from repro.errors import InvalidParameterError
+
+
+def synth(sizes, p, q, C=3.0):
+    m = np.asarray(sizes, dtype=float)
+    return C * m**p * np.log(m) ** q
+
+
+SIZES = [100, 300, 1000, 3000, 10_000]
+
+
+@pytest.mark.parametrize("p", [1.0, 1.5, 2.0])
+def test_recovers_pure_polynomial(p):
+    fit = fit_work_exponent(SIZES, synth(SIZES, p, 0))
+    assert fit.exponent == pytest.approx(p, abs=1e-9)
+
+
+@pytest.mark.parametrize("q", [1.0, 2.0])
+def test_recovers_exponent_with_polylog_divided_out(q):
+    fit = fit_work_exponent(SIZES, synth(SIZES, 1.0, q), log_power=q)
+    assert fit.exponent == pytest.approx(1.0, abs=1e-9)
+
+
+def test_undivided_polylog_inflates_exponent():
+    fit = fit_work_exponent(SIZES, synth(SIZES, 1.0, 2))
+    assert fit.exponent > 1.05  # the log factor shows up if not removed
+
+
+def test_prediction_matches_model():
+    works = synth(SIZES, 1.0, 1)
+    fit = fit_work_exponent(SIZES, works, log_power=1.0)
+    assert predicted_work(fit, 1000) == pytest.approx(synth([1000], 1.0, 1)[0], rel=1e-9)
+
+
+def test_requires_three_points():
+    with pytest.raises(InvalidParameterError):
+        fit_work_exponent([10, 20], [1, 2])
+
+
+def test_rejects_nonpositive_work():
+    with pytest.raises(InvalidParameterError):
+        fit_work_exponent([10, 20, 30], [1, 0, 2])
+
+
+def test_residual_zero_for_exact_model():
+    fit = fit_work_exponent(SIZES, synth(SIZES, 1.25, 0))
+    assert fit.residual == pytest.approx(0.0, abs=1e-18)
+
+
+def test_noisy_fit_close():
+    rng = np.random.default_rng(0)
+    works = synth(SIZES, 1.5, 0) * np.exp(rng.normal(0, 0.02, len(SIZES)))
+    fit = fit_work_exponent(SIZES, works)
+    assert fit.exponent == pytest.approx(1.5, abs=0.1)

@@ -1,0 +1,92 @@
+"""Exact solvers: hand-checked optima, caps, and dominance properties."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import (
+    brute_force_facility_location,
+    brute_force_kcenter,
+    brute_force_kmeans,
+    brute_force_kmedian,
+)
+from repro.errors import InvalidParameterError
+from repro.metrics.generators import euclidean_clustering, euclidean_instance
+from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
+from repro.metrics.space import MetricSpace
+
+
+def test_fl_hand_example():
+    D = np.array([[1.0, 2.0, 3.0], [3.0, 1.0, 1.0]])
+    f = np.array([5.0, 4.0])
+    opt, best = brute_force_facility_location(FacilityLocationInstance(D, f))
+    # {0}: 5+6=11, {1}: 4+5=9, {0,1}: 9+3=12 -> best {1}.
+    assert opt == pytest.approx(9.0)
+    assert best.tolist() == [1]
+
+
+def test_fl_opt_not_above_any_subset(small_fl):
+    opt, _ = brute_force_facility_location(small_fl)
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        subset = np.flatnonzero(rng.random(small_fl.n_facilities) > 0.5)
+        if subset.size:
+            assert opt <= small_fl.cost(subset) + 1e-12
+
+
+def test_fl_returns_achieving_set(small_fl):
+    opt, best = brute_force_facility_location(small_fl)
+    assert small_fl.cost(best) == pytest.approx(opt)
+
+
+def test_fl_cap_enforced():
+    inst = euclidean_instance(17, 5, seed=0)
+    with pytest.raises(InvalidParameterError, match="caps"):
+        brute_force_facility_location(inst, max_facilities=16)
+
+
+def test_kmedian_hand_example():
+    pts = np.array([[0.0], [1.0], [10.0], [11.0]])
+    inst = ClusteringInstance(MetricSpace.from_points(pts), 2)
+    opt, best = brute_force_kmedian(inst)
+    assert opt == pytest.approx(2.0)
+    assert set(best.tolist()) in ({0, 2}, {0, 3}, {1, 2}, {1, 3})
+
+
+def test_kmeans_differs_from_kmedian():
+    # An outlier pulls k-means harder than k-median.
+    pts = np.array([[0.0], [1.0], [2.0], [30.0]])
+    inst = ClusteringInstance(MetricSpace.from_points(pts), 2)
+    med_opt, _ = brute_force_kmedian(inst)
+    mean_opt, mean_best = brute_force_kmeans(inst)
+    assert 3 in mean_best  # the outlier is always its own center
+    assert mean_opt == pytest.approx(2.0)  # {1, 3}: 1+0+1+0 squared
+    assert med_opt == pytest.approx(2.0)
+
+
+def test_kcenter_hand_example():
+    pts = np.array([[0.0], [4.0], [10.0]])
+    inst = ClusteringInstance(MetricSpace.from_points(pts), 2)
+    opt, _ = brute_force_kcenter(inst)
+    # Any 2 centers leave one point uncovered; the best pairing groups
+    # 0 with 4 (radius 4), since 4–10 costs 6 and 0–10 costs 10.
+    assert opt == pytest.approx(4.0)
+
+
+def test_kcenter_k_equals_n_zero(small_clustering):
+    inst = ClusteringInstance(small_clustering.space, small_clustering.n)
+    # C(30,30) = 1 subset: all centers, radius 0.
+    opt, best = brute_force_kcenter(inst)
+    assert opt == 0.0 and best.size == inst.n
+
+
+def test_center_cap_enforced():
+    inst = euclidean_clustering(40, 10, seed=1)
+    with pytest.raises(InvalidParameterError, match="caps"):
+        brute_force_kmedian(inst, max_subsets=1000)
+
+
+def test_objectives_consistent_with_instance(small_clustering):
+    opt, best = brute_force_kmedian(small_clustering, max_subsets=10_000)
+    assert small_clustering.kmedian_cost(best) == pytest.approx(opt)
+    opt2, best2 = brute_force_kcenter(small_clustering, max_subsets=10_000)
+    assert small_clustering.kcenter_cost(best2) == pytest.approx(opt2)

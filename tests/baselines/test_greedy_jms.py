@@ -1,0 +1,80 @@
+"""Sequential JMS greedy: star mechanics and end-to-end quality."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import brute_force_facility_location
+from repro.baselines.greedy_jms import cheapest_star_prices, greedy_jms
+from repro.metrics.instance import FacilityLocationInstance
+
+
+class TestCheapestStarPrices:
+    def test_hand_example(self):
+        # f=6, sorted distances 1,2,9: prices (6+1)/1=7, (6+3)/2=4.5, (6+12)/3=6.
+        D = np.array([[1.0, 2.0, 9.0]])
+        prices, sizes = cheapest_star_prices(D, np.array([6.0]))
+        assert prices[0] == pytest.approx(4.5)
+        assert sizes[0] == 2
+
+    def test_zero_cost_prefers_single_client(self):
+        D = np.array([[1.0, 2.0, 3.0]])
+        prices, sizes = cheapest_star_prices(D, np.array([0.0]))
+        assert prices[0] == pytest.approx(1.0)
+        assert sizes[0] == 1
+
+    def test_matches_exhaustive_enumeration(self, rng):
+        D = rng.random((4, 6)) * 5
+        f = rng.random(4) * 3
+        prices, _ = cheapest_star_prices(D, f)
+        for i in range(4):
+            ds = np.sort(D[i])
+            want = min((f[i] + ds[: k + 1].sum()) / (k + 1) for k in range(6))
+            assert prices[i] == pytest.approx(want)
+
+    def test_price_satisfies_fact_42(self, rng):
+        # Fact 4.2(2): Σ_j max(0, t - d(j,i)) = f_i at the maximal-star price.
+        D = rng.random((3, 8))
+        f = rng.random(3) + 0.5
+        prices, _ = cheapest_star_prices(D, f)
+        for i in range(3):
+            # cheapest maximal star price t*: water level filling exactly f_i
+            t = prices[i]
+            assert np.maximum(0.0, t - D[i]).sum() == pytest.approx(f[i], rel=1e-9)
+
+
+class TestGreedyEndToEnd:
+    def test_terminates_and_serves_all(self, small_fl):
+        res = greedy_jms(small_fl)
+        assert res.opened.size >= 1
+        assert res.iterations <= small_fl.n_clients
+
+    def test_cost_matches_instance_eval(self, small_fl):
+        res = greedy_jms(small_fl)
+        assert res.cost == pytest.approx(small_fl.cost(res.opened))
+
+    @pytest.mark.parametrize("fixture", ["tiny_fl", "small_fl", "clustered_fl", "nongeometric_fl"])
+    def test_within_1861_of_opt(self, fixture, request):
+        inst = request.getfixturevalue(fixture)
+        res = greedy_jms(inst)
+        opt, _ = brute_force_facility_location(inst)
+        assert res.cost <= 1.861 * opt * (1 + 1e-9)
+
+    def test_star_instance_opens_hub(self, star_fl):
+        res = greedy_jms(star_fl)
+        assert 0 in res.opened  # the hub is the whole optimum
+
+    def test_deterministic(self, small_fl):
+        a, b = greedy_jms(small_fl), greedy_jms(small_fl)
+        assert np.array_equal(a.opened, b.opened)
+
+    def test_star_prices_nondecreasing(self, small_fl):
+        # Greedy picks the global cheapest star each time; the sequence
+        # of chosen prices never decreases (with f zeroed on opening).
+        res = greedy_jms(small_fl)
+        prices = res.star_prices
+        assert all(a <= b + 1e-9 for a, b in zip(prices, prices[1:]))
+
+    def test_single_client(self):
+        inst = FacilityLocationInstance(np.array([[2.0], [1.0]]), np.array([1.0, 5.0]))
+        res = greedy_jms(inst)
+        assert res.cost == pytest.approx(3.0)  # open facility 0: 1 + 2

@@ -1,0 +1,90 @@
+"""Sequential Jain–Vazirani: exact duals, feasibility, 3-approx, LMP."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import brute_force_facility_location
+from repro.baselines.jv_sequential import _facility_open_time, jv_sequential
+from repro.lp.duality import check_dual_feasible
+from repro.lp.solve import lp_lower_bound
+from repro.metrics.instance import FacilityLocationInstance
+
+
+class TestOpenTime:
+    def test_no_frozen_simple(self):
+        # f=2, unfrozen distances [0, 0]: paid(t) = 2t -> opens at t=1.
+        t = _facility_open_time(None, 0.0, 2.0, np.array([0.0, 0.0]), 0.0)
+        assert t == pytest.approx(1.0)
+
+    def test_staggered_breakpoints(self):
+        # distances [0, 1], f = 3: paid(t) = t for t<=1, then 2t-1; 2t-1=3 -> t=2.
+        t = _facility_open_time(None, 0.0, 3.0, np.array([0.0, 1.0]), 0.0)
+        assert t == pytest.approx(2.0)
+
+    def test_already_paid(self):
+        t = _facility_open_time(None, 5.0, 4.0, np.array([1.0]), 0.7)
+        assert t == pytest.approx(0.7)
+
+    def test_frozen_contribution_counts(self):
+        # frozen already paid 1; need 1 more from one client at distance 0.
+        t = _facility_open_time(None, 1.0, 2.0, np.array([0.0]), 0.0)
+        assert t == pytest.approx(1.0)
+
+    def test_unreachable_is_inf(self):
+        t = _facility_open_time(None, 0.0, 5.0, np.array([]), 0.0)
+        assert t == np.inf
+
+
+class TestJVEndToEnd:
+    @pytest.mark.parametrize("fixture", ["tiny_fl", "small_fl", "clustered_fl", "nongeometric_fl", "star_fl"])
+    def test_within_3_of_opt(self, fixture, request):
+        inst = request.getfixturevalue(fixture)
+        res = jv_sequential(inst)
+        opt, _ = brute_force_facility_location(inst)
+        assert res.cost <= 3.0 * opt * (1 + 1e-9)
+
+    def test_duals_feasible(self, small_fl):
+        res = jv_sequential(small_fl)
+        check_dual_feasible(small_fl, res.alpha, tol=1e-7)
+
+    def test_dual_value_below_lp(self, small_fl):
+        res = jv_sequential(small_fl)
+        assert res.alpha.sum() <= lp_lower_bound(small_fl) * (1 + 1e-7)
+
+    def test_lmp_inequality(self, small_fl):
+        # Lagrangian-multiplier preserving: 3·Σf + Σd ≤ 3·Σα.
+        res = jv_sequential(small_fl)
+        lhs = 3 * small_fl.facility_cost(res.opened) + small_fl.connection_cost(res.opened)
+        assert lhs <= 3 * res.alpha.sum() * (1 + 1e-7)
+
+    def test_opened_subset_of_tentative(self, small_fl):
+        res = jv_sequential(small_fl)
+        assert set(res.opened.tolist()) <= set(res.tentatively_open.tolist())
+
+    def test_mis_no_conflicts(self, small_fl):
+        # No client strictly pays two surviving facilities.
+        res = jv_sequential(small_fl)
+        contrib = res.alpha[None, :] - small_fl.D > 1e-12
+        kept = contrib[res.opened]
+        pays = kept.sum(axis=0)
+        assert np.all(pays <= 1)
+
+    def test_deterministic(self, small_fl):
+        a, b = jv_sequential(small_fl), jv_sequential(small_fl)
+        assert np.array_equal(a.opened, b.opened)
+        assert np.allclose(a.alpha, b.alpha)
+
+    def test_zero_cost_facility_opens_immediately(self):
+        D = np.array([[0.5, 0.5], [2.0, 2.0]])
+        inst = FacilityLocationInstance(D, np.array([0.0, 10.0]))
+        res = jv_sequential(inst)
+        assert res.opened.tolist() == [0]
+        assert np.allclose(res.alpha, 0.5)
+
+    def test_single_client_alpha_equals_gamma(self):
+        D = np.array([[2.0], [4.0]])
+        inst = FacilityLocationInstance(D, np.array([3.0, 0.5]))
+        res = jv_sequential(inst)
+        # client raises α until cheapest (f + d) is covered: min(5, 4.5) = 4.5.
+        assert res.alpha[0] == pytest.approx(4.5)
+        assert res.cost == pytest.approx(4.5)

@@ -1,0 +1,122 @@
+"""Gonzalez, sequential Hochbaum–Shmoys, and the Wang–Cheng work proxy."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import brute_force_kcenter
+from repro.baselines.gonzalez import gonzalez_kcenter
+from repro.baselines.hochbaum_shmoys import greedy_dominator_set, hochbaum_shmoys_kcenter
+from repro.baselines.wang_cheng import wang_cheng_kcenter
+from repro.metrics.generators import euclidean_clustering
+from repro.metrics.instance import ClusteringInstance
+from repro.metrics.space import MetricSpace
+
+
+@pytest.fixture
+def line5():
+    pts = np.array([[0.0], [1.0], [2.0], [3.0], [10.0]])
+    return ClusteringInstance(MetricSpace.from_points(pts), 2)
+
+
+class TestGonzalez:
+    @pytest.mark.parametrize("fixture", ["small_clustering", "blob_clustering"])
+    def test_2_approx(self, fixture, request):
+        inst = request.getfixturevalue(fixture)
+        opt, _ = brute_force_kcenter(inst, max_subsets=200_000)
+        centers = gonzalez_kcenter(inst)
+        assert inst.kcenter_cost(centers) <= 2 * opt * (1 + 1e-9)
+
+    def test_respects_k(self, small_clustering):
+        assert gonzalez_kcenter(small_clustering).size <= small_clustering.k
+
+    def test_outlier_gets_center(self, line5):
+        centers = gonzalez_kcenter(line5)
+        assert 4 in centers  # the far point is always picked (farthest-first)
+
+    def test_first_parameter(self, small_clustering):
+        a = gonzalez_kcenter(small_clustering, first=0)
+        b = gonzalez_kcenter(small_clustering, first=5)
+        assert a.size and b.size  # both valid, possibly different
+
+    def test_duplicate_points_collapse(self):
+        pts = np.zeros((6, 1))
+        inst = ClusteringInstance(MetricSpace.from_points(pts), 3)
+        centers = gonzalez_kcenter(inst)
+        assert inst.kcenter_cost(centers) == 0.0
+
+
+class TestGreedyDominator:
+    def test_empty_graph_picks_all(self):
+        adj = np.zeros((4, 4), dtype=bool)
+        assert greedy_dominator_set(adj).tolist() == [0, 1, 2, 3]
+
+    def test_complete_graph_picks_one(self):
+        adj = ~np.eye(4, dtype=bool)
+        assert greedy_dominator_set(adj).tolist() == [0]
+
+    def test_path_two_hop_exclusion(self):
+        # Path 0-1-2-3-4: choosing 0 blocks 1 (adjacent) and 2 (shares 1).
+        adj = np.zeros((5, 5), dtype=bool)
+        for i in range(4):
+            adj[i, i + 1] = adj[i + 1, i] = True
+        assert greedy_dominator_set(adj).tolist() == [0, 3]
+
+    def test_independence_in_square(self, rng):
+        n = 25
+        adj = rng.random((n, n)) < 0.15
+        adj = np.triu(adj, 1)
+        adj = adj | adj.T
+        chosen = greedy_dominator_set(adj)
+        sq = adj | (adj @ adj)
+        for a in chosen:
+            for b in chosen:
+                if a != b:
+                    assert not sq[a, b]
+
+
+class TestHochbaumShmoys:
+    @pytest.mark.parametrize("fixture", ["small_clustering", "blob_clustering"])
+    def test_2_approx(self, fixture, request):
+        inst = request.getfixturevalue(fixture)
+        opt, _ = brute_force_kcenter(inst, max_subsets=200_000)
+        res = hochbaum_shmoys_kcenter(inst)
+        assert res.radius <= 2 * opt * (1 + 1e-9)
+        assert res.centers.size <= inst.k
+
+    def test_threshold_at_most_opt(self, small_clustering):
+        opt, _ = brute_force_kcenter(small_clustering, max_subsets=200_000)
+        res = hochbaum_shmoys_kcenter(small_clustering)
+        assert res.threshold <= opt + 1e-9
+
+    def test_probe_count_logarithmic(self, small_clustering):
+        res = hochbaum_shmoys_kcenter(small_clustering)
+        n_thresholds = np.unique(small_clustering.D).size
+        assert res.probes <= int(np.ceil(np.log2(n_thresholds))) + 2
+
+    def test_k_equals_n(self):
+        inst = euclidean_clustering(8, 8, seed=0)
+        res = hochbaum_shmoys_kcenter(inst)
+        assert res.radius == pytest.approx(0.0)
+
+
+class TestWangChengProxy:
+    def test_2_approx(self, small_clustering):
+        opt, _ = brute_force_kcenter(small_clustering, max_subsets=200_000)
+        res = wang_cheng_kcenter(small_clustering)
+        assert res.radius <= 2 * opt * (1 + 1e-9)
+        assert res.centers.size <= small_clustering.k
+
+    def test_work_is_cubic_shaped(self):
+        # Probes grow with the number of distinct thresholds below the
+        # answer, so work grows much faster than n².
+        small = euclidean_clustering(20, 3, seed=0)
+        large = euclidean_clustering(60, 3, seed=0)
+        w_small = wang_cheng_kcenter(small).work
+        w_large = wang_cheng_kcenter(large).work
+        ratio = w_large / w_small
+        assert ratio > (60 / 20) ** 2.4  # super-quadratic growth
+
+    def test_linear_scan_probes_exceed_binary_search(self, small_clustering):
+        wc = wang_cheng_kcenter(small_clustering)
+        hs = hochbaum_shmoys_kcenter(small_clustering)
+        assert wc.probes > hs.probes

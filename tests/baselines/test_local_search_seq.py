@@ -1,0 +1,78 @@
+"""Sequential local search: quality, monotonicity, threshold semantics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import brute_force_kmeans, brute_force_kmedian
+from repro.baselines.local_search_seq import (
+    local_search_kmeans_seq,
+    local_search_kmedian_seq,
+)
+from repro.errors import InvalidParameterError
+from repro.metrics.generators import euclidean_clustering
+from repro.metrics.instance import ClusteringInstance
+from repro.metrics.space import MetricSpace
+
+
+@pytest.mark.parametrize("fixture", ["small_clustering", "blob_clustering"])
+def test_kmedian_within_5_eps(fixture, request):
+    inst = request.getfixturevalue(fixture)
+    opt, _ = brute_force_kmedian(inst, max_subsets=200_000)
+    res = local_search_kmedian_seq(inst, epsilon=0.3)
+    assert res.cost <= (5 + 0.3) * opt * (1 + 1e-9)
+
+
+def test_kmedian_usually_near_optimal(blob_clustering):
+    opt, _ = brute_force_kmedian(blob_clustering, max_subsets=200_000)
+    res = local_search_kmedian_seq(blob_clustering, epsilon=0.1)
+    assert res.cost <= 1.6 * opt  # blobs are easy; local search nails them
+
+
+def test_kmeans_within_81_eps(small_clustering):
+    opt, _ = brute_force_kmeans(small_clustering, max_subsets=200_000)
+    res = local_search_kmeans_seq(small_clustering, epsilon=0.3)
+    assert res.cost <= (81 + 0.3) * opt * (1 + 1e-9)
+
+
+def test_cost_matches_instance(small_clustering):
+    res = local_search_kmedian_seq(small_clustering)
+    assert res.cost == pytest.approx(small_clustering.kmedian_cost(res.centers))
+
+
+def test_budget_respected(small_clustering):
+    res = local_search_kmedian_seq(small_clustering)
+    assert res.centers.size <= small_clustering.k
+
+
+def test_swap_count_bounded(small_clustering):
+    res = local_search_kmedian_seq(small_clustering, epsilon=0.5)
+    n, k = small_clustering.n, small_clustering.k
+    beta = 0.5 / 1.5
+    assert res.swaps <= np.ceil(np.log(2 * n) / -np.log(1 - beta / k)) + 1
+
+
+def test_epsilon_validation(small_clustering):
+    with pytest.raises(InvalidParameterError):
+        local_search_kmedian_seq(small_clustering, epsilon=0.0)
+    with pytest.raises(InvalidParameterError):
+        local_search_kmedian_seq(small_clustering, epsilon=1.5)
+
+
+def test_k_equals_n_no_swaps():
+    inst = euclidean_clustering(6, 6, seed=0)
+    res = local_search_kmedian_seq(inst)
+    assert res.cost == pytest.approx(0.0)
+    assert res.swaps == 0
+
+
+def test_duplicate_points_padding():
+    pts = np.vstack([np.zeros((4, 1)), np.ones((4, 1))])
+    inst = ClusteringInstance(MetricSpace.from_points(pts), 3)
+    res = local_search_kmedian_seq(inst)
+    assert res.cost == pytest.approx(0.0)
+
+
+def test_smaller_epsilon_no_worse(blob_clustering):
+    hi = local_search_kmedian_seq(blob_clustering, epsilon=0.9)
+    lo = local_search_kmedian_seq(blob_clustering, epsilon=0.05)
+    assert lo.cost <= hi.cost * (1 + 1e-9)

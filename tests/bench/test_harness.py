@@ -1,0 +1,46 @@
+"""Experiment tables and markdown rendering."""
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.reporting import render_markdown_table
+
+
+def test_table_accumulates_rows():
+    t = ExperimentTable("T1", "greedy quality")
+    t.add(instance="a", ratio=1.2)
+    t.add(instance="b", ratio=1.5, extra="x")
+    assert t.columns == ["instance", "ratio", "extra"]
+    assert t.column("ratio") == [1.2, 1.5]
+    assert t.column("extra") == [None, "x"]
+
+
+def test_render_contains_header_and_rows():
+    t = ExperimentTable("T9", "demo")
+    t.add(a=1, b=2.5)
+    out = t.render()
+    assert "T9: demo" in out
+    assert "| a" in out and "2.5" in out
+
+
+def test_markdown_table_alignment():
+    rows = [{"col": "x", "val": 1.0}, {"col": "longer", "val": 123456.0}]
+    out = render_markdown_table(rows, ["col", "val"])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(l) for l in lines)) == 1  # aligned widths
+
+
+def test_markdown_table_empty():
+    assert render_markdown_table([], ["a"]) == "(no rows)"
+
+
+def test_float_formatting():
+    rows = [{"v": 1e-9}, {"v": 0.0}, {"v": 3.14159}, {"v": 2e7}]
+    out = render_markdown_table(rows, ["v"])
+    assert "1.000e-09" in out and "3.142" in out and "2.000e+07" in out
+
+
+def test_emit_prints(capsys):
+    t = ExperimentTable("E0", "emit")
+    t.add(x=1)
+    t.emit()
+    assert "E0" in capsys.readouterr().out

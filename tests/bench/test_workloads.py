@@ -1,0 +1,61 @@
+"""Workload suites: determinism, brute-force compatibility, coverage."""
+
+import numpy as np
+
+from repro.bench.workloads import (
+    clustering_ratio_suite,
+    clustering_scaling_suite,
+    epsilon_sweep,
+    fl_lp_suite,
+    fl_ratio_suite,
+    fl_scaling_suite,
+)
+
+
+def test_fl_ratio_suite_brute_forceable():
+    for name, inst in fl_ratio_suite():
+        assert inst.n_facilities <= 16, name
+
+
+def test_fl_ratio_suite_deterministic():
+    a = fl_ratio_suite(3)
+    b = fl_ratio_suite(3)
+    for (na, ia), (nb, ib) in zip(a, b):
+        assert na == nb and np.array_equal(ia.D, ib.D)
+
+
+def test_fl_ratio_suite_covers_families():
+    names = [n for n, _ in fl_ratio_suite()]
+    assert any("star" in n for n in names)
+    assert any("random-metric" in n for n in names)
+    assert any("two-scale" in n for n in names)
+
+
+def test_fl_scaling_suite_geometric_growth():
+    suite = fl_scaling_suite()
+    ms = [inst.m for _, inst in suite]
+    assert all(b / a >= 1.5 for a, b in zip(ms, ms[1:]))
+    assert len(ms) >= 4
+
+
+def test_fl_lp_suite_sizes():
+    for name, inst in fl_lp_suite():
+        assert 500 <= inst.m <= 10_000, name
+
+
+def test_clustering_ratio_suite_enumerable():
+    from math import comb
+    for name, inst in clustering_ratio_suite():
+        assert comb(inst.n, inst.k) <= 500_000, name
+
+
+def test_clustering_scaling_suite_fixed_k():
+    suite = clustering_scaling_suite(k=4)
+    assert all(inst.k == 4 for _, inst in suite)
+    ns = [inst.n for _, inst in suite]
+    assert ns == sorted(ns)
+
+
+def test_epsilon_sweep_sorted_positive():
+    eps = epsilon_sweep()
+    assert np.all(eps > 0) and np.all(np.diff(eps) > 0)

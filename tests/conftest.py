@@ -1,0 +1,79 @@
+"""Shared fixtures: canonical instances and machines.
+
+Instances are small enough for exact (brute-force) reference optima so
+approximation claims are measured against true values, not proxies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PramMachine
+from repro.metrics.generators import (
+    clustered_clustering,
+    clustered_instance,
+    euclidean_clustering,
+    euclidean_instance,
+    random_metric_instance,
+    star_instance,
+    two_scale_instance,
+)
+
+
+@pytest.fixture
+def machine() -> PramMachine:
+    return PramMachine(seed=1234)
+
+
+@pytest.fixture
+def tiny_fl():
+    """5 facilities × 12 clients — fast exact optimum."""
+    return euclidean_instance(5, 12, seed=11)
+
+
+@pytest.fixture
+def small_fl():
+    """8 facilities × 24 clients — the workhorse ratio instance."""
+    return euclidean_instance(8, 24, seed=7)
+
+
+@pytest.fixture
+def clustered_fl():
+    return clustered_instance(10, 40, n_clusters=4, seed=21)
+
+
+@pytest.fixture
+def nongeometric_fl():
+    return random_metric_instance(9, 27, seed=31)
+
+
+@pytest.fixture
+def star_fl():
+    return star_instance(10, seed=41)
+
+
+@pytest.fixture
+def two_scale_fl():
+    return two_scale_instance(4, 10, seed=51)
+
+
+@pytest.fixture
+def medium_fl():
+    """15 × 60 — too big for brute force; LP-bounded in tests."""
+    return euclidean_instance(15, 60, seed=61)
+
+
+@pytest.fixture
+def small_clustering():
+    return euclidean_clustering(30, 3, seed=71)
+
+
+@pytest.fixture
+def blob_clustering():
+    return clustered_clustering(40, 4, seed=81)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(987)

@@ -1,0 +1,85 @@
+"""Lemma 3.1 remark: sparse dominator sets — same semantics, O(|E|) rounds."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.dominator_sparse import max_dominator_set_sparse
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.pram.machine import PramMachine
+from tests.core.test_dominator import assert_valid_maxdom, random_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("p", [0.05, 0.2, 0.6])
+    def test_random_graphs_valid(self, seed, p):
+        A = random_graph(24, p, seed)
+        sel = max_dominator_set_sparse(sparse.csr_matrix(A), PramMachine(seed=seed))
+        assert_valid_maxdom(A, sel)
+
+    def test_accepts_dense_input(self, machine):
+        A = random_graph(15, 0.2, 0)
+        sel = max_dominator_set_sparse(A, machine)
+        assert_valid_maxdom(A, sel)
+
+    def test_matches_dense_variant_distribution(self):
+        """Same priorities (same machine seed) ⇒ identical selection to
+        the dense implementation round-for-round."""
+        from repro.core.dominator import max_dominator_set
+
+        A = random_graph(30, 0.15, 3)
+        dense = max_dominator_set(A, PramMachine(seed=42))
+        sparse_sel = max_dominator_set_sparse(sparse.csr_matrix(A), PramMachine(seed=42))
+        assert np.array_equal(dense, sparse_sel)
+
+    def test_empty_graph_selects_all(self, machine):
+        A = sparse.csr_matrix((5, 5), dtype=bool)
+        assert max_dominator_set_sparse(A, machine).all()
+
+    def test_complete_graph_selects_one(self, machine):
+        A = ~np.eye(8, dtype=bool)
+        assert max_dominator_set_sparse(A, machine).sum() == 1
+
+    def test_zero_nodes(self, machine):
+        assert max_dominator_set_sparse(sparse.csr_matrix((0, 0)), machine).size == 0
+
+    def test_self_loops_removed(self, machine):
+        A = sparse.csr_matrix(np.eye(4, dtype=bool))
+        assert max_dominator_set_sparse(A, machine).all()
+
+
+class TestCosts:
+    def test_work_scales_with_edges_not_n_squared(self):
+        """On a bounded-degree graph the sparse variant's per-round work
+        is O(|E|) ≪ n²: compare charged work against the dense one."""
+        from repro.core.dominator import max_dominator_set
+
+        n = 256
+        A = random_graph(n, 6.0 / n, 0)  # ~6n/2 edges
+        md = PramMachine(seed=1)
+        max_dominator_set(A, md)
+        ms = PramMachine(seed=1)
+        max_dominator_set_sparse(sparse.csr_matrix(A), ms)
+        assert ms.ledger.work < md.ledger.work / 10
+
+    def test_rounds_counted(self, machine):
+        A = random_graph(40, 0.1, 2)
+        max_dominator_set_sparse(A, machine)
+        assert machine.ledger.rounds["maxdom_sparse"] >= 1
+
+
+class TestValidation:
+    def test_rejects_nonsquare(self, machine):
+        with pytest.raises(InvalidParameterError, match="square"):
+            max_dominator_set_sparse(sparse.csr_matrix((2, 3)), machine)
+
+    def test_rejects_asymmetric(self, machine):
+        A = sparse.csr_matrix(np.array([[0, 1], [0, 0]], dtype=bool))
+        with pytest.raises(InvalidParameterError, match="symmetric"):
+            max_dominator_set_sparse(A, machine)
+
+    def test_round_cap(self, machine):
+        A = random_graph(12, 0.3, 0)
+        with pytest.raises(ConvergenceError):
+            max_dominator_set_sparse(A, machine, max_rounds=0)

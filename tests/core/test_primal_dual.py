@@ -1,0 +1,154 @@
+"""§5 parallel primal–dual: Claim 5.1, Eq. (5), iterations, structure."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.rounds import round_envelopes
+from repro.baselines.brute_force import brute_force_facility_location
+from repro.core.primal_dual import parallel_primal_dual
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.lp.duality import check_dual_feasible
+from repro.lp.solve import lp_lower_bound
+from repro.metrics.instance import FacilityLocationInstance
+
+FIXTURES = ["tiny_fl", "small_fl", "clustered_fl", "nongeometric_fl", "star_fl", "two_scale_fl"]
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("fixture", FIXTURES)
+    def test_within_3_plus_eps_of_opt(self, fixture, request):
+        """Theorem 5.4 headline: (3+ε)-approximation."""
+        inst = request.getfixturevalue(fixture)
+        opt, _ = brute_force_facility_location(inst)
+        eps = 0.1
+        sol = parallel_primal_dual(inst, epsilon=eps, seed=3)
+        # ε′ absorbs the 3γ/m additive and the (1+ε) factor: 3(1+ε)+o(1).
+        assert sol.cost <= 3 * (1 + eps) * opt * (1 + 1e-9) + 3 * sol.extra["gamma"] / inst.m
+
+    def test_medium_vs_lp(self, medium_fl):
+        eps = 0.1
+        sol = parallel_primal_dual(medium_fl, epsilon=eps, seed=5)
+        lp = lp_lower_bound(medium_fl)
+        assert sol.cost <= 3 * (1 + eps) * lp * (1 + 1e-9) + 3 * sol.extra["gamma"] / medium_fl.m
+
+
+class TestDualFeasibility:
+    @pytest.mark.parametrize("fixture", FIXTURES)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_claim_51_alpha_feasible_with_preprocessing(self, fixture, seed, request):
+        """Claim 5.1: the recorded α (canonically completed) is dual
+        feasible — unshrunk, unlike the greedy's."""
+        inst = request.getfixturevalue(fixture)
+        sol = parallel_primal_dual(inst, epsilon=0.1, seed=seed, preprocess=True)
+        check_dual_feasible(inst, sol.alpha, tol=1e-7)
+
+    def test_alpha_sum_below_lp(self, small_fl):
+        sol = parallel_primal_dual(small_fl, epsilon=0.1, seed=0)
+        assert sol.alpha.sum() <= lp_lower_bound(small_fl) * (1 + 1e-7)
+
+    def test_without_preprocessing_violation_bounded(self, small_fl):
+        """Disabling preprocessing may overtighten cheap facilities, but
+        only by the quantified γ·n_c/m² slack."""
+        sol = parallel_primal_dual(small_fl, epsilon=0.1, seed=0, preprocess=False)
+        gamma = sol.extra["gamma"]
+        beta = np.maximum(0.0, sol.alpha[None, :] - small_fl.D)
+        overshoot = beta.sum(axis=1) - small_fl.f
+        assert overshoot.max() <= gamma * small_fl.n_clients / small_fl.m**2 + 1e-9
+
+    def test_lmp_inequality_eq5(self, small_fl):
+        """Eq. (5): 3·Σf + Σd ≤ 3γ/m + 3(1+ε)·Σα."""
+        eps = 0.1
+        sol = parallel_primal_dual(small_fl, epsilon=eps, seed=2)
+        lhs = 3 * sol.facility_cost + sol.connection_cost
+        rhs = 3 * sol.extra["gamma"] / small_fl.m + 3 * (1 + eps) * sol.alpha.sum()
+        assert lhs <= rhs * (1 + 1e-9)
+
+
+class TestIterations:
+    @pytest.mark.parametrize("eps", [0.05, 0.1, 0.5, 1.0])
+    def test_iterations_within_3log(self, small_fl, eps):
+        sol = parallel_primal_dual(small_fl, epsilon=eps, seed=1)
+        env = round_envelopes(small_fl.m, eps)
+        assert sol.rounds["pd_iterations"] <= env["pd_iterations"]
+
+    def test_smaller_eps_more_iterations(self, small_fl):
+        lo = parallel_primal_dual(small_fl, epsilon=0.05, seed=1)
+        hi = parallel_primal_dual(small_fl, epsilon=0.5, seed=1)
+        assert lo.rounds["pd_iterations"] > hi.rounds["pd_iterations"]
+
+    def test_iteration_cap_raises(self, small_fl):
+        with pytest.raises(ConvergenceError):
+            parallel_primal_dual(small_fl, epsilon=0.1, max_iterations=1)
+
+
+class TestStructure:
+    def test_postprocessing_no_shared_contributions(self, small_fl):
+        """The MaxUDom property: each client strictly pays at most one
+        surviving facility."""
+        sol = parallel_primal_dual(small_fl, epsilon=0.1, seed=4)
+        I = sol.extra["I"]
+        H = sol.extra["H"]
+        if I.size:
+            pays = H[I].sum(axis=0)
+            assert pays.max() <= 1
+
+    def test_survivors_subset_of_tentative(self, small_fl):
+        sol = parallel_primal_dual(small_fl, epsilon=0.1, seed=4)
+        assert set(sol.extra["I"].tolist()) <= set(sol.extra["F_T"].tolist())
+
+    def test_opened_is_f0_union_i(self, small_fl):
+        sol = parallel_primal_dual(small_fl, epsilon=0.1, seed=4)
+        want = np.union1d(sol.extra["F0"], sol.extra["I"])
+        assert np.array_equal(sol.opened, want)
+
+    def test_cost_components(self, small_fl):
+        sol = parallel_primal_dual(small_fl, epsilon=0.1, seed=0)
+        assert sol.cost == pytest.approx(small_fl.cost(sol.opened))
+        assert sol.cost == pytest.approx(sol.facility_cost + sol.connection_cost)
+
+    def test_deterministic_under_seed(self, small_fl):
+        a = parallel_primal_dual(small_fl, epsilon=0.1, seed=11)
+        b = parallel_primal_dual(small_fl, epsilon=0.1, seed=11)
+        assert np.array_equal(a.opened, b.opened)
+        assert np.allclose(a.alpha, b.alpha)
+
+    def test_alpha_nonnegative(self, small_fl):
+        sol = parallel_primal_dual(small_fl, epsilon=0.1, seed=0)
+        assert np.all(sol.alpha >= 0)
+
+    def test_epsilon_validation(self, small_fl):
+        with pytest.raises(InvalidParameterError):
+            parallel_primal_dual(small_fl, epsilon=-1)
+
+    def test_model_costs_polylog_depth(self, small_fl):
+        sol = parallel_primal_dual(small_fl, epsilon=0.1, seed=0)
+        assert 0 < sol.model_costs.depth < sol.model_costs.work / 10
+
+
+class TestEdgeCases:
+    def test_zero_gamma_instance(self):
+        """Every client has a free zero-distance facility: γ = 0."""
+        D = np.array([[0.0, 1.0], [1.0, 0.0]])
+        inst = FacilityLocationInstance(D, np.zeros(2))
+        sol = parallel_primal_dual(inst, epsilon=0.1, seed=0)
+        assert sol.cost == pytest.approx(0.0)
+
+    def test_single_facility(self):
+        inst = FacilityLocationInstance(np.array([[1.0, 2.0]]), np.array([3.0]))
+        sol = parallel_primal_dual(inst, epsilon=0.1, seed=0)
+        assert sol.opened.tolist() == [0]
+        assert sol.cost == pytest.approx(6.0)
+
+    def test_single_client(self):
+        inst = FacilityLocationInstance(np.array([[2.0], [0.5]]), np.array([1.0, 4.0]))
+        sol = parallel_primal_dual(inst, epsilon=0.05, seed=0)
+        opt, _ = brute_force_facility_location(inst)
+        assert sol.cost <= 3.2 * opt
+
+    def test_expensive_facilities_exhaustion_path(self):
+        """Cheap instance γ-wise but facility budgets met late — exercises
+        the all-facilities-open exhaustion rule."""
+        D = np.array([[1.0, 1.0, 1.0]])
+        inst = FacilityLocationInstance(D, np.array([0.1]))
+        sol = parallel_primal_dual(inst, epsilon=0.5, seed=0)
+        assert sol.opened.tolist() == [0]

@@ -1,0 +1,31 @@
+"""Solution dataclasses: coercion and field contracts."""
+
+import numpy as np
+
+from repro.core.result import ClusteringSolution, FacilityLocationSolution
+from repro.pram.ledger import CostSnapshot
+
+
+def test_fl_solution_coerces_opened():
+    sol = FacilityLocationSolution(
+        opened=[2, 0], cost=1.0, facility_cost=0.4, connection_cost=0.6
+    )
+    assert sol.opened.dtype == np.dtype(int)
+    assert sol.opened.tolist() == [2, 0]
+
+
+def test_fl_solution_defaults():
+    sol = FacilityLocationSolution(opened=[0], cost=1.0, facility_cost=1.0, connection_cost=0.0)
+    assert sol.alpha is None and sol.rounds == {} and sol.extra == {}
+    assert sol.model_costs is None
+
+
+def test_clustering_solution_coerces_centers():
+    sol = ClusteringSolution(centers=(1, 2), cost=0.0, objective="kmedian")
+    assert sol.centers.tolist() == [1, 2]
+
+
+def test_solutions_carry_snapshots():
+    snap = CostSnapshot(work=10, depth=2, cache=1, calls=3)
+    sol = ClusteringSolution(centers=[0], cost=0.0, objective="kcenter", model_costs=snap)
+    assert sol.model_costs.work == 10

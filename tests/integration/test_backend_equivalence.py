@@ -1,0 +1,86 @@
+"""Backend-independence sweep: every algorithm, serial vs threaded.
+
+The execution backend must never change results or model charges —
+only wall-clock time. test_cross_algorithm covers greedy/primal–dual/
+k-center; this file sweeps the remaining algorithms and the extension
+modules, with a tiny thread grain so the parallel code paths really
+execute at test sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PramMachine, ThreadBackend
+from repro.core.fl_local_search import parallel_fl_local_search
+from repro.core.kmedian_lagrangian import parallel_kmedian_lagrangian
+from repro.core.local_search import parallel_kmeans, parallel_kmedian
+from repro.core.lp_rounding import parallel_lp_rounding
+from repro.lp.solve import solve_primal
+from repro.metrics.generators import euclidean_clustering, euclidean_instance
+
+
+@pytest.fixture
+def pair():
+    """Matched (serial, threaded) machines with identical seeds."""
+    serial = PramMachine(seed=77)
+    threaded = PramMachine(backend=ThreadBackend(2, grain=8), seed=77)
+    yield serial, threaded
+    threaded.close()
+
+
+def test_lp_rounding_backend_equivalence(pair):
+    serial, threaded = pair
+    inst = euclidean_instance(10, 40, seed=5)
+    primal = solve_primal(inst)
+    a = parallel_lp_rounding(inst, primal, epsilon=0.1, machine=serial)
+    b = parallel_lp_rounding(inst, primal, epsilon=0.1, machine=threaded)
+    assert np.array_equal(a.opened, b.opened)
+    assert a.cost == pytest.approx(b.cost)
+    assert serial.ledger.work == pytest.approx(threaded.ledger.work)
+
+
+def test_kmedian_backend_equivalence(pair):
+    serial, threaded = pair
+    inst = euclidean_clustering(40, 4, seed=5)
+    a = parallel_kmedian(inst, epsilon=0.3, machine=serial)
+    b = parallel_kmedian(inst, epsilon=0.3, machine=threaded)
+    assert np.array_equal(a.centers, b.centers)
+    assert a.cost == pytest.approx(b.cost)
+
+
+def test_kmeans_backend_equivalence(pair):
+    serial, threaded = pair
+    inst = euclidean_clustering(36, 3, seed=6)
+    a = parallel_kmeans(inst, epsilon=0.3, machine=serial)
+    b = parallel_kmeans(inst, epsilon=0.3, machine=threaded)
+    assert np.array_equal(a.centers, b.centers)
+
+
+def test_fl_local_search_backend_equivalence(pair):
+    serial, threaded = pair
+    inst = euclidean_instance(9, 30, seed=7)
+    a = parallel_fl_local_search(inst, epsilon=0.1, machine=serial)
+    b = parallel_fl_local_search(inst, epsilon=0.1, machine=threaded)
+    assert np.array_equal(a.opened, b.opened)
+    assert a.extra["moves"] == b.extra["moves"]
+
+
+def test_lagrangian_backend_equivalence(pair):
+    serial, threaded = pair
+    inst = euclidean_clustering(25, 3, seed=8)
+    a = parallel_kmedian_lagrangian(inst, epsilon=0.2, machine=serial, max_probes=10)
+    b = parallel_kmedian_lagrangian(inst, epsilon=0.2, machine=threaded, max_probes=10)
+    assert np.array_equal(a.centers, b.centers)
+    assert [p["lambda"] for p in a.extra["probes"]] == [
+        p["lambda"] for p in b.extra["probes"]
+    ]
+
+
+def test_depth_charges_backend_independent(pair):
+    serial, threaded = pair
+    inst = euclidean_instance(10, 40, seed=9)
+    primal = solve_primal(inst)
+    parallel_lp_rounding(inst, primal, epsilon=0.1, machine=serial)
+    parallel_lp_rounding(inst, primal, epsilon=0.1, machine=threaded)
+    assert serial.ledger.depth == pytest.approx(threaded.ledger.depth)
+    assert serial.ledger.cache == pytest.approx(threaded.ledger.cache)

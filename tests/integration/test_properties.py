@@ -1,0 +1,156 @@
+"""Property-based integration tests over random metric instances.
+
+Hypothesis generates instance shapes and seeds; each property is an
+invariant the paper's analysis guarantees for *every* metric input —
+these are the tests most likely to find mechanism bugs (threshold
+comparisons, mask updates, degenerate geometry).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import eq2_bounds
+from repro.core.fl_local_search import parallel_fl_local_search
+from repro.core.greedy import parallel_greedy
+from repro.core.local_search import parallel_kmedian
+from repro.core.lp_rounding import parallel_lp_rounding
+from repro.core.primal_dual import parallel_primal_dual
+from repro.lp.duality import check_dual_feasible
+from repro.metrics.generators import euclidean_clustering, euclidean_instance
+from repro.metrics.instance import FacilityLocationInstance
+from repro.metrics.space import MetricSpace
+
+COMMON = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+fl_shapes = st.tuples(st.integers(1, 8), st.integers(1, 16), st.integers(0, 10_000))
+
+
+def random_instance(nf, nc, seed, *, zero_costs=False, duplicates=False):
+    """Instance generator covering degenerate geometry on demand."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((nf + nc, 2))
+    if duplicates and nf + nc >= 4:
+        pts[1] = pts[0]
+        pts[nf] = pts[0]  # a client on top of a facility
+    space = MetricSpace.from_points(pts)
+    f = np.zeros(nf) if zero_costs else rng.random(nf) * 2
+    return FacilityLocationInstance.from_metric(
+        space, np.arange(nf), nf + np.arange(nc), f
+    )
+
+
+@settings(**COMMON)
+@given(fl_shapes, st.booleans(), st.booleans())
+def test_greedy_serves_everyone_within_alpha_budget(shape, zero_costs, duplicates):
+    """Lemma 4.3 (no preprocessing): cost ≤ 2(1+ε)²·Σα, on arbitrary
+    shapes including zero costs and duplicate points."""
+    nf, nc, seed = shape
+    inst = random_instance(nf, nc, seed, zero_costs=zero_costs, duplicates=duplicates)
+    eps = 0.25
+    sol = parallel_greedy(inst, epsilon=eps, seed=seed, preprocess=False)
+    assert sol.opened.size >= 1
+    assert np.all(sol.alpha >= 0)
+    assert sol.cost <= 2 * (1 + eps) ** 2 * sol.alpha.sum() * (1 + 1e-9) + 1e-12
+
+
+@settings(**COMMON)
+@given(fl_shapes)
+def test_greedy_alpha_over_3_always_dual_feasible(shape):
+    """Lemma 4.7 on random instances."""
+    nf, nc, seed = shape
+    inst = random_instance(nf, nc, seed)
+    sol = parallel_greedy(inst, epsilon=0.25, seed=seed, preprocess=False)
+    assert check_dual_feasible(inst, sol.alpha / 3.0, tol=1e-7, raise_on_fail=False)
+
+
+@settings(**COMMON)
+@given(fl_shapes, st.booleans())
+def test_primal_dual_claim_51_always_holds(shape, duplicates):
+    """Claim 5.1 with preprocessing, on arbitrary shapes."""
+    nf, nc, seed = shape
+    inst = random_instance(nf, nc, seed, duplicates=duplicates)
+    sol = parallel_primal_dual(inst, epsilon=0.25, seed=seed, preprocess=True)
+    assert check_dual_feasible(inst, sol.alpha, tol=1e-7, raise_on_fail=False)
+    # Eq. (2): the dual value respects the γ-chain upper bound.
+    b = eq2_bounds(inst)
+    assert sol.alpha.sum() <= b.sum_gamma_j * (1 + 1e-9)
+
+
+@settings(**COMMON)
+@given(fl_shapes)
+def test_primal_dual_eq5_lmp(shape):
+    nf, nc, seed = shape
+    inst = random_instance(nf, nc, seed)
+    eps = 0.25
+    sol = parallel_primal_dual(inst, epsilon=eps, seed=seed)
+    lhs = 3 * sol.facility_cost + sol.connection_cost
+    rhs = 3 * sol.extra["gamma"] / inst.m + 3 * (1 + eps) * sol.alpha.sum()
+    assert lhs <= rhs * (1 + 1e-9) + 1e-12
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.tuples(st.integers(2, 6), st.integers(2, 10), st.integers(0, 10_000)))
+def test_lp_rounding_claims_on_random_instances(shape):
+    """Theorem 6.5 + Claim 6.4 per client, LP solved exactly per example."""
+    nf, nc, seed = shape
+    inst = random_instance(nf, nc, seed)
+    from repro.lp.solve import solve_primal
+
+    primal = solve_primal(inst)
+    eps, a = 0.25, 1.0 / 3.0
+    sol = parallel_lp_rounding(inst, primal, epsilon=eps, filter_alpha=a, seed=seed)
+    assert sol.cost <= 4 * (1 + eps) * primal.value * (1 + 1e-7) + primal.value / inst.m + 1e-12
+    delta = sol.extra["delta"]
+    served = inst.connection_distances(sol.opened)
+    normal = delta > sol.extra["theta"] / inst.m**2
+    assert np.all(served[normal] <= 3 * (1 + a) * (1 + eps) * delta[normal] * (1 + 1e-7) + 1e-12)
+
+
+@settings(**COMMON)
+@given(fl_shapes)
+def test_fl_local_search_never_worse_than_start(shape):
+    nf, nc, seed = shape
+    inst = random_instance(nf, nc, seed)
+    sol = parallel_fl_local_search(inst, epsilon=0.3, seed=seed)
+    assert sol.cost <= sol.extra["initial_cost"] * (1 + 1e-9)
+    assert sol.opened.size >= 1
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(3, 20), st.data())
+def test_kmedian_solution_dominates_every_singleton_swap(n, data):
+    """Local optimality generalizes across random shapes: the returned
+    centers beat the (1−β/k) threshold against all single swaps."""
+    k = data.draw(st.integers(1, min(4, n)))
+    seed = data.draw(st.integers(0, 10_000))
+    inst = euclidean_clustering(n, k, seed=seed)
+    eps = 0.4
+    sol = parallel_kmedian(inst, epsilon=eps, seed=seed)
+    assert sol.centers.size <= k
+    beta = eps / (1 + eps)
+    D = inst.D
+    cost = sol.cost
+    out = np.setdiff1d(np.arange(n), sol.centers)
+    for a in range(sol.centers.size):
+        rest = np.delete(sol.centers, a)
+        for c in out[:5]:  # bounded spot-check per example
+            trial = np.concatenate([rest, [c]])
+            assert D[:, trial].min(axis=1).sum() >= (1 - beta / k) * cost * (1 - 1e-9)
+
+
+@settings(**COMMON)
+@given(st.integers(0, 10_000))
+def test_algorithms_identical_across_repeat_runs(seed):
+    """Full determinism sweep: same seed twice, three algorithms."""
+    inst = euclidean_instance(5, 12, seed=seed)
+    for algo in (parallel_greedy, parallel_primal_dual):
+        a = algo(inst, epsilon=0.3, seed=seed)
+        b = algo(inst, epsilon=0.3, seed=seed)
+        assert np.array_equal(a.opened, b.opened)
+        assert a.cost == b.cost

@@ -1,0 +1,52 @@
+"""Public API contract: the README quickstart and __all__ exports work."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_readme_quickstart():
+    inst = repro.euclidean_instance(n_f=10, n_c=40, seed=0)
+    sol = repro.parallel_primal_dual(inst, epsilon=0.1, seed=0)
+    assert sol.cost > 0
+    assert sol.opened.size >= 1
+    assert sol.model_costs.work > 0
+
+
+def test_clustering_quickstart():
+    inst = repro.euclidean_clustering(30, 3, seed=0)
+    sol = repro.parallel_kmedian(inst, seed=0)
+    assert sol.centers.size <= 3
+
+
+def test_speedup_projection_api():
+    inst = repro.euclidean_instance(n_f=8, n_c=24, seed=1)
+    sol = repro.parallel_greedy(inst, epsilon=0.2, seed=1)
+    curve = repro.speedup_curve(sol.model_costs, [1, 2, 8])
+    assert curve[0][1] == pytest.approx(1.0)
+    assert curve[-1][1] > 1.0
+    assert repro.parallelism(sol.model_costs) > 1.0
+
+
+def test_instance_io_api(tmp_path):
+    inst = repro.euclidean_instance(5, 10, seed=2)
+    repro.save_instance(tmp_path / "i.npz", inst)
+    back = repro.load_instance(tmp_path / "i.npz")
+    assert np.array_equal(back.D, inst.D)
+
+
+def test_errors_exported_and_raised():
+    with pytest.raises(repro.InvalidParameterError):
+        repro.parallel_greedy(
+            repro.euclidean_instance(3, 3, seed=0), epsilon=-1.0
+        )

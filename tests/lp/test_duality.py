@@ -1,0 +1,105 @@
+"""Feasibility checkers and the dual-fitting slack measure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleSolutionError
+from repro.lp.duality import (
+    beta_from_alpha,
+    check_dual_feasible,
+    check_primal_feasible,
+    dual_fitting_slack,
+    duality_gap,
+)
+from repro.lp.solve import solve_dual, solve_primal
+from repro.metrics.instance import FacilityLocationInstance
+
+
+@pytest.fixture
+def tiny():
+    return FacilityLocationInstance(
+        np.array([[1.0, 2.0], [2.0, 1.0]]), np.array([3.0, 3.0])
+    )
+
+
+class TestPrimalChecker:
+    def test_accepts_integral_solution(self, tiny):
+        x = np.array([[1.0, 0.0], [0.0, 1.0]])
+        y = np.array([1.0, 1.0])
+        assert check_primal_feasible(tiny, x, y)
+
+    def test_rejects_uncovered_client(self, tiny):
+        x = np.array([[1.0, 0.0], [0.0, 0.0]])
+        y = np.ones(2)
+        with pytest.raises(InfeasibleSolutionError, match="under-covered"):
+            check_primal_feasible(tiny, x, y)
+
+    def test_rejects_x_above_y(self, tiny):
+        x = np.array([[1.0, 1.0], [0.0, 0.0]])
+        y = np.array([0.5, 0.0])
+        with pytest.raises(InfeasibleSolutionError, match="x_ij > y_i"):
+            check_primal_feasible(tiny, x, y)
+
+    def test_rejects_negative(self, tiny):
+        x = np.array([[1.0, 1.0], [0.0, -0.1]])
+        with pytest.raises(InfeasibleSolutionError, match="negative"):
+            check_primal_feasible(tiny, x, np.ones(2))
+
+    def test_soft_mode_returns_bool(self, tiny):
+        bad = np.zeros((2, 2))
+        assert not check_primal_feasible(tiny, bad, np.ones(2), raise_on_fail=False)
+
+
+class TestDualChecker:
+    def test_accepts_zero(self, tiny):
+        assert check_dual_feasible(tiny, np.zeros(2))
+
+    def test_canonical_beta(self, tiny):
+        alpha = np.array([1.5, 0.5])
+        beta = beta_from_alpha(tiny, alpha)
+        assert beta[0, 0] == pytest.approx(0.5)  # α_0 - d(0,0) = 1.5 - 1
+        assert beta[1, 0] == pytest.approx(0.0)
+
+    def test_rejects_budget_overflow(self, tiny):
+        # α = 10 each: β_00 = 9, β_01 = 8 -> Σ = 17 > f_0 = 3.
+        with pytest.raises(InfeasibleSolutionError, match="budget"):
+            check_dual_feasible(tiny, np.array([10.0, 10.0]))
+
+    def test_rejects_explicit_beta_slack_violation(self, tiny):
+        alpha = np.array([2.0, 0.0])
+        beta = np.zeros((2, 2))  # α_0 - β_00 = 2 > d = 1
+        with pytest.raises(InfeasibleSolutionError, match="α_j"):
+            check_dual_feasible(tiny, alpha, beta)
+
+    def test_lp_optimal_dual_passes(self, small_fl):
+        d = solve_dual(small_fl)
+        assert check_dual_feasible(small_fl, d.alpha, d.beta)
+
+
+class TestDualFittingSlack:
+    def test_feasible_alpha_slack_one(self, tiny):
+        assert dual_fitting_slack(tiny, np.array([0.5, 0.5])) == 1.0
+
+    def test_scaling_recovers_feasibility(self, tiny):
+        alpha = np.array([10.0, 10.0])
+        g = dual_fitting_slack(tiny, alpha)
+        assert g > 1.0
+        assert check_dual_feasible(tiny, alpha / g, raise_on_fail=False)
+        # Just below the slack it must still be infeasible.
+        assert not check_dual_feasible(tiny, alpha / (g * 0.98), raise_on_fail=False)
+
+    def test_lp_dual_at_slack_one(self, small_fl):
+        d = solve_dual(small_fl)
+        assert dual_fitting_slack(small_fl, d.alpha) == pytest.approx(1.0)
+
+
+class TestDualityGap:
+    def test_zero_at_equality(self):
+        assert duality_gap(10.0, 10.0) == 0.0
+
+    def test_relative(self):
+        assert duality_gap(11.0, 10.0) == pytest.approx(1 / 11)
+
+    def test_strong_duality_gap_tiny(self, small_fl):
+        p, d = solve_primal(small_fl), solve_dual(small_fl)
+        assert duality_gap(p.value, d.value) < 1e-7

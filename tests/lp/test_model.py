@@ -1,0 +1,100 @@
+"""LP constructions: dimensions, coefficients, and hand-checked rows."""
+
+import numpy as np
+import pytest
+
+from repro.lp.model import build_dual, build_kmedian_lp, build_primal
+from repro.metrics.generators import euclidean_clustering
+from repro.metrics.instance import FacilityLocationInstance
+
+
+@pytest.fixture
+def tiny():
+    D = np.array([[1.0, 2.0], [3.0, 4.0]])
+    f = np.array([10.0, 20.0])
+    return FacilityLocationInstance(D, f)
+
+
+class TestPrimal:
+    def test_dimensions(self, tiny):
+        lp = build_primal(tiny)
+        nx = 4  # 2 facilities × 2 clients
+        assert lp.n_vars == nx + 2
+        assert lp.A_ub.shape == (2 + nx, nx + 2)
+        assert lp.c.shape == (nx + 2,)
+
+    def test_objective_coefficients(self, tiny):
+        lp = build_primal(tiny)
+        assert np.array_equal(lp.c[:4], [1.0, 2.0, 3.0, 4.0])
+        assert np.array_equal(lp.c[4:], [10.0, 20.0])
+
+    def test_cover_rows(self, tiny):
+        A = build_primal(tiny).A_ub.toarray()
+        # Row for client 0: -x_00 - x_10 <= -1 (x_ij at i*nc+j).
+        assert np.array_equal(A[0], [-1, 0, -1, 0, 0, 0])
+        assert np.array_equal(A[1], [0, -1, 0, -1, 0, 0])
+
+    def test_link_rows(self, tiny):
+        lp = build_primal(tiny)
+        A = lp.A_ub.toarray()
+        # Pair (i=1, j=0) -> row 2 + 2: x_10 - y_1 <= 0.
+        assert np.array_equal(A[2 + 2], [0, 0, 1, 0, 0, -1])
+        assert np.all(lp.b_ub[2:] == 0)
+
+    def test_sense_and_value(self, tiny):
+        lp = build_primal(tiny)
+        assert lp.sense == "min"
+        v = np.array([1, 0, 0, 1, 1, 1], dtype=float)
+        assert lp.objective_value(v) == pytest.approx(1 + 4 + 10 + 20)
+
+
+class TestDual:
+    def test_dimensions(self, tiny):
+        lp = build_dual(tiny)
+        assert lp.n_vars == 2 + 4
+        assert lp.A_ub.shape == (2 + 4, 2 + 4)
+
+    def test_objective_negated_for_max(self, tiny):
+        lp = build_dual(tiny)
+        assert lp.sense == "max"
+        assert np.array_equal(lp.c[:2], [-1.0, -1.0])
+        assert np.all(lp.c[2:] == 0)
+
+    def test_budget_rows(self, tiny):
+        A = build_dual(tiny).A_ub.toarray()
+        # Facility 0: β_00 + β_01 <= f_0 (β at nc + i*nc + j).
+        assert np.array_equal(A[0], [0, 0, 1, 1, 0, 0])
+        assert build_dual(tiny).b_ub[0] == 10.0
+
+    def test_slack_rows(self, tiny):
+        lp = build_dual(tiny)
+        A = lp.A_ub.toarray()
+        # Pair (i=0, j=1) -> row 2 + 1: α_1 - β_01 <= d(1,0)=2.
+        assert np.array_equal(A[2 + 1], [0, 1, 0, -1, 0, 0])
+        assert lp.b_ub[2 + 1] == 2.0
+
+    def test_objective_value_sign(self, tiny):
+        lp = build_dual(tiny)
+        v = np.array([3.0, 4.0, 0, 0, 0, 0])
+        assert lp.objective_value(v) == pytest.approx(7.0)
+
+
+class TestKMedianLP:
+    def test_dimensions(self):
+        inst = euclidean_clustering(6, 2, seed=0)
+        lp = build_kmedian_lp(inst)
+        assert lp.n_vars == 36 + 6
+        assert lp.A_ub.shape == (6 + 36 + 1, 42)
+
+    def test_budget_row(self):
+        inst = euclidean_clustering(4, 2, seed=0)
+        lp = build_kmedian_lp(inst)
+        A = lp.A_ub.toarray()
+        last = A[-1]
+        assert np.all(last[16:] == 1) and np.all(last[:16] == 0)
+        assert lp.b_ub[-1] == 2.0
+
+    def test_no_facility_cost_in_objective(self):
+        inst = euclidean_clustering(5, 2, seed=1)
+        lp = build_kmedian_lp(inst)
+        assert np.all(lp.c[25:] == 0)

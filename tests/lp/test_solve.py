@@ -1,0 +1,77 @@
+"""LP solvers: optimality structure, strong duality, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import brute_force_facility_location, brute_force_kmedian
+from repro.lp.duality import check_dual_feasible, check_primal_feasible
+from repro.lp.solve import lp_lower_bound, solve_dual, solve_kmedian_lp, solve_primal
+from repro.metrics.generators import euclidean_clustering
+from repro.metrics.instance import FacilityLocationInstance
+
+
+def test_primal_solution_feasible(small_fl):
+    sol = solve_primal(small_fl)
+    check_primal_feasible(small_fl, sol.x, sol.y)
+
+
+def test_primal_shapes(small_fl):
+    sol = solve_primal(small_fl)
+    assert sol.x.shape == (8, 24) and sol.y.shape == (8,)
+
+
+def test_dual_solution_feasible(small_fl):
+    sol = solve_dual(small_fl)
+    check_dual_feasible(small_fl, sol.alpha, sol.beta)
+
+
+def test_strong_duality(small_fl):
+    p, d = solve_primal(small_fl), solve_dual(small_fl)
+    assert p.value == pytest.approx(d.value, rel=1e-7)
+
+
+def test_lp_lower_bounds_integral_opt(tiny_fl):
+    opt, _ = brute_force_facility_location(tiny_fl)
+    assert lp_lower_bound(tiny_fl) <= opt + 1e-7
+
+
+def test_lp_value_positive(small_fl):
+    assert solve_primal(small_fl).value > 0
+
+
+def test_lp_objective_consistent_with_variables(small_fl):
+    sol = solve_primal(small_fl)
+    recomputed = float((small_fl.D * sol.x).sum() + (small_fl.f * sol.y).sum())
+    assert recomputed == pytest.approx(sol.value, rel=1e-7)
+
+
+def test_single_facility_lp_exact():
+    # One facility: LP = integral optimum = f + Σ d.
+    D = np.array([[1.0, 2.0, 3.0]])
+    f = np.array([4.0])
+    inst = FacilityLocationInstance(D, f)
+    assert lp_lower_bound(inst) == pytest.approx(10.0)
+
+
+def test_zero_cost_facilities_lp():
+    D = np.array([[0.0, 1.0], [1.0, 0.0]])
+    f = np.zeros(2)
+    inst = FacilityLocationInstance(D, f, )
+    assert lp_lower_bound(inst) == pytest.approx(0.0)
+
+
+def test_kmedian_lp_lower_bounds_opt():
+    inst = euclidean_clustering(12, 3, seed=2)
+    opt, _ = brute_force_kmedian(inst)
+    lp = solve_kmedian_lp(inst)
+    assert lp <= opt + 1e-7
+    assert lp > 0
+
+
+def test_kmedian_lp_k_equals_n_is_zero():
+    inst = euclidean_clustering(5, 5, seed=3)
+    assert solve_kmedian_lp(inst) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_solvers_deterministic(small_fl):
+    assert solve_primal(small_fl).value == solve_primal(small_fl).value

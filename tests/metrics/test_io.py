@@ -1,0 +1,53 @@
+"""Instance serialization round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.metrics.generators import euclidean_clustering, euclidean_instance
+from repro.metrics.io import load_instance, save_instance
+from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
+
+
+def test_fl_roundtrip_with_metric(tmp_path):
+    inst = euclidean_instance(5, 11, seed=3)
+    path = tmp_path / "fl.npz"
+    save_instance(path, inst)
+    back = load_instance(path)
+    assert isinstance(back, FacilityLocationInstance)
+    assert np.array_equal(back.D, inst.D)
+    assert np.array_equal(back.f, inst.f)
+    assert np.array_equal(back.metric.D, inst.metric.D)
+    assert np.array_equal(back.facility_ids, inst.facility_ids)
+
+
+def test_fl_roundtrip_bare(tmp_path):
+    inst = FacilityLocationInstance(np.array([[1.0, 2.0]]), np.array([3.0]))
+    path = tmp_path / "bare.npz"
+    save_instance(path, inst)
+    back = load_instance(path)
+    assert back.metric is None
+    assert np.array_equal(back.D, inst.D)
+
+
+def test_clustering_roundtrip(tmp_path):
+    inst = euclidean_clustering(12, 3, seed=5)
+    path = tmp_path / "cl.npz"
+    save_instance(path, inst)
+    back = load_instance(path)
+    assert isinstance(back, ClusteringInstance)
+    assert back.k == 3
+    assert np.array_equal(back.D, inst.D)
+
+
+def test_costs_survive_roundtrip(tmp_path):
+    inst = euclidean_instance(4, 9, seed=6)
+    path = tmp_path / "x.npz"
+    save_instance(path, inst)
+    back = load_instance(path)
+    assert back.cost([0, 2]) == pytest.approx(inst.cost([0, 2]))
+
+
+def test_save_rejects_unknown_type(tmp_path):
+    with pytest.raises(InvalidInstanceError, match="cannot save"):
+        save_instance(tmp_path / "y.npz", object())

@@ -1,0 +1,110 @@
+"""Metric-matrix validation: each structural requirement individually."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidInstanceError
+from repro.metrics.validation import check_metric_matrix, triangle_violation
+
+
+def valid_metric():
+    pts = np.random.default_rng(0).random((6, 2))
+    d = np.sqrt(((pts[:, None] - pts[None, :]) ** 2).sum(-1))
+    np.fill_diagonal(d, 0)
+    return np.minimum(d, d.T)
+
+
+def test_accepts_valid_metric():
+    D = check_metric_matrix(valid_metric())
+    assert D.dtype == np.float64
+
+
+def test_rejects_nonsquare():
+    with pytest.raises(InvalidInstanceError, match="square"):
+        check_metric_matrix(np.ones((2, 3)))
+
+
+def test_rejects_empty():
+    with pytest.raises(InvalidInstanceError, match="non-empty"):
+        check_metric_matrix(np.empty((0, 0)))
+
+
+def test_rejects_negative():
+    D = valid_metric()
+    D[0, 1] = D[1, 0] = -0.5
+    with pytest.raises(InvalidInstanceError, match="negative"):
+        check_metric_matrix(D)
+
+
+def test_rejects_nonzero_diagonal():
+    D = valid_metric()
+    D[2, 2] = 0.1
+    with pytest.raises(InvalidInstanceError, match="self-distances"):
+        check_metric_matrix(D)
+
+
+def test_rejects_asymmetric():
+    D = valid_metric()
+    D[0, 1] += 0.2
+    with pytest.raises(InvalidInstanceError, match="asymmetric"):
+        check_metric_matrix(D)
+
+
+def test_rejects_nonfinite():
+    D = valid_metric()
+    D[0, 1] = D[1, 0] = np.inf
+    with pytest.raises(InvalidInstanceError, match="non-finite"):
+        check_metric_matrix(D)
+
+
+def test_rejects_triangle_violation():
+    # Points on a line: 0 --1-- 1 --1-- 2; claim d(0,2)=5 breaks the triangle.
+    D = np.array([[0, 1, 5], [1, 0, 1], [5, 1, 0]], dtype=float)
+    with pytest.raises(InvalidInstanceError, match="triangle"):
+        check_metric_matrix(D)
+
+
+def test_triangle_check_can_be_skipped():
+    D = np.array([[0, 1, 5], [1, 0, 1], [5, 1, 0]], dtype=float)
+    out = check_metric_matrix(D, check_triangle=False)
+    assert out.shape == (3, 3)
+
+
+def test_triangle_violation_value():
+    D = np.array([[0, 1, 5], [1, 0, 1], [5, 1, 0]], dtype=float)
+    assert triangle_violation(D) == pytest.approx(3.0)  # 5 - (1+1)
+
+
+def test_triangle_violation_nonpositive_for_metric():
+    assert triangle_violation(valid_metric()) <= 1e-12
+
+
+def test_sampled_midpoints_catch_gross_violation():
+    n = 300  # beyond the exact-check limit of 256
+    rng = np.random.default_rng(1)
+    pts = rng.random((n, 2))
+    D = np.sqrt(((pts[:, None] - pts[None, :]) ** 2).sum(-1))
+    D = np.minimum(D, D.T)
+    np.fill_diagonal(D, 0)
+    D[0, 1] = D[1, 0] = 1e6  # violated through *every* midpoint
+    assert triangle_violation(D, sample_limit=32) > 1e5
+
+
+def test_clips_tiny_negatives():
+    # Co-located points whose distance came out as a tiny negative
+    # through floating-point arithmetic.
+    D = np.array([[0.0, -1e-15, 1.0], [-1e-15, 0.0, 1.0], [1.0, 1.0, 0.0]])
+    out = check_metric_matrix(D)
+    assert out[0, 1] == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 12), st.integers(1, 3), st.integers(0, 10_000))
+def test_euclidean_points_always_pass(n, dim, seed):
+    pts = np.random.default_rng(seed).random((n, dim))
+    d = np.sqrt(((pts[:, None] - pts[None, :]) ** 2).sum(-1))
+    d = np.minimum(d, d.T)
+    np.fill_diagonal(d, 0)
+    check_metric_matrix(d, tol=1e-7)

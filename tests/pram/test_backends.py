@@ -1,0 +1,103 @@
+"""Backends agree with plain NumPy — serial and threaded, all kernels.
+
+The thread backend is exercised with a tiny grain so the parallel code
+paths actually run on test-sized arrays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.pram.backends import SerialBackend, ThreadBackend
+from repro.pram.operators import ADD, MAX, MIN, OR
+
+
+@pytest.fixture(params=["serial", "thread1", "thread3"])
+def backend(request):
+    if request.param == "serial":
+        b = SerialBackend()
+    elif request.param == "thread1":
+        b = ThreadBackend(1, grain=4)
+    else:
+        b = ThreadBackend(3, grain=4)
+    yield b
+    b.close()
+
+
+@pytest.fixture
+def data(rng):
+    return rng.random((37, 23))
+
+
+def test_elementwise_matches(backend, data):
+    out = backend.elementwise(lambda a, b: a * 2 + b, (data, data))
+    assert np.allclose(out, data * 3)
+
+
+def test_elementwise_single_array(backend, data):
+    assert np.allclose(backend.elementwise(np.sqrt, (data,)), np.sqrt(data))
+
+
+@pytest.mark.parametrize("op,ref", [(ADD, np.sum), (MIN, np.min), (MAX, np.max)])
+@pytest.mark.parametrize("axis", [0, 1, None])
+def test_reduce_matches(backend, data, op, ref, axis):
+    assert np.allclose(backend.reduce(op, data, axis), ref(data, axis=axis))
+
+
+def test_reduce_or(backend):
+    m = np.zeros((8, 8), dtype=bool)
+    m[2, 3] = m[5, 0] = True
+    assert np.array_equal(backend.reduce(OR, m, 1), m.any(axis=1))
+    assert np.array_equal(backend.reduce(OR, m, 0), m.any(axis=0))
+
+
+@pytest.mark.parametrize("op,ref", [(ADD, np.cumsum), (MIN, np.minimum.accumulate)])
+def test_scan_matches(backend, data, op, ref):
+    want = ref(data, axis=1) if op is ADD else np.minimum.accumulate(data, axis=1)
+    assert np.allclose(backend.scan(op, data, 1), want)
+
+
+def test_sort_matches(backend, data):
+    assert np.array_equal(backend.sort(data, 1), np.sort(data, axis=1))
+
+
+def test_argsort_matches(backend, data):
+    got = backend.argsort(data, 1)
+    assert np.array_equal(np.take_along_axis(data, got, 1), np.sort(data, axis=1))
+
+
+def test_thread_backend_large_array_consistency(rng):
+    b = ThreadBackend(4, grain=64)
+    try:
+        big = rng.random((503, 101))
+        assert np.allclose(b.reduce(ADD, big, 1), big.sum(axis=1))
+        assert np.allclose(b.reduce(ADD, big, 0), big.sum(axis=0))
+        assert np.allclose(b.reduce(ADD, big, None), big.sum())
+        assert np.array_equal(b.sort(big, 1), np.sort(big, axis=1))
+    finally:
+        b.close()
+
+
+def test_thread_backend_worker_validation():
+    with pytest.raises(InvalidParameterError):
+        ThreadBackend(0)
+
+
+def test_thread_backend_small_falls_back(rng):
+    b = ThreadBackend(2, grain=1 << 20)
+    try:
+        small = rng.random((4, 4))
+        assert np.allclose(b.reduce(ADD, small, 1), small.sum(axis=1))
+    finally:
+        b.close()
+
+
+def test_thread_backend_close_idempotent():
+    b = ThreadBackend(2)
+    b.close()
+    b.close()
+
+
+def test_names():
+    assert SerialBackend().name == "serial"
+    assert ThreadBackend(1).name == "thread"

@@ -1,0 +1,48 @@
+"""Brent's-theorem projections from cost snapshots."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.pram.brent import brent_time, parallelism, speedup_curve
+from repro.pram.ledger import CostSnapshot
+
+
+def snap(work, depth):
+    return CostSnapshot(work=work, depth=depth, cache=0, calls=0)
+
+
+def test_brent_time_formula():
+    assert brent_time(snap(1000, 10), 1) == 1010
+    assert brent_time(snap(1000, 10), 10) == 110
+    assert brent_time(snap(1000, 10), 1000) == 11
+
+
+def test_brent_time_invalid_processors():
+    with pytest.raises(InvalidParameterError):
+        brent_time(snap(10, 1), 0)
+
+
+def test_parallelism_ratio():
+    assert parallelism(snap(1000, 10)) == 100
+
+
+def test_parallelism_zero_depth():
+    assert parallelism(snap(100, 0)) == float("inf")
+    assert parallelism(snap(0, 0)) == 1.0
+
+
+def test_speedup_curve_monotone_and_bounded():
+    costs = snap(10_000, 20)
+    curve = speedup_curve(costs, [1, 2, 4, 8, 1_000_000])
+    speeds = [s for _, s in curve]
+    assert speeds[0] == pytest.approx(1.0)
+    assert all(a <= b * (1 + 1e-12) for a, b in zip(speeds, speeds[1:]))
+    # asymptote: T1/D ~ parallelism + 1
+    assert speeds[-1] <= parallelism(costs) + 1
+
+
+def test_speedup_at_parallelism_half_efficiency():
+    costs = snap(1000, 10)
+    p = 100  # = W/D
+    t = brent_time(costs, p)
+    assert brent_time(costs, 1) / t == pytest.approx(1010 / 20)

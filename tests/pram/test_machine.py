@@ -1,0 +1,244 @@
+"""PramMachine: primitive correctness + cost-charging contracts.
+
+Every primitive must (a) return the same values NumPy would and
+(b) charge the §2 model costs for its class (map/reduce/sort/...).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import InvalidParameterError
+from repro.pram.machine import PramMachine
+
+
+@pytest.fixture
+def m():
+    return PramMachine(seed=5)
+
+
+# -- value correctness -------------------------------------------------------
+
+def test_map_elementwise(m, rng):
+    a = rng.random((6, 7))
+    assert np.allclose(m.map(lambda x: x + 1, a), a + 1)
+
+
+def test_map_multiple_arrays(m, rng):
+    a, b = rng.random((4, 4)), rng.random((4, 4))
+    assert np.allclose(m.map(np.minimum, a, b), np.minimum(a, b))
+
+
+def test_where(m, rng):
+    a = rng.random((5, 5))
+    out = m.where(a > 0.5, 1.0, 0.0)
+    assert np.array_equal(out, np.where(a > 0.5, 1.0, 0.0))
+
+
+@pytest.mark.parametrize("op,ref", [("add", np.sum), ("min", np.min), ("max", np.max)])
+@pytest.mark.parametrize("axis", [0, 1, None])
+def test_reduce(m, rng, op, ref, axis):
+    a = rng.random((6, 9))
+    assert np.allclose(m.reduce(a, op, axis=axis), ref(a, axis=axis))
+
+
+def test_scan_add(m, rng):
+    a = rng.random((3, 8))
+    assert np.allclose(m.scan(a, "add", axis=1), np.cumsum(a, axis=1))
+
+
+@pytest.mark.parametrize("axis", [0, 1, 2])
+def test_reduce_3d(m, rng, axis):
+    """3-D reductions back the §7 batched swap evaluation."""
+    a = rng.random((4, 5, 6))
+    assert np.allclose(m.reduce(a, "add", axis=axis), a.sum(axis=axis))
+    assert np.allclose(m.reduce(a, "min", axis=axis), a.min(axis=axis))
+
+
+def test_reduce_3d_thread_backend(rng):
+    from repro.pram.backends import ThreadBackend
+
+    tm = PramMachine(backend=ThreadBackend(2, grain=4), seed=0)
+    try:
+        a = rng.random((6, 7, 8))
+        assert np.allclose(tm.reduce(a, "add", axis=2), a.sum(axis=2))
+    finally:
+        tm.close()
+
+
+def test_exclusive_scan(m):
+    a = np.array([[1.0, 2.0, 3.0, 4.0]])
+    assert np.array_equal(m.exclusive_scan(a, "add", axis=1), [[0.0, 1.0, 3.0, 6.0]])
+
+
+def test_exclusive_scan_min_identity(m):
+    a = np.array([[5.0, 1.0, 2.0]])
+    out = m.exclusive_scan(a, "min", axis=1)
+    assert np.array_equal(out, [[np.inf, 5.0, 1.0]])
+
+
+def test_argmin_argmax(m, rng):
+    a = rng.random((7, 5))
+    assert np.array_equal(m.argmin(a, axis=0), np.argmin(a, axis=0))
+    assert np.array_equal(m.argmax(a, axis=1), np.argmax(a, axis=1))
+    assert m.argmin(a) == np.argmin(a)
+
+
+def test_distribute_row(m):
+    v = np.array([1.0, 2.0, 3.0])
+    out = m.distribute(v, (4, 3))
+    assert out.shape == (4, 3) and np.array_equal(out[2], v)
+
+
+def test_distribute_bad_shape(m):
+    with pytest.raises(InvalidParameterError):
+        m.distribute(np.ones(3), (4, 5))
+
+
+def test_transpose(m, rng):
+    a = rng.random((3, 6))
+    assert np.array_equal(m.transpose(a), a.T)
+
+
+def test_gather_rows(m, rng):
+    a = rng.random((4, 6))
+    order = np.argsort(a, axis=1)
+    assert np.array_equal(m.gather_rows(a, order), np.sort(a, axis=1))
+
+
+def test_gather_rows_shape_mismatch(m):
+    with pytest.raises(InvalidParameterError):
+        m.gather_rows(np.ones((3, 4)), np.zeros((2, 4), dtype=int))
+
+
+def test_take_columns(m, rng):
+    a = rng.random((5, 8))
+    idx = np.array([7, 0, 3])
+    assert np.array_equal(m.take_columns(a, idx), a[:, idx])
+
+
+def test_pack(m):
+    vals = np.arange(10)
+    mask = vals % 3 == 0
+    assert np.array_equal(m.pack(vals, mask), [0, 3, 6, 9])
+
+
+def test_pack_shape_mismatch(m):
+    with pytest.raises(InvalidParameterError):
+        m.pack(np.arange(4), np.ones(5, dtype=bool))
+
+
+def test_sort_rows(m, rng):
+    a = rng.random((5, 9))
+    assert np.array_equal(m.sort_rows(a), np.sort(a, axis=1))
+
+
+def test_sort_rows_requires_2d(m):
+    with pytest.raises(InvalidParameterError):
+        m.sort_rows(np.arange(5.0))
+
+
+def test_argsort_rows(m, rng):
+    a = rng.random((4, 7))
+    got = m.argsort_rows(a)
+    assert np.array_equal(np.take_along_axis(a, got, 1), np.sort(a, axis=1))
+
+
+def test_sort_vector(m, rng):
+    v = rng.random(20)
+    assert np.array_equal(m.sort(v), np.sort(v))
+
+
+def test_sort_vector_requires_1d(m):
+    with pytest.raises(InvalidParameterError):
+        m.sort(np.ones((2, 2)))
+
+
+def test_random_uniform_shape_and_range(m):
+    x = m.random_uniform((10, 3))
+    assert x.shape == (10, 3) and np.all((0 <= x) & (x < 1))
+
+
+def test_random_priorities_distinct(m):
+    p = m.random_priorities(50)
+    assert sorted(p.tolist()) == list(range(50))
+
+
+def test_machine_seed_determinism():
+    a = PramMachine(seed=3).random_priorities(10)
+    b = PramMachine(seed=3).random_priorities(10)
+    assert np.array_equal(a, b)
+
+
+# -- cost-charging contracts ---------------------------------------------------
+
+def test_map_charges_unit_depth(m, rng):
+    a = rng.random((8, 8))
+    before = m.snapshot()
+    m.map(lambda x: x, a)
+    d = m.ledger.since(before)
+    assert d.work == 64 and d.depth == 1
+
+
+def test_reduce_charges_log_depth(m, rng):
+    a = rng.random((16, 16))  # 256 elements -> depth 9
+    before = m.snapshot()
+    m.reduce(a, "add")
+    d = m.ledger.since(before)
+    assert d.work == 256 and d.depth == 9
+
+
+def test_sort_rows_charges_superlinear_work(m, rng):
+    a = rng.random((4, 256))
+    before = m.snapshot()
+    m.sort_rows(a)
+    d = m.ledger.since(before)
+    assert d.work == pytest.approx(4 * 256 * 8)
+    assert d.depth == pytest.approx(8)
+
+
+def test_calls_tracked_per_op(m, rng):
+    a = rng.random((4, 4))
+    m.reduce(a, "min", axis=1)
+    m.reduce(a, "min", axis=0)
+    m.scan(a, "add", axis=1)
+    assert m.ledger.calls_by_op["reduce[min]"] == 2
+    assert m.ledger.calls_by_op["scan[add]"] == 1
+
+
+def test_bump_round_delegates(m):
+    m.bump_round("phase")
+    assert m.ledger.rounds["phase"] == 1
+
+
+# -- property-based agreement with NumPy ---------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 8), st.integers(1, 8)),
+        elements=st.floats(-100, 100, allow_nan=False),
+    )
+)
+def test_scan_then_last_equals_reduce(a):
+    m = PramMachine(seed=0)
+    scanned = m.scan(a, "add", axis=1)
+    assert np.allclose(scanned[:, -1], m.reduce(a, "add", axis=1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 8), st.integers(1, 8)),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+)
+def test_sort_rows_is_permutation_and_ordered(a):
+    m = PramMachine(seed=0)
+    s = m.sort_rows(a)
+    assert np.all(np.diff(s, axis=1) >= 0)
+    assert np.allclose(np.sort(a, axis=1), s)

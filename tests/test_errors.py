@@ -1,0 +1,39 @@
+"""The exception hierarchy contract: everything derives from ReproError."""
+
+import pytest
+
+from repro.errors import (
+    ConvergenceError,
+    InfeasibleSolutionError,
+    InvalidInstanceError,
+    InvalidParameterError,
+    LPSolveError,
+    ReproError,
+)
+
+_SUBCLASSES = [
+    InvalidInstanceError,
+    InvalidParameterError,
+    ConvergenceError,
+    LPSolveError,
+    InfeasibleSolutionError,
+]
+
+
+@pytest.mark.parametrize("exc", _SUBCLASSES)
+def test_subclasses_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+@pytest.mark.parametrize("exc", _SUBCLASSES)
+def test_catchable_as_repro_error(exc):
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_distinct_types():
+    assert len(set(_SUBCLASSES)) == len(_SUBCLASSES)

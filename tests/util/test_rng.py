@@ -1,0 +1,60 @@
+"""RNG plumbing: determinism, passthrough, and independent spawning."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(42).random(5)
+    b = ensure_rng(42).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_ensure_rng_different_seeds_differ():
+    assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+
+def test_ensure_rng_passthrough_identity():
+    gen = np.random.default_rng(0)
+    assert ensure_rng(gen) is gen
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_ensure_rng_seed_sequence():
+    seq = np.random.SeedSequence(7)
+    a = ensure_rng(seq).random(3)
+    b = ensure_rng(np.random.SeedSequence(7)).random(3)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_rngs_count():
+    assert len(spawn_rngs(0, 4)) == 4
+    assert spawn_rngs(0, 0) == []
+
+
+def test_spawn_rngs_streams_differ():
+    rngs = spawn_rngs(9, 3)
+    draws = [r.random(4).tolist() for r in rngs]
+    assert draws[0] != draws[1] != draws[2]
+
+
+def test_spawn_rngs_deterministic_group():
+    a = [r.random(2).tolist() for r in spawn_rngs(5, 3)]
+    b = [r.random(2).tolist() for r in spawn_rngs(5, 3)]
+    assert a == b
+
+
+def test_spawn_rngs_from_generator():
+    gen = np.random.default_rng(3)
+    rngs = spawn_rngs(gen, 2)
+    assert len(rngs) == 2 and all(isinstance(r, np.random.Generator) for r in rngs)
+
+
+def test_spawn_rngs_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
