@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: lint (when ruff is available) + tier-1 tests + end-to-end smoke.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests scripts
+else
+    echo "== ruff not installed; skipping lint =="
+fi
+
+echo "== tier-1 pytest =="
+python -m pytest -x -q
+
+echo "== smoke =="
+python scripts/smoke.py

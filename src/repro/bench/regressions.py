@@ -1,0 +1,181 @@
+"""Perf-regression harness: dense vs frontier-compacted execution.
+
+Runs ``parallel_greedy`` and ``parallel_primal_dual`` twice on the same
+seeded workload — once with ``compaction=False`` (the reference
+full-matrix path) and once with ``compaction=True`` — and records, per
+algorithm:
+
+* total wall-clock and ledger charges (work/depth/cache);
+* a per-round trace of ledger work and wall-clock, differenced from
+  :attr:`repro.pram.ledger.CostLedger.round_log`, so the trajectory
+  "per-round cost shrinks with the frontier" is visible, not just the
+  totals;
+* the wall-clock speedup and charged-work ratio;
+* an exact-equality check of the two solutions (opened set, cost, α).
+
+The CLI writes the result as JSON (committed as ``BENCH_PR1.json`` at
+the repo root for this PR's baseline) so later PRs can diff the perf
+trajectory::
+
+    PYTHONPATH=src python -m repro.bench.regressions --nf 1500 --nc 1500 \
+        --out BENCH_PR1.json
+
+Everything runs on the serial backend with fixed seeds: the numbers
+move only when the algorithms (or the host) change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+import numpy as np
+
+from repro.core.greedy import parallel_greedy
+from repro.core.primal_dual import parallel_primal_dual
+from repro.metrics.generators import euclidean_instance
+from repro.pram.machine import PramMachine
+
+#: Round labels whose traces are exported, per algorithm.
+_TRACE_LABELS = {
+    "parallel_greedy": "greedy_outer",
+    "parallel_primal_dual": "pd_iterations",
+}
+
+_ALGORITHMS = {
+    "parallel_greedy": parallel_greedy,
+    "parallel_primal_dual": parallel_primal_dual,
+}
+
+
+def _per_round(round_log, label, final_work: float, final_wall: float) -> list:
+    """Difference consecutive same-label marks into per-round deltas.
+
+    A mark records the cumulative (work, wall) *at round entry*, so each
+    round's cost spans to the next same-label mark (or the run's end) —
+    for greedy this folds a round's subselection iterations into its
+    outer round, which is the granularity the §4 analysis bounds.
+    """
+    marks = [(w, t) for (lab, _i, w, t) in round_log if lab == label]
+    out = []
+    for k, (w, t) in enumerate(marks):
+        w2, t2 = marks[k + 1] if k + 1 < len(marks) else (final_work, final_wall)
+        out.append({"round": k + 1, "ledger_work": w2 - w, "wall_s": t2 - t})
+    return out
+
+
+def _run_once(algorithm: str, instance, *, epsilon: float, seed: int, compaction: bool) -> dict:
+    """One seeded run; returns measurements plus the solution object."""
+    machine = PramMachine(seed=seed)
+    t0 = time.perf_counter()
+    sol = _ALGORITHMS[algorithm](
+        instance, epsilon=epsilon, machine=machine, compaction=compaction
+    )
+    wall = time.perf_counter() - t0
+    ledger = machine.ledger
+    return {
+        "solution": sol,
+        "measure": {
+            "wall_s": wall,
+            "ledger_work": ledger.work,
+            "ledger_depth": ledger.depth,
+            "ledger_cache": ledger.cache,
+            "rounds": dict(ledger.rounds),
+            "per_round": _per_round(
+                ledger.round_log,
+                _TRACE_LABELS[algorithm],
+                ledger.work,
+                t0 + wall,
+            ),
+        },
+    }
+
+
+def run_regression(
+    *,
+    nf: int = 1500,
+    nc: int = 1500,
+    seed: int = 0,
+    machine_seed: int = 1,
+    epsilon: float = 0.1,
+    algorithms=("parallel_greedy", "parallel_primal_dual"),
+) -> dict:
+    """Run the dense-vs-compacted comparison and return the report dict."""
+    instance = euclidean_instance(nf, nc, seed=seed)
+    report = {
+        "meta": {
+            "workload": f"euclidean_instance({nf}, {nc}, seed={seed})",
+            "n_facilities": nf,
+            "n_clients": nc,
+            "m": nf * nc,
+            "epsilon": epsilon,
+            "machine_seed": machine_seed,
+            "backend": "serial",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "algorithms": {},
+    }
+    for algorithm in algorithms:
+        dense = _run_once(
+            algorithm, instance, epsilon=epsilon, seed=machine_seed, compaction=False
+        )
+        compacted = _run_once(
+            algorithm, instance, epsilon=epsilon, seed=machine_seed, compaction=True
+        )
+        a, b = dense["solution"], compacted["solution"]
+        identical = bool(
+            np.array_equal(a.opened, b.opened)
+            and a.cost == b.cost
+            and np.array_equal(a.alpha, b.alpha)
+        )
+        report["algorithms"][algorithm] = {
+            "dense": dense["measure"],
+            "compacted": compacted["measure"],
+            "cost": a.cost,
+            "opened": int(a.opened.size),
+            "solutions_identical": identical,
+            "speedup_wall": dense["measure"]["wall_s"] / compacted["measure"]["wall_s"],
+            "work_ratio": dense["measure"]["ledger_work"]
+            / max(compacted["measure"]["ledger_work"], 1.0),
+        }
+    return report
+
+
+def main(argv=None) -> None:
+    """CLI entry point: run the regression suite and write JSON."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nf", type=int, default=1500, help="number of facilities")
+    parser.add_argument("--nc", type=int, default=1500, help="number of clients")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument("--machine-seed", type=int, default=1, help="PRAM machine seed")
+    parser.add_argument("--epsilon", type=float, default=0.1)
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    report = run_regression(
+        nf=args.nf,
+        nc=args.nc,
+        seed=args.seed,
+        machine_seed=args.machine_seed,
+        epsilon=args.epsilon,
+    )
+    for name, entry in report["algorithms"].items():
+        print(
+            f"{name}: dense {entry['dense']['wall_s']:.2f}s "
+            f"(work {entry['dense']['ledger_work']:.3g}) | "
+            f"compacted {entry['compacted']['wall_s']:.2f}s "
+            f"(work {entry['compacted']['ledger_work']:.3g}) | "
+            f"speedup {entry['speedup_wall']:.2f}x | "
+            f"identical={entry['solutions_identical']}"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=1)
+        print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,16 @@ Correctness subtlety encoded below: the two-hop propagation must relay
 through *all* nodes of the graph — including nodes no longer candidates
 — because ``G²``/``H'`` adjacency is defined by the original graph, so
 a removed midpoint still connects two live candidates.
+
+**Frontier compaction.** Only candidates carry finite priorities, so
+every masked min above is really a reduction over the candidate rows of
+the adjacency matrix: with ``compaction`` on (the default for
+non-trivial graphs), rounds after the first gather those rows into a
+``|candidates| × n`` strip and run the propagation there — per-round
+work ``O(n·|candidates|)`` instead of ``O(n²)``, with bit-identical
+selections (the reductions see exactly the same finite values and the
+RNG stream is unchanged). Relays still pass through all ``n`` columns,
+preserving the subtlety above.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ import math
 
 import numpy as np
 
+from repro.core.frontier import resolve_compaction
 from repro.errors import ConvergenceError, InvalidParameterError
 from repro.pram.machine import PramMachine
 
@@ -55,6 +66,7 @@ def max_dominator_set(
     machine: PramMachine | None = None,
     *,
     max_rounds: int | None = None,
+    compaction: "bool | str" = "auto",
 ) -> np.ndarray:
     """Maximal dominator set of a simple graph (MIS of ``G²``), §3.
 
@@ -68,6 +80,10 @@ def max_dominator_set(
         Safety bound; defaults to ``n + 1`` (every round selects the
         globally minimum-priority candidate, so ≥ 1 node leaves per
         round). Expected rounds are ``O(log n)``.
+    compaction:
+        ``"auto"``, ``True``, or ``False`` — run each round on the
+        candidate-row strip once the pool shrinks (see module
+        docstring). Selections are identical either way.
 
     Returns
     -------
@@ -80,6 +96,7 @@ def max_dominator_set(
     if n == 0:
         return np.zeros(0, dtype=bool)
     limit = (n + 1) if max_rounds is None else int(max_rounds)
+    compact = resolve_compaction(compaction, n * n)
 
     candidate = np.ones(n, dtype=bool)
     selected = np.zeros(n, dtype=bool)
@@ -88,6 +105,40 @@ def max_dominator_set(
             return selected
         machine.bump_round("maxdom")
         pi = machine.random_priorities(n).astype(float)
+        if compact and not candidate.all():
+            # Candidate-strip round: gather the candidate rows once and
+            # propagate over |cand| × n instead of n × n. Non-candidates
+            # contribute only +inf to every masked min, so the strip
+            # sees exactly the same finite values as the full matrix.
+            cand_idx = np.flatnonzero(candidate)
+            pim_c = machine.take_rows(pi, cand_idx)
+            A_rows = machine.take_rows(A, cand_idx)
+            # hop1[j] = min over candidate neighbors of j (A symmetric).
+            hop1 = machine.reduce(
+                machine.where(A_rows, pim_c[:, None], np.inf), "min", axis=0
+            )
+            val = machine.map(np.minimum, machine.where(candidate, pi, np.inf), hop1)
+            hop2_c = machine.reduce(
+                machine.where(A_rows, val[None, :], np.inf), "min", axis=1
+            )
+            sel_c = machine.map(
+                lambda p, h: np.isfinite(p) & (p <= h), pim_c, hop2_c
+            )
+            sel_local = np.flatnonzero(sel_c)
+            sel_idx = cand_idx[sel_local]
+            selected[sel_idx] = True
+            # Exclude the selected and everything within two hops.
+            hop1_hit = (
+                machine.reduce(machine.take_rows(A_rows, sel_local), "or", axis=0)
+                if sel_idx.size
+                else np.zeros(n, dtype=bool)
+            )
+            hop2_hit_c = machine.reduce(
+                machine.where(A_rows, hop1_hit[None, :], False), "or", axis=1
+            )
+            candidate[cand_idx] = ~(sel_c | hop1_hit[cand_idx] | hop2_hit_c)
+            machine.ledger.charge_basic("scatter", max(cand_idx.size, 1), depth=1)
+            continue
         pim = machine.where(candidate, pi, np.inf)
         # Two-hop minimum with all nodes as relays (see module docstring):
         # hop1[j] = min over Γ(j); hop2[i] = min over Γ(i) of min(pim, hop1).
@@ -117,6 +168,7 @@ def max_u_dominator_set(
     *,
     candidates: np.ndarray | None = None,
     max_rounds: int | None = None,
+    compaction: "bool | str" = "auto",
 ) -> np.ndarray:
     """Maximal U-dominator set of a bipartite graph (MIS of ``H'``), §3.
 
@@ -130,6 +182,10 @@ def max_u_dominator_set(
         are still relayed through every V node.
     max_rounds:
         Safety bound, default ``|U| + 1``.
+    compaction:
+        ``"auto"``, ``True``, or ``False`` — run each round on the
+        candidate rows of ``H`` once the pool shrinks (see module
+        docstring). Selections are identical either way.
 
     Returns
     -------
@@ -152,6 +208,7 @@ def max_u_dominator_set(
             f"candidates mask must have shape ({nu},), got {candidate.shape}"
         )
     limit = (nu + 1) if max_rounds is None else int(max_rounds)
+    compact = resolve_compaction(compaction, B.size)
 
     selected = np.zeros(nu, dtype=bool)
     for _ in range(limit):
@@ -159,6 +216,38 @@ def max_u_dominator_set(
             return selected
         machine.bump_round("maxudom")
         pi = machine.random_priorities(nu).astype(float)
+        if compact and not candidate.all():
+            # Candidate-strip round over |cand| × |V|: non-candidate
+            # rows only ever contribute +inf/False to the V-side
+            # reductions, so the strip reproduces the full-matrix
+            # selections exactly.
+            cand_idx = np.flatnonzero(candidate)
+            pim_c = machine.take_rows(pi, cand_idx)
+            B_c = machine.take_rows(B, cand_idx)
+            down = machine.reduce(
+                machine.where(B_c, pim_c[:, None], np.inf), "min", axis=0
+            )
+            up_c = machine.reduce(
+                machine.where(B_c, down[None, :], np.inf), "min", axis=1
+            )
+            sel_c = machine.map(
+                lambda p, h: np.isfinite(p) & ((p <= h) | ~np.isfinite(h)),
+                pim_c,
+                up_c,
+            )
+            sel_local = np.flatnonzero(sel_c)
+            selected[cand_idx[sel_local]] = True
+            v_hit = (
+                machine.reduce(machine.take_rows(B_c, sel_local), "or", axis=0)
+                if sel_local.size
+                else np.zeros(B.shape[1], dtype=bool)
+            )
+            u_conflict_c = machine.reduce(
+                machine.where(B_c, v_hit[None, :], False), "or", axis=1
+            )
+            candidate[cand_idx] = ~(sel_c | u_conflict_c)
+            machine.ledger.charge_basic("scatter", max(cand_idx.size, 1), depth=1)
+            continue
         pim = machine.where(candidate, pi, np.inf)
         # down[v] = min priority among candidate U-neighbors of v;
         # up[u]   = min over v ∈ Γ(u) of down[v]  (covers u itself).

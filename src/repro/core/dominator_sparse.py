@@ -9,6 +9,13 @@ instead of ``O(n²)``.
 The kernel is segmented minimum over the CSR row structure
 (``np.minimum.reduceat``), i.e., a prefix-sum-style basic operation in
 the §2 sense — charged as work ``|E|``, depth ``log n``.
+
+**Frontier compaction.** Once the candidate pool shrinks, each round
+only touches the candidate rows and their one-hop halo (the relay
+nodes): the segmented reductions run over those rows' CSR segments, so
+per-round work is ``O(n + nnz(frontier rows))`` instead of
+``O(nnz)`` — the sparse counterpart of the dense candidate-strip
+rounds in :mod:`repro.core.dominator`, with identical selections.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from repro.core.frontier import resolve_compaction
 from repro.errors import ConvergenceError, InvalidParameterError
 from repro.pram.machine import PramMachine
 
@@ -56,11 +64,56 @@ def _neighbor_any(machine: PramMachine, A: sparse.csr_matrix, mask: np.ndarray) 
     return out
 
 
+def _row_segments(A: sparse.csr_matrix, rows: np.ndarray):
+    """CSR column indices of the given ``rows``, concatenated, plus the
+    per-row lengths and segment starts (the frontier-rows gather)."""
+    starts = A.indptr[rows]
+    lens = A.indptr[rows + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return None, lens, None
+    seg = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    idx = np.arange(total) + np.repeat(starts - seg, lens)
+    return A.indices[idx], lens, seg
+
+
+def _segmented_min_rows(
+    machine: PramMachine, A: sparse.csr_matrix, values: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """``out[r] = min_{j ∈ Γ(rows[r])} values[j]`` touching only the
+    frontier rows' segments — ``O(nnz(rows))`` work."""
+    cols, lens, seg = _row_segments(A, rows)
+    if cols is None:
+        machine.ledger.charge_basic("sparse_neighbor_min", max(rows.size, 1))
+        return np.full(rows.size, np.inf)
+    gathered = np.append(values[cols], np.inf)
+    out = np.minimum.reduceat(gathered, seg)
+    out[lens == 0] = np.inf
+    machine.ledger.charge_basic("sparse_neighbor_min", int(cols.size))
+    return out
+
+
+def _neighbor_any_rows(
+    machine: PramMachine, A: sparse.csr_matrix, mask: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """``out[r] = any(mask[Γ(rows[r])])`` over the frontier rows only."""
+    cols, lens, seg = _row_segments(A, rows)
+    if cols is None:
+        machine.ledger.charge_basic("sparse_neighbor_any", max(rows.size, 1))
+        return np.zeros(rows.size, dtype=bool)
+    gathered = np.append(mask[cols], False)
+    out = np.logical_or.reduceat(gathered, seg)
+    out[lens == 0] = False
+    machine.ledger.charge_basic("sparse_neighbor_any", int(cols.size))
+    return out
+
+
 def max_dominator_set_sparse(
     adjacency,
     machine: PramMachine | None = None,
     *,
     max_rounds: int | None = None,
+    compaction: "bool | str" = "auto",
 ) -> np.ndarray:
     """Sparse ``MaxDom`` — identical semantics to
     :func:`repro.core.dominator.max_dominator_set`, ``O(|E| log |V|)``
@@ -70,6 +123,10 @@ def max_dominator_set_sparse(
     ----------
     adjacency:
         scipy.sparse matrix or dense boolean array (symmetric).
+    compaction:
+        ``"auto"``, ``True``, or ``False`` — restrict each round to the
+        candidate rows and their relay halo once the pool shrinks (see
+        module docstring). Selections are identical either way.
 
     Returns
     -------
@@ -82,6 +139,7 @@ def max_dominator_set_sparse(
     if n == 0:
         return np.zeros(0, dtype=bool)
     limit = (n + 1) if max_rounds is None else int(max_rounds)
+    compact = resolve_compaction(compaction, max(int(A.indptr[-1]), n))
 
     candidate = np.ones(n, dtype=bool)
     selected = np.zeros(n, dtype=bool)
@@ -90,6 +148,35 @@ def max_dominator_set_sparse(
             return selected
         machine.bump_round("maxdom_sparse")
         pi = machine.random_priorities(n).astype(float)
+        if compact and not candidate.all():
+            # Frontier round: candidate rows + their one-hop halo. The
+            # halo relays priorities/hits exactly like the full pass —
+            # any row outside it can neither select nor affect a
+            # candidate this round.
+            cand_idx = np.flatnonzero(candidate)
+            pim = np.where(candidate, pi, np.inf)
+            pim_c = pim[cand_idx]
+            cols_c, _, _ = _row_segments(A, cand_idx)
+            nbr_mask = np.zeros(n, dtype=bool)
+            if cols_c is not None:
+                nbr_mask[cols_c] = True
+            nbr_idx = np.flatnonzero(nbr_mask)
+            machine.ledger.charge_basic("map", n, depth=1)
+            hop1 = np.full(n, np.inf)
+            hop1[nbr_idx] = _segmented_min_rows(machine, A, pim, nbr_idx)
+            hop2_c = _segmented_min_rows(machine, A, np.minimum(pim, hop1), cand_idx)
+            sel_c = np.isfinite(pim_c) & (pim_c <= hop2_c)
+            sel_idx = cand_idx[sel_c]
+            selected[sel_idx] = True
+            sel_mask = np.zeros(n, dtype=bool)
+            sel_mask[sel_idx] = True
+            hit_idx = np.flatnonzero(nbr_mask | candidate)
+            hop1_hit = np.zeros(n, dtype=bool)
+            hop1_hit[hit_idx] = _neighbor_any_rows(machine, A, sel_mask, hit_idx)
+            hop2_hit_c = _neighbor_any_rows(machine, A, hop1_hit, cand_idx)
+            candidate[cand_idx] = ~(sel_c | hop1_hit[cand_idx] | hop2_hit_c)
+            machine.ledger.charge_basic("map", n, depth=1)
+            continue
         pim = np.where(candidate, pi, np.inf)
         machine.ledger.charge_basic("map", n, depth=1)
         hop1 = _segmented_min(machine, A, pim)

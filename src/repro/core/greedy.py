@@ -25,6 +25,20 @@ most ``opt/m`` extra) bounds the outer rounds by ``O(log_{1+ε} m)``.
 Dual artifacts: each removed client records ``α_j = τ`` of its removal
 round; Lemma 4.3 (``cost ≤ 2(1+ε)² Σ α_j``) and Lemma 4.7 (``α/3`` is
 dual feasible) are then executable — the tests run both.
+
+**Execution paths.** The default (``compaction="auto"``) runs a
+frontier-compacted variant of the loop above on non-trivial instances:
+the presorted structure is packed down to the still-active clients
+after every removal, the subselection graph lives on a
+``|I| × |C_active|`` submatrix, and votes are counted with a segmented
+bincount instead of an ``n_f × n_c`` vote matrix. Per-round work —
+wall-clock and ledger-charged — is then proportional to the remaining
+instance, which is exactly the §4 cost analysis ("``O(m)`` work over
+the remaining instance"). ``compaction=False`` keeps the original
+full-matrix execution; seeded runs of both paths return identical
+solutions on every tested workload (asserted exactly by the
+equivalence suite — only instances engineered so a star price sits
+within an ulp of the admission cut could in principle diverge).
 """
 
 from __future__ import annotations
@@ -33,8 +47,14 @@ import math
 
 import numpy as np
 
+from repro.core.frontier import resolve_compaction
 from repro.core.result import FacilityLocationSolution
-from repro.core.stars import cheapest_star_prices_masked, presort_distances
+from repro.core.stars import (
+    cheapest_star_prices_compact,
+    cheapest_star_prices_masked,
+    compact_sorted_columns,
+    presort_distances,
+)
 from repro.errors import ConvergenceError
 from repro.metrics.instance import FacilityLocationInstance
 from repro.pram.machine import PramMachine
@@ -59,6 +79,7 @@ def parallel_greedy(
     preprocess: bool = True,
     max_outer_rounds: int | None = None,
     max_subselect_rounds: int | None = None,
+    compaction: "bool | str" = "auto",
 ) -> FacilityLocationSolution:
     """Run Algorithm 4.1 to completion.
 
@@ -78,6 +99,10 @@ def parallel_greedy(
         removes ≥ 1 client — and a large multiple of the Lemma 4.8
         expectation for subselection); exceeding them raises
         :class:`~repro.errors.ConvergenceError`.
+    compaction:
+        ``"auto"`` (default), ``True``, or ``False`` — whether per-round
+        work runs on frontier-compacted submatrices (see module
+        docstring). Both paths return identical seeded solutions.
 
     Returns
     -------
@@ -88,16 +113,94 @@ def parallel_greedy(
     """
     eps = check_epsilon(epsilon, upper=1.0)
     machine = machine if machine is not None else PramMachine(seed=seed)
-    D = instance.D
-    f_cur = instance.f.astype(float).copy()
-    nf, nc = D.shape
     m = max(instance.m, 2)
 
-    outer_cap = max_outer_rounds if max_outer_rounds is not None else nc + 8
+    outer_cap = max_outer_rounds if max_outer_rounds is not None else instance.n_clients + 8
     if max_subselect_rounds is not None:
         sub_cap = max_subselect_rounds
     else:
         sub_cap = 64 + 16 * math.ceil(math.log(m) / math.log1p(eps))
+
+    run = _parallel_greedy_compact if resolve_compaction(compaction, instance.m) else _parallel_greedy_dense
+    return run(instance, eps, machine, preprocess, outer_cap, sub_cap)
+
+
+def _apply_preprocessing(
+    machine: PramMachine,
+    D: np.ndarray,
+    prices: np.ndarray,
+    threshold: float,
+    opened: np.ndarray,
+    f_cur: np.ndarray,
+    active: np.ndarray,
+) -> tuple[np.ndarray, int]:
+    """§4 ``γ/m²`` preprocessing: open every star priced ≤ threshold.
+
+    Mutates ``opened``/``active`` in place, returns the updated opening
+    costs and the served-client count. Shared verbatim by both
+    execution paths (identical ops ⇒ identical results).
+    """
+    pre_open = machine.map(lambda p: p <= threshold * _REL_TOL, prices)
+    preprocessed = 0
+    if pre_open.any():
+        # Star members (Fact 4.2(1)): active clients with d ≤ price.
+        member = machine.map(
+            lambda d, p, po: po & (d <= p * _REL_TOL),
+            D,
+            np.broadcast_to(prices[:, None], D.shape),
+            np.broadcast_to(pre_open[:, None], D.shape),
+        )
+        served = machine.reduce(member, "or", axis=0)
+        opened |= pre_open
+        f_cur = machine.where(pre_open, 0.0, f_cur)
+        active &= ~served
+        preprocessed = int(served.sum())
+    return f_cur, preprocessed
+
+
+def _build_solution(
+    instance: FacilityLocationInstance,
+    machine: PramMachine,
+    start,
+    opened: np.ndarray,
+    alpha: np.ndarray,
+    gamma: float,
+    tau_trace: list,
+    preprocessed: int,
+    eps: float,
+) -> FacilityLocationSolution:
+    """Assemble the §4 solution object (shared by both paths)."""
+    opened_idx = np.flatnonzero(opened)
+    return FacilityLocationSolution(
+        opened=opened_idx,
+        cost=instance.cost(opened_idx),
+        facility_cost=instance.facility_cost(opened_idx),
+        connection_cost=instance.connection_cost(opened_idx),
+        alpha=alpha,
+        rounds=dict(machine.ledger.rounds),
+        model_costs=machine.ledger.since(start),
+        extra={
+            "gamma": gamma,
+            "tau_trace": tau_trace,
+            "preprocessed_clients": preprocessed,
+            "epsilon": eps,
+        },
+    )
+
+
+def _parallel_greedy_dense(
+    instance: FacilityLocationInstance,
+    eps: float,
+    machine: PramMachine,
+    preprocess: bool,
+    outer_cap: int,
+    sub_cap: int,
+) -> FacilityLocationSolution:
+    """Reference full-matrix execution (every round touches ``n_f × n_c``)."""
+    D = instance.D
+    f_cur = instance.f.astype(float).copy()
+    nf, nc = D.shape
+    m = max(instance.m, 2)
 
     start = machine.snapshot()
     order, D_sorted = presort_distances(machine, D)
@@ -109,22 +212,10 @@ def parallel_greedy(
     preprocessed = 0
 
     if preprocess:
-        threshold = gamma / (m * m)
         prices = cheapest_star_prices_masked(machine, D_sorted, order, f_cur, active)
-        pre_open = machine.map(lambda p: p <= threshold * _REL_TOL, prices)
-        if pre_open.any():
-            # Star members (Fact 4.2(1)): active clients with d ≤ price.
-            member = machine.map(
-                lambda d, p, po: po & (d <= p * _REL_TOL),
-                D,
-                np.broadcast_to(prices[:, None], D.shape),
-                np.broadcast_to(pre_open[:, None], D.shape),
-            )
-            served = machine.reduce(member, "or", axis=0)
-            opened |= pre_open
-            f_cur = machine.where(pre_open, 0.0, f_cur)
-            active &= ~served
-            preprocessed = int(served.sum())
+        f_cur, preprocessed = _apply_preprocessing(
+            machine, D, prices, gamma / (m * m), opened, f_cur, active
+        )
 
     while active.any():
         outer = machine.bump_round("greedy_outer")
@@ -211,19 +302,155 @@ def parallel_greedy(
                 I = machine.map(lambda Ii, dr: Ii & ~dr, I, drop)
                 E = machine.map(lambda e, Ii: e & Ii, E, np.broadcast_to(I[:, None], E.shape))
 
-    opened_idx = np.flatnonzero(opened)
-    return FacilityLocationSolution(
-        opened=opened_idx,
-        cost=instance.cost(opened_idx),
-        facility_cost=instance.facility_cost(opened_idx),
-        connection_cost=instance.connection_cost(opened_idx),
-        alpha=alpha,
-        rounds=dict(machine.ledger.rounds),
-        model_costs=machine.ledger.since(start),
-        extra={
-            "gamma": gamma,
-            "tau_trace": tau_trace,
-            "preprocessed_clients": preprocessed,
-            "epsilon": eps,
-        },
+    return _build_solution(
+        instance, machine, start, opened, alpha, gamma, tau_trace, preprocessed, eps
+    )
+
+
+def _parallel_greedy_compact(
+    instance: FacilityLocationInstance,
+    eps: float,
+    machine: PramMachine,
+    preprocess: bool,
+    outer_cap: int,
+    sub_cap: int,
+) -> FacilityLocationSolution:
+    """Frontier-compacted execution: per-round work ∝ remaining instance.
+
+    Differences from the dense path (results are identical):
+
+    * the presorted structure is packed to the live clients after every
+      removal, so star pricing costs ``O(n_f · |C_active|)``;
+    * the subselection graph is a dense ``|I| × |C_active|`` submatrix
+      gathered per outer round; open/served/drop updates compact it
+      further instead of masking a full matrix;
+    * votes are a segmented :meth:`~repro.pram.machine.PramMachine.count_votes`
+      over client choices — ``O(|C_active|)`` instead of three broadcast
+      ``n_f × n_c`` temporaries.
+
+    Random priorities are still drawn over the full facility set each
+    subselection round, which keeps the RNG stream — and therefore every
+    decision — bit-identical to the dense path.
+    """
+    D = instance.D
+    f_cur = instance.f.astype(float).copy()
+    nf, nc = D.shape
+    m = max(instance.m, 2)
+
+    start = machine.snapshot()
+    order, D_sorted = presort_distances(machine, D)
+    active = np.ones(nc, dtype=bool)
+    opened = np.zeros(nf, dtype=bool)
+    alpha = np.zeros(nc, dtype=float)
+    tau_trace: list[float] = []
+    gamma = _instance_gamma(machine, D, instance.f.astype(float))
+    preprocessed = 0
+
+    # Live-frontier sorted structure: each facility's remaining clients
+    # in ascending-distance order (ids + distances).
+    live_ids, live_d = order, D_sorted
+
+    if preprocess:
+        prices = cheapest_star_prices_compact(machine, live_d, f_cur)
+        f_cur, preprocessed = _apply_preprocessing(
+            machine, D, prices, gamma / (m * m), opened, f_cur, active
+        )
+        if preprocessed:
+            live_ids, live_d = compact_sorted_columns(machine, live_ids, live_d, active)
+
+    while active.any():
+        outer = machine.bump_round("greedy_outer")
+        if outer > outer_cap:
+            raise ConvergenceError(
+                f"greedy exceeded {outer_cap} outer rounds (m={m}, eps={eps})"
+            )
+        prices = cheapest_star_prices_compact(machine, live_d, f_cur)
+        tau = float(machine.reduce(prices, "min"))
+        tau_trace.append(tau)
+        cut = tau * (1.0 + eps) * _REL_TOL
+
+        # Frontier index sets: admitted facilities × active clients.
+        adm = np.flatnonzero(machine.map(lambda p: p <= cut, prices))
+        act = np.flatnonzero(active)
+        D_sub = machine.take_submatrix(D, adm, act)
+        E_sub = machine.map(lambda d: d <= cut, D_sub)
+        any_served = False
+
+        sub = 0
+        while True:
+            deg = machine.reduce(E_sub.astype(float), "add", axis=1)
+            row_keep = machine.map(lambda dg: dg > 0, deg)
+            if not row_keep.all():
+                keep_idx = np.flatnonzero(row_keep)
+                adm = adm[keep_idx]
+                deg = deg[keep_idx]
+                E_sub = machine.take_rows(E_sub, keep_idx)
+                D_sub = machine.take_rows(D_sub, keep_idx)
+            if adm.size == 0:
+                break
+            sub += 1
+            machine.bump_round("greedy_subselect")
+            if sub > sub_cap:
+                raise ConvergenceError(
+                    f"greedy subselection exceeded {sub_cap} rounds (m={m}, eps={eps})"
+                )
+
+            # 4(a–b): the permutation is drawn over *all* facilities
+            # (RNG parity with the dense path); only the admitted rows'
+            # priorities are consumed.
+            Pi = machine.random_priorities(nf).astype(float)
+            pi_adm = machine.take_rows(Pi, adm)
+            col_priorities = machine.where(E_sub, pi_adm[:, None], np.inf)
+            phi = machine.argmin(col_priorities, axis=0)
+            has_edge = machine.reduce(E_sub, "or", axis=0)
+
+            # 4(c): segmented vote count — O(|C_active|), no vote matrix.
+            votes = machine.count_votes(phi, adm.size, mask=has_edge).astype(float)
+            open_now = machine.map(
+                lambda v, dg: (dg > 0) & (v * (2.0 * (1.0 + eps)) >= dg * (1.0 - 1e-12)),
+                votes,
+                deg,
+            )
+            if open_now.any():
+                served_local = machine.reduce(
+                    machine.where(E_sub, open_now[:, None], False), "or", axis=0
+                )
+                opened_ids = adm[open_now]
+                served_ids = act[served_local]
+                opened[opened_ids] = True
+                f_cur[opened_ids] = 0.0
+                alpha[served_ids] = tau
+                active[served_ids] = False
+                machine.ledger.charge_basic(
+                    "scatter", opened_ids.size + 2 * served_ids.size, depth=1
+                )
+                any_served = any_served or served_ids.size > 0
+                row_keep_idx = np.flatnonzero(~open_now)
+                col_keep_idx = np.flatnonzero(~served_local)
+                adm = adm[row_keep_idx]
+                act = act[col_keep_idx]
+                E_sub = machine.take_submatrix(E_sub, row_keep_idx, col_keep_idx)
+                D_sub = machine.take_submatrix(D_sub, row_keep_idx, col_keep_idx)
+
+            # 4(d): drop facilities whose reduced star price exceeds the cut.
+            wsum = machine.reduce(machine.where(E_sub, D_sub, 0.0), "add", axis=1)
+            deg_now = machine.reduce(E_sub.astype(float), "add", axis=1)
+            fc = machine.take_rows(f_cur, adm)
+            drop = machine.map(
+                lambda dg, ws, fcv: (dg > 0) & ((fcv + ws) > cut * dg * _REL_TOL),
+                deg_now,
+                wsum,
+                fc,
+            )
+            if drop.any():
+                keep_idx = np.flatnonzero(~drop)
+                adm = adm[keep_idx]
+                E_sub = machine.take_rows(E_sub, keep_idx)
+                D_sub = machine.take_rows(D_sub, keep_idx)
+
+        if any_served:
+            live_ids, live_d = compact_sorted_columns(machine, live_ids, live_d, active)
+
+    return _build_solution(
+        instance, machine, start, opened, alpha, gamma, tau_trace, preprocessed, eps
     )

@@ -18,6 +18,21 @@ the geometric schedule ``α = (γ/m²)(1+ε)^ℓ`` instead of continuously:
 Preprocessing opens every facility payable at level ``γ/m²`` for free
 (total damage ≤ 3γ/m) which pins the iteration count at
 ``≤ 3·log_{1+ε} m + O(1)``.
+
+**Execution paths.** With ``compaction="auto"`` (default on non-trivial
+instances) each iteration runs on the raise/freeze frontier instead of
+the full matrix: frozen clients' payments are folded into a running
+per-facility total the moment they freeze, the freeze test consults a
+maintained nearest-open-facility distance instead of re-scanning all
+open rows, and ``H`` edges are accumulated incrementally (full row once
+when a facility opens; raised columns only afterwards). Per-iteration
+work is then ``O(|F_closed| · |C_unfrozen|)`` — the §5 "remaining
+instance" — rather than ``O(m)`` regardless of progress.
+``compaction=False`` keeps the original full-matrix execution; seeded
+runs of both paths return identical solutions on every tested workload
+(exact equality is asserted in the equivalence suite; in principle the
+reassociated payment sums could differ in the last ulp for instances
+engineered to sit exactly on an opening threshold).
 """
 
 from __future__ import annotations
@@ -27,6 +42,7 @@ import math
 import numpy as np
 
 from repro.core.dominator import max_u_dominator_set
+from repro.core.frontier import resolve_compaction
 from repro.core.greedy import _instance_gamma
 from repro.core.result import FacilityLocationSolution
 from repro.errors import ConvergenceError
@@ -45,6 +61,7 @@ def parallel_primal_dual(
     seed=None,
     preprocess: bool = True,
     max_iterations: int | None = None,
+    compaction: "bool | str" = "auto",
 ) -> FacilityLocationSolution:
     """Run Algorithm 5.1 to completion.
 
@@ -61,6 +78,10 @@ def parallel_primal_dual(
         Safety bound; the default is the analysis bound
         ``3·log_{1+ε}(m) + 8`` when preprocessing is on, and a spread-
         dependent bound otherwise.
+    compaction:
+        ``"auto"`` (default), ``True``, or ``False`` — whether the
+        raise/freeze loop runs on the frontier (see module docstring).
+        Both paths return identical seeded solutions.
 
     Returns
     -------
@@ -71,6 +92,28 @@ def parallel_primal_dual(
     """
     eps = check_epsilon(epsilon)
     machine = machine if machine is not None else PramMachine(seed=seed)
+    m = max(instance.m, 2)
+    if max_iterations is not None:
+        iter_cap = max_iterations
+    else:
+        iter_cap = math.ceil(3.0 * math.log(m) / math.log1p(eps)) + 8
+
+    run = (
+        _parallel_primal_dual_compact
+        if resolve_compaction(compaction, instance.m)
+        else _parallel_primal_dual_dense
+    )
+    return run(instance, eps, machine, preprocess, iter_cap)
+
+
+def _parallel_primal_dual_dense(
+    instance: FacilityLocationInstance,
+    eps: float,
+    machine: PramMachine,
+    preprocess: bool,
+    iter_cap: int,
+) -> FacilityLocationSolution:
+    """Reference full-matrix execution (every iteration touches ``m``)."""
     D = instance.D
     f = instance.f.astype(float)
     nf, nc = D.shape
@@ -101,14 +144,6 @@ def parallel_primal_dual(
             )
             freely = machine.reduce(near, "or", axis=0)
             frozen |= freely  # α stays 0 for freely connected clients
-
-    # The schedule sweeps [γ/m², n_c·γ] regardless of preprocessing, so
-    # the §5 bound ℓ ≤ 3·log_{1+ε} m applies to both modes (preprocessing
-    # buys dual feasibility, not fewer iterations — see tests/benches).
-    if max_iterations is not None:
-        iter_cap = max_iterations
-    else:
-        iter_cap = math.ceil(3.0 * math.log(m) / math.log1p(eps)) + 8
 
     if gamma == 0.0:
         frozen[:] = True  # everyone has a free zero-distance facility
@@ -172,6 +207,194 @@ def parallel_primal_dual(
                 np.broadcast_to(tent_open[:, None], D.shape),
             )
 
+    return _finish(instance, machine, start, gamma, eps, alpha, free_open, tent_open, H, f)
+
+
+def _parallel_primal_dual_compact(
+    instance: FacilityLocationInstance,
+    eps: float,
+    machine: PramMachine,
+    preprocess: bool,
+    iter_cap: int,
+) -> FacilityLocationSolution:
+    """Frontier execution: per-iteration work ∝ closed × unfrozen.
+
+    Invariants maintained between iterations (all exact, so results are
+    identical to the dense path):
+
+    * ``paid_frozen[i] = Σ_{j frozen} max(0, (1+ε)α_j − d(j,i))`` —
+      folded in the iteration each client freezes, so step 2 only sums
+      the unfrozen columns;
+    * ``dmin_open[j] = min_{i open} d(j,i)`` — updated with newly
+      opened rows only, so step 3 is ``O(|C_unfrozen|)``;
+    * ``H`` rows are written once in full when a facility opens, and
+      extended on raised (unfrozen) columns afterwards — together these
+      cover exactly the pairs the dense recomputation flags.
+    """
+    D = instance.D
+    f = instance.f.astype(float)
+    nf, nc = D.shape
+    m = max(instance.m, 2)
+
+    start = machine.snapshot()
+    gamma = _instance_gamma(machine, D, f)
+    base = gamma / (m * m) if gamma > 0 else 0.0
+
+    alpha = np.zeros(nc, dtype=float)
+    frozen = np.zeros(nc, dtype=bool)
+    free_open = np.zeros(nf, dtype=bool)  # F0
+    tent_open = np.zeros(nf, dtype=bool)  # F_T
+    H = np.zeros((nf, nc), dtype=bool)
+    paid_frozen = np.zeros(nf, dtype=float)
+    dmin_open = np.full(nc, np.inf)
+
+    if preprocess or gamma == 0.0:
+        paid0 = machine.reduce(
+            machine.map(lambda d: np.maximum(0.0, base * _REL_TOL - d), D), "add", axis=1
+        )
+        free_open = machine.map(lambda p, ff: p >= ff / _REL_TOL, paid0, f)
+        if free_open.any():
+            near = machine.map(
+                lambda d, fo: fo & (d <= base * _REL_TOL),
+                D,
+                np.broadcast_to(free_open[:, None], D.shape),
+            )
+            freely = machine.reduce(near, "or", axis=0)
+            frozen |= freely
+            # Freely connected clients freeze at α = 0: their payment
+            # max(0, −d) is identically zero, so paid_frozen stays 0.
+            fo_idx = np.flatnonzero(free_open)
+            dmin_open = machine.reduce(machine.take_rows(D, fo_idx), "min", axis=0)
+
+    if gamma == 0.0:
+        frozen[:] = True
+
+    iterations = 0
+    # The closed × unfrozen frontier submatrix is cached across
+    # iterations: the schedule runs many levels where nothing opens or
+    # freezes, and the gather only needs redoing when the frontier
+    # actually moved.
+    unfro = old_tent = closed = D_cu = None
+    frontier_dirty = True
+    while not frozen.all():
+        iterations += 1
+        machine.bump_round("pd_iterations")
+        if iterations > iter_cap:
+            raise ConvergenceError(
+                f"primal–dual exceeded {iter_cap} iterations (m={m}, eps={eps})"
+            )
+        t = base * (1.0 + eps) ** (iterations - 1) if base > 0 else 0.0
+
+        old_tent = np.flatnonzero(tent_open)
+        if frontier_dirty:
+            unfro = np.flatnonzero(~frozen)  # raised each iteration
+            closed = np.flatnonzero(~(free_open | tent_open))
+            D_cu = machine.take_submatrix(D, closed, unfro)
+            frontier_dirty = False
+
+        # Step 1: raise unfrozen duals to the schedule level.
+        alpha[unfro] = t
+        machine.ledger.charge_basic("scatter", max(unfro.size, 1), depth=1)
+
+        # Step 2: live payments over the closed × unfrozen frontier;
+        # frozen columns are already folded into paid_frozen.
+        live = machine.masked_axpy(-1.0, D_cu, (1.0 + eps) * t, clamp_min=0.0)
+        paid = machine.map(
+            lambda fr, lv: fr + lv,
+            machine.take_rows(paid_frozen, closed),
+            machine.reduce(live, "add", axis=1),
+        )
+        openable = machine.map(
+            lambda p, ff: p * _REL_TOL >= ff, paid, machine.take_rows(f, closed)
+        )
+        new_open = closed[openable]
+        tent_open[new_open] = True
+        frontier_dirty = frontier_dirty or new_open.size > 0
+        machine.ledger.charge_basic("scatter", max(new_open.size, 1), depth=1)
+
+        # Step 3: freeze unfrozen clients reaching any open facility,
+        # via the maintained nearest-open distance.
+        if new_open.size:
+            dnew = machine.reduce(machine.take_rows(D, new_open), "min", axis=0)
+            dmin_open = machine.map(np.minimum, dmin_open, dnew)
+        newly_frozen = np.zeros(0, dtype=np.intp)
+        if free_open.any() or tent_open.any():
+            reach = machine.map(
+                lambda a, dm: (1.0 + eps) * a * _REL_TOL >= dm,
+                alpha[unfro],
+                machine.take_rows(dmin_open, unfro),
+            )
+            newly_frozen = unfro[reach]
+            frozen[newly_frozen] = True
+            frontier_dirty = frontier_dirty or newly_frozen.size > 0
+            machine.ledger.charge_basic("scatter", max(newly_frozen.size, 1), depth=1)
+
+        # Step 4: H edges — full rows for newly opened facilities,
+        # raised columns for the previously tentative ones.
+        if new_open.size:
+            H[new_open, :] = machine.map(
+                lambda d, a: (1.0 + eps) * a > d,
+                machine.take_rows(D, new_open),
+                alpha[None, :],
+            )
+        if old_tent.size and unfro.size:
+            H[np.ix_(old_tent, unfro)] |= machine.map(
+                lambda d: (1.0 + eps) * t > d,
+                machine.take_submatrix(D, old_tent, unfro),
+            )
+
+        # Fold the payments of clients frozen this iteration into the
+        # per-facility running totals (their α is now final). This
+        # reassociates the dense path's single row-sum into batch
+        # partial sums, so the two paths can differ in the last ulp; a
+        # divergence requires a payment within an ulp of the tolerance-
+        # shifted opening threshold, which no tested workload exhibits
+        # (the equivalence suite asserts exact equality).
+        if newly_frozen.size:
+            contrib = machine.masked_axpy(
+                -1.0,
+                machine.take_columns(D, newly_frozen),
+                (1.0 + eps) * t,
+                clamp_min=0.0,
+            )
+            paid_frozen = machine.map(
+                lambda pf, c: pf + c, paid_frozen, machine.reduce(contrib, "add", axis=1)
+            )
+
+        # Exhaustion rule: if every facility is open but clients remain
+        # unfrozen, connect them directly (α_j = min_i d(j,i)).
+        if not frozen.all() and bool(np.all(free_open | tent_open)):
+            still = np.flatnonzero(~frozen)
+            # All facilities are open, so dmin_open is the full nearest
+            # distance for the still-unfrozen columns.
+            alpha[still] = np.maximum(machine.take_rows(dmin_open, still), alpha[still])
+            machine.ledger.charge_basic("scatter", max(still.size, 1), depth=1)
+            frozen[:] = True
+            tent_idx = np.flatnonzero(tent_open)
+            if tent_idx.size and still.size:
+                H[np.ix_(tent_idx, still)] |= machine.map(
+                    lambda d, a: (1.0 + eps) * a > d,
+                    machine.take_submatrix(D, tent_idx, still),
+                    alpha[still][None, :],
+                )
+
+    return _finish(instance, machine, start, gamma, eps, alpha, free_open, tent_open, H, f)
+
+
+def _finish(
+    instance: FacilityLocationInstance,
+    machine: PramMachine,
+    start,
+    gamma: float,
+    eps: float,
+    alpha: np.ndarray,
+    free_open: np.ndarray,
+    tent_open: np.ndarray,
+    H: np.ndarray,
+    f: np.ndarray,
+) -> FacilityLocationSolution:
+    """Shared §5 post-processing: MaxUDom survivors + solution assembly."""
+    nf = instance.n_facilities
     # Post-processing: survivors = maximal U-dominator set of H over F_T.
     if tent_open.any():
         survivors = max_u_dominator_set(H, machine, candidates=tent_open)

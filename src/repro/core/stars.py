@@ -76,6 +76,58 @@ def cheapest_star_prices_masked(
     return machine.reduce(candidate, "min", axis=1)
 
 
+def compact_sorted_columns(
+    machine: PramMachine,
+    sorted_ids: np.ndarray,
+    sorted_d: np.ndarray,
+    active: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop inactive clients from the presorted per-facility structure.
+
+    ``sorted_ids``/``sorted_d`` hold each facility's remaining clients
+    in ascending-distance order (initially the output of
+    :func:`presort_distances`); ``active`` is the global client mask.
+    Every row contains each client at most once, so removing a client
+    set drops the same count per row and the pack stays rectangular.
+    Cost: one map + one row-pack over the *current* frontier — this is
+    what keeps later rounds from paying for served clients.
+    """
+    keep = machine.map(lambda ids: np.asarray(active, dtype=bool)[ids], sorted_ids)
+    ids = machine.pack_rows(sorted_ids, keep)
+    d = machine.pack_rows(sorted_d, keep)
+    return ids, d
+
+
+def cheapest_star_prices_compact(
+    machine: PramMachine,
+    live_d: np.ndarray,
+    f_current: np.ndarray,
+) -> np.ndarray:
+    """Cheapest-star prices when the sorted structure is pre-compacted.
+
+    ``live_d`` is the frontier-compacted ``n_f × |C_active|`` sorted
+    distance matrix from :func:`compact_sorted_columns` — every column
+    is live, so the masked prefix-count of
+    :func:`cheapest_star_prices_masked` collapses to the column index
+    and the whole computation is one scan, one map, and one reduce over
+    the remaining instance. Produces bit-identical prices: the masked
+    variant's prefix sums skip exactly the zero contributions this
+    layout never materializes.
+    """
+    nf, live = live_d.shape
+    if live == 0:
+        return np.full(nf, np.inf)
+    psum = machine.scan(live_d, "add", axis=1)
+    rank = np.arange(1.0, live + 1.0)
+    candidate = machine.map(
+        lambda p, r, fc: (fc + p) / r,
+        psum,
+        rank[None, :],
+        np.asarray(f_current, dtype=float)[:, None],
+    )
+    return machine.reduce(candidate, "min", axis=1)
+
+
 def star_members(D: np.ndarray, facility: int, price: float, active: np.ndarray) -> np.ndarray:
     """Clients of the cheapest maximal star (Fact 4.2(1)): exactly the
     active clients with ``d(j, i) ≤ price``. Analysis/test helper."""

@@ -23,6 +23,21 @@ from repro.errors import InvalidParameterError
 from repro.pram.operators import AssociativeOp
 
 
+def _axpy_kernel(a, x, y, clamp_min, mask, fill):
+    """``a*x + y`` with optional lower clamp and mask-select, minimizing
+    temporaries (the shared serial kernel behind ``fused_axpy``)."""
+    x = np.asarray(x)
+    operands = [x] + [np.asarray(v) for v in (y, mask) if isinstance(v, np.ndarray)]
+    shape = np.broadcast_shapes(*(v.shape for v in operands))
+    out = np.multiply(np.broadcast_to(x, shape), a)
+    out += y
+    if clamp_min is not None:
+        np.maximum(out, clamp_min, out=out)
+    if mask is not None:
+        out = np.where(mask, out, fill)
+    return out
+
+
 class Backend:
     """Kernel interface shared by all backends."""
 
@@ -42,6 +57,14 @@ class Backend:
         raise NotImplementedError
 
     def argsort(self, a: np.ndarray, axis: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def count_votes(self, labels: np.ndarray, minlength: int) -> np.ndarray:
+        """Segmented count: ``out[i] = #{j : labels[j] == i}``."""
+        raise NotImplementedError
+
+    def fused_axpy(self, a, x, y, *, clamp_min=None, mask=None, fill=0.0) -> np.ndarray:
+        """One-pass ``a*x + y`` with optional clamp/mask (a is scalar)."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -67,6 +90,12 @@ class SerialBackend(Backend):
 
     def argsort(self, a, axis):
         return np.argsort(a, axis=axis, kind="stable")
+
+    def count_votes(self, labels, minlength):
+        return np.bincount(labels, minlength=minlength)
+
+    def fused_axpy(self, a, x, y, *, clamp_min=None, mask=None, fill=0.0):
+        return _axpy_kernel(a, x, y, clamp_min, mask, fill)
 
 
 class ThreadBackend(Backend):
@@ -94,13 +123,18 @@ class ThreadBackend(Backend):
 
     # -- helpers ----------------------------------------------------------
 
-    def _too_small(self, a: np.ndarray) -> bool:
-        return (
+    def _pool_worthy(self, shape: tuple) -> bool:
+        """Single dispatch policy for every kernel: run on the pool only
+        when there are rows to split and enough elements per worker."""
+        return not (
             self._pool is None
-            or a.ndim == 0
-            or a.shape[0] < 2
-            or a.size < self.grain * self.num_workers
+            or len(shape) == 0
+            or shape[0] < 2
+            or int(np.prod(shape)) < self.grain * self.num_workers
         )
+
+    def _too_small(self, a: np.ndarray) -> bool:
+        return not self._pool_worthy(a.shape)
 
     def _row_chunks(self, n_rows: int):
         """Split ``range(n_rows)`` into at most ``num_workers`` slices."""
@@ -115,15 +149,21 @@ class ThreadBackend(Backend):
     # -- kernel interface ---------------------------------------------------
 
     def elementwise(self, fn, arrays):
-        lead = max(arrays, key=lambda x: np.asarray(x).size)
-        lead = np.asarray(lead)
-        if self._too_small(lead) or any(
-            np.asarray(x).shape != lead.shape for x in arrays
-        ):
+        arrs = [np.asarray(x) for x in arrays]
+        try:
+            shape = np.broadcast_shapes(*(a.shape for a in arrs))
+        except ValueError:
+            # Not mutually broadcastable (fn handles shapes itself).
             return self._serial.elementwise(fn, arrays)
-        parts, _ = self._parallel_over_rows(
-            lead, lambda sl: fn(*(np.asarray(x)[sl] for x in arrays))
-        )
+        if not self._pool_worthy(shape):
+            return self._serial.elementwise(fn, arrays)
+        # Broadcast every argument up front (views, no copies) so
+        # mixed-shape maps — e.g. an (n_f, 1) cost column against an
+        # (n_f, n_c) matrix — run on the pool instead of silently
+        # dropping to serial.
+        views = [np.broadcast_to(a, shape) for a in arrs]
+        chunks = self._row_chunks(shape[0])
+        parts = list(self._pool.map(lambda sl: fn(*(v[sl] for v in views)), chunks))
         return np.concatenate(parts, axis=0)
 
     def reduce(self, op, a, axis):
@@ -159,6 +199,40 @@ class ThreadBackend(Backend):
             return self._serial.argsort(a, axis)
         parts, _ = self._parallel_over_rows(
             a, lambda sl: np.argsort(a[sl], axis=1, kind="stable")
+        )
+        return np.concatenate(parts, axis=0)
+
+    def count_votes(self, labels, minlength):
+        if not self._pool_worthy(labels.shape):
+            return self._serial.count_votes(labels, minlength)
+        slices = self._row_chunks(labels.size)
+        parts = list(
+            self._pool.map(lambda sl: np.bincount(labels[sl], minlength=minlength), slices)
+        )
+        return np.sum(np.stack(parts, axis=0), axis=0)
+
+    def fused_axpy(self, a, x, y, *, clamp_min=None, mask=None, fill=0.0):
+        x = np.asarray(x)
+        operands = [x] + [np.asarray(v) for v in (y, mask) if isinstance(v, np.ndarray)]
+        shape = np.broadcast_shapes(*(v.shape for v in operands))
+        if not self._pool_worthy(shape):
+            return self._serial.fused_axpy(a, x, y, clamp_min=clamp_min, mask=mask, fill=fill)
+        xv = np.broadcast_to(x, shape)
+        yv = np.broadcast_to(np.asarray(y), shape) if isinstance(y, np.ndarray) else y
+        mv = np.broadcast_to(mask, shape) if isinstance(mask, np.ndarray) else mask
+        chunks = self._row_chunks(shape[0])
+        parts = list(
+            self._pool.map(
+                lambda sl: _axpy_kernel(
+                    a,
+                    xv[sl],
+                    yv[sl] if isinstance(yv, np.ndarray) else yv,
+                    clamp_min,
+                    mv[sl] if isinstance(mv, np.ndarray) else mv,
+                    fill,
+                ),
+                chunks,
+            )
         )
         return np.concatenate(parts, axis=0)
 

@@ -11,6 +11,7 @@ counters so benchmarks can report "rounds executed" directly.
 from __future__ import annotations
 
 import math
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -53,6 +54,7 @@ class CostLedger:
     calls_by_op: Counter = field(default_factory=Counter)
     work_by_op: Counter = field(default_factory=Counter)
     rounds: Counter = field(default_factory=Counter)
+    round_log: list = field(default_factory=list)
 
     def __post_init__(self):
         if self.block_size <= 1:
@@ -106,8 +108,15 @@ class CostLedger:
     # -- rounds & snapshots -------------------------------------------------
 
     def bump_round(self, label: str) -> int:
-        """Increment and return the named round counter."""
+        """Increment and return the named round counter.
+
+        Each bump appends ``(label, index, work_so_far, wall_time)`` to
+        :attr:`round_log`, so benches can difference consecutive entries
+        into per-round ledger work and wall-clock — the perf-trajectory
+        instrument behind ``repro.bench.regressions``.
+        """
         self.rounds[label] += 1
+        self.round_log.append((label, self.rounds[label], self.work, time.perf_counter()))
         return self.rounds[label]
 
     @property
@@ -129,3 +138,4 @@ class CostLedger:
         self.calls_by_op.clear()
         self.work_by_op.clear()
         self.rounds.clear()
+        self.round_log.clear()

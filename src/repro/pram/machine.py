@@ -12,15 +12,28 @@ Cost conventions (paper §2):
 primitive           work            depth          cache
 ==================  ==============  =============  ======================
 ``map``             ``m``           ``1``          ``m/B``
+``masked_axpy``     ``m``           ``1``          ``m/B``
 ``reduce``/``scan`` ``m``           ``log m``      ``m/B``
+``count_votes``     ``m + r``       ``log m``      ``(m + r)/B``
 ``distribute``      ``m``           ``1``          ``m/B``
 ``transpose``       ``m``           ``1``          ``m/B``
+``take_rows``       ``m``           ``1``          ``m/B``
 ``pack``            ``m``           ``log m``      ``m/B``
+``pack_rows``       ``m``           ``log m``      ``m/B``
 ``sort_rows``       ``m log r``     ``log r``      ``(m/B) log_{M/B} m``
 ``random``          ``m``           ``1``          ``m/B``
 ==================  ==============  =============  ======================
 
-(``m`` = elements touched, ``r`` = row length being sorted.)
+(``m`` = elements touched, ``r`` = row length being sorted / the vote
+range.) ``masked_axpy``, ``count_votes``, ``take_rows``, and
+``pack_rows`` are the frontier-compaction primitives: they let each
+round of the §4/§5 algorithms touch only the *remaining* instance —
+``count_votes`` replaces an ``n_f × n_c`` vote matrix with a
+bincount-style segmented count, ``take_rows``/``pack_rows`` carve out
+the live-frontier submatrices, and ``masked_axpy`` fuses the
+scale-add-clamp pattern of the §5 payment computation into one parallel
+step. All are expressible as constant compositions of the paper's §2
+basic operations, so the charged totals remain faithful to the model.
 """
 
 from __future__ import annotations
@@ -36,6 +49,18 @@ from repro.util.rng import ensure_rng
 
 def _coerce_op(op: "str | AssociativeOp") -> AssociativeOp:
     return op if isinstance(op, AssociativeOp) else get_operator(op)
+
+
+def _check_gather_index(label: str, idx, extent: int) -> np.ndarray:
+    """Validate gather indices are within ``[0, extent)`` (negative
+    indices are rejected — frontier index sets are always canonical)."""
+    idx = np.asarray(idx, dtype=np.intp)
+    if idx.size and (idx.min() < 0 or idx.max() >= extent):
+        raise InvalidParameterError(
+            f"{label} index out of range [0, {extent}): "
+            f"[{int(idx.min())}, {int(idx.max())}]"
+        )
+    return idx
 
 
 class PramMachine:
@@ -73,6 +98,22 @@ class PramMachine:
     def where(self, cond, a, b) -> np.ndarray:
         """Elementwise select — a single parallel step."""
         return self.map(np.where, cond, a, b)
+
+    def masked_axpy(self, a, x, y, *, clamp_min=None, mask=None, fill=0.0) -> np.ndarray:
+        """Fused ``a*x + y`` with optional lower clamp and mask-select.
+
+        ``a`` is a scalar; ``x``, ``y``, and ``mask`` broadcast to a
+        common shape. With ``clamp_min`` the result is
+        ``max(clamp_min, a*x + y)``; with ``mask`` positions where the
+        mask is false read ``fill``. One parallel step and one ledger
+        charge — the workhorse of the §5 payment computation
+        (``max(0, (1+ε)α − d)``) without intermediate matrices.
+        """
+        out = np.asarray(
+            self.backend.fused_axpy(a, x, y, clamp_min=clamp_min, mask=mask, fill=fill)
+        )
+        self.ledger.charge_basic("masked_axpy", out.size, depth=1)
+        return out
 
     # -- reductions & scans --------------------------------------------------
 
@@ -168,6 +209,91 @@ class PramMachine:
         idx = np.asarray(idx, dtype=np.intp)
         out = a[:, idx]
         self.ledger.charge_basic("gather", max(out.size, 1), depth=1)
+        return out
+
+    def take_rows(self, a: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Row selection ``a[idx]`` (element selection for vectors).
+
+        The frontier-gather: pull the live rows of a matrix into a
+        compact submatrix so later primitives touch only the frontier.
+        One parallel read per output element.
+        """
+        a = np.asarray(a)
+        idx = _check_gather_index("take_rows", idx, a.shape[0])
+        out = a[idx]
+        self.ledger.charge_basic("take_rows", max(out.size, 1), depth=1)
+        return out
+
+    def pack_rows(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Per-row compaction keeping a **uniform** count per row.
+
+        ``mask`` is boolean with the same shape as 2-D ``values`` and
+        must keep the same number of entries in every row (the frontier
+        invariant: removing a client set drops exactly one entry per
+        facility row). Returns the kept entries, order preserved, as a
+        dense ``(rows, k)`` matrix — a row-segmented pack (scan +
+        scatter in the §2 model).
+        """
+        values = np.asarray(values)
+        mask = np.asarray(mask, dtype=bool)
+        if values.ndim != 2 or mask.shape != values.shape:
+            raise InvalidParameterError(
+                f"pack_rows needs matching 2-D shapes, got {values.shape} and {mask.shape}"
+            )
+        counts = mask.sum(axis=1)
+        k = int(counts[0]) if counts.size else 0
+        if counts.size and not np.all(counts == k):
+            raise InvalidParameterError(
+                "pack_rows requires a uniform per-row keep count, got "
+                f"min={counts.min()}, max={counts.max()}"
+            )
+        out = values[mask].reshape(values.shape[0], k)
+        self.ledger.charge_basic("pack_rows", max(values.size, 1))
+        return out
+
+    def count_votes(self, labels: np.ndarray, minlength: int, *, mask: np.ndarray | None = None) -> np.ndarray:
+        """Segmented count ``out[i] = #{j : labels[j] == i (and mask[j])}``.
+
+        The bincount-style primitive that replaces materializing an
+        ``n_f × n_c`` vote matrix: counting how many clients chose each
+        facility is a single segmented ``+``-reduction over ``labels``.
+        """
+        labels = np.asarray(labels, dtype=np.intp)
+        if labels.ndim != 1:
+            raise InvalidParameterError(f"count_votes labels must be 1-D, got ndim={labels.ndim}")
+        minlength = int(minlength)
+        if minlength < 0:
+            raise InvalidParameterError(f"minlength must be >= 0, got {minlength}")
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != labels.shape:
+                raise InvalidParameterError(
+                    f"count_votes mask shape {mask.shape} != labels shape {labels.shape}"
+                )
+            labels = labels[mask]
+        if labels.size and (labels.min() < 0 or labels.max() >= minlength):
+            # Out-of-range labels would make the output shape depend on
+            # the data (and differ across backends) — reject instead.
+            raise InvalidParameterError(
+                f"count_votes labels must lie in [0, {minlength}), got "
+                f"[{int(labels.min())}, {int(labels.max())}]"
+            )
+        out = self.backend.count_votes(labels, minlength)
+        self.ledger.charge_basic("count_votes", max(labels.size + minlength, 1))
+        return np.asarray(out)
+
+    def take_submatrix(self, a: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Fused row+column gather ``a[rows][:, cols]``.
+
+        One parallel read per *output* element — the frontier gather:
+        carving a live ``|rows| × |cols|`` submatrix costs the frontier
+        size, not a full-width intermediate.
+        """
+        a = np.asarray(a)
+        rows = _check_gather_index("take_submatrix rows", rows, a.shape[0])
+        cols = _check_gather_index("take_submatrix cols", cols, a.shape[1] if a.ndim > 1 else 0)
+        out = a[np.ix_(rows, cols)]
+        self.ledger.charge_basic("take_rows", max(out.size, 1), depth=1)
         return out
 
     def pack(self, values: np.ndarray, mask: np.ndarray) -> np.ndarray:

@@ -1,0 +1,28 @@
+"""Regression harness: report structure, equality flags, round traces."""
+
+import json
+
+from repro.bench.regressions import run_regression
+
+
+def test_report_structure_and_identity():
+    report = run_regression(nf=10, nc=28, seed=3, machine_seed=2, epsilon=0.2)
+    assert set(report["algorithms"]) == {"parallel_greedy", "parallel_primal_dual"}
+    for entry in report["algorithms"].values():
+        assert entry["solutions_identical"] is True
+        assert entry["speedup_wall"] > 0
+        for mode in ("dense", "compacted"):
+            measure = entry[mode]
+            assert measure["ledger_work"] > 0
+            assert len(measure["per_round"]) >= 1
+            total = sum(r["ledger_work"] for r in measure["per_round"])
+            # per-round deltas cover at most the run's total work
+            assert total <= measure["ledger_work"] * (1 + 1e-9)
+    # the committed baseline must be JSON-serializable as-is
+    json.dumps(report)
+
+
+def test_compacted_charges_no_more_work():
+    report = run_regression(nf=16, nc=64, seed=1, machine_seed=7, epsilon=0.1)
+    greedy = report["algorithms"]["parallel_greedy"]
+    assert greedy["compacted"]["ledger_work"] <= greedy["dense"]["ledger_work"]

@@ -1,0 +1,152 @@
+"""Frontier compaction must not change a single bit of any solution.
+
+The compacted execution paths (``compaction=True``) re-derive every
+per-round quantity from frontier submatrices; these tests run dense and
+compacted seeded side-by-side on random *and* adversarial workloads and
+assert the opened sets, costs, dual vectors — and for primal–dual the
+full contribution graph ``H`` — are identical, not merely close.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dominator import max_dominator_set, max_u_dominator_set
+from repro.core.dominator_sparse import max_dominator_set_sparse
+from repro.core.frontier import AUTO_COMPACTION_MIN_SIZE, resolve_compaction
+from repro.core.greedy import parallel_greedy
+from repro.core.primal_dual import parallel_primal_dual
+from repro.errors import InvalidParameterError
+from repro.metrics.generators import (
+    clustered_instance,
+    euclidean_instance,
+    random_metric_instance,
+    star_instance,
+    two_scale_instance,
+)
+from repro.pram.machine import PramMachine
+
+# Random + adversarial: stars tie every rim facility exactly, two-scale
+# stresses the preprocessing floor, the random metric is non-geometric.
+WORKLOADS = [
+    ("euclid-8x24", lambda: euclidean_instance(8, 24, seed=7)),
+    ("euclid-40x160", lambda: euclidean_instance(40, 160, seed=9)),
+    ("clustered-16x100", lambda: clustered_instance(16, 100, n_clusters=5, seed=3)),
+    ("random-metric-9x27", lambda: random_metric_instance(9, 27, seed=31)),
+    ("star-12", lambda: star_instance(12, seed=41)),
+    ("two-scale-4x10", lambda: two_scale_instance(4, 10, seed=51)),
+]
+
+
+def _pair(fn, inst, **kwargs):
+    dense = fn(inst, machine=PramMachine(seed=123), compaction=False, **kwargs)
+    compacted = fn(inst, machine=PramMachine(seed=123), compaction=True, **kwargs)
+    return dense, compacted
+
+
+@pytest.mark.parametrize("name,make", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+@pytest.mark.parametrize("eps", [0.1, 0.5])
+@pytest.mark.parametrize("preprocess", [True, False])
+class TestGreedyEquivalence:
+    def test_identical_solution(self, name, make, eps, preprocess):
+        a, b = _pair(parallel_greedy, make(), epsilon=eps, preprocess=preprocess)
+        assert np.array_equal(a.opened, b.opened)
+        assert a.cost == b.cost
+        assert np.array_equal(a.alpha, b.alpha)
+        assert a.extra["tau_trace"] == b.extra["tau_trace"]
+        assert a.rounds == b.rounds
+
+
+@pytest.mark.parametrize("name,make", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+@pytest.mark.parametrize("eps", [0.1, 0.5])
+@pytest.mark.parametrize("preprocess", [True, False])
+class TestPrimalDualEquivalence:
+    def test_identical_solution(self, name, make, eps, preprocess):
+        a, b = _pair(parallel_primal_dual, make(), epsilon=eps, preprocess=preprocess)
+        assert np.array_equal(a.opened, b.opened)
+        assert a.cost == b.cost
+        assert np.array_equal(a.alpha, b.alpha)
+        assert np.array_equal(a.extra["H"], b.extra["H"])
+        assert np.array_equal(a.extra["F0"], b.extra["F0"])
+        assert np.array_equal(a.extra["F_T"], b.extra["F_T"])
+        assert np.array_equal(a.extra["I"], b.extra["I"])
+        assert a.rounds == b.rounds
+
+
+class TestCompactionChargesLess:
+    """The point of the refactor: charged work tracks the frontier."""
+
+    def test_greedy_work_shrinks(self):
+        inst = euclidean_instance(60, 240, seed=2)
+        md, mc = PramMachine(seed=5), PramMachine(seed=5)
+        parallel_greedy(inst, epsilon=0.1, machine=md, compaction=False)
+        parallel_greedy(inst, epsilon=0.1, machine=mc, compaction=True)
+        assert mc.ledger.work < md.ledger.work
+
+    def test_primal_dual_work_shrinks(self):
+        inst = euclidean_instance(60, 240, seed=2)
+        md, mc = PramMachine(seed=5), PramMachine(seed=5)
+        parallel_primal_dual(inst, epsilon=0.1, machine=md, compaction=False)
+        parallel_primal_dual(inst, epsilon=0.1, machine=mc, compaction=True)
+        assert mc.ledger.work < md.ledger.work
+
+
+class TestDominatorEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("p", [0.05, 0.2, 0.6])
+    def test_maxdom_identical(self, seed, p):
+        rng = np.random.default_rng(seed)
+        A = np.triu(rng.random((40, 40)) < p, 1)
+        A = A | A.T
+        a = max_dominator_set(A, PramMachine(seed=seed), compaction=False)
+        b = max_dominator_set(A, PramMachine(seed=seed), compaction=True)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_maxudom_identical_with_candidates(self, seed):
+        rng = np.random.default_rng(seed)
+        B = rng.random((30, 18)) < 0.25
+        cand = rng.random(30) < 0.6
+        a = max_u_dominator_set(B, PramMachine(seed=seed), candidates=cand, compaction=False)
+        b = max_u_dominator_set(B, PramMachine(seed=seed), candidates=cand, compaction=True)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_maxdom_sparse_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        A = np.triu(rng.random((60, 60)) < 0.08, 1)
+        A = A | A.T
+        a = max_dominator_set_sparse(A, PramMachine(seed=seed), compaction=False)
+        b = max_dominator_set_sparse(A, PramMachine(seed=seed), compaction=True)
+        c = max_dominator_set(A, PramMachine(seed=seed), compaction=True)
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, c)
+
+    def test_maxdom_compacted_charges_less(self):
+        rng = np.random.default_rng(1)
+        A = np.triu(rng.random((80, 80)) < 0.1, 1)
+        A = A | A.T
+        md, mc = PramMachine(seed=4), PramMachine(seed=4)
+        max_dominator_set(A, md, compaction=False)
+        max_dominator_set(A, mc, compaction=True)
+        assert mc.ledger.work < md.ledger.work
+
+
+class TestResolvePolicy:
+    def test_explicit_modes(self):
+        assert resolve_compaction(True, 1) is True
+        assert resolve_compaction(False, 10**9) is False
+
+    def test_auto_threshold(self):
+        assert resolve_compaction("auto", AUTO_COMPACTION_MIN_SIZE) is True
+        assert resolve_compaction("auto", AUTO_COMPACTION_MIN_SIZE - 1) is False
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_compaction("yes", 10)
+
+    def test_algorithms_reject_bad_mode(self):
+        inst = euclidean_instance(4, 8, seed=0)
+        with pytest.raises(InvalidParameterError):
+            parallel_greedy(inst, epsilon=0.1, seed=0, compaction="sometimes")
+        with pytest.raises(InvalidParameterError):
+            parallel_primal_dual(inst, epsilon=0.1, seed=0, compaction="sometimes")

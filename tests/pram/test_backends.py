@@ -101,3 +101,72 @@ def test_thread_backend_close_idempotent():
 def test_names():
     assert SerialBackend().name == "serial"
     assert ThreadBackend(1).name == "thread"
+
+
+def test_elementwise_broadcasts_mixed_shapes(backend, data):
+    """Column/row vectors broadcast against the matrix on every backend."""
+    col = data[:, :1]
+    row = data[:1, :]
+    out = backend.elementwise(lambda m, c, r: m + c * r, (data, col, row))
+    assert np.allclose(out, data + col * row)
+
+
+def test_thread_backend_mixed_shapes_run_on_pool(rng, monkeypatch):
+    """Large mixed-shape maps must hit the pool, not the serial fallback."""
+    b = ThreadBackend(3, grain=4)
+    try:
+        big = rng.random((211, 67))
+        col = rng.random((211, 1))
+        calls = {"serial": 0}
+        orig = b._serial.elementwise
+
+        def spy(fn, arrays):
+            calls["serial"] += 1
+            return orig(fn, arrays)
+
+        monkeypatch.setattr(b._serial, "elementwise", spy)
+        out = b.elementwise(lambda m, c: m - c, (big, col))
+        assert np.allclose(out, big - col)
+        assert calls["serial"] == 0, "mixed-shape map fell back to serial"
+    finally:
+        b.close()
+
+
+def test_thread_backend_nonbroadcastable_falls_back(rng):
+    """Shape-incompatible args still work via the serial path (fn decides)."""
+    b = ThreadBackend(2, grain=1)
+    try:
+        big = rng.random((64, 8))
+        # fn ignores the second argument's shape entirely
+        out = b.elementwise(lambda m, v: m * 2 + v.sum() * 0, (big, rng.random(5)))
+        assert np.allclose(out, big * 2)
+    finally:
+        b.close()
+
+
+def test_count_votes_matches_bincount(backend, rng):
+    labels = rng.integers(0, 11, size=5000)
+    got = backend.count_votes(labels, 11)
+    assert np.array_equal(got, np.bincount(labels, minlength=11))
+
+
+def test_count_votes_empty(backend):
+    assert np.array_equal(backend.count_votes(np.zeros(0, dtype=np.intp), 4), np.zeros(4, dtype=int))
+
+
+def test_fused_axpy_matches_reference(backend, rng):
+    x = rng.random((57, 33))
+    y = rng.random((57, 33))
+    mask = rng.random((57, 33)) < 0.5
+    want = np.where(mask, np.maximum(0.25, -2.0 * x + y), -1.0)
+    got = backend.fused_axpy(-2.0, x, y, clamp_min=0.25, mask=mask, fill=-1.0)
+    assert np.allclose(got, want)
+
+
+def test_fused_axpy_scalar_y_and_broadcast(backend, rng):
+    x = rng.random((41, 29))
+    got = backend.fused_axpy(-1.0, x, 0.75, clamp_min=0.0)
+    assert np.allclose(got, np.maximum(0.0, 0.75 - x))
+    col = rng.random((41, 1))
+    got2 = backend.fused_axpy(3.0, col, np.zeros((41, 29)))
+    assert np.allclose(got2, np.broadcast_to(3.0 * col, (41, 29)))

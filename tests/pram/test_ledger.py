@@ -91,3 +91,18 @@ def test_reset_clears_but_keeps_params():
     led.reset()
     assert led.work == 0 and led.total_calls == 0 and not led.rounds
     assert led.cache_size == 2**18 and led.block_size == 32
+
+
+def test_round_log_marks_work_and_wall():
+    led = CostLedger()
+    led.charge_basic("map", 10, depth=1)
+    led.bump_round("phase")
+    led.charge_basic("map", 20, depth=1)
+    led.bump_round("phase")
+    labels = [entry[0] for entry in led.round_log]
+    assert labels == ["phase", "phase"]
+    # marks record cumulative work at round entry, monotone wall times
+    assert led.round_log[0][2] == 10.0 and led.round_log[1][2] == 30.0
+    assert led.round_log[0][3] <= led.round_log[1][3]
+    led.reset()
+    assert led.round_log == []

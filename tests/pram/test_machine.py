@@ -130,6 +130,80 @@ def test_pack_shape_mismatch(m):
         m.pack(np.arange(4), np.ones(5, dtype=bool))
 
 
+def test_take_rows(m, rng):
+    a = rng.random((6, 5))
+    idx = np.array([4, 0, 2])
+    assert np.array_equal(m.take_rows(a, idx), a[idx])
+    v = rng.random(9)
+    assert np.array_equal(m.take_rows(v, idx), v[idx])
+
+
+def test_take_rows_out_of_range(m):
+    with pytest.raises(InvalidParameterError):
+        m.take_rows(np.ones((3, 2)), np.array([3]))
+
+
+def test_take_submatrix(m, rng):
+    a = rng.random((7, 9))
+    rows, cols = np.array([5, 1]), np.array([8, 0, 4])
+    assert np.array_equal(m.take_submatrix(a, rows, cols), a[np.ix_(rows, cols)])
+
+
+def test_pack_rows(m):
+    vals = np.arange(12).reshape(3, 4)
+    mask = np.array([[1, 0, 1, 0], [0, 1, 0, 1], [1, 1, 0, 0]], dtype=bool)
+    assert np.array_equal(m.pack_rows(vals, mask), [[0, 2], [5, 7], [8, 9]])
+
+
+def test_pack_rows_nonuniform_count_rejected(m):
+    mask = np.array([[True, True], [True, False]])
+    with pytest.raises(InvalidParameterError, match="uniform"):
+        m.pack_rows(np.ones((2, 2)), mask)
+
+
+def test_pack_rows_shape_mismatch(m):
+    with pytest.raises(InvalidParameterError):
+        m.pack_rows(np.ones((2, 3)), np.ones((3, 2), dtype=bool))
+
+
+def test_count_votes(m, rng):
+    labels = rng.integers(0, 7, size=200)
+    assert np.array_equal(m.count_votes(labels, 7), np.bincount(labels, minlength=7))
+
+
+def test_count_votes_masked(m, rng):
+    labels = rng.integers(0, 5, size=100)
+    mask = rng.random(100) < 0.4
+    assert np.array_equal(
+        m.count_votes(labels, 5, mask=mask), np.bincount(labels[mask], minlength=5)
+    )
+
+
+def test_count_votes_validation(m):
+    with pytest.raises(InvalidParameterError):
+        m.count_votes(np.array([3]), 2)
+    with pytest.raises(InvalidParameterError):
+        m.count_votes(np.array([-1, 1]), 2)
+    with pytest.raises(InvalidParameterError):
+        m.count_votes(np.array([0]), 0)  # nonempty labels need a range
+    with pytest.raises(InvalidParameterError):
+        m.count_votes(np.array([0, 1]), 2, mask=np.ones(3, dtype=bool))
+
+
+def test_masked_axpy(m, rng):
+    x = rng.random((5, 6))
+    y = rng.random((5, 6))
+    mask = x > 0.5
+    want = np.where(mask, np.maximum(0.0, -1.0 * x + y), 9.0)
+    got = m.masked_axpy(-1.0, x, y, clamp_min=0.0, mask=mask, fill=9.0)
+    assert np.allclose(got, want)
+
+
+def test_masked_axpy_scalar_y(m, rng):
+    x = rng.random((4, 3))
+    assert np.allclose(m.masked_axpy(2.0, x, 1.5), 2.0 * x + 1.5)
+
+
 def test_sort_rows(m, rng):
     a = rng.random((5, 9))
     assert np.array_equal(m.sort_rows(a), np.sort(a, axis=1))
@@ -211,6 +285,22 @@ def test_calls_tracked_per_op(m, rng):
 def test_bump_round_delegates(m):
     m.bump_round("phase")
     assert m.ledger.rounds["phase"] == 1
+
+
+def test_frontier_primitives_charge(m, rng):
+    a = rng.random((8, 8))
+    m.take_rows(a, np.array([1, 2]))
+    m.take_submatrix(a, np.array([0, 3]), np.array([1, 2]))
+    m.pack_rows(a, np.tile(np.array([True, False] * 4), (8, 1)))
+    m.count_votes(np.array([0, 1, 1]), 3)
+    m.masked_axpy(1.0, a, 0.0)
+    assert m.ledger.calls_by_op["take_rows"] == 2  # take_submatrix shares the label
+    assert m.ledger.calls_by_op["pack_rows"] == 1
+    assert m.ledger.calls_by_op["count_votes"] == 1
+    assert m.ledger.calls_by_op["masked_axpy"] == 1
+    assert m.ledger.work > 0
+    # gathers are O(1)-depth parallel reads; pack/count carry log depth
+    assert m.ledger.depth < m.ledger.work
 
 
 # -- property-based agreement with NumPy ---------------------------------------
