@@ -45,10 +45,14 @@ from repro.pram import (
     CostLedger,
     CostSnapshot,
     PramMachine,
+    ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    available_backends,
     brent_time,
+    make_backend,
     parallelism,
+    register_backend,
     speedup_curve,
 )
 from repro.core import (
@@ -104,6 +108,10 @@ __all__ = [
     "PramMachine",
     "SerialBackend",
     "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+    "register_backend",
+    "available_backends",
     "CostLedger",
     "CostSnapshot",
     "brent_time",

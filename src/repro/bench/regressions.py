@@ -1,33 +1,38 @@
-"""Perf-regression harness: dense vs frontier-compacted execution.
+"""Perf-regression harness: backends × {dense, frontier-compacted}.
 
-Runs ``parallel_greedy`` and ``parallel_primal_dual`` twice on the same
-seeded workload — once with ``compaction=False`` (the reference
-full-matrix path) and once with ``compaction=True`` — and records, per
-algorithm:
+Runs ``parallel_greedy`` and ``parallel_primal_dual`` on the same
+seeded workload for every requested backend (serial / thread /
+process), once with ``compaction=False`` (the reference full-matrix
+path) and once with ``compaction=True``, and records per (algorithm,
+backend):
 
-* total wall-clock and ledger charges (work/depth/cache);
+* total wall-clock (min over ``repeats`` runs) and ledger charges
+  (work/depth/cache — identical across backends by construction, which
+  the report asserts);
 * a per-round trace of ledger work and wall-clock, differenced from
   :attr:`repro.pram.ledger.CostLedger.round_log`, so the trajectory
   "per-round cost shrinks with the frontier" is visible, not just the
   totals;
-* the wall-clock speedup and charged-work ratio;
-* an exact-equality check of the two solutions (opened set, cost, α).
+* the compacted-vs-dense wall-clock speedup and charged-work ratio;
+* exact-equality checks of the solutions across *all* backends and
+  both execution paths (opened set, cost, α).
 
-The CLI writes the result as JSON (committed as ``BENCH_PR1.json`` at
-the repo root for this PR's baseline) so later PRs can diff the perf
-trajectory::
+The CLI writes the result as JSON (committed as ``BENCH_PR2.json`` at
+the repo root for this PR's baseline; ``BENCH_PR1.json`` holds the
+serial-only PR-1 schema) so later PRs can diff the perf trajectory::
 
     PYTHONPATH=src python -m repro.bench.regressions --nf 1500 --nc 1500 \
-        --out BENCH_PR1.json
+        --backends serial,thread,process --repeats 3 --out BENCH_PR2.json
 
-Everything runs on the serial backend with fixed seeds: the numbers
-move only when the algorithms (or the host) change.
+Fixed seeds throughout: the numbers move only when the algorithms (or
+the host) change.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 
@@ -36,6 +41,7 @@ import numpy as np
 from repro.core.greedy import parallel_greedy
 from repro.core.primal_dual import parallel_primal_dual
 from repro.metrics.generators import euclidean_instance
+from repro.pram.backends import make_backend
 from repro.pram.machine import PramMachine
 
 #: Round labels whose traces are exported, per algorithm.
@@ -66,18 +72,36 @@ def _per_round(round_log, label, final_work: float, final_wall: float) -> list:
     return out
 
 
-def _run_once(algorithm: str, instance, *, epsilon: float, seed: int, compaction: bool) -> dict:
-    """One seeded run; returns measurements plus the solution object."""
-    machine = PramMachine(seed=seed)
-    t0 = time.perf_counter()
-    sol = _ALGORITHMS[algorithm](
-        instance, epsilon=epsilon, machine=machine, compaction=compaction
-    )
-    wall = time.perf_counter() - t0
-    ledger = machine.ledger
-    return {
-        "solution": sol,
-        "measure": {
+def _run_once(
+    algorithm: str,
+    instance,
+    *,
+    epsilon: float,
+    seed: int,
+    compaction: bool,
+    backend,
+    repeats: int = 1,
+) -> dict:
+    """Seeded run(s) on one backend; wall-clock is the min over repeats.
+
+    Deterministic seeding makes every repeat compute the identical
+    solution and ledger, so only the clock varies; the minimum is the
+    standard noise-robust estimate for a fixed workload.
+    """
+    sol = measure = None
+    best_wall = float("inf")
+    for _ in range(max(int(repeats), 1)):
+        machine = PramMachine(backend=backend, seed=seed)
+        t0 = time.perf_counter()
+        sol = _ALGORITHMS[algorithm](
+            instance, epsilon=epsilon, machine=machine, compaction=compaction
+        )
+        wall = time.perf_counter() - t0
+        if wall >= best_wall:
+            continue
+        best_wall = wall
+        ledger = machine.ledger
+        measure = {
             "wall_s": wall,
             "ledger_work": ledger.work,
             "ledger_depth": ledger.depth,
@@ -89,8 +113,16 @@ def _run_once(algorithm: str, instance, *, epsilon: float, seed: int, compaction
                 ledger.work,
                 t0 + wall,
             ),
-        },
-    }
+        }
+    return {"solution": sol, "measure": measure}
+
+
+def _same_solution(a, b) -> bool:
+    return bool(
+        np.array_equal(a.opened, b.opened)
+        and a.cost == b.cost
+        and np.array_equal(a.alpha, b.alpha)
+    )
 
 
 def run_regression(
@@ -101,8 +133,22 @@ def run_regression(
     machine_seed: int = 1,
     epsilon: float = 0.1,
     algorithms=("parallel_greedy", "parallel_primal_dual"),
+    backends=("serial",),
+    num_workers: int | None = None,
+    grain: int | None = None,
+    repeats: int = 1,
 ) -> dict:
-    """Run the dense-vs-compacted comparison and return the report dict."""
+    """Run the backend × compaction sweep and return the report dict.
+
+    Backends are named (``"serial"``/``"thread"``/``"process"``); each
+    gets a private pool (closed before the next backend runs) so sweeps
+    never overlap worker sets. ``solutions_identical`` per algorithm
+    covers every (backend, compaction) combination against the dense
+    run of the **first listed backend** — list serial first (as the
+    committed baseline does) to make that the serial-parity claim.
+    ``cost``/``opened`` and the ``charges_invariant`` reference come
+    from the same first-listed run.
+    """
     instance = euclidean_instance(nf, nc, seed=seed)
     report = {
         "meta": {
@@ -112,46 +158,90 @@ def run_regression(
             "m": nf * nc,
             "epsilon": epsilon,
             "machine_seed": machine_seed,
-            "backend": "serial",
+            "backends": list(backends),
+            "num_workers": num_workers if num_workers is not None else (os.cpu_count() or 1),
+            "grain": grain,
+            "repeats": repeats,
+            "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
             "numpy": np.__version__,
         },
         "algorithms": {},
     }
     for algorithm in algorithms:
-        dense = _run_once(
-            algorithm, instance, epsilon=epsilon, seed=machine_seed, compaction=False
-        )
-        compacted = _run_once(
-            algorithm, instance, epsilon=epsilon, seed=machine_seed, compaction=True
-        )
-        a, b = dense["solution"], compacted["solution"]
-        identical = bool(
-            np.array_equal(a.opened, b.opened)
-            and a.cost == b.cost
-            and np.array_equal(a.alpha, b.alpha)
-        )
-        report["algorithms"][algorithm] = {
-            "dense": dense["measure"],
-            "compacted": compacted["measure"],
-            "cost": a.cost,
-            "opened": int(a.opened.size),
-            "solutions_identical": identical,
-            "speedup_wall": dense["measure"]["wall_s"] / compacted["measure"]["wall_s"],
-            "work_ratio": dense["measure"]["ledger_work"]
-            / max(compacted["measure"]["ledger_work"], 1.0),
-        }
+        entry = {"backends": {}}
+        reference = None  # first listed backend's dense solution
+        identical = True
+        ref_work = {}
+        for backend_name in backends:
+            backend = make_backend(backend_name, num_workers=num_workers, grain=grain)
+            try:
+                dense = _run_once(
+                    algorithm,
+                    instance,
+                    epsilon=epsilon,
+                    seed=machine_seed,
+                    compaction=False,
+                    backend=backend,
+                    repeats=repeats,
+                )
+                compacted = _run_once(
+                    algorithm,
+                    instance,
+                    epsilon=epsilon,
+                    seed=machine_seed,
+                    compaction=True,
+                    backend=backend,
+                    repeats=repeats,
+                )
+            finally:
+                backend.close()
+            if reference is None:
+                reference = dense["solution"]
+                entry["cost"] = reference.cost
+                entry["opened"] = int(reference.opened.size)
+                ref_work = {
+                    "dense": dense["measure"]["ledger_work"],
+                    "compacted": compacted["measure"]["ledger_work"],
+                }
+            identical = (
+                identical
+                and _same_solution(reference, dense["solution"])
+                and _same_solution(reference, compacted["solution"])
+            )
+            # Ledger charges are backend-invariant; flag any drift.
+            charges_invariant = dense["measure"]["ledger_work"] == ref_work["dense"] and (
+                compacted["measure"]["ledger_work"] == ref_work["compacted"]
+            )
+            entry["backends"][backend_name] = {
+                "dense": dense["measure"],
+                "compacted": compacted["measure"],
+                "speedup_wall": dense["measure"]["wall_s"] / compacted["measure"]["wall_s"],
+                "work_ratio": dense["measure"]["ledger_work"]
+                / max(compacted["measure"]["ledger_work"], 1.0),
+                "charges_invariant": bool(charges_invariant),
+            }
+        entry["solutions_identical"] = bool(identical)
+        report["algorithms"][algorithm] = entry
     return report
 
 
 def main(argv=None) -> None:
-    """CLI entry point: run the regression suite and write JSON."""
+    """CLI entry point: run the regression sweep and write JSON."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--nf", type=int, default=1500, help="number of facilities")
     parser.add_argument("--nc", type=int, default=1500, help="number of clients")
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument("--machine-seed", type=int, default=1, help="PRAM machine seed")
     parser.add_argument("--epsilon", type=float, default=0.1)
+    parser.add_argument(
+        "--backends",
+        default="serial",
+        help="comma-separated backend names to sweep (serial,thread,process)",
+    )
+    parser.add_argument("--workers", type=int, default=None, help="pool worker count")
+    parser.add_argument("--grain", type=int, default=None, help="pool grain (elements/task)")
+    parser.add_argument("--repeats", type=int, default=1, help="timed runs per config (min wins)")
     parser.add_argument("--out", default=None, help="write the JSON report here")
     args = parser.parse_args(argv)
 
@@ -161,16 +251,22 @@ def main(argv=None) -> None:
         seed=args.seed,
         machine_seed=args.machine_seed,
         epsilon=args.epsilon,
+        backends=tuple(b.strip() for b in args.backends.split(",") if b.strip()),
+        num_workers=args.workers,
+        grain=args.grain,
+        repeats=args.repeats,
     )
     for name, entry in report["algorithms"].items():
-        print(
-            f"{name}: dense {entry['dense']['wall_s']:.2f}s "
-            f"(work {entry['dense']['ledger_work']:.3g}) | "
-            f"compacted {entry['compacted']['wall_s']:.2f}s "
-            f"(work {entry['compacted']['ledger_work']:.3g}) | "
-            f"speedup {entry['speedup_wall']:.2f}x | "
-            f"identical={entry['solutions_identical']}"
-        )
+        print(f"{name}: identical={entry['solutions_identical']}")
+        for backend_name, row in entry["backends"].items():
+            print(
+                f"  {backend_name:>8}: dense {row['dense']['wall_s']:.2f}s "
+                f"(work {row['dense']['ledger_work']:.3g}) | "
+                f"compacted {row['compacted']['wall_s']:.2f}s "
+                f"(work {row['compacted']['ledger_work']:.3g}) | "
+                f"speedup {row['speedup_wall']:.2f}x | "
+                f"charges_invariant={row['charges_invariant']}"
+            )
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=1)

@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.core.frontier import resolve_compaction
 from repro.errors import ConvergenceError, InvalidParameterError
-from repro.pram.machine import PramMachine
+from repro.pram.machine import PramMachine, ensure_machine
 
 
 def _as_adjacency(A: np.ndarray) -> np.ndarray:
@@ -65,6 +65,7 @@ def max_dominator_set(
     adjacency: np.ndarray,
     machine: PramMachine | None = None,
     *,
+    backend=None,
     max_rounds: int | None = None,
     compaction: "bool | str" = "auto",
 ) -> np.ndarray:
@@ -75,7 +76,11 @@ def max_dominator_set(
     adjacency:
         Symmetric boolean matrix (diagonal ignored).
     machine:
-        PRAM machine to execute/charge on; a fresh serial one if absent.
+        PRAM machine to execute/charge on; a fresh one if absent.
+    backend:
+        Execution backend name or instance for a freshly constructed
+        machine; mutually exclusive with ``machine``. Selections are
+        backend-invariant.
     max_rounds:
         Safety bound; defaults to ``n + 1`` (every round selects the
         globally minimum-priority candidate, so ≥ 1 node leaves per
@@ -90,9 +95,9 @@ def max_dominator_set(
     numpy.ndarray
         Boolean selection mask over the nodes.
     """
-    machine = machine if machine is not None else PramMachine()
     A = _as_adjacency(adjacency)
     n = A.shape[0]
+    machine = ensure_machine(machine, backend=backend, size=n * n)
     if n == 0:
         return np.zeros(0, dtype=bool)
     limit = (n + 1) if max_rounds is None else int(max_rounds)
@@ -166,6 +171,7 @@ def max_u_dominator_set(
     biadjacency: np.ndarray,
     machine: PramMachine | None = None,
     *,
+    backend=None,
     candidates: np.ndarray | None = None,
     max_rounds: int | None = None,
     compaction: "bool | str" = "auto",
@@ -176,6 +182,10 @@ def max_u_dominator_set(
     ----------
     biadjacency:
         ``|U| × |V|`` boolean incidence matrix.
+    backend:
+        Execution backend name or instance for a freshly constructed
+        machine; mutually exclusive with ``machine``. Selections are
+        backend-invariant.
     candidates:
         Optional mask restricting which U-nodes may be selected (the
         callers in §5/§6.2 run on subsets of a fixed graph); conflicts
@@ -193,10 +203,10 @@ def max_u_dominator_set(
         Boolean selection mask over U. U-nodes without any V-neighbor
         conflict with nobody and are always selected (if candidates).
     """
-    machine = machine if machine is not None else PramMachine()
     B = np.asarray(biadjacency, dtype=bool)
     if B.ndim != 2:
         raise InvalidParameterError(f"biadjacency must be 2-D, got shape {B.shape}")
+    machine = ensure_machine(machine, backend=backend, size=B.size)
     nu = B.shape[0]
     if nu == 0:
         return np.zeros(0, dtype=bool)

@@ -25,7 +25,7 @@ from scipy import sparse
 
 from repro.core.frontier import resolve_compaction
 from repro.errors import ConvergenceError, InvalidParameterError
-from repro.pram.machine import PramMachine
+from repro.pram.machine import PramMachine, ensure_machine
 
 
 def _to_csr(adjacency) -> sparse.csr_matrix:
@@ -112,6 +112,7 @@ def max_dominator_set_sparse(
     adjacency,
     machine: PramMachine | None = None,
     *,
+    backend=None,
     max_rounds: int | None = None,
     compaction: "bool | str" = "auto",
 ) -> np.ndarray:
@@ -123,6 +124,10 @@ def max_dominator_set_sparse(
     ----------
     adjacency:
         scipy.sparse matrix or dense boolean array (symmetric).
+    backend:
+        Execution backend name or instance for a freshly constructed
+        machine; mutually exclusive with ``machine``. Selections are
+        backend-invariant.
     compaction:
         ``"auto"``, ``True``, or ``False`` — restrict each round to the
         candidate rows and their relay halo once the pool shrinks (see
@@ -133,9 +138,9 @@ def max_dominator_set_sparse(
     numpy.ndarray
         Boolean selection mask: maximal, and independent in ``G²``.
     """
-    machine = machine if machine is not None else PramMachine()
     A = _to_csr(adjacency)
     n = A.shape[0]
+    machine = ensure_machine(machine, backend=backend, size=max(int(A.indptr[-1]), n))
     if n == 0:
         return np.zeros(0, dtype=bool)
     limit = (n + 1) if max_rounds is None else int(max_rounds)

@@ -34,7 +34,7 @@ import numpy as np
 from repro.core.result import FacilityLocationSolution
 from repro.errors import InvalidParameterError
 from repro.metrics.instance import FacilityLocationInstance
-from repro.pram.machine import PramMachine
+from repro.pram.machine import PramMachine, ensure_machine
 from repro.util.validation import check_epsilon
 
 
@@ -61,6 +61,7 @@ def parallel_fl_local_search(
     epsilon: float = 0.1,
     machine: PramMachine | None = None,
     seed=None,
+    backend=None,
     initial=None,
     max_rounds: int | None = None,
 ) -> FacilityLocationSolution:
@@ -72,6 +73,12 @@ def parallel_fl_local_search(
         Improvement slack: a move is applied only if it improves the
         objective by a ``(1 − β/(n_f+1))`` factor, ``β = ε/(1+ε)``
         (local optima of the exact neighborhood are 3-approximate).
+    backend:
+        Execution backend name or instance for a freshly constructed
+        machine; mutually exclusive with ``machine``. Seeded results
+        agree across backends on every tested workload (pool
+        backends may reassociate full float sum-reductions in the
+        last ulp).
     initial:
         Starting facility set (defaults to the single facility
         minimizing the Eq. (1) objective alone — computable in one
@@ -90,7 +97,7 @@ def parallel_fl_local_search(
         initial cost.
     """
     eps = check_epsilon(epsilon, upper=1.0)
-    machine = machine if machine is not None else PramMachine(seed=seed)
+    machine = ensure_machine(machine, backend=backend, seed=seed, size=instance.m)
     D = instance.D
     f = instance.f.astype(float)
     nf, nc = D.shape

@@ -23,6 +23,8 @@ Every algorithm takes a ``compaction`` argument resolved here:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import InvalidParameterError
 
 #: Instance sizes (``m = n_f · n_c`` or ``n²`` for graphs) below which
@@ -41,10 +43,13 @@ def resolve_compaction(compaction, size: int) -> bool:
     size:
         The instance's element count (the paper's ``m``).
     """
-    if compaction is True or compaction is False:
-        return compaction
+    # NumPy bools arise naturally from size comparisons like
+    # ``n_f * n_c > threshold`` — accept them alongside plain bools
+    # (an identity check against True/False would reject np.True_).
+    if isinstance(compaction, (bool, np.bool_)):
+        return bool(compaction)
     if compaction == "auto":
-        return size >= AUTO_COMPACTION_MIN_SIZE
+        return bool(size >= AUTO_COMPACTION_MIN_SIZE)
     raise InvalidParameterError(
         f"compaction must be True, False, or 'auto', got {compaction!r}"
     )

@@ -57,7 +57,7 @@ from repro.core.stars import (
 )
 from repro.errors import ConvergenceError
 from repro.metrics.instance import FacilityLocationInstance
-from repro.pram.machine import PramMachine
+from repro.pram.machine import PramMachine, ensure_machine
 from repro.util.validation import check_epsilon
 
 _REL_TOL = 1.0 + 1e-12  # float-safe threshold comparisons
@@ -76,6 +76,7 @@ def parallel_greedy(
     epsilon: float = 0.1,
     machine: PramMachine | None = None,
     seed=None,
+    backend=None,
     preprocess: bool = True,
     max_outer_rounds: int | None = None,
     max_subselect_rounds: int | None = None,
@@ -89,8 +90,13 @@ def parallel_greedy(
         The slack parameter ``0 < ε ≤ 1``; smaller ε tracks the
         sequential greedy more closely (better cost, more rounds).
     machine:
-        PRAM machine to execute/charge on (fresh serial one if absent;
-        ``seed`` is only used when constructing a fresh machine).
+        PRAM machine to execute/charge on (a fresh one if absent;
+        ``seed``/``backend`` are only used when constructing it).
+    backend:
+        Execution backend for the fresh machine — a name
+        (``"serial"``/``"thread"``/``"process"``/``"auto"``) or a
+        :class:`~repro.pram.backends.Backend` instance. Mutually
+        exclusive with ``machine``. Results are backend-invariant.
     preprocess:
         Apply the ``γ/m²`` cheap-star preprocessing (§4, "Bounding the
         number of rounds"). Disable to measure its effect (bench E5).
@@ -112,7 +118,7 @@ def parallel_greedy(
         ``extra = {gamma, tau_trace, preprocessed_clients}``.
     """
     eps = check_epsilon(epsilon, upper=1.0)
-    machine = machine if machine is not None else PramMachine(seed=seed)
+    machine = ensure_machine(machine, backend=backend, seed=seed, size=instance.m)
     m = max(instance.m, 2)
 
     outer_cap = max_outer_rounds if max_outer_rounds is not None else instance.n_clients + 8

@@ -22,7 +22,7 @@ import numpy as np
 from repro.core.dominator import max_dominator_set
 from repro.core.result import ClusteringSolution
 from repro.metrics.instance import ClusteringInstance
-from repro.pram.machine import PramMachine
+from repro.pram.machine import PramMachine, ensure_machine
 
 
 def parallel_kcenter(
@@ -30,6 +30,7 @@ def parallel_kcenter(
     *,
     machine: PramMachine | None = None,
     seed=None,
+    backend=None,
 ) -> ClusteringSolution:
     """2-approximate k-center via parallel bottleneck search.
 
@@ -40,7 +41,7 @@ def parallel_kcenter(
         round counters (``kcenter_probe`` per probe plus the dominator
         rounds), and ``extra = {threshold, probes}``.
     """
-    machine = machine if machine is not None else PramMachine(seed=seed)
+    machine = ensure_machine(machine, backend=backend, seed=seed, size=instance.D.size)
     D, k, n = instance.D, instance.k, instance.n
     start = machine.snapshot()
 

@@ -30,7 +30,7 @@ from repro.core.primal_dual import parallel_primal_dual
 from repro.core.result import ClusteringSolution
 from repro.errors import InvalidParameterError
 from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
-from repro.pram.machine import PramMachine
+from repro.pram.machine import PramMachine, ensure_machine
 from repro.util.validation import check_epsilon, check_positive_int
 
 
@@ -47,6 +47,7 @@ def parallel_kmedian_lagrangian(
     epsilon: float = 0.1,
     machine: PramMachine | None = None,
     seed=None,
+    backend=None,
     max_probes: int = 40,
 ) -> ClusteringSolution:
     """k-median via Lagrangian relaxation of the facility budget.
@@ -55,6 +56,12 @@ def parallel_kmedian_lagrangian(
     ----------
     epsilon:
         Slack passed through to the §5 primal–dual subroutine.
+    backend:
+        Execution backend name or instance for a freshly constructed
+        machine; mutually exclusive with ``machine``. Seeded results
+        agree across backends on every tested workload (pool
+        backends may reassociate full float sum-reductions in the
+        last ulp).
     max_probes:
         Binary-search probes over the price λ (each probe is one full
         primal–dual run; 40 resolves λ to ~2⁻⁴⁰ of its range).
@@ -68,7 +75,7 @@ def parallel_kmedian_lagrangian(
     """
     eps = check_epsilon(epsilon)
     check_positive_int(max_probes, name="max_probes")
-    machine = machine if machine is not None else PramMachine(seed=seed)
+    machine = ensure_machine(machine, backend=backend, seed=seed, size=instance.D.size)
     n, k = instance.n, instance.k
     if k >= n:
         centers = np.arange(n)

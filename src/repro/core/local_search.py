@@ -30,7 +30,7 @@ from repro.core.kcenter import parallel_kcenter
 from repro.core.result import ClusteringSolution
 from repro.errors import ConvergenceError, InvalidParameterError
 from repro.metrics.instance import ClusteringInstance
-from repro.pram.machine import PramMachine
+from repro.pram.machine import PramMachine, ensure_machine
 from repro.util.validation import check_epsilon
 
 _OBJECTIVE_POWER = {"kmedian": 1.0, "kmeans": 2.0}
@@ -60,6 +60,7 @@ def parallel_local_search(
     epsilon: float = 0.5,
     machine: PramMachine | None = None,
     seed=None,
+    backend=None,
     initial=None,
     max_rounds: int | None = None,
 ) -> ClusteringSolution:
@@ -72,6 +73,12 @@ def parallel_local_search(
     epsilon:
         Improvement slack ``0 < ε < 1`` (β = ε/(1+ε)); smaller ε means
         more rounds and a guarantee closer to 5 (resp. 81).
+    backend:
+        Execution backend name or instance for a freshly constructed
+        machine; mutually exclusive with ``machine``. Seeded results
+        agree across backends on every tested workload (pool
+        backends may reassociate full float sum-reductions in the
+        last ulp).
     initial:
         Optional warm-start centers (defaults to parallel k-center).
     max_rounds:
@@ -88,7 +95,7 @@ def parallel_local_search(
             f"objective must be one of {sorted(_OBJECTIVE_POWER)}, got {objective!r}"
         )
     eps = check_epsilon(epsilon, upper=1.0 - 1e-9)
-    machine = machine if machine is not None else PramMachine(seed=seed)
+    machine = ensure_machine(machine, backend=backend, seed=seed, size=instance.D.size)
     n, k = instance.n, instance.k
     beta = eps / (1.0 + eps)
 

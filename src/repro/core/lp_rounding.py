@@ -37,7 +37,7 @@ from repro.core.result import FacilityLocationSolution
 from repro.errors import ConvergenceError, InvalidParameterError
 from repro.lp.solve import PrimalSolution, solve_primal
 from repro.metrics.instance import FacilityLocationInstance
-from repro.pram.machine import PramMachine
+from repro.pram.machine import PramMachine, ensure_machine
 from repro.util.validation import check_epsilon
 
 _REL_TOL = 1.0 + 1e-12
@@ -51,6 +51,7 @@ def parallel_lp_rounding(
     filter_alpha: float = 1.0 / 3.0,
     machine: PramMachine | None = None,
     seed=None,
+    backend=None,
     max_rounds: int | None = None,
 ) -> FacilityLocationSolution:
     """Round an optimal LP solution to an integral one (Algorithm of §6.2).
@@ -60,6 +61,12 @@ def parallel_lp_rounding(
     primal:
         Optimal LP solution; solved here (sequentially, as substrate)
         when absent — the parallel claim covers only the rounding.
+    backend:
+        Execution backend name or instance for a freshly constructed
+        machine; mutually exclusive with ``machine``. Seeded results
+        agree across backends on every tested workload (pool
+        backends may reassociate full float sum-reductions in the
+        last ulp).
     filter_alpha:
         The filter radius parameter ``a ∈ (0, 1)``; ``1/3`` gives the
         headline ``4+ε``.
@@ -76,7 +83,7 @@ def parallel_lp_rounding(
     a = float(filter_alpha)
     if not 0.0 < a < 1.0:
         raise InvalidParameterError(f"filter_alpha must lie in (0,1), got {filter_alpha}")
-    machine = machine if machine is not None else PramMachine(seed=seed)
+    machine = ensure_machine(machine, backend=backend, seed=seed, size=instance.m)
     if primal is None:
         primal = solve_primal(instance)
     D = instance.D

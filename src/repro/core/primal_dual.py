@@ -47,7 +47,7 @@ from repro.core.greedy import _instance_gamma
 from repro.core.result import FacilityLocationSolution
 from repro.errors import ConvergenceError
 from repro.metrics.instance import FacilityLocationInstance
-from repro.pram.machine import PramMachine
+from repro.pram.machine import PramMachine, ensure_machine
 from repro.util.validation import check_epsilon
 
 _REL_TOL = 1.0 + 1e-12
@@ -59,6 +59,7 @@ def parallel_primal_dual(
     epsilon: float = 0.1,
     machine: PramMachine | None = None,
     seed=None,
+    backend=None,
     preprocess: bool = True,
     max_iterations: int | None = None,
     compaction: "bool | str" = "auto",
@@ -70,6 +71,11 @@ def parallel_primal_dual(
     epsilon:
         Geometric raising slack ``ε > 0``; the guarantee is ``(3+ε′)``
         with ``ε′ → 0`` as ``ε → 0``.
+    backend:
+        Execution backend for a freshly constructed machine — a name
+        (``"serial"``/``"thread"``/``"process"``/``"auto"``) or a
+        :class:`~repro.pram.backends.Backend` instance. Mutually
+        exclusive with ``machine``. Results are backend-invariant.
     preprocess:
         Open "free" facilities at level ``γ/m²`` first (§5
         preprocessing). Disable for the E5 ablation — without it the
@@ -91,7 +97,7 @@ def parallel_primal_dual(
         surviving independent set ``I``.
     """
     eps = check_epsilon(epsilon)
-    machine = machine if machine is not None else PramMachine(seed=seed)
+    machine = ensure_machine(machine, backend=backend, seed=seed, size=instance.m)
     m = max(instance.m, 2)
     if max_iterations is not None:
         iter_cap = max_iterations

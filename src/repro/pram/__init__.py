@@ -10,18 +10,31 @@ operators). On an EREW PRAM a basic operation on ``m`` elements costs
 cache-oblivious model the cache complexities are ``O(m/B)`` and
 ``O((m/B) log_{M/B} m)`` respectively.
 
-:class:`PramMachine` executes those primitives with NumPy (optionally a
-thread-parallel backend — NumPy ufuncs release the GIL, so row-blocked
-threads are genuinely parallel) while charging the model costs to a
-:class:`CostLedger`. All of the paper's asymptotic claims (work bounds,
-round counts, polylog depth, Brent speedup ``T_p = W/p + D``) become
-directly measurable quantities.
+:class:`PramMachine` executes those primitives with NumPy on a
+swappable backend — serial, thread-parallel (NumPy ufuncs release the
+GIL, so row-blocked threads are genuinely parallel), or
+process-parallel over shared memory — while charging the model costs
+to a :class:`CostLedger`; charges are backend-invariant, so all of the
+paper's asymptotic claims (work bounds, round counts, polylog depth,
+Brent speedup ``T_p = W/p + D``) become directly measurable
+quantities on any substrate.
 """
 
 from repro.pram.operators import ADD, AND, MAX, MIN, OR, AssociativeOp, get_operator
 from repro.pram.ledger import CostLedger, CostSnapshot
-from repro.pram.backends import Backend, SerialBackend, ThreadBackend
-from repro.pram.machine import PramMachine
+from repro.pram.backends import (
+    AUTO_BACKEND_MIN_SIZE,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+    resolve_backend_name,
+    shared_backend,
+)
+from repro.pram.machine import PramMachine, ensure_machine
 from repro.pram.brent import brent_time, parallelism, speedup_curve
 
 __all__ = [
@@ -38,6 +51,14 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "PramMachine",
+    "ensure_machine",
+    "ProcessBackend",
+    "AUTO_BACKEND_MIN_SIZE",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+    "resolve_backend_name",
+    "shared_backend",
     "brent_time",
     "parallelism",
     "speedup_curve",

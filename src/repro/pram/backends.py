@@ -1,21 +1,51 @@
 """Execution backends for the PRAM primitives.
 
-Two backends implement the same tiny kernel interface:
+Three interchangeable backends implement the same tiny kernel
+interface; a :class:`PramMachine` runs every primitive through one of
+them, and the ledger's model charges are identical regardless of which
+(charges are computed from array sizes, never from how the kernel
+executed):
 
-* :class:`SerialBackend` — plain NumPy. The default; model costs are
-  charged identically regardless of backend.
+* :class:`SerialBackend` — plain NumPy on the calling thread. The
+  default; also the reference implementation every other backend is
+  property-tested against.
 * :class:`ThreadBackend` — row-blocked ``ThreadPoolExecutor``. NumPy
   ufuncs release the GIL while crunching, so threads deliver genuine
   wall-clock parallelism on large arrays (this is the substitution for
   physical PRAM processors noted in DESIGN.md: the GIL does not
-  serialize NumPy kernels). Small arrays fall through to serial
-  execution because thread handoff would dominate.
+  serialize NumPy kernels).
+* :class:`ProcessBackend` — row-blocked ``ProcessPoolExecutor`` over
+  ``multiprocessing.shared_memory``. Matrices travel to the workers by
+  shared-memory *name*, never by pickled value, so per-call transport
+  is one copy into (and one out of) a shared segment; the row blocks
+  themselves are computed across cores. Pays off when the per-element
+  arithmetic is heavy enough to beat the copy, or when a NumPy build
+  holds the GIL.
+
+All pool backends share one dispatch policy: arrays smaller than
+``grain × num_workers`` (or with fewer than two rows) fall through to
+serial execution, because pool handoff would dominate. That fallback is
+also the pinned-down behavior after :meth:`Backend.close`: a closed
+backend keeps producing correct results, serially.
+
+Backends are constructed directly, through :func:`make_backend`
+(``"serial" | "thread" | "process" | "auto"``), or implicitly via the
+``REPRO_BACKEND`` / ``REPRO_NUM_WORKERS`` / ``REPRO_GRAIN`` environment
+variables consulted by :func:`shared_backend` when a
+:class:`~repro.pram.machine.PramMachine` is built without an explicit
+backend instance.
 """
 
 from __future__ import annotations
 
+import atexit
+import marshal
 import os
-from concurrent.futures import ThreadPoolExecutor
+import pickle
+import sys
+import types
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from multiprocessing import get_context, shared_memory
 
 import numpy as np
 
@@ -39,7 +69,13 @@ def _axpy_kernel(a, x, y, clamp_min, mask, fill):
 
 
 class Backend:
-    """Kernel interface shared by all backends."""
+    """Kernel interface shared by all backends.
+
+    Backends are context managers: ``with make_backend("thread") as b``
+    guarantees the worker pool is released. ``close`` is idempotent,
+    and a closed backend still executes every kernel correctly — it
+    just runs serially (see :attr:`closed`).
+    """
 
     name = "abstract"
 
@@ -67,8 +103,20 @@ class Backend:
         """One-pass ``a*x + y`` with optional clamp/mask (a is scalar)."""
         raise NotImplementedError
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (kernels then execute serially)."""
+        return False
+
     def close(self) -> None:
-        """Release any worker resources (no-op for serial)."""
+        """Release any worker resources (no-op for serial, idempotent)."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
 
 class SerialBackend(Backend):
@@ -98,28 +146,46 @@ class SerialBackend(Backend):
         return _axpy_kernel(a, x, y, clamp_min, mask, fill)
 
 
-class ThreadBackend(Backend):
-    """Row-blocked thread-parallel execution.
+class _BlockedBackend(Backend):
+    """Shared scaffolding for row-blocked pool backends.
 
-    Parameters
-    ----------
-    num_workers:
-        Worker thread count; defaults to ``os.cpu_count()``.
-    grain:
-        Minimum elements per task; arrays smaller than
-        ``grain * num_workers`` run serially to avoid dispatch overhead.
+    Owns the dispatch policy (``_pool_worthy``), the row chunking, the
+    serial fallback, and the close/context-manager lifecycle. Concrete
+    backends provide ``_make_pool`` plus the kernels.
     """
 
-    name = "thread"
-
-    def __init__(self, num_workers: int | None = None, *, grain: int = 1 << 14):
+    def __init__(self, num_workers: int | None = None, *, grain: int):
         workers = num_workers if num_workers is not None else (os.cpu_count() or 1)
         if workers < 1:
             raise InvalidParameterError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = int(workers)
         self.grain = int(grain)
-        self._pool = ThreadPoolExecutor(max_workers=self.num_workers) if self.num_workers > 1 else None
+        self._pool = self._make_pool() if self.num_workers > 1 else None
         self._serial = SerialBackend()
+        self._closed = False
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self):
+        """Shut the worker pool down (idempotent).
+
+        After closing, every kernel keeps working via the serial
+        fallback — the pinned-down use-after-close contract, asserted
+        by the backend test suite.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     # -- helpers ----------------------------------------------------------
 
@@ -140,6 +206,27 @@ class ThreadBackend(Backend):
         """Split ``range(n_rows)`` into at most ``num_workers`` slices."""
         per = -(-n_rows // self.num_workers)
         return [slice(s, min(s + per, n_rows)) for s in range(0, n_rows, per)]
+
+
+class ThreadBackend(_BlockedBackend):
+    """Row-blocked thread-parallel execution.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker thread count; defaults to ``os.cpu_count()``.
+    grain:
+        Minimum elements per task; arrays smaller than
+        ``grain * num_workers`` run serially to avoid dispatch overhead.
+    """
+
+    name = "thread"
+
+    def __init__(self, num_workers: int | None = None, *, grain: int = 1 << 14):
+        super().__init__(num_workers, grain=grain)
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(max_workers=self.num_workers)
 
     def _parallel_over_rows(self, a: np.ndarray, task):
         chunks = self._row_chunks(a.shape[0])
@@ -236,7 +323,501 @@ class ThreadBackend(Backend):
         )
         return np.concatenate(parts, axis=0)
 
-    def close(self):
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+
+# -- process backend: shared-memory transport ------------------------------
+
+
+class _FnTransportError(Exception):
+    """A transported kernel function could not be rebuilt/run in the
+    worker (e.g. spawn context with an unimportable definition site).
+    The parent catches this and falls back to serial execution."""
+
+
+def _encode_fn(fn):
+    """Serialize a kernel function for a worker process.
+
+    Plain pickle covers module-level callables and NumPy ufuncs.
+    Lambdas and nested functions — the common currency of
+    ``PramMachine.map`` call sites — are rebuilt from their code object
+    plus pickled defaults/closure cells. Same-interpreter only, which
+    is all a worker pool ever is; raises if a closure cell itself
+    resists pickling (the caller then falls back to serial).
+    """
+    try:
+        return ("pickle", pickle.dumps(fn))
+    except Exception:
+        cells = tuple(c.cell_contents for c in (fn.__closure__ or ()))
+        return (
+            "code",
+            marshal.dumps(fn.__code__),
+            fn.__module__,
+            fn.__name__,
+            pickle.dumps(fn.__defaults__),
+            pickle.dumps(cells),
+        )
+
+
+def _decode_fn(spec):
+    """Inverse of :func:`_encode_fn`, run inside a worker."""
+    if spec[0] == "pickle":
+        return pickle.loads(spec[1])
+    _, code_bytes, module, name, defaults_bytes, cells_bytes = spec
+    code = marshal.loads(code_bytes)
+    mod = sys.modules.get(module)
+    if mod is not None:
+        global_ns = mod.__dict__
+    else:
+        # Forked workers inherit the parent's modules; this fallback only
+        # fires under spawn for unimportable definition sites.
+        global_ns = {"np": np, "numpy": np, "__builtins__": __builtins__}
+    closure = tuple(types.CellType(v) for v in pickle.loads(cells_bytes))
+    return types.FunctionType(code, global_ns, name, pickle.loads(defaults_bytes), closure)
+
+
+def _share_array(a: np.ndarray):
+    """Copy ``a`` into a fresh shared-memory segment; return (shm, spec)."""
+    a = np.ascontiguousarray(a)
+    shm = shared_memory.SharedMemory(create=True, size=max(a.nbytes, 1))
+    np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf)[...] = a
+    return shm, (shm.name, a.shape, a.dtype.str)
+
+
+def _attach_array(spec):
+    """Attach to a shared segment by name; return (shm, ndarray view)."""
+    name, shape, dtype = spec
+    shm = shared_memory.SharedMemory(name=name)
+    return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+
+def _pool_task(kind, out_spec, out_index, in_specs, sl, payload):
+    """One row-block task, executed inside a worker process.
+
+    Arrays travel by shared-memory name only — the task tuple itself
+    carries a few strings and scalars. ``sl`` is the input row slice;
+    ``out_index`` addresses where this block's result lands in the
+    output segment (the same rows for row-parallel kernels, a partial
+    slot for combine kernels).
+    """
+    shms = []
+    try:
+        arrays = []
+        for spec in in_specs:
+            shm, arr = _attach_array(spec)
+            shms.append(shm)
+            arrays.append(arr)
+        out_shm, out = _attach_array(out_spec)
+        shms.append(out_shm)
+        if kind == "elementwise":
+            shape, fn_spec = payload
+            try:
+                fn = _decode_fn(fn_spec)
+                block = fn(*(np.broadcast_to(a, shape)[sl] for a in arrays))
+            except Exception as exc:
+                # Signal the parent to rerun serially: a function that
+                # survives encoding can still fail to rebuild under a
+                # spawn context (unimportable definition module).
+                raise _FnTransportError(repr(exc)) from exc
+            out[out_index] = block
+        elif kind == "reduce_rows":
+            out[out_index] = payload.reduce(arrays[0][sl], axis=1)
+        elif kind == "reduce_partial":
+            op, axis = payload
+            out[out_index] = op.reduce(arrays[0][sl], axis=axis)
+        elif kind == "scan_rows":
+            out[out_index] = payload.scan(arrays[0][sl], axis=1)
+        elif kind == "sort_rows":
+            out[out_index] = np.sort(arrays[0][sl], axis=1, kind="stable")
+        elif kind == "argsort_rows":
+            out[out_index] = np.argsort(arrays[0][sl], axis=1, kind="stable")
+        elif kind == "count_votes":
+            out[out_index] = np.bincount(arrays[0][sl], minlength=payload)
+        elif kind == "fused_axpy":
+            shape, a_scal, y_is_arr, y_val, clamp_min, mask_is_arr, mask_val, fill = payload
+            arr_it = iter(arrays)
+            xv = np.broadcast_to(next(arr_it), shape)
+            yv = np.broadcast_to(next(arr_it), shape) if y_is_arr else y_val
+            mv = np.broadcast_to(next(arr_it), shape) if mask_is_arr else mask_val
+            out[out_index] = _axpy_kernel(
+                a_scal,
+                xv[sl],
+                yv[sl] if isinstance(yv, np.ndarray) else yv,
+                clamp_min,
+                mv[sl] if isinstance(mv, np.ndarray) else mv,
+                fill,
+            )
+        else:
+            raise InvalidParameterError(f"unknown pool task kind {kind!r}")
+    finally:
+        for shm in shms:
+            shm.close()
+
+
+class ProcessBackend(_BlockedBackend):
+    """Row-blocked process-parallel execution over shared memory.
+
+    Input matrices are copied once into ``multiprocessing.shared_memory``
+    segments; workers attach by name, compute their row block, and write
+    into a shared output segment — no matrix is ever pickled. Kernel
+    functions cross the boundary as pickled callables, or (for lambdas)
+    as marshalled code objects with pickled closure cells; a function
+    that resists both runs serially.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker process count; defaults to ``os.cpu_count()``. With one
+        worker no pool is created and everything runs serially.
+    grain:
+        Minimum elements per task. The default is coarser than
+        :class:`ThreadBackend`'s because process dispatch (shm create +
+        copy + task round-trip) costs far more than a thread handoff.
+    mp_context:
+        ``multiprocessing`` start method; ``"fork"`` (default) lets
+        workers inherit loaded modules, which the lambda transport
+        relies on. Falls back to the platform default when unavailable.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        num_workers: int | None = None,
+        *,
+        grain: int = 1 << 16,
+        mp_context: str | None = "fork",
+    ):
+        self._mp_context = mp_context
+        super().__init__(num_workers, grain=grain)
+
+    def _make_pool(self):
+        ctx = None
+        if self._mp_context is not None:
+            try:
+                ctx = get_context(self._mp_context)
+            except ValueError:
+                ctx = None
+        return ProcessPoolExecutor(max_workers=self.num_workers, mp_context=ctx)
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _run_tasks(self, kind, arrays, out_shape, out_dtype, payload, tasks):
+        """Share inputs, fan ``tasks`` (= ``(row_slice, out_index)``)
+        across the pool, and copy the shared output back out."""
+        in_shms: list = []
+        out_shm = None
+        try:
+            in_specs = []
+            for a in arrays:
+                shm, spec = _share_array(np.asarray(a))
+                in_shms.append(shm)
+                in_specs.append(spec)
+            out_shape = tuple(int(s) for s in out_shape)
+            out_dtype = np.dtype(out_dtype)
+            nbytes = max(int(np.prod(out_shape)) * out_dtype.itemsize, 1)
+            out_shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            out_spec = (out_shm.name, out_shape, out_dtype.str)
+            futures = [
+                self._pool.submit(_pool_task, kind, out_spec, oix, in_specs, sl, payload)
+                for sl, oix in tasks
+            ]
+            try:
+                for fut in futures:
+                    fut.result()
+            except BaseException:
+                # Stop touching the segments before the finally block
+                # unlinks them: cancel what hasn't started, then wait out
+                # whatever is already running.
+                for fut in futures:
+                    fut.cancel()
+                wait(futures)
+                raise
+            view = np.ndarray(out_shape, dtype=out_dtype, buffer=out_shm.buf)
+            return np.array(view)  # detach from the segment before unlink
+        finally:
+            for shm in in_shms:
+                shm.close()
+                shm.unlink()
+            if out_shm is not None:
+                out_shm.close()
+                out_shm.unlink()
+
+    def _row_tasks(self, n_rows: int):
+        return [(sl, sl) for sl in self._row_chunks(n_rows)]
+
+    def _partial_tasks(self, n_rows: int):
+        return [(sl, k) for k, sl in enumerate(self._row_chunks(n_rows))]
+
+    # -- kernel interface ---------------------------------------------------
+
+    def elementwise(self, fn, arrays):
+        arrs = [np.asarray(x) for x in arrays]
+        try:
+            shape = np.broadcast_shapes(*(a.shape for a in arrs))
+        except ValueError:
+            return self._serial.elementwise(fn, arrays)
+        if not self._pool_worthy(shape):
+            return self._serial.elementwise(fn, arrays)
+        try:
+            fn_spec = _encode_fn(fn)
+        except Exception:
+            return self._serial.elementwise(fn, arrays)
+        # Probe one row in-process: fixes the output dtype (the shared
+        # segment must be allocated before workers run) and verifies fn
+        # is genuinely elementwise over rows.
+        views = [np.broadcast_to(a, shape) for a in arrs]
+        probe = np.asarray(fn(*(v[:1] for v in views)))
+        if probe.shape != (1,) + tuple(shape[1:]):
+            return self._serial.elementwise(fn, arrays)
+        try:
+            return self._run_tasks(
+                "elementwise",
+                arrs,
+                shape,
+                probe.dtype,
+                (tuple(shape), fn_spec),
+                self._row_tasks(shape[0]),
+            )
+        except _FnTransportError:
+            return self._serial.elementwise(fn, arrays)
+
+    def reduce(self, op, a, axis):
+        if self._too_small(a):
+            return self._serial.reduce(op, a, axis)
+        if axis in (1, -1) and a.ndim == 2:
+            probe = np.asarray(op.reduce(a[:1], axis=1))
+            return self._run_tasks(
+                "reduce_rows", [a], (a.shape[0],), probe.dtype, op, self._row_tasks(a.shape[0])
+            )
+        if axis is None:
+            probe = np.asarray(op.reduce(a[:1], axis=None))
+            chunks = self._row_chunks(a.shape[0])
+            parts = self._run_tasks(
+                "reduce_partial",
+                [a],
+                (len(chunks),),
+                probe.dtype,
+                (op, None),
+                self._partial_tasks(a.shape[0]),
+            )
+            return op.reduce(parts, axis=None)
+        if axis == 0 and a.ndim == 2:
+            probe = np.asarray(op.reduce(a[:1], axis=0))
+            chunks = self._row_chunks(a.shape[0])
+            parts = self._run_tasks(
+                "reduce_partial",
+                [a],
+                (len(chunks), a.shape[1]),
+                probe.dtype,
+                (op, 0),
+                self._partial_tasks(a.shape[0]),
+            )
+            return op.reduce(parts, axis=0)
+        return self._serial.reduce(op, a, axis)
+
+    def scan(self, op, a, axis):
+        if self._too_small(a) or not (a.ndim == 2 and axis in (1, -1)):
+            return self._serial.scan(op, a, axis)
+        probe = np.asarray(op.scan(a[:1], axis=1))
+        return self._run_tasks(
+            "scan_rows", [a], a.shape, probe.dtype, op, self._row_tasks(a.shape[0])
+        )
+
+    def sort(self, a, axis):
+        if self._too_small(a) or not (a.ndim == 2 and axis in (1, -1)):
+            return self._serial.sort(a, axis)
+        return self._run_tasks(
+            "sort_rows", [a], a.shape, a.dtype, None, self._row_tasks(a.shape[0])
+        )
+
+    def argsort(self, a, axis):
+        if self._too_small(a) or not (a.ndim == 2 and axis in (1, -1)):
+            return self._serial.argsort(a, axis)
+        return self._run_tasks(
+            "argsort_rows", [a], a.shape, np.intp, None, self._row_tasks(a.shape[0])
+        )
+
+    def count_votes(self, labels, minlength):
+        if not self._pool_worthy(labels.shape):
+            return self._serial.count_votes(labels, minlength)
+        chunks = self._row_chunks(labels.size)
+        parts = self._run_tasks(
+            "count_votes",
+            [labels],
+            (len(chunks), minlength),
+            np.intp,
+            int(minlength),
+            self._partial_tasks(labels.size),
+        )
+        return np.sum(parts, axis=0)
+
+    def fused_axpy(self, a, x, y, *, clamp_min=None, mask=None, fill=0.0):
+        x = np.asarray(x)
+        operands = [x] + [np.asarray(v) for v in (y, mask) if isinstance(v, np.ndarray)]
+        shape = np.broadcast_shapes(*(v.shape for v in operands))
+        if not self._pool_worthy(shape):
+            return self._serial.fused_axpy(a, x, y, clamp_min=clamp_min, mask=mask, fill=fill)
+        y_is_arr = isinstance(y, np.ndarray)
+        mask_is_arr = isinstance(mask, np.ndarray)
+        arrays = [x] + ([np.asarray(y)] if y_is_arr else []) + (
+            [np.asarray(mask)] if mask_is_arr else []
+        )
+        probe = np.asarray(
+            _axpy_kernel(
+                a,
+                np.broadcast_to(x, shape)[:1],
+                np.broadcast_to(y, shape)[:1] if y_is_arr else y,
+                clamp_min,
+                np.broadcast_to(mask, shape)[:1] if mask_is_arr else mask,
+                fill,
+            )
+        )
+        payload = (
+            tuple(shape),
+            a,
+            y_is_arr,
+            None if y_is_arr else y,
+            clamp_min,
+            mask_is_arr,
+            None if mask_is_arr else mask,
+            fill,
+        )
+        return self._run_tasks(
+            "fused_axpy", arrays, shape, probe.dtype, payload, self._row_tasks(shape[0])
+        )
+
+
+# -- registry & factory -----------------------------------------------------
+
+#: Instance sizes (elements) below which ``make_backend("auto")`` keeps
+#: the serial backend: pool dispatch has a much higher constant than the
+#: frontier bookkeeping governed by ``AUTO_COMPACTION_MIN_SIZE``, so the
+#: floor sits correspondingly higher.
+AUTO_BACKEND_MIN_SIZE = 1 << 16
+
+
+def _pool_kwargs(grain):
+    return {} if grain is None else {"grain": int(grain)}
+
+
+_BACKEND_REGISTRY: dict = {
+    "serial": lambda num_workers, grain: SerialBackend(),
+    "thread": lambda num_workers, grain: ThreadBackend(num_workers, **_pool_kwargs(grain)),
+    "process": lambda num_workers, grain: ProcessBackend(num_workers, **_pool_kwargs(grain)),
+}
+
+
+def register_backend(name: str, factory) -> None:
+    """Register a backend factory ``(num_workers, grain) -> Backend``.
+
+    Extension hook for alternative substrates (e.g. an accelerator or a
+    cluster shim); registered names become valid everywhere a backend
+    name is accepted, including ``REPRO_BACKEND``.
+    """
+    if not name or name == "auto":
+        raise InvalidParameterError(f"invalid backend name {name!r}")
+    _BACKEND_REGISTRY[str(name)] = factory
+
+
+def available_backends() -> list:
+    """Sorted names accepted by :func:`make_backend` (besides ``"auto"``)."""
+    return sorted(_BACKEND_REGISTRY)
+
+
+def resolve_backend_name(name: str, size: int | None = None) -> str:
+    """Resolve ``"auto"`` (and validate any other name) to a registry key.
+
+    The ``"auto"`` policy mirrors
+    :func:`repro.core.frontier.resolve_compaction`: serial below
+    ``AUTO_BACKEND_MIN_SIZE`` elements (or when the host has a single
+    CPU), thread-parallel otherwise. Threads, not processes, are the
+    auto choice because NumPy kernels release the GIL — shared-memory
+    processes only pay off for arithmetic heavy enough to beat a
+    per-call copy, which is a measured, opt-in decision.
+    """
+    if name == "auto":
+        if (os.cpu_count() or 1) < 2:
+            return "serial"
+        if size is not None and size < AUTO_BACKEND_MIN_SIZE:
+            return "serial"
+        return "thread"
+    if name not in _BACKEND_REGISTRY:
+        raise InvalidParameterError(
+            f"unknown backend {name!r}; expected 'auto' or one of {available_backends()}"
+        )
+    return name
+
+
+def make_backend(
+    spec: "str | Backend" = "serial",
+    *,
+    num_workers: int | None = None,
+    grain: int | None = None,
+    size: int | None = None,
+) -> Backend:
+    """Construct a backend from a name (``Backend`` instances pass through).
+
+    Parameters
+    ----------
+    spec:
+        ``"serial"``, ``"thread"``, ``"process"``, ``"auto"`` (see
+        :func:`resolve_backend_name`), any :func:`register_backend` name,
+        or an existing :class:`Backend` (returned unchanged).
+    num_workers / grain:
+        Forwarded to pool backends; ``None`` keeps their defaults.
+    size:
+        Instance element count steering the ``"auto"`` policy.
+
+    The caller owns the result: close it (or use it as a context
+    manager) when a pool backend is no longer needed.
+    """
+    if isinstance(spec, Backend):
+        return spec
+    name = resolve_backend_name(spec, size)
+    return _BACKEND_REGISTRY[name](num_workers, grain)
+
+
+# -- shared (environment-default) backends ----------------------------------
+
+_SHARED_BACKENDS: dict = {}
+
+
+def _env_int(var: str) -> int | None:
+    raw = os.environ.get(var, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise InvalidParameterError(f"{var} must be an integer, got {raw!r}") from exc
+
+
+def shared_backend(spec: "str | Backend | None" = None, *, size: int | None = None) -> Backend:
+    """Process-wide cached backend for machines built without one.
+
+    ``spec=None`` reads ``REPRO_BACKEND`` (default ``"serial"``) —
+    the hook the CI backend matrix uses to run the whole test suite on
+    a different substrate. ``REPRO_NUM_WORKERS`` and ``REPRO_GRAIN``
+    tune pool backends. Instances are cached per resolved
+    configuration and shared by every :class:`PramMachine` that did not
+    receive an explicit backend object, so a test run never stacks up
+    worker pools; they are closed atexit, and
+    ``PramMachine.close`` deliberately leaves them open.
+    """
+    if isinstance(spec, Backend):
+        return spec
+    name = spec if spec is not None else os.environ.get("REPRO_BACKEND", "serial").strip()
+    workers = _env_int("REPRO_NUM_WORKERS")
+    grain = _env_int("REPRO_GRAIN")
+    name = resolve_backend_name(name, size)
+    key = (name, workers, grain)
+    backend = _SHARED_BACKENDS.get(key)
+    if backend is None or backend.closed:
+        backend = make_backend(name, num_workers=workers, grain=grain)
+        _SHARED_BACKENDS[key] = backend
+    return backend
+
+
+@atexit.register
+def _close_shared_backends() -> None:
+    for backend in _SHARED_BACKENDS.values():
+        backend.close()

@@ -25,7 +25,11 @@ primitive           work            depth          cache
 ==================  ==============  =============  ======================
 
 (``m`` = elements touched, ``r`` = row length being sorted / the vote
-range.) ``masked_axpy``, ``count_votes``, ``take_rows``, and
+range.) Charges are **backend-invariant**: they are computed from the
+array sizes a primitive touches, never from how the backend executed
+it, so serial, thread, and process runs of the same seeded algorithm
+report identical work/depth/cache totals — only wall-clock moves.
+``masked_axpy``, ``count_votes``, ``take_rows``, and
 ``pack_rows`` are the frontier-compaction primitives: they let each
 round of the §4/§5 algorithms touch only the *remaining* instance —
 ``count_votes`` replaces an ``n_f × n_c`` vote matrix with a
@@ -41,7 +45,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import InvalidParameterError
-from repro.pram.backends import Backend, SerialBackend
+from repro.pram.backends import Backend, resolve_backend_name, shared_backend
 from repro.pram.ledger import CostLedger, CostSnapshot
 from repro.pram.operators import AssociativeOp, get_operator
 from repro.util.rng import ensure_rng
@@ -69,15 +73,31 @@ class PramMachine:
     Parameters
     ----------
     backend:
-        Kernel executor; defaults to :class:`SerialBackend`.
+        Kernel executor: a :class:`Backend` instance (the machine then
+        owns it — :meth:`close` shuts it down), a backend name
+        (``"serial"``/``"thread"``/``"process"``/``"auto"``, resolved
+        to the process-wide :func:`~repro.pram.backends.shared_backend`
+        for that configuration), or ``None`` for the environment
+        default (``REPRO_BACKEND``, serial unless set). Shared backends
+        are left open by :meth:`close` and released atexit.
     ledger:
         Cost accumulator; a fresh :class:`CostLedger` by default.
     seed:
         Seed/Generator for the machine's random primitives.
     """
 
-    def __init__(self, backend: Backend | None = None, ledger: CostLedger | None = None, seed=None):
-        self.backend = backend if backend is not None else SerialBackend()
+    def __init__(
+        self,
+        backend: "Backend | str | None" = None,
+        ledger: CostLedger | None = None,
+        seed=None,
+    ):
+        if backend is None or isinstance(backend, str):
+            self.backend = shared_backend(backend)
+            self._owns_backend = False
+        else:
+            self.backend = backend
+            self._owns_backend = True
         self.ledger = ledger if ledger is not None else CostLedger()
         self.rng = ensure_rng(seed)
 
@@ -204,9 +224,18 @@ class PramMachine:
         return out
 
     def take_columns(self, a: np.ndarray, idx: np.ndarray) -> np.ndarray:
-        """Column selection ``a[:, idx]`` — a distribution-style copy."""
+        """Column selection ``a[:, idx]`` — a distribution-style copy.
+
+        Indices are validated like every other gather: a wrong frontier
+        index set must fail loudly, not wrap around and silently
+        corrupt the result.
+        """
         a = np.asarray(a)
-        idx = np.asarray(idx, dtype=np.intp)
+        if a.ndim < 2:
+            raise InvalidParameterError(
+                f"take_columns requires a matrix, got ndim={a.ndim}"
+            )
+        idx = _check_gather_index("take_columns", idx, a.shape[1])
         out = a[:, idx]
         self.ledger.charge_basic("gather", max(out.size, 1), depth=1)
         return out
@@ -366,5 +395,46 @@ class PramMachine:
         return self.ledger.snapshot()
 
     def close(self) -> None:
-        """Release backend worker resources (thread pools)."""
-        self.backend.close()
+        """Release backend worker resources (thread/process pools).
+
+        Only backends this machine owns (instances passed to the
+        constructor) are closed; shared environment-default backends
+        stay open for other machines and are released atexit.
+        """
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "PramMachine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def ensure_machine(
+    machine: PramMachine | None = None,
+    *,
+    backend: "Backend | str | None" = None,
+    seed=None,
+    size: int | None = None,
+) -> PramMachine:
+    """Return ``machine``, or build one on the requested backend.
+
+    The shared helper behind every algorithm entry point's
+    ``machine=None, backend=None`` signature: an explicit machine wins
+    (passing both is ambiguous and rejected), otherwise a fresh machine
+    is built on the named backend — ``"auto"`` resolved against
+    ``size``, the instance's element count — or on the environment
+    default when neither is given.
+    """
+    if machine is not None:
+        if backend is not None:
+            raise InvalidParameterError(
+                "pass either machine= or backend=, not both (the machine "
+                "already carries its backend)"
+            )
+        return machine
+    if isinstance(backend, str):
+        backend = resolve_backend_name(backend, size)
+    return PramMachine(backend=backend, seed=seed)

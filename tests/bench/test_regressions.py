@@ -1,4 +1,4 @@
-"""Regression harness: report structure, equality flags, round traces."""
+"""Regression harness: report structure, parity flags, round traces."""
 
 import json
 
@@ -8,11 +8,15 @@ from repro.bench.regressions import run_regression
 def test_report_structure_and_identity():
     report = run_regression(nf=10, nc=28, seed=3, machine_seed=2, epsilon=0.2)
     assert set(report["algorithms"]) == {"parallel_greedy", "parallel_primal_dual"}
+    assert report["meta"]["backends"] == ["serial"]
     for entry in report["algorithms"].values():
         assert entry["solutions_identical"] is True
-        assert entry["speedup_wall"] > 0
+        assert set(entry["backends"]) == {"serial"}
+        row = entry["backends"]["serial"]
+        assert row["speedup_wall"] > 0
+        assert row["charges_invariant"] is True
         for mode in ("dense", "compacted"):
-            measure = entry[mode]
+            measure = row[mode]
             assert measure["ledger_work"] > 0
             assert len(measure["per_round"]) >= 1
             total = sum(r["ledger_work"] for r in measure["per_round"])
@@ -24,5 +28,28 @@ def test_report_structure_and_identity():
 
 def test_compacted_charges_no_more_work():
     report = run_regression(nf=16, nc=64, seed=1, machine_seed=7, epsilon=0.1)
-    greedy = report["algorithms"]["parallel_greedy"]
+    greedy = report["algorithms"]["parallel_greedy"]["backends"]["serial"]
     assert greedy["compacted"]["ledger_work"] <= greedy["dense"]["ledger_work"]
+
+
+def test_backend_sweep_parity_and_invariant_charges():
+    """Thread/process rows must match serial bit-for-bit in solution and
+    ledger — the committed BENCH_PR2.json asserts exactly this at scale."""
+    report = run_regression(
+        nf=12,
+        nc=36,
+        seed=5,
+        machine_seed=3,
+        epsilon=0.2,
+        backends=("serial", "thread", "process"),
+        num_workers=2,
+        grain=8,
+    )
+    for entry in report["algorithms"].values():
+        assert entry["solutions_identical"] is True
+        assert set(entry["backends"]) == {"serial", "thread", "process"}
+        work = {name: row["dense"]["ledger_work"] for name, row in entry["backends"].items()}
+        assert work["serial"] == work["thread"] == work["process"]
+        for row in entry["backends"].values():
+            assert row["charges_invariant"] is True
+    json.dumps(report)

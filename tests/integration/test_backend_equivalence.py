@@ -1,20 +1,26 @@
-"""Backend-independence sweep: every algorithm, serial vs threaded.
+"""Backend-independence sweep: every algorithm, across every backend.
 
 The execution backend must never change results or model charges —
-only wall-clock time. test_cross_algorithm covers greedy/primal–dual/
-k-center; this file sweeps the remaining algorithms and the extension
-modules, with a tiny thread grain so the parallel code paths really
-execute at test sizes.
+only wall-clock time. The first half sweeps the satellite algorithms
+serial-vs-thread (PR-1 suite); the second half is the PR-2 parity
+gate: seeded runs of greedy, primal–dual, and both dominator variants
+must be **byte-identical** on serial, thread, and process backends, on
+both the dense and frontier-compacted execution paths. Pool grains are
+tiny so the parallel code paths really execute at test sizes.
 """
 
 import numpy as np
 import pytest
 
-from repro import PramMachine, ThreadBackend
+from repro import PramMachine, ProcessBackend, SerialBackend, ThreadBackend
+from repro.core.dominator import max_dominator_set, max_u_dominator_set
+from repro.core.dominator_sparse import max_dominator_set_sparse
 from repro.core.fl_local_search import parallel_fl_local_search
+from repro.core.greedy import parallel_greedy
 from repro.core.kmedian_lagrangian import parallel_kmedian_lagrangian
 from repro.core.local_search import parallel_kmeans, parallel_kmedian
 from repro.core.lp_rounding import parallel_lp_rounding
+from repro.core.primal_dual import parallel_primal_dual
 from repro.lp.solve import solve_primal
 from repro.metrics.generators import euclidean_clustering, euclidean_instance
 
@@ -84,3 +90,124 @@ def test_depth_charges_backend_independent(pair):
     parallel_lp_rounding(inst, primal, epsilon=0.1, machine=threaded)
     assert serial.ledger.depth == pytest.approx(threaded.ledger.depth)
     assert serial.ledger.cache == pytest.approx(threaded.ledger.cache)
+
+
+# -- PR-2 parity gate: byte-identical across serial/thread/process ------------
+
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+@pytest.fixture(scope="module")
+def backend_set():
+    """One pool per backend for the whole module (machines share them)."""
+    backends = {
+        "serial": SerialBackend(),
+        "thread": ThreadBackend(2, grain=8),
+        "process": ProcessBackend(2, grain=64),
+    }
+    yield backends
+    for backend in backends.values():
+        backend.close()
+
+
+def _sweep(backend_set, run):
+    """Run ``run(machine)`` once per backend on identically seeded
+    machines; return {name: (result, ledger_totals)}."""
+    out = {}
+    for name in BACKEND_NAMES:
+        machine = PramMachine(backend=backend_set[name], seed=123)
+        result = run(machine)
+        ledger = machine.ledger
+        out[name] = (result, (ledger.work, ledger.depth, ledger.cache))
+    return out
+
+
+def _assert_all_equal(results, check):
+    ref_result, ref_costs = results["serial"]
+    for name in BACKEND_NAMES[1:]:
+        result, costs = results[name]
+        check(ref_result, result)
+        assert costs == ref_costs, f"ledger charges drifted on {name}"
+
+
+@pytest.mark.parametrize("compaction", [False, True], ids=["dense", "compacted"])
+def test_greedy_byte_identical_across_backends(backend_set, compaction):
+    inst = euclidean_instance(16, 48, seed=5)
+    results = _sweep(
+        backend_set,
+        lambda m: parallel_greedy(inst, epsilon=0.1, machine=m, compaction=compaction),
+    )
+
+    def check(a, b):
+        assert np.array_equal(a.opened, b.opened)
+        assert a.cost == b.cost
+        assert np.array_equal(a.alpha, b.alpha)
+        assert a.extra["tau_trace"] == b.extra["tau_trace"]
+        assert a.rounds == b.rounds
+
+    _assert_all_equal(results, check)
+
+
+@pytest.mark.parametrize("compaction", [False, True], ids=["dense", "compacted"])
+def test_primal_dual_byte_identical_across_backends(backend_set, compaction):
+    inst = euclidean_instance(16, 48, seed=6)
+    results = _sweep(
+        backend_set,
+        lambda m: parallel_primal_dual(inst, epsilon=0.1, machine=m, compaction=compaction),
+    )
+
+    def check(a, b):
+        assert np.array_equal(a.opened, b.opened)
+        assert a.cost == b.cost
+        assert np.array_equal(a.alpha, b.alpha)
+        assert np.array_equal(a.extra["H"], b.extra["H"])
+        assert np.array_equal(a.extra["F0"], b.extra["F0"])
+        assert np.array_equal(a.extra["F_T"], b.extra["F_T"])
+        assert np.array_equal(a.extra["I"], b.extra["I"])
+        assert a.rounds == b.rounds
+
+    _assert_all_equal(results, check)
+
+
+@pytest.mark.parametrize("compaction", [False, True], ids=["dense", "compacted"])
+def test_maxdom_byte_identical_across_backends(backend_set, compaction):
+    rng = np.random.default_rng(2)
+    A = np.triu(rng.random((40, 40)) < 0.15, 1)
+    A = A | A.T
+    results = _sweep(
+        backend_set, lambda m: max_dominator_set(A, m, compaction=compaction)
+    )
+    _assert_all_equal(results, lambda a, b: np.testing.assert_array_equal(a, b))
+
+
+@pytest.mark.parametrize("compaction", [False, True], ids=["dense", "compacted"])
+def test_maxudom_byte_identical_across_backends(backend_set, compaction):
+    rng = np.random.default_rng(3)
+    B = rng.random((30, 18)) < 0.25
+    cand = rng.random(30) < 0.6
+    results = _sweep(
+        backend_set,
+        lambda m: max_u_dominator_set(B, m, candidates=cand, compaction=compaction),
+    )
+    _assert_all_equal(results, lambda a, b: np.testing.assert_array_equal(a, b))
+
+
+def test_maxdom_sparse_byte_identical_across_backends(backend_set):
+    rng = np.random.default_rng(4)
+    A = np.triu(rng.random((50, 50)) < 0.08, 1)
+    A = A | A.T
+    results = _sweep(backend_set, lambda m: max_dominator_set_sparse(A, m))
+    _assert_all_equal(results, lambda a, b: np.testing.assert_array_equal(a, b))
+
+
+def test_backend_kwarg_entry_point_parity():
+    """The public backend= plumbing reaches the same results as machine=."""
+    inst = euclidean_instance(10, 30, seed=9)
+    via_machine = parallel_greedy(inst, epsilon=0.1, machine=PramMachine(seed=7))
+    with ThreadBackend(2, grain=8) as backend:
+        via_backend = parallel_greedy(
+            inst, epsilon=0.1, seed=7, backend=backend
+        )
+    assert np.array_equal(via_machine.opened, via_backend.opened)
+    assert via_machine.cost == via_backend.cost
+    assert np.array_equal(via_machine.alpha, via_backend.alpha)

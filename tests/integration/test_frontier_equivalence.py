@@ -136,6 +136,26 @@ class TestResolvePolicy:
         assert resolve_compaction(True, 1) is True
         assert resolve_compaction(False, 10**9) is False
 
+    def test_numpy_bools_accepted(self):
+        """Regression: numpy bools arise naturally from comparisons like
+        ``n_f * n_c > threshold`` and must behave exactly like built-in
+        bools (the old identity check rejected them)."""
+        assert resolve_compaction(np.True_, 1) is True
+        assert resolve_compaction(np.False_, 10**9) is False
+        # the natural call site: a numpy scalar comparison
+        derived = np.int64(100) * np.int64(100) > 5000
+        assert isinstance(derived, np.bool_)
+        assert resolve_compaction(derived, 1) is True
+
+    def test_numpy_bool_compaction_end_to_end(self):
+        inst = euclidean_instance(6, 18, seed=2)
+        plain = parallel_greedy(inst, epsilon=0.2, seed=3, compaction=True)
+        coerced = parallel_greedy(
+            inst, epsilon=0.2, seed=3, compaction=np.bool_(inst.m > 0)
+        )
+        assert np.array_equal(plain.opened, coerced.opened)
+        assert plain.cost == coerced.cost
+
     def test_auto_threshold(self):
         assert resolve_compaction("auto", AUTO_COMPACTION_MIN_SIZE) is True
         assert resolve_compaction("auto", AUTO_COMPACTION_MIN_SIZE - 1) is False

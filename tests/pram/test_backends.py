@@ -1,6 +1,6 @@
-"""Backends agree with plain NumPy — serial and threaded, all kernels.
+"""Backends agree with plain NumPy — serial, threaded, and process.
 
-The thread backend is exercised with a tiny grain so the parallel code
+The pool backends are exercised with a tiny grain so the parallel code
 paths actually run on test-sized arrays.
 """
 
@@ -8,18 +8,30 @@ import numpy as np
 import pytest
 
 from repro.errors import InvalidParameterError
-from repro.pram.backends import SerialBackend, ThreadBackend
+from repro.pram.backends import (
+    AUTO_BACKEND_MIN_SIZE,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+    resolve_backend_name,
+    shared_backend,
+)
 from repro.pram.operators import ADD, MAX, MIN, OR
 
 
-@pytest.fixture(params=["serial", "thread1", "thread3"])
+@pytest.fixture(params=["serial", "thread1", "thread3", "process2"])
 def backend(request):
     if request.param == "serial":
         b = SerialBackend()
     elif request.param == "thread1":
         b = ThreadBackend(1, grain=4)
-    else:
+    elif request.param == "thread3":
         b = ThreadBackend(3, grain=4)
+    else:
+        b = ProcessBackend(2, grain=4)
     yield b
     b.close()
 
@@ -78,29 +90,57 @@ def test_thread_backend_large_array_consistency(rng):
         b.close()
 
 
-def test_thread_backend_worker_validation():
+@pytest.mark.parametrize("cls", [ThreadBackend, ProcessBackend])
+def test_pool_backend_worker_validation(cls):
     with pytest.raises(InvalidParameterError):
-        ThreadBackend(0)
+        cls(0)
 
 
-def test_thread_backend_small_falls_back(rng):
-    b = ThreadBackend(2, grain=1 << 20)
-    try:
+@pytest.mark.parametrize("cls", [ThreadBackend, ProcessBackend])
+def test_pool_backend_small_falls_back(cls, rng):
+    with cls(2, grain=1 << 20) as b:
         small = rng.random((4, 4))
         assert np.allclose(b.reduce(ADD, small, 1), small.sum(axis=1))
-    finally:
-        b.close()
 
 
-def test_thread_backend_close_idempotent():
-    b = ThreadBackend(2)
+@pytest.mark.parametrize("cls", [ThreadBackend, ProcessBackend])
+def test_pool_backend_close_idempotent(cls):
+    b = cls(2)
+    assert not b.closed
     b.close()
     b.close()
+    assert b.closed
+
+
+@pytest.mark.parametrize("cls", [ThreadBackend, ProcessBackend])
+def test_use_after_close_is_serial_but_correct(cls, rng):
+    """Pinned-down contract: a closed pool backend keeps computing every
+    kernel correctly via the serial fallback (no exception, no pool)."""
+    b = cls(2, grain=4)
+    a = rng.random((64, 16))
+    before = b.reduce(ADD, a, 1)
+    b.close()
+    assert b.closed
+    assert np.array_equal(b.reduce(ADD, a, 1), before)
+    assert np.array_equal(b.sort(a, 1), np.sort(a, axis=1))
+    assert np.array_equal(
+        b.elementwise(lambda x: x * 2, (a,)), a * 2
+    )
+    assert b._pool is None  # the fallback really is pool-less
+
+
+@pytest.mark.parametrize("cls", [ThreadBackend, ProcessBackend])
+def test_backend_context_manager(cls, rng):
+    with cls(2, grain=4) as b:
+        a = rng.random((32, 8))
+        assert np.allclose(b.reduce(ADD, a, None), a.sum())
+    assert b.closed
 
 
 def test_names():
     assert SerialBackend().name == "serial"
     assert ThreadBackend(1).name == "thread"
+    assert ProcessBackend(1).name == "process"
 
 
 def test_elementwise_broadcasts_mixed_shapes(backend, data):
@@ -170,3 +210,89 @@ def test_fused_axpy_scalar_y_and_broadcast(backend, rng):
     col = rng.random((41, 1))
     got2 = backend.fused_axpy(3.0, col, np.zeros((41, 29)))
     assert np.allclose(got2, np.broadcast_to(3.0 * col, (41, 29)))
+
+
+# -- registry, factory, and environment default -------------------------------
+
+def test_make_backend_names_and_passthrough():
+    assert isinstance(make_backend("serial"), SerialBackend)
+    with make_backend("thread", num_workers=2, grain=16) as b:
+        assert isinstance(b, ThreadBackend)
+        assert b.num_workers == 2 and b.grain == 16
+    with make_backend("process", num_workers=2, grain=32) as b:
+        assert isinstance(b, ProcessBackend)
+        assert b.num_workers == 2 and b.grain == 32
+    existing = SerialBackend()
+    assert make_backend(existing) is existing
+
+
+def test_make_backend_unknown_name_rejected():
+    with pytest.raises(InvalidParameterError):
+        make_backend("gpu")
+    with pytest.raises(InvalidParameterError):
+        resolve_backend_name("quantum")
+
+
+def test_available_backends_lists_builtins():
+    names = available_backends()
+    assert {"serial", "thread", "process"} <= set(names)
+
+
+def test_auto_policy_mirrors_compaction(monkeypatch):
+    import repro.pram.backends as backends_mod
+
+    # Multicore host: size decides.
+    monkeypatch.setattr(backends_mod.os, "cpu_count", lambda: 8)
+    assert resolve_backend_name("auto", AUTO_BACKEND_MIN_SIZE) == "thread"
+    assert resolve_backend_name("auto", AUTO_BACKEND_MIN_SIZE - 1) == "serial"
+    assert resolve_backend_name("auto", None) == "thread"
+    # Single-CPU host: always serial, regardless of size.
+    monkeypatch.setattr(backends_mod.os, "cpu_count", lambda: 1)
+    assert resolve_backend_name("auto", 10**9) == "serial"
+
+
+def test_register_backend_extension_hook():
+    class NullBackend(SerialBackend):
+        name = "null-test"
+
+    register_backend("null-test", lambda num_workers, grain: NullBackend())
+    try:
+        assert isinstance(make_backend("null-test"), NullBackend)
+        assert "null-test" in available_backends()
+    finally:
+        from repro.pram.backends import _BACKEND_REGISTRY
+
+        _BACKEND_REGISTRY.pop("null-test")
+    with pytest.raises(InvalidParameterError):
+        register_backend("auto", lambda num_workers, grain: NullBackend())
+
+
+def test_shared_backend_env_default(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "thread")
+    monkeypatch.setenv("REPRO_NUM_WORKERS", "2")
+    monkeypatch.setenv("REPRO_GRAIN", "64")
+    b = shared_backend()
+    assert isinstance(b, ThreadBackend)
+    assert b.num_workers == 2 and b.grain == 64
+    # same resolved configuration -> same cached instance
+    assert shared_backend() is b
+    # a closed shared backend is transparently rebuilt
+    b.close()
+    b2 = shared_backend()
+    assert b2 is not b and not b2.closed
+    b2.close()
+
+
+def test_shared_backend_rejects_bad_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "warp-drive")
+    with pytest.raises(InvalidParameterError):
+        shared_backend()
+    monkeypatch.setenv("REPRO_BACKEND", "thread")
+    monkeypatch.setenv("REPRO_NUM_WORKERS", "lots")
+    with pytest.raises(InvalidParameterError):
+        shared_backend()
+
+
+def test_shared_backend_instance_passthrough():
+    b = SerialBackend()
+    assert shared_backend(b) is b

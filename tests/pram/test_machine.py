@@ -11,7 +11,8 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.errors import InvalidParameterError
-from repro.pram.machine import PramMachine
+from repro.pram.backends import SerialBackend, ThreadBackend
+from repro.pram.machine import PramMachine, ensure_machine
 
 
 @pytest.fixture
@@ -117,6 +118,18 @@ def test_take_columns(m, rng):
     a = rng.random((5, 8))
     idx = np.array([7, 0, 3])
     assert np.array_equal(m.take_columns(a, idx), a[:, idx])
+
+
+def test_take_columns_out_of_range(m, rng):
+    """Regression: bad column indices must raise like take_rows does,
+    not wrap around and silently corrupt the frontier gather."""
+    a = rng.random((3, 4))
+    with pytest.raises(InvalidParameterError):
+        m.take_columns(a, np.array([4]))
+    with pytest.raises(InvalidParameterError):
+        m.take_columns(a, np.array([-1]))
+    with pytest.raises(InvalidParameterError):
+        m.take_columns(np.arange(5.0), np.array([0]))
 
 
 def test_pack(m):
@@ -332,3 +345,37 @@ def test_sort_rows_is_permutation_and_ordered(a):
     s = m.sort_rows(a)
     assert np.all(np.diff(s, axis=1) >= 0)
     assert np.allclose(np.sort(a, axis=1), s)
+
+
+# -- backend lifecycle --------------------------------------------------------
+
+def test_machine_context_manager_closes_owned_backend(rng):
+    backend = ThreadBackend(2, grain=4)
+    with PramMachine(backend=backend, seed=1) as m:
+        a = rng.random((16, 8))
+        assert np.allclose(m.reduce(a, "add", axis=1), a.sum(axis=1))
+    assert backend.closed
+
+
+def test_machine_close_leaves_shared_backend_open():
+    m = PramMachine(backend="serial", seed=1)
+    shared = m.backend
+    m.close()
+    assert not shared.closed
+    # a second machine on the same spec reuses the still-open instance
+    assert PramMachine(backend="serial").backend is shared
+
+
+def test_ensure_machine_passthrough_and_conflict():
+    m = PramMachine(seed=3)
+    assert ensure_machine(m) is m
+    with pytest.raises(InvalidParameterError):
+        ensure_machine(m, backend="serial")
+
+
+def test_ensure_machine_builds_on_named_backend():
+    m = ensure_machine(backend="serial", seed=9)
+    assert isinstance(m.backend, SerialBackend)
+    # "auto" with a tiny size hint resolves to serial on any host
+    m2 = ensure_machine(backend="auto", seed=9, size=4)
+    assert m2.backend.name == "serial"
