@@ -30,15 +30,19 @@ from repro.metrics import (
     ClusteringInstance,
     FacilityLocationInstance,
     MetricSpace,
+    SparseFacilityLocationInstance,
     clustered_clustering,
     clustered_instance,
     euclidean_clustering,
     euclidean_instance,
     graph_instance,
+    knn_instance,
+    knn_sparsify,
     load_instance,
     random_metric_instance,
     save_instance,
     star_instance,
+    threshold_sparsify,
     two_scale_instance,
 )
 from repro.pram import (
@@ -61,6 +65,7 @@ from repro.core import (
     max_dominator_set,
     max_dominator_set_sparse,
     max_u_dominator_set,
+    max_u_dominator_set_sparse,
     parallel_fl_local_search,
     parallel_greedy,
     parallel_kcenter,
@@ -94,9 +99,13 @@ __all__ = [
     "MetricSpace",
     "FacilityLocationInstance",
     "ClusteringInstance",
+    "SparseFacilityLocationInstance",
     "euclidean_instance",
     "clustered_instance",
     "graph_instance",
+    "knn_instance",
+    "knn_sparsify",
+    "threshold_sparsify",
     "random_metric_instance",
     "star_instance",
     "two_scale_instance",
@@ -123,6 +132,7 @@ __all__ = [
     "max_dominator_set",
     "max_u_dominator_set",
     "max_dominator_set_sparse",
+    "max_u_dominator_set_sparse",
     "parallel_greedy",
     "parallel_primal_dual",
     "parallel_kcenter",

@@ -12,9 +12,10 @@ from repro.bench.workloads import (
     fl_lp_suite,
     fl_ratio_suite,
     fl_scaling_suite,
+    sparse_scaling_suite,
 )
 from repro.bench.harness import ExperimentTable
-from repro.bench.reporting import render_markdown_table
+from repro.bench.reporting import render_markdown_table, summarize_rounds
 
 __all__ = [
     "fl_ratio_suite",
@@ -22,6 +23,8 @@ __all__ = [
     "fl_scaling_suite",
     "clustering_ratio_suite",
     "clustering_scaling_suite",
+    "sparse_scaling_suite",
     "ExperimentTable",
     "render_markdown_table",
+    "summarize_rounds",
 ]

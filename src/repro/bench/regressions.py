@@ -38,6 +38,7 @@ import time
 
 import numpy as np
 
+from repro.bench.reporting import summarize_rounds
 from repro.core.greedy import parallel_greedy
 from repro.core.primal_dual import parallel_primal_dual
 from repro.metrics.generators import euclidean_instance
@@ -81,12 +82,16 @@ def _run_once(
     compaction: bool,
     backend,
     repeats: int = 1,
+    summary: bool = False,
 ) -> dict:
     """Seeded run(s) on one backend; wall-clock is the min over repeats.
 
     Deterministic seeding makes every repeat compute the identical
     solution and ledger, so only the clock varies; the minimum is the
-    standard noise-robust estimate for a fixed workload.
+    standard noise-robust estimate for a fixed workload. With
+    ``summary`` the per-round trace is stored as fixed-size summary
+    stats instead of raw per-round samples (caps the JSON size on
+    workloads with many rounds).
     """
     sol = measure = None
     best_wall = float("inf")
@@ -107,13 +112,18 @@ def _run_once(
             "ledger_depth": ledger.depth,
             "ledger_cache": ledger.cache,
             "rounds": dict(ledger.rounds),
-            "per_round": _per_round(
+        }
+        if summary:
+            measure["round_summary"] = summarize_rounds(
+                ledger.round_log, _TRACE_LABELS[algorithm], ledger.work
+            )
+        else:
+            measure["per_round"] = _per_round(
                 ledger.round_log,
                 _TRACE_LABELS[algorithm],
                 ledger.work,
                 t0 + wall,
-            ),
-        }
+            )
     return {"solution": sol, "measure": measure}
 
 
@@ -137,6 +147,7 @@ def run_regression(
     num_workers: int | None = None,
     grain: int | None = None,
     repeats: int = 1,
+    summary: bool = False,
 ) -> dict:
     """Run the backend × compaction sweep and return the report dict.
 
@@ -184,6 +195,7 @@ def run_regression(
                     compaction=False,
                     backend=backend,
                     repeats=repeats,
+                    summary=summary,
                 )
                 compacted = _run_once(
                     algorithm,
@@ -193,6 +205,7 @@ def run_regression(
                     compaction=True,
                     backend=backend,
                     repeats=repeats,
+                    summary=summary,
                 )
             finally:
                 backend.close()
@@ -242,6 +255,11 @@ def main(argv=None) -> None:
     parser.add_argument("--workers", type=int, default=None, help="pool worker count")
     parser.add_argument("--grain", type=int, default=None, help="pool grain (elements/task)")
     parser.add_argument("--repeats", type=int, default=1, help="timed runs per config (min wins)")
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="store per-round traces as summary stats (caps JSON size)",
+    )
     parser.add_argument("--out", default=None, help="write the JSON report here")
     args = parser.parse_args(argv)
 
@@ -255,6 +273,7 @@ def main(argv=None) -> None:
         num_workers=args.workers,
         grain=args.grain,
         repeats=args.repeats,
+        summary=args.summary,
     )
     for name, entry in report["algorithms"].items():
         print(f"{name}: identical={entry['solutions_identical']}")

@@ -1,6 +1,30 @@
-"""Plain-text / markdown table rendering for experiment output."""
+"""Plain-text / markdown table rendering and bench-trace summarization."""
 
 from __future__ import annotations
+
+import numpy as np
+
+
+def summarize_rounds(round_log, label: str, final_work: float) -> dict:
+    """Compress a ledger round trace into fixed-size summary stats.
+
+    Raw per-round sample lists grow with the instance (hundreds of
+    rounds at 100k clients) and dominate committed bench JSON size; the
+    summary keeps the trajectory's shape — how much a round costs at
+    the start vs. the end of the run — in O(1) space:
+    ``{rounds, work_total, work_first, work_last, work_median}``.
+    """
+    marks = [w for (lab, _i, w, _t) in round_log if lab == label]
+    if not marks:
+        return {"rounds": 0}
+    deltas = np.diff(np.asarray(marks + [final_work]))
+    return {
+        "rounds": len(marks),
+        "work_total": float(deltas.sum()),
+        "work_first": float(deltas[0]),
+        "work_last": float(deltas[-1]),
+        "work_median": float(np.median(deltas)),
+    }
 
 
 def _fmt(value) -> str:

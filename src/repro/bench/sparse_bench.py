@@ -1,0 +1,263 @@
+"""Sparse-vs-dense bench: peak memory and wall-clock across the scale axis.
+
+Two tiers, one JSON report (committed as ``BENCH_PR3.json``):
+
+* **overlap** — sizes where the dense path still fits: the same seeded
+  geometry is solved by the dense (frontier-compacted) path and by the
+  sparse path on its k-NN truncation. Records wall-clock (min over
+  ``repeats``), solve-phase peak memory (tracemalloc), ledger work, and
+  both objectives (plus the dense objective of the sparse solution, so
+  the truncation error is visible).
+* **sparse_scaling** — the ``sparse_scaling_suite`` k-NN instances
+  (10k/30k/100k clients by default). For each entry the report records
+  the bytes the dense matrix *would* need; tiers over ``--budget-gib``
+  are marked ``dense_feasible: false`` and never attempted — that
+  marker is the acceptance evidence that the sparse subsystem solves
+  instances the dense path cannot hold.
+
+Per-round traces are stored as **summary stats** (count/total/first/
+last/median work per round), never as raw per-round sample lists, so
+the committed JSON stays small at any scale::
+
+    PYTHONPATH=src python -m repro.bench.sparse_bench --out BENCH_PR3.json
+    PYTHONPATH=src python -m repro.bench.sparse_bench --fast   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.bench.reporting import summarize_rounds
+from repro.bench.workloads import sparse_scaling_suite
+from repro.core.greedy import parallel_greedy
+from repro.core.primal_dual import parallel_primal_dual
+from repro.metrics.generators import euclidean_instance
+from repro.metrics.sparse import knn_sparsify
+from repro.pram.machine import PramMachine
+
+_ALGORITHMS = {
+    "parallel_greedy": (parallel_greedy, "greedy_outer"),
+    "parallel_primal_dual": (parallel_primal_dual, "pd_iterations"),
+}
+
+
+def _measure(algorithm: str, instance, *, epsilon: float, seed: int, repeats: int) -> dict:
+    """Seeded solve: min wall-clock over ``repeats`` plus one traced
+    pass for solve-phase peak memory (tracemalloc slows execution, so
+    the memory pass is separate and untimed)."""
+    fn, label = _ALGORITHMS[algorithm]
+    best_wall = float("inf")
+    measure = None
+    for _ in range(max(int(repeats), 1)):
+        machine = PramMachine(seed=seed)
+        t0 = time.perf_counter()
+        sol = fn(instance, epsilon=epsilon, machine=machine)
+        wall = time.perf_counter() - t0
+        if wall >= best_wall:
+            continue
+        best_wall = wall
+        ledger = machine.ledger
+        measure = {
+            "wall_s": wall,
+            "ledger_work": ledger.work,
+            "ledger_depth": ledger.depth,
+            "cost": sol.cost,
+            "opened": int(sol.opened.size),
+            "rounds": summarize_rounds(ledger.round_log, label, ledger.work),
+            "opened_idx": sol.opened,
+        }
+    tracemalloc.start()
+    fn(instance, epsilon=epsilon, machine=PramMachine(seed=seed))
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    measure["peak_mib"] = peak / 2**20
+    return measure
+
+
+def _strip(measure: dict) -> dict:
+    out = dict(measure)
+    out.pop("opened_idx", None)
+    return out
+
+
+def run_sparse_bench(
+    *,
+    overlap_sizes=(1500, 3000),
+    scaling_sizes=(10_000, 30_000, 100_000),
+    k: int = 8,
+    facility_ratio: float = 0.1,
+    epsilon: float = 0.2,
+    seed: int = 0,
+    machine_seed: int = 1,
+    repeats: int = 2,
+    budget_gib: float = 2.0,
+    algorithms=("parallel_greedy", "parallel_primal_dual"),
+) -> dict:
+    """Run both tiers and return the report dict (see module docstring)."""
+    report = {
+        "meta": {
+            "k": k,
+            "facility_ratio": facility_ratio,
+            "epsilon": epsilon,
+            "seed": seed,
+            "machine_seed": machine_seed,
+            "repeats": repeats,
+            "budget_gib": budget_gib,
+            "overlap_sizes": list(overlap_sizes),
+            "scaling_sizes": list(scaling_sizes),
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "overlap": {},
+        "sparse_scaling": {},
+    }
+
+    for n_c in overlap_sizes:
+        n_c = int(n_c)
+        n_f = max(int(n_c * facility_ratio), k)
+        dense_inst = euclidean_instance(n_f, n_c, seed=seed)
+        sparse_inst = knn_sparsify(dense_inst, k)
+        entry = {
+            "n_f": n_f,
+            "n_c": n_c,
+            "nnz": sparse_inst.nnz,
+            "dense_bytes": n_f * n_c * 8,
+        }
+        for algorithm in algorithms:
+            dense = _measure(
+                algorithm, dense_inst, epsilon=epsilon, seed=machine_seed, repeats=repeats
+            )
+            sparse = _measure(
+                algorithm, sparse_inst, epsilon=epsilon, seed=machine_seed, repeats=repeats
+            )
+            # Truncation error, in the dense objective, of the sparse solution.
+            sparse_on_dense = float(dense_inst.cost(sparse["opened_idx"]))
+            entry[algorithm] = {
+                "dense": _strip(dense),
+                "sparse": _strip(sparse),
+                "speedup_wall": dense["wall_s"] / max(sparse["wall_s"], 1e-12),
+                "mem_ratio": dense["peak_mib"] / max(sparse["peak_mib"], 1e-12),
+                "work_ratio": dense["ledger_work"] / max(sparse["ledger_work"], 1.0),
+                "sparse_solution_dense_cost": sparse_on_dense,
+                "dense_cost": dense["cost"],
+            }
+        report["overlap"][f"euclid-{n_f}x{n_c}-k{k}"] = entry
+
+    budget_bytes = budget_gib * 2**30
+    for name, instance in sparse_scaling_suite(
+        seed, sizes=scaling_sizes, k=k, facility_ratio=facility_ratio
+    ):
+        dense_bytes = instance.n_facilities * instance.n_clients * 8
+        entry = {
+            "n_f": instance.n_facilities,
+            "n_c": instance.n_clients,
+            "nnz": instance.nnz,
+            "dense_bytes": dense_bytes,
+            "dense_feasible": bool(dense_bytes <= budget_bytes),
+        }
+        for algorithm in algorithms:
+            entry[algorithm] = {
+                "sparse": _strip(
+                    _measure(
+                        algorithm,
+                        instance,
+                        epsilon=epsilon,
+                        seed=machine_seed,
+                        repeats=repeats,
+                    )
+                )
+            }
+        report["sparse_scaling"][name] = entry
+    return report
+
+
+def main(argv=None) -> None:
+    """CLI entry point: run the sparse bench and write JSON."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--overlap", default="1500,3000", help="comma-separated overlap client counts"
+    )
+    parser.add_argument(
+        "--scaling",
+        default="10000,30000,100000",
+        help="comma-separated sparse-scaling client counts",
+    )
+    parser.add_argument("--k", type=int, default=8, help="candidates per client")
+    parser.add_argument("--epsilon", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument("--machine-seed", type=int, default=1)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--budget-gib",
+        type=float,
+        default=2.0,
+        help="memory budget; larger dense matrices are marked infeasible",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="CI smoke sizes (overlap 400, scaling 2000/5000, 1 repeat)",
+    )
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    if args.fast:
+        overlap = (400,)
+        scaling = (2000, 5000)
+        repeats = 1
+    else:
+        overlap = tuple(int(s) for s in args.overlap.split(",") if s.strip())
+        scaling = tuple(int(s) for s in args.scaling.split(",") if s.strip())
+        repeats = args.repeats
+
+    report = run_sparse_bench(
+        overlap_sizes=overlap,
+        scaling_sizes=scaling,
+        k=args.k,
+        epsilon=args.epsilon,
+        seed=args.seed,
+        machine_seed=args.machine_seed,
+        repeats=repeats,
+        budget_gib=args.budget_gib,
+    )
+    for name, entry in report["overlap"].items():
+        for algorithm in _ALGORITHMS:
+            row = entry.get(algorithm)
+            if not row:
+                continue
+            print(
+                f"{name} {algorithm}: dense {row['dense']['wall_s']:.2f}s/"
+                f"{row['dense']['peak_mib']:.0f}MiB | sparse "
+                f"{row['sparse']['wall_s']:.2f}s/{row['sparse']['peak_mib']:.0f}MiB | "
+                f"speedup {row['speedup_wall']:.1f}x mem {row['mem_ratio']:.1f}x"
+            )
+    for name, entry in report["sparse_scaling"].items():
+        dense_note = (
+            "feasible" if entry["dense_feasible"] else
+            f"INFEASIBLE ({entry['dense_bytes'] / 2**30:.1f} GiB > budget)"
+        )
+        for algorithm in _ALGORITHMS:
+            row = entry.get(algorithm)
+            if not row:
+                continue
+            sp = row["sparse"]
+            print(
+                f"{name} {algorithm}: sparse {sp['wall_s']:.2f}s/"
+                f"{sp['peak_mib']:.0f}MiB work {sp['ledger_work']:.3g} | dense {dense_note}"
+            )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=1)
+        print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,7 @@ from repro.metrics.generators import (
     clustered_instance,
     euclidean_clustering,
     euclidean_instance,
+    knn_instance,
     random_metric_instance,
     star_instance,
     two_scale_instance,
@@ -54,6 +55,34 @@ def fl_scaling_suite(seed: int = 0, *, sizes=((10, 40), (14, 80), (20, 160), (28
         (f"euclid-{nf}x{nc}", euclidean_instance(nf, nc, seed=seed + i))
         for i, (nf, nc) in enumerate(sizes)
     ]
+
+
+def sparse_scaling_suite(
+    seed: int = 0,
+    *,
+    sizes=(10_000, 30_000, 100_000),
+    k: int = 8,
+    facility_ratio: float = 0.1,
+) -> list:
+    """k-NN instances at client counts the dense path cannot touch.
+
+    Each entry is ``(name, SparseFacilityLocationInstance)`` with
+    ``n_f = facility_ratio · n_c`` facilities and ``k`` candidates per
+    client, so ``nnz = k · n_c`` while the dense matrix would need
+    ``n_f · n_c`` entries (8 GiB at the default 100k tier). Built
+    KD-tree-first — no dense intermediate ever exists.
+    """
+    out = []
+    for i, n_c in enumerate(sizes):
+        n_c = int(n_c)
+        n_f = max(int(n_c * facility_ratio), k)
+        out.append(
+            (
+                f"knn-{n_f}x{n_c}-k{k}",
+                knn_instance(n_f, n_c, k=k, seed=seed + i),
+            )
+        )
+    return out
 
 
 def clustering_ratio_suite(seed: int = 0) -> list:

@@ -26,20 +26,27 @@ from scipy import sparse
 from repro.core.frontier import resolve_compaction
 from repro.errors import ConvergenceError, InvalidParameterError
 from repro.pram.machine import PramMachine, ensure_machine
+from repro.util.csr import csr_drop_diagonal, validate_csr
 
 
 def _to_csr(adjacency) -> sparse.csr_matrix:
     if sparse.issparse(adjacency):
         A = adjacency.tocsr().astype(bool)
+        # Explicit stored zeros are not edges: the dense variant sees
+        # them as False, so the structural kernels below must too.
+        A.eliminate_zeros()
     else:
         A = sparse.csr_matrix(np.asarray(adjacency, dtype=bool))
     if A.shape[0] != A.shape[1]:
         raise InvalidParameterError(f"adjacency must be square, got {A.shape}")
     if (A != A.T).nnz != 0:
         raise InvalidParameterError("adjacency must be symmetric (simple undirected graph)")
-    A = A.tolil()
-    A.setdiag(False)
-    return A.tocsr()
+    # Diagonal cleanup stays in CSR (one O(nnz) mask) — the previous
+    # LIL round-trip was an O(n·nnz) format conversion on large graphs.
+    A = csr_drop_diagonal(A)
+    A.sort_indices()
+    validate_csr(A.indptr, A.indices, A.shape[1], name="adjacency", require_sorted=True)
+    return A
 
 
 def _segmented_min(machine: PramMachine, A: sparse.csr_matrix, values: np.ndarray) -> np.ndarray:
@@ -195,4 +202,87 @@ def max_dominator_set_sparse(
         machine.ledger.charge_basic("map", n, depth=1)
     if candidate.any():
         raise ConvergenceError(f"sparse MaxDom exceeded {limit} rounds (n={n})")
+    return selected
+
+
+def max_u_dominator_set_sparse(
+    biadjacency,
+    machine: PramMachine | None = None,
+    *,
+    backend=None,
+    candidates: np.ndarray | None = None,
+    max_rounds: int | None = None,
+) -> np.ndarray:
+    """Sparse ``MaxUDom`` — identical semantics (and, on identically
+    seeded machines, byte-identical selections) to
+    :func:`repro.core.dominator.max_u_dominator_set`, in ``O(nnz)``
+    work per round.
+
+    Every round touches only the candidate rows' CSR segments: the
+    V-side priority minimum is a :meth:`~repro.pram.machine.PramMachine.scatter_min`
+    over those edges, and the U-side conflict relays are segmented
+    min/or reductions over the same segments. Non-candidate rows never
+    contribute anything but the operator identity in the dense
+    formulation, so restricting to candidate segments reproduces the
+    full-matrix selections exactly.
+
+    Parameters
+    ----------
+    biadjacency:
+        ``|U| × |V|`` scipy.sparse matrix or dense boolean array.
+    candidates:
+        Optional mask restricting which U-nodes may be selected (the
+        §5 caller passes the tentatively open facilities).
+    """
+    if sparse.issparse(biadjacency):
+        B = biadjacency.tocsr().astype(bool)
+        # Explicit stored zeros are not edges (dense parity: a False
+        # entry never relays a priority or a conflict).
+        B.eliminate_zeros()
+    else:
+        B = sparse.csr_matrix(np.asarray(biadjacency, dtype=bool))
+    nu, nv = B.shape
+    machine = ensure_machine(machine, backend=backend, size=max(int(B.indptr[-1]), nu))
+    if nu == 0:
+        return np.zeros(0, dtype=bool)
+    candidate = (
+        np.ones(nu, dtype=bool)
+        if candidates is None
+        else np.asarray(candidates, dtype=bool).copy()
+    )
+    if candidate.shape != (nu,):
+        raise InvalidParameterError(
+            f"candidates mask must have shape ({nu},), got {candidate.shape}"
+        )
+    limit = (nu + 1) if max_rounds is None else int(max_rounds)
+    indptr = np.asarray(B.indptr, dtype=np.intp)
+
+    selected = np.zeros(nu, dtype=bool)
+    for _ in range(limit):
+        if not candidate.any():
+            return selected
+        machine.bump_round("maxudom")
+        pi = machine.random_priorities(nu).astype(float)
+        cand_idx = np.flatnonzero(candidate)
+        pos, sub = machine.segment_positions(indptr, cand_idx)
+        cols = machine.take_rows(np.asarray(B.indices, dtype=np.intp), pos)
+        pim_c = machine.take_rows(pi, cand_idx)
+        # down[v] = min priority among candidate U-neighbors of v;
+        # up[u]   = min over v ∈ Γ(u) of down[v]  (covers u itself).
+        down = machine.scatter_min(machine.segment_spread(pim_c, sub), cols, nv)
+        up_c = machine.segmented_reduce(machine.take_rows(down, cols), sub, "min")
+        sel_c = np.asarray(
+            machine.map(lambda p, h: (p <= h) | ~np.isfinite(h), pim_c, up_c)
+        )
+        selected[cand_idx[sel_c]] = True
+        # Conflict exclusion: candidates sharing a V-neighbor with a pick.
+        sel_edge = machine.segment_spread(sel_c, sub)
+        v_hit = machine.count_votes(cols, nv, mask=sel_edge) > 0
+        u_conflict_c = np.asarray(
+            machine.segmented_reduce(machine.take_rows(v_hit, cols), sub, "or")
+        )
+        candidate[cand_idx] = ~(sel_c | u_conflict_c)
+        machine.ledger.charge_basic("scatter", max(cand_idx.size, 1), depth=1)
+    if candidate.any():
+        raise ConvergenceError(f"sparse MaxUDom exceeded {limit} rounds (|U|={nu})")
     return selected

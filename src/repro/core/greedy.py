@@ -57,6 +57,7 @@ from repro.core.stars import (
 )
 from repro.errors import ConvergenceError
 from repro.metrics.instance import FacilityLocationInstance
+from repro.metrics.sparse import SparseFacilityLocationInstance
 from repro.pram.machine import PramMachine, ensure_machine
 from repro.util.validation import check_epsilon
 
@@ -109,6 +110,8 @@ def parallel_greedy(
         ``"auto"`` (default), ``True``, or ``False`` — whether per-round
         work runs on frontier-compacted submatrices (see module
         docstring). Both paths return identical seeded solutions.
+        Sparse instances always execute the (inherently compacted)
+        sparse path, whatever this is set to.
 
     Returns
     -------
@@ -116,6 +119,15 @@ def parallel_greedy(
         With ``alpha`` (the dual-fitting vector), round counters
         ``greedy_outer`` / ``greedy_subselect``, ledger costs, and
         ``extra = {gamma, tau_trace, preprocessed_clients}``.
+
+    Notes
+    -----
+    ``instance`` may also be a
+    :class:`~repro.metrics.sparse.SparseFacilityLocationInstance`; the
+    algorithm then runs over the candidate-edge structure in
+    ``O(nnz(frontier rows))`` work per round
+    (:mod:`repro.core.greedy_sparse`) and returns byte-identical seeded
+    solutions to the dense paths on dense-representable instances.
     """
     eps = check_epsilon(epsilon, upper=1.0)
     machine = ensure_machine(machine, backend=backend, seed=seed, size=instance.m)
@@ -126,6 +138,11 @@ def parallel_greedy(
         sub_cap = max_subselect_rounds
     else:
         sub_cap = 64 + 16 * math.ceil(math.log(m) / math.log1p(eps))
+
+    if isinstance(instance, SparseFacilityLocationInstance):
+        from repro.core.greedy_sparse import _parallel_greedy_sparse
+
+        return _parallel_greedy_sparse(instance, eps, machine, preprocess, outer_cap, sub_cap)
 
     run = _parallel_greedy_compact if resolve_compaction(compaction, instance.m) else _parallel_greedy_dense
     return run(instance, eps, machine, preprocess, outer_cap, sub_cap)

@@ -47,6 +47,7 @@ from repro.core.greedy import _instance_gamma
 from repro.core.result import FacilityLocationSolution
 from repro.errors import ConvergenceError
 from repro.metrics.instance import FacilityLocationInstance
+from repro.metrics.sparse import SparseFacilityLocationInstance
 from repro.pram.machine import PramMachine, ensure_machine
 from repro.util.validation import check_epsilon
 
@@ -103,6 +104,13 @@ def parallel_primal_dual(
         iter_cap = max_iterations
     else:
         iter_cap = math.ceil(3.0 * math.log(m) / math.log1p(eps)) + 8
+
+    if isinstance(instance, SparseFacilityLocationInstance):
+        # Sparse instances always execute the (inherently compacted)
+        # O(nnz)-per-iteration path; see repro.core.primal_dual_sparse.
+        from repro.core.primal_dual_sparse import _parallel_primal_dual_sparse
+
+        return _parallel_primal_dual_sparse(instance, eps, machine, preprocess, iter_cap)
 
     run = (
         _parallel_primal_dual_compact

@@ -11,6 +11,11 @@ that produce the synthetic workloads used throughout the benchmarks.
 from repro.metrics.space import MetricSpace
 from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
 from repro.metrics.validation import check_metric_matrix, triangle_violation
+from repro.metrics.sparse import (
+    SparseFacilityLocationInstance,
+    knn_sparsify,
+    threshold_sparsify,
+)
 from repro.metrics.generators import (
     clustered_clustering,
     clustered_instance,
@@ -20,6 +25,7 @@ from repro.metrics.generators import (
     euclidean_points,
     graph_instance,
     grid_points,
+    knn_instance,
     line_instance,
     powerlaw_cluster_instance,
     random_metric_instance,
@@ -32,6 +38,10 @@ __all__ = [
     "MetricSpace",
     "FacilityLocationInstance",
     "ClusteringInstance",
+    "SparseFacilityLocationInstance",
+    "knn_sparsify",
+    "threshold_sparsify",
+    "knn_instance",
     "check_metric_matrix",
     "triangle_violation",
     "euclidean_instance",

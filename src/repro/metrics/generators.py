@@ -324,6 +324,83 @@ def powerlaw_cluster_instance(
 
 
 # --------------------------------------------------------------------------
+# Sparse facility-location instances
+# --------------------------------------------------------------------------
+
+def knn_instance(
+    n_f: int,
+    n_c: int,
+    *,
+    k: int = 8,
+    dim: int = 2,
+    n_clusters: int | None = None,
+    spread: float = 0.05,
+    cost_range: tuple[float, float] = (0.5, 1.5),
+    cost_scale: float | None = None,
+    fallback_slack: float = 1.0,
+    seed=None,
+):
+    """k-NN-truncated Euclidean instance, built without the dense matrix.
+
+    Each client's candidates are its ``k`` nearest facilities (KD-tree
+    query), so the instance costs ``O(k · n_c)`` memory instead of
+    ``n_f · n_c`` — the construction that takes the sparse solvers to
+    client counts the dense path cannot touch. Clients are uniform in
+    the unit cube, or Gaussian blobs when ``n_clusters`` is given.
+
+    The fallback column is ``(1 + fallback_slack) ×`` each client's
+    truncation radius (its ``k``-th nearest distance); see
+    :func:`repro.metrics.sparse.knn_sparsify` for why that keeps
+    objectives comparable.
+
+    Returns a :class:`~repro.metrics.sparse.SparseFacilityLocationInstance`.
+    """
+    from scipy.spatial import cKDTree
+
+    from repro.metrics.sparse import SparseFacilityLocationInstance
+    from repro.util.csr import csr_transpose
+
+    check_positive_int(n_f, name="n_f")
+    check_positive_int(n_c, name="n_c")
+    check_positive_int(dim, name="dim")
+    k = check_k(k, n_f, name="k")
+    slack = float(fallback_slack)
+    if slack < 0:
+        raise InvalidParameterError(f"fallback_slack must be >= 0, got {fallback_slack}")
+    rng = ensure_rng(seed)
+    facilities = rng.random((n_f, dim))
+    if n_clusters is None:
+        clients = rng.random((n_c, dim))
+    else:
+        check_k(n_clusters, n_c, name="n_clusters")
+        centers = rng.random((n_clusters, dim))
+        labels = rng.integers(0, n_clusters, size=n_c)
+        clients = centers[labels] + rng.normal(scale=spread, size=(n_c, dim))
+    dist, near = cKDTree(facilities).query(clients, k=k)
+    dist = np.atleast_2d(np.asarray(dist, dtype=float).reshape(n_c, k))
+    near = np.asarray(near, dtype=np.intp).reshape(n_c, k)
+    # Transpose the client-major k-NN lists into the facility-major CSR
+    # layout (clients ascend within each facility row).
+    c_indptr = np.arange(0, n_c * k + 1, k, dtype=np.intp)
+    t_indptr, t_clients, entry = csr_transpose(c_indptr, near.ravel(), n_f)
+    if cost_scale is None:
+        base = float(np.median(dist)) if dist.size else 1.0
+        cost_scale = max(base, 1e-12) * np.sqrt(n_c)
+    lo, hi = cost_range
+    if not 0 <= lo <= hi:
+        raise InvalidParameterError(f"cost_range must satisfy 0 <= lo <= hi, got {cost_range}")
+    f = rng.uniform(lo, hi, size=n_f) * cost_scale
+    return SparseFacilityLocationInstance(
+        t_indptr,
+        t_clients,
+        dist.ravel()[entry],
+        f,
+        n_clients=n_c,
+        fallback=(1.0 + slack) * dist[:, -1],
+    )
+
+
+# --------------------------------------------------------------------------
 # Clustering instances
 # --------------------------------------------------------------------------
 

@@ -13,9 +13,11 @@ import numpy as np
 from repro.errors import InvalidInstanceError
 from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
 from repro.metrics.space import MetricSpace
+from repro.metrics.sparse import SparseFacilityLocationInstance
 
 _KIND_FL = "facility-location"
 _KIND_CLUSTER = "clustering"
+_KIND_SPARSE_FL = "sparse-facility-location"
 
 
 def save_instance(path, instance) -> None:
@@ -31,6 +33,17 @@ def save_instance(path, instance) -> None:
             payload["facility_ids"] = instance.facility_ids
             payload["client_ids"] = instance.client_ids
         np.savez_compressed(path, **payload)
+    elif isinstance(instance, SparseFacilityLocationInstance):
+        np.savez_compressed(
+            path,
+            kind=np.asarray(_KIND_SPARSE_FL),
+            indptr=instance.indptr,
+            indices=instance.indices,
+            data=instance.data,
+            f=instance.f,
+            fallback=instance.fallback,
+            n_clients=np.asarray(instance.n_clients),
+        )
     elif isinstance(instance, ClusteringInstance):
         np.savez_compressed(
             path,
@@ -57,6 +70,15 @@ def load_instance(path):
                     client_ids=data["client_ids"],
                 )
             return FacilityLocationInstance(data["D"], data["f"])
+        if kind == _KIND_SPARSE_FL:
+            return SparseFacilityLocationInstance(
+                data["indptr"],
+                data["indices"],
+                data["data"],
+                data["f"],
+                n_clients=int(data["n_clients"]),
+                fallback=data["fallback"],
+            )
         if kind == _KIND_CLUSTER:
             return ClusteringInstance(MetricSpace(data["D"], validate=False), int(data["k"]))
     raise InvalidInstanceError(f"unrecognized instance kind {kind!r} in {path}")

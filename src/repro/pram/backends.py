@@ -53,6 +53,31 @@ from repro.errors import InvalidParameterError
 from repro.pram.operators import AssociativeOp
 
 
+def _segmented_reduce_kernel(op, values, indptr):
+    """Per-segment reduction over a flat CSR-style array (the shared
+    serial kernel behind ``segmented_reduce``).
+
+    ``out[s] = op.reduce(values[indptr[s]:indptr[s+1]])``, with the
+    operator identity for empty segments. One ``reduceat`` pass —
+    ``O(nnz + n_segments)`` work. ``reduceat`` combines each segment
+    left-to-right, so results are deterministic and independent of how
+    segments are chunked across workers (a segment is never split).
+    """
+    n = indptr.size - 1
+    lens = np.diff(indptr)
+    # Appending the identity keeps the trailing segment well-defined and
+    # gives empty segments at position nnz a valid index to read; it
+    # also fixes the output dtype by the same promotion rule on every
+    # slice (so chunked and whole-array passes agree).
+    gathered = np.append(values, np.asarray(op.identity))
+    if values.size == 0:
+        return np.full(n, op.identity, dtype=gathered.dtype)
+    out = op.ufunc.reduceat(gathered, indptr[:-1])
+    if np.any(lens == 0):
+        out[lens == 0] = op.identity
+    return out
+
+
 def _axpy_kernel(a, x, y, clamp_min, mask, fill):
     """``a*x + y`` with optional lower clamp and mask-select, minimizing
     temporaries (the shared serial kernel behind ``fused_axpy``)."""
@@ -99,6 +124,18 @@ class Backend:
         """Segmented count: ``out[i] = #{j : labels[j] == i}``."""
         raise NotImplementedError
 
+    def segmented_reduce(
+        self, op: AssociativeOp, values: np.ndarray, indptr: np.ndarray
+    ) -> np.ndarray:
+        """Per-segment reduction over a flat CSR-style array.
+
+        ``indptr`` (length ``n_segments + 1``) delimits contiguous
+        segments of ``values``; empty segments reduce to the operator
+        identity. Segments are never split across workers, so results
+        are byte-identical on every backend.
+        """
+        raise NotImplementedError
+
     def fused_axpy(self, a, x, y, *, clamp_min=None, mask=None, fill=0.0) -> np.ndarray:
         """One-pass ``a*x + y`` with optional clamp/mask (a is scalar)."""
         raise NotImplementedError
@@ -141,6 +178,9 @@ class SerialBackend(Backend):
 
     def count_votes(self, labels, minlength):
         return np.bincount(labels, minlength=minlength)
+
+    def segmented_reduce(self, op, values, indptr):
+        return _segmented_reduce_kernel(op, values, indptr)
 
     def fused_axpy(self, a, x, y, *, clamp_min=None, mask=None, fill=0.0):
         return _axpy_kernel(a, x, y, clamp_min, mask, fill)
@@ -298,6 +338,30 @@ class ThreadBackend(_BlockedBackend):
         )
         return np.sum(np.stack(parts, axis=0), axis=0)
 
+    def segmented_reduce(self, op, values, indptr):
+        n_seg = indptr.size - 1
+        if (
+            self._pool is None
+            or n_seg < 2
+            or values.size < self.grain * self.num_workers
+        ):
+            return self._serial.segmented_reduce(op, values, indptr)
+        # Chunk by whole segments: each worker runs the serial kernel on
+        # its segment range, so per-segment results are bit-identical to
+        # a single-threaded pass.
+        chunks = self._row_chunks(n_seg)
+        parts = list(
+            self._pool.map(
+                lambda sl: _segmented_reduce_kernel(
+                    op,
+                    values[indptr[sl.start] : indptr[sl.stop]],
+                    indptr[sl.start : sl.stop + 1] - indptr[sl.start],
+                ),
+                chunks,
+            )
+        )
+        return np.concatenate(parts)
+
     def fused_axpy(self, a, x, y, *, clamp_min=None, mask=None, fill=0.0):
         x = np.asarray(x)
         operands = [x] + [np.asarray(v) for v in (y, mask) if isinstance(v, np.ndarray)]
@@ -431,6 +495,12 @@ def _pool_task(kind, out_spec, out_index, in_specs, sl, payload):
             out[out_index] = np.argsort(arrays[0][sl], axis=1, kind="stable")
         elif kind == "count_votes":
             out[out_index] = np.bincount(arrays[0][sl], minlength=payload)
+        elif kind == "segmented_reduce":
+            vals, iptr = arrays
+            lo, hi = sl.start, sl.stop
+            out[out_index] = _segmented_reduce_kernel(
+                payload, vals[iptr[lo] : iptr[hi]], iptr[lo : hi + 1] - iptr[lo]
+            )
         elif kind == "fused_axpy":
             shape, a_scal, y_is_arr, y_val, clamp_min, mask_is_arr, mask_val, fill = payload
             arr_it = iter(arrays)
@@ -649,6 +719,28 @@ class ProcessBackend(_BlockedBackend):
             self._partial_tasks(labels.size),
         )
         return np.sum(parts, axis=0)
+
+    def segmented_reduce(self, op, values, indptr):
+        n_seg = indptr.size - 1
+        if (
+            self._pool is None
+            or n_seg < 2
+            or values.size < self.grain * self.num_workers
+        ):
+            return self._serial.segmented_reduce(op, values, indptr)
+        # Synthetic one-element probe pins the output dtype (the shared
+        # segment is allocated before workers run); the kernel's
+        # identity-append promotion rule is the same for every slice, so
+        # the dtype matches what the serial kernel would produce.
+        probe = _segmented_reduce_kernel(op, values[:1], np.array([0, 1], dtype=np.intp))
+        return self._run_tasks(
+            "segmented_reduce",
+            [values, np.asarray(indptr, dtype=np.intp)],
+            (n_seg,),
+            probe.dtype,
+            op,
+            self._row_tasks(n_seg),
+        )
 
     def fused_axpy(self, a, x, y, *, clamp_min=None, mask=None, fill=0.0):
         x = np.asarray(x)

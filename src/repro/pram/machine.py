@@ -311,6 +311,198 @@ class PramMachine:
         self.ledger.charge_basic("count_votes", max(labels.size + minlength, 1))
         return np.asarray(out)
 
+    # -- segmented (CSR) primitives ------------------------------------------
+
+    def segmented_reduce(self, values: np.ndarray, indptr: np.ndarray, op="add") -> np.ndarray:
+        """Per-segment summation with an associative operator.
+
+        ``indptr`` (length ``n_segments + 1``) delimits contiguous
+        segments of the flat ``values`` array — the CSR layout of a
+        sparse row structure. Empty segments reduce to the operator
+        identity. Charged ``O(nnz + n_segments)`` work and ``O(log n)``
+        depth: in the §2 model this is a prefix-combine followed by a
+        boundary gather, i.e. a constant number of basic operations.
+
+        Uniform segment lengths take a rectangular fast path through
+        the backend's 2-D row reduction, which is bit-identical to the
+        dense kernels — the parity bridge between the sparse and dense
+        execution paths on dense-representable instances.
+        """
+        values = np.asarray(values)
+        indptr = np.asarray(indptr, dtype=np.intp)
+        oper = _coerce_op(op)
+        n_seg = indptr.size - 1
+        lens = np.diff(indptr)
+        k = int(lens[0]) if n_seg else 0
+        if n_seg and k > 0 and bool(np.all(lens == k)):
+            out = self.backend.reduce(oper, values.reshape(n_seg, k), axis=1)
+        else:
+            out = self.backend.segmented_reduce(oper, values, indptr)
+        self.ledger.charge_basic(
+            f"segmented_reduce[{oper.name}]", max(values.size + n_seg, 1)
+        )
+        return np.asarray(out)
+
+    def segmented_scan(self, values: np.ndarray, indptr: np.ndarray, op="add") -> np.ndarray:
+        """Within-segment inclusive prefix combine (flat CSR layout).
+
+        Uniform segments run through the backend's 2-D row scan
+        (bit-identical to the dense kernels). Ragged segments support
+        the ``add`` operator via an exact left-to-right accumulation —
+        position ``k`` of every live segment is advanced in one
+        vectorized step, so the result is bit-identical to a sequential
+        per-segment pass (no global-cumsum cancellation error) and
+        identical on every backend. Total elementwise work is ``nnz``;
+        the ledger charges the §2 segmented-scan construction as usual.
+        """
+        values = np.asarray(values)
+        indptr = np.asarray(indptr, dtype=np.intp)
+        oper = _coerce_op(op)
+        n_seg = indptr.size - 1
+        lens = np.diff(indptr)
+        k = int(lens[0]) if n_seg else 0
+        if n_seg and k > 0 and bool(np.all(lens == k)):
+            out = self.backend.scan(oper, values.reshape(n_seg, k), axis=1).reshape(-1)
+            self.ledger.charge_basic(f"segmented_scan[{oper.name}]", max(values.size, 1))
+            return np.asarray(out)
+        if oper.name != "add":
+            raise InvalidParameterError(
+                f"ragged segmented_scan supports only 'add', got {oper.name!r}"
+            )
+        if values.size == 0:
+            self.ledger.charge_basic("segmented_scan[add]", 1)
+            return values.copy()
+        # Preserve the input dtype so uniform and ragged structures give
+        # consistent results (bool accumulates through int, like the
+        # dense scan kernel's add.accumulate would).
+        out = values.astype(np.int_ if values.dtype.kind == "b" else values.dtype, copy=True)
+        # Longest-first segment order makes "segments still live at
+        # position k" a shrinking prefix, so each position advances with
+        # one gather-add over exactly those segments: Σ_k |live_k| = nnz.
+        order = np.argsort(-lens, kind="stable")
+        sorted_lens = lens[order]
+        sorted_starts = indptr[:-1][order]
+        neg_lens = -sorted_lens
+        for pos in range(1, int(sorted_lens[0]) if sorted_lens.size else 0):
+            live = int(np.searchsorted(neg_lens, -pos, side="left"))  # len > pos
+            idx = sorted_starts[:live] + pos
+            out[idx] += out[idx - 1]
+        self.ledger.charge_basic("segmented_scan[add]", max(values.size + n_seg, 1))
+        return out
+
+    def segmented_argmin(self, values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+        """Flat position of the first per-segment minimum (−1 if empty).
+
+        A min-reduction carrying indices: segment minima, an equality
+        map, and a position min — three basic operations, ``O(nnz)``.
+        """
+        values = np.asarray(values)
+        indptr = np.asarray(indptr, dtype=np.intp)
+        seg_min = self.segmented_reduce(values, indptr, "min")
+        hit = self.map(lambda v, m: v == m, values, self.segment_spread(seg_min, indptr))
+        pos = self.where(hit, np.arange(values.size, dtype=float), np.inf)
+        first = self.segmented_reduce(pos, indptr, "min")
+        return np.where(np.isfinite(first), first, -1.0).astype(np.intp)
+
+    def segment_positions(
+        self, indptr: np.ndarray, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Frontier-restricted segment gather: flat positions of the
+        selected ``rows``' segments, plus the gathered sub-``indptr``.
+
+        Returns ``(pos, sub_indptr)`` with ``pos`` indexing the
+        original flat arrays — the sparse counterpart of
+        :meth:`take_rows`: carving the live rows of a CSR structure
+        costs the frontier's nnz, not the full structure's.
+        """
+        indptr = np.asarray(indptr, dtype=np.intp)
+        rows = _check_gather_index("segment_positions", rows, indptr.size - 1)
+        starts = indptr[rows]
+        lens = indptr[rows + 1] - starts
+        sub_indptr = np.concatenate(([0], np.cumsum(lens))).astype(np.intp)
+        total = int(sub_indptr[-1])
+        pos = np.arange(total) + np.repeat(starts - sub_indptr[:-1], lens)
+        self.ledger.charge_basic("segment_gather", max(total + rows.size, 1), depth=1)
+        return pos, sub_indptr
+
+    def segment_spread(self, v: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+        """Distribute one value per segment across that segment's
+        entries (``np.repeat`` by segment length) — the segmented
+        counterpart of :meth:`distribute`."""
+        v = np.asarray(v)
+        indptr = np.asarray(indptr, dtype=np.intp)
+        if v.shape != (indptr.size - 1,):
+            raise InvalidParameterError(
+                f"segment_spread needs one value per segment: got {v.shape} "
+                f"for {indptr.size - 1} segments"
+            )
+        out = np.repeat(v, np.diff(indptr))
+        self.ledger.charge_basic("segment_spread", max(out.size, 1), depth=1)
+        return out
+
+    def scatter_min(self, values: np.ndarray, idx: np.ndarray, size: int) -> np.ndarray:
+        """Scatter-combine ``out[i] = min over {values[j] : idx[j] == i}``
+        (``+inf`` where no entry lands).
+
+        The column-axis companion of :meth:`segmented_reduce` for a
+        row-major edge list: a min-reduction keyed by target index.
+        Exact (min is order-independent), so backend-invariant by
+        construction.
+        """
+        values = np.asarray(values, dtype=float)
+        idx = _check_gather_index("scatter_min", idx, int(size))
+        if values.shape != idx.shape:
+            raise InvalidParameterError(
+                f"scatter_min values shape {values.shape} != idx shape {idx.shape}"
+            )
+        out = np.full(int(size), np.inf)
+        np.minimum.at(out, idx, values)
+        self.ledger.charge_basic("scatter_min", max(values.size + int(size), 1))
+        return out
+
+    def scatter_add(self, values: np.ndarray, idx: np.ndarray, size: int) -> np.ndarray:
+        """Scatter-sum ``out[i] = Σ {values[j] : idx[j] == i}``.
+
+        Accumulates in flat-array order (``np.add.at``), which is the
+        same every call and on every backend; like every segmented sum
+        it can reassociate relative to a dense row-sum by an ulp.
+        """
+        values = np.asarray(values, dtype=float)
+        idx = _check_gather_index("scatter_add", idx, int(size))
+        if values.shape != idx.shape:
+            raise InvalidParameterError(
+                f"scatter_add values shape {values.shape} != idx shape {idx.shape}"
+            )
+        out = np.zeros(int(size))
+        np.add.at(out, idx, values)
+        self.ledger.charge_basic("scatter_add", max(values.size + int(size), 1))
+        return out
+
+    def argsort_segments(self, values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+        """Stable ascending argsort within each segment, as flat
+        positions into ``values`` (the one-time presort of a sparse
+        distance structure).
+
+        Uniform segments route through the backend's row argsort;
+        ragged segments use a stable two-key sort (segment id, value).
+        """
+        values = np.asarray(values)
+        indptr = np.asarray(indptr, dtype=np.intp)
+        n_seg = indptr.size - 1
+        lens = np.diff(indptr)
+        k = int(lens[0]) if n_seg else 0
+        if n_seg and k > 0 and bool(np.all(lens == k)):
+            local = np.asarray(self.backend.argsort(values.reshape(n_seg, k), axis=1))
+            out = (local + indptr[:-1][:, None]).reshape(-1)
+            self.ledger.charge_sort("argsort_segments", values.size, k)
+            return out.astype(np.intp)
+        seg_ids = np.repeat(np.arange(n_seg), lens)
+        out = np.lexsort((values, seg_ids)).astype(np.intp)
+        self.ledger.charge_sort(
+            "argsort_segments", max(values.size, 1), max(int(lens.max()) if lens.size else 1, 1)
+        )
+        return out
+
     def take_submatrix(self, a: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         """Fused row+column gather ``a[rows][:, cols]``.
 

@@ -1,0 +1,97 @@
+"""Sparse bench harness: report structure, summary capping, feasibility."""
+
+import json
+
+from repro.bench.regressions import run_regression
+from repro.bench.reporting import summarize_rounds
+from repro.bench.sparse_bench import run_sparse_bench
+from repro.bench.workloads import sparse_scaling_suite
+
+
+def test_sparse_scaling_suite_shapes():
+    suite = sparse_scaling_suite(0, sizes=(200, 400), k=3)
+    assert [name for name, _ in suite] == ["knn-20x200-k3", "knn-40x400-k3"]
+    for _, inst in suite:
+        assert inst.nnz == 3 * inst.n_clients
+        assert inst.n_facilities == inst.n_clients // 10
+
+
+def test_sparse_scaling_suite_deterministic():
+    import numpy as np
+
+    a = sparse_scaling_suite(5, sizes=(150,), k=2)[0][1]
+    b = sparse_scaling_suite(5, sizes=(150,), k=2)[0][1]
+    np.testing.assert_array_equal(a.data, b.data)
+    np.testing.assert_array_equal(a.f, b.f)
+
+
+def test_report_structure_and_feasibility_marker():
+    report = run_sparse_bench(
+        overlap_sizes=(150,),
+        scaling_sizes=(300,),
+        k=3,
+        repeats=1,
+        budget_gib=1e-6,  # force the infeasible marker even at test sizes
+    )
+    (overlap_entry,) = report["overlap"].values()
+    for algorithm in ("parallel_greedy", "parallel_primal_dual"):
+        row = overlap_entry[algorithm]
+        assert row["speedup_wall"] > 0
+        assert row["mem_ratio"] > 0
+        assert row["dense"]["peak_mib"] > 0
+        assert row["sparse"]["ledger_work"] > 0
+        # the truncation error is visible: sparse solution priced densely
+        assert row["sparse_solution_dense_cost"] > 0
+        # raw opened index arrays never reach the report
+        assert "opened_idx" not in row["dense"] and "opened_idx" not in row["sparse"]
+    (scaling_entry,) = report["sparse_scaling"].values()
+    assert scaling_entry["dense_feasible"] is False
+    assert scaling_entry["dense_bytes"] == scaling_entry["n_f"] * scaling_entry["n_c"] * 8
+    # the whole report must serialize as-is (the committed BENCH_PR3.json)
+    json.dumps(report)
+
+
+def test_round_traces_are_summaries_not_samples():
+    """Per-suite summary stats, never raw per-round sample lists."""
+    report = run_sparse_bench(
+        overlap_sizes=(150,), scaling_sizes=(300,), k=3, repeats=1
+    )
+    for tier in ("overlap", "sparse_scaling"):
+        for entry in report[tier].values():
+            for algorithm in ("parallel_greedy", "parallel_primal_dual"):
+                for measure in entry[algorithm].values():
+                    if not isinstance(measure, dict):
+                        continue
+                    rounds = measure["rounds"]
+                    assert set(rounds) <= {
+                        "rounds",
+                        "work_total",
+                        "work_first",
+                        "work_last",
+                        "work_median",
+                    }
+                    assert rounds["rounds"] >= 1
+                    assert rounds["work_total"] <= measure["ledger_work"] * (1 + 1e-9)
+
+
+def test_summarize_rounds_empty_label():
+    assert summarize_rounds([], "nope", 10.0) == {"rounds": 0}
+
+
+def test_summarize_rounds_deltas():
+    log = [("r", 1, 0.0, 0.0), ("r", 2, 4.0, 0.1), ("x", 1, 5.0, 0.2)]
+    out = summarize_rounds(log, "r", 10.0)
+    assert out["rounds"] == 2
+    assert out["work_first"] == 4.0
+    assert out["work_last"] == 6.0
+    assert out["work_total"] == 10.0
+
+
+def test_regressions_summary_flag_caps_traces():
+    report = run_regression(nf=10, nc=28, seed=3, machine_seed=2, epsilon=0.2, summary=True)
+    for entry in report["algorithms"].values():
+        row = entry["backends"]["serial"]
+        for mode in ("dense", "compacted"):
+            assert "per_round" not in row[mode]
+            assert row[mode]["round_summary"]["rounds"] >= 1
+    json.dumps(report)

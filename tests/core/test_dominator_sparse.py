@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 from scipy import sparse
 
-from repro.core.dominator_sparse import max_dominator_set_sparse
+from repro.core.dominator_sparse import (
+    _to_csr,
+    max_dominator_set_sparse,
+    max_u_dominator_set_sparse,
+)
 from repro.errors import ConvergenceError, InvalidParameterError
 from repro.pram.machine import PramMachine
 from tests.core.test_dominator import assert_valid_maxdom, random_graph
@@ -83,3 +87,115 @@ class TestValidation:
         A = random_graph(12, 0.3, 0)
         with pytest.raises(ConvergenceError):
             max_dominator_set_sparse(A, machine, max_rounds=0)
+
+
+class TestToCsr:
+    """The CSR-native cleanup (no LIL round-trip) must behave exactly
+    like the old conversion: square/symmetric validation, diagonal
+    dropped, canonical sorted structure."""
+
+    def test_diagonal_dropped_in_csr(self):
+        A = sparse.csr_matrix(
+            np.array([[1, 1, 0], [1, 1, 1], [0, 1, 1]], dtype=bool)
+        )
+        B = _to_csr(A)
+        assert sparse.isspmatrix_csr(B)
+        assert B.diagonal().sum() == 0
+        expected = A.toarray().copy()
+        np.fill_diagonal(expected, False)
+        np.testing.assert_array_equal(B.toarray(), expected)
+
+    def test_structure_is_canonical(self):
+        A = random_graph(20, 0.3, 1)
+        np.fill_diagonal(A, True)
+        B = _to_csr(sparse.csr_matrix(A))
+        # sorted, in-range, duplicate-free — validated inside _to_csr;
+        # spot-check the row ordering here
+        for i in range(20):
+            row = B.indices[B.indptr[i] : B.indptr[i + 1]]
+            assert np.all(np.diff(row) > 0)
+
+    def test_selections_unchanged_by_rewrite(self):
+        """Same seeded machine ⇒ same selections whether or not the
+        input carried a diagonal (cleanup is semantics-preserving)."""
+        A = random_graph(25, 0.2, 4)
+        with_diag = A.copy()
+        np.fill_diagonal(with_diag, True)
+        a = max_dominator_set_sparse(sparse.csr_matrix(A), PramMachine(seed=8))
+        b = max_dominator_set_sparse(sparse.csr_matrix(with_diag), PramMachine(seed=8))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestMaxUDomSparse:
+    def test_explicit_stored_zeros_are_not_edges(self):
+        """A stored False entry must behave exactly like an absent one
+        (dense parity: the dense matrix reads it as no-edge)."""
+        from repro.core.dominator import max_u_dominator_set
+
+        rng = np.random.default_rng(3)
+        dense_B = rng.random((10, 6)) < 0.3
+        superset = (rng.random((10, 6)) < 0.7) | dense_B
+        rows, cols = np.nonzero(superset)
+        data = dense_B[rows, cols].astype(float)  # 0.0 at non-edges
+        with_zeros = sparse.csr_matrix((data, (rows, cols)), shape=(10, 6))
+        assert with_zeros.nnz > int(dense_B.sum())  # zeros really stored
+        a = max_u_dominator_set(dense_B, PramMachine(seed=3))
+        b = max_u_dominator_set_sparse(with_zeros, PramMachine(seed=3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_matches_dense_selections(self):
+        from repro.core.dominator import max_u_dominator_set
+
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            B = rng.random((20, 12)) < 0.3
+            a = max_u_dominator_set(B, PramMachine(seed=31))
+            b = max_u_dominator_set_sparse(sparse.csr_matrix(B), PramMachine(seed=31))
+            np.testing.assert_array_equal(a, b)
+
+    def test_isolated_u_nodes_always_selected(self, machine):
+        B = np.zeros((4, 3), dtype=bool)
+        assert max_u_dominator_set_sparse(B, machine).all()
+
+    def test_candidates_mask_respected(self, machine):
+        rng = np.random.default_rng(2)
+        B = rng.random((15, 8)) < 0.4
+        cand = rng.random(15) < 0.5
+        sel = max_u_dominator_set_sparse(B, machine, candidates=cand)
+        assert not np.any(sel & ~cand)
+
+    def test_no_shared_v_neighbor(self, machine):
+        """Selected U-nodes never share a V-neighbor (MIS of H')."""
+        rng = np.random.default_rng(7)
+        B = rng.random((18, 10)) < 0.3
+        sel = max_u_dominator_set_sparse(B, machine)
+        chosen = np.flatnonzero(sel)
+        for a in chosen:
+            for b in chosen:
+                if a < b:
+                    assert not np.any(B[a] & B[b])
+
+    def test_bad_candidates_shape(self, machine):
+        with pytest.raises(InvalidParameterError, match="candidates"):
+            max_u_dominator_set_sparse(
+                np.zeros((3, 2), dtype=bool), machine, candidates=np.ones(4, dtype=bool)
+            )
+
+    def test_round_cap(self, machine):
+        rng = np.random.default_rng(3)
+        B = rng.random((10, 6)) < 0.5
+        with pytest.raises(ConvergenceError):
+            max_u_dominator_set_sparse(B, machine, max_rounds=0)
+
+    def test_work_scales_with_edges(self):
+        """Charged work on a bounded-degree bipartite graph ≪ dense."""
+        from repro.core.dominator import max_u_dominator_set
+
+        rng = np.random.default_rng(0)
+        nu, nv = 300, 200
+        B = rng.random((nu, nv)) < (4.0 / nv)
+        md = PramMachine(seed=1)
+        max_u_dominator_set(B, md)
+        ms = PramMachine(seed=1)
+        max_u_dominator_set_sparse(sparse.csr_matrix(B), ms)
+        assert ms.ledger.work < md.ledger.work / 10

@@ -1,0 +1,160 @@
+"""Sparse-vs-dense equivalence suite (the PR-3 parity gate).
+
+On dense-representable instances (full CSR, no finite fallback) the
+sparse greedy and primal–dual paths must return **byte-identical**
+seeded solutions to the dense paths — opened set, cost, duals, traces,
+and round counters — on all three execution backends. The sparse
+``MaxUDom`` must match the dense one selection-for-selection.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PramMachine, ProcessBackend, SerialBackend, ThreadBackend
+from repro.core.dominator import max_u_dominator_set
+from repro.core.dominator_sparse import max_u_dominator_set_sparse
+from repro.core.greedy import parallel_greedy
+from repro.core.primal_dual import parallel_primal_dual
+from repro.metrics.generators import clustered_instance, euclidean_instance
+from repro.metrics.sparse import SparseFacilityLocationInstance
+
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+@pytest.fixture(scope="module")
+def backend_set():
+    backends = {
+        "serial": SerialBackend(),
+        "thread": ThreadBackend(2, grain=8),
+        "process": ProcessBackend(2, grain=64),
+    }
+    yield backends
+    for backend in backends.values():
+        backend.close()
+
+
+def _greedy_check(a, b):
+    assert np.array_equal(a.opened, b.opened)
+    assert a.cost == b.cost
+    assert np.array_equal(a.alpha, b.alpha)
+    assert a.extra["tau_trace"] == b.extra["tau_trace"]
+    assert a.extra["gamma"] == b.extra["gamma"]
+    assert a.extra["preprocessed_clients"] == b.extra["preprocessed_clients"]
+    assert a.rounds == b.rounds
+
+
+def _pd_check(a, b):
+    assert np.array_equal(a.opened, b.opened)
+    assert a.cost == b.cost
+    assert np.array_equal(a.alpha, b.alpha)
+    H_b = b.extra["H"]
+    H_b = H_b.toarray() if hasattr(H_b, "toarray") else H_b
+    H_a = a.extra["H"]
+    H_a = H_a.toarray() if hasattr(H_a, "toarray") else H_a
+    assert np.array_equal(H_a, H_b)
+    assert np.array_equal(a.extra["F0"], b.extra["F0"])
+    assert np.array_equal(a.extra["F_T"], b.extra["F_T"])
+    assert np.array_equal(a.extra["I"], b.extra["I"])
+    assert a.rounds == b.rounds
+
+
+WORKLOADS = [
+    ("euclid-16x48", lambda: euclidean_instance(16, 48, seed=5)),
+    ("euclid-12x40", lambda: euclidean_instance(12, 40, seed=9)),
+    ("clustered-10x50", lambda: clustered_instance(10, 50, n_clusters=4, seed=2)),
+]
+
+
+@pytest.mark.parametrize("name,make", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+@pytest.mark.parametrize("compaction", [False, True], ids=["dense", "compacted"])
+def test_sparse_greedy_matches_dense_paths(name, make, compaction):
+    dense = make()
+    sp = SparseFacilityLocationInstance.from_instance(dense)
+    a = parallel_greedy(dense, epsilon=0.1, machine=PramMachine(seed=123), compaction=compaction)
+    b = parallel_greedy(sp, epsilon=0.1, machine=PramMachine(seed=123))
+    _greedy_check(a, b)
+
+
+@pytest.mark.parametrize("name,make", WORKLOADS, ids=[w[0] for w in WORKLOADS])
+@pytest.mark.parametrize("compaction", [False, True], ids=["dense", "compacted"])
+def test_sparse_primal_dual_matches_dense_paths(name, make, compaction):
+    dense = make()
+    sp = SparseFacilityLocationInstance.from_instance(dense)
+    a = parallel_primal_dual(
+        dense, epsilon=0.1, machine=PramMachine(seed=123), compaction=compaction
+    )
+    b = parallel_primal_dual(sp, epsilon=0.1, machine=PramMachine(seed=123))
+    _pd_check(a, b)
+
+
+@pytest.mark.parametrize("algorithm", [parallel_greedy, parallel_primal_dual])
+def test_sparse_paths_byte_identical_across_backends(backend_set, algorithm):
+    """Seeded sparse runs must agree byte-for-byte on serial, thread,
+    and process backends — charges included."""
+    dense = euclidean_instance(16, 48, seed=5)
+    sp = SparseFacilityLocationInstance.from_instance(dense)
+    results = {}
+    for name in BACKEND_NAMES:
+        machine = PramMachine(backend=backend_set[name], seed=123)
+        sol = algorithm(sp, epsilon=0.1, machine=machine)
+        ledger = machine.ledger
+        results[name] = (sol, (ledger.work, ledger.depth, ledger.cache))
+    ref_sol, ref_costs = results["serial"]
+    check = _greedy_check if algorithm is parallel_greedy else _pd_check
+    for name in BACKEND_NAMES[1:]:
+        sol, costs = results[name]
+        check(ref_sol, sol)
+        assert costs == ref_costs, f"ledger charges drifted on {name}"
+
+
+@pytest.mark.parametrize("algorithm", [parallel_greedy, parallel_primal_dual])
+def test_sparse_equals_dense_across_backends(backend_set, algorithm):
+    """The acceptance gate: sparse solution == dense solution on every
+    backend, for both algorithms."""
+    dense = euclidean_instance(14, 44, seed=7)
+    sp = SparseFacilityLocationInstance.from_instance(dense)
+    check = _greedy_check if algorithm is parallel_greedy else _pd_check
+    for name in BACKEND_NAMES:
+        a = algorithm(
+            dense, epsilon=0.1, machine=PramMachine(backend=backend_set[name], seed=123)
+        )
+        b = algorithm(
+            sp, epsilon=0.1, machine=PramMachine(backend=backend_set[name], seed=123)
+        )
+        check(a, b)
+
+
+def test_sparse_maxudom_byte_identical_across_backends(backend_set):
+    rng = np.random.default_rng(3)
+    B = rng.random((30, 18)) < 0.25
+    cand = rng.random(30) < 0.6
+    results = {}
+    for name in BACKEND_NAMES:
+        machine = PramMachine(backend=backend_set[name], seed=123)
+        results[name] = max_u_dominator_set_sparse(B, machine, candidates=cand)
+    for name in BACKEND_NAMES[1:]:
+        np.testing.assert_array_equal(results["serial"], results[name])
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("compaction", [False, True], ids=["dense", "compacted"])
+def test_sparse_maxudom_matches_dense(seed, compaction):
+    rng = np.random.default_rng(seed)
+    B = rng.random((25, 15)) < 0.3
+    cand = rng.random(25) < 0.7
+    a = max_u_dominator_set(
+        B, PramMachine(seed=99), candidates=cand, compaction=compaction
+    )
+    b = max_u_dominator_set_sparse(B, PramMachine(seed=99), candidates=cand)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_preprocessing_ablation_parity():
+    """preprocess=False must also agree between sparse and dense."""
+    dense = euclidean_instance(10, 30, seed=11)
+    sp = SparseFacilityLocationInstance.from_instance(dense)
+    a = parallel_greedy(
+        dense, epsilon=0.2, machine=PramMachine(seed=5), preprocess=False
+    )
+    b = parallel_greedy(sp, epsilon=0.2, machine=PramMachine(seed=5), preprocess=False)
+    _greedy_check(a, b)

@@ -4,9 +4,10 @@ import numpy as np
 import pytest
 
 from repro.errors import InvalidInstanceError
-from repro.metrics.generators import euclidean_clustering, euclidean_instance
+from repro.metrics.generators import euclidean_clustering, euclidean_instance, knn_instance
 from repro.metrics.io import load_instance, save_instance
 from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
+from repro.metrics.sparse import SparseFacilityLocationInstance, knn_sparsify
 
 
 def test_fl_roundtrip_with_metric(tmp_path):
@@ -51,3 +52,54 @@ def test_costs_survive_roundtrip(tmp_path):
 def test_save_rejects_unknown_type(tmp_path):
     with pytest.raises(InvalidInstanceError, match="cannot save"):
         save_instance(tmp_path / "y.npz", object())
+
+
+# -- sparse instances ---------------------------------------------------------
+
+
+def test_sparse_roundtrip_preserves_csr_structure(tmp_path):
+    inst = knn_instance(20, 60, k=4, seed=11)
+    path = tmp_path / "sp.npz"
+    save_instance(path, inst)
+    back = load_instance(path)
+    assert isinstance(back, SparseFacilityLocationInstance)
+    assert back.n_facilities == inst.n_facilities
+    assert back.n_clients == inst.n_clients
+    assert back.nnz == inst.nnz
+    np.testing.assert_array_equal(back.indptr, inst.indptr)
+    np.testing.assert_array_equal(back.indices, inst.indices)
+    np.testing.assert_array_equal(back.data, inst.data)
+    np.testing.assert_array_equal(back.f, inst.f)
+
+
+def test_sparse_roundtrip_preserves_fallback_including_inf(tmp_path):
+    dense = euclidean_instance(6, 15, seed=2)
+    full = SparseFacilityLocationInstance.from_instance(dense)  # fallback = +inf
+    path = tmp_path / "full.npz"
+    save_instance(path, full)
+    back = load_instance(path)
+    np.testing.assert_array_equal(back.fallback, full.fallback)
+    assert back.is_dense_representable
+
+    trunc = knn_sparsify(dense, 3)  # finite fallback column
+    path2 = tmp_path / "trunc.npz"
+    save_instance(path2, trunc)
+    back2 = load_instance(path2)
+    np.testing.assert_array_equal(back2.fallback, trunc.fallback)
+    assert np.all(np.isfinite(back2.fallback))
+
+
+def test_sparse_roundtrip_preserves_seeded_objective(tmp_path):
+    inst = knn_instance(15, 50, k=3, seed=9)
+    path = tmp_path / "obj.npz"
+    save_instance(path, inst)
+    back = load_instance(path)
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        opened = np.flatnonzero(rng.random(15) < 0.4)
+        if opened.size == 0:
+            opened = np.array([1])
+        assert back.cost(opened) == inst.cost(opened)
+        np.testing.assert_array_equal(
+            back.connection_distances(opened), inst.connection_distances(opened)
+        )

@@ -1,0 +1,244 @@
+"""Tests for SparseFacilityLocationInstance, sparsifiers, and knn_instance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError, InvalidParameterError
+from repro.metrics.generators import euclidean_instance, knn_instance
+from repro.metrics.sparse import (
+    SparseFacilityLocationInstance,
+    knn_sparsify,
+    threshold_sparsify,
+)
+
+
+@pytest.fixture
+def dense():
+    return euclidean_instance(6, 20, seed=3)
+
+
+@pytest.fixture
+def full(dense):
+    return SparseFacilityLocationInstance.from_instance(dense)
+
+
+class TestConstruction:
+    def test_from_dense_shape(self, dense, full):
+        assert full.n_facilities == dense.n_facilities
+        assert full.n_clients == dense.n_clients
+        assert full.nnz == dense.m
+        assert full.m == dense.m  # m is nnz for sparse instances
+        assert full.is_dense_representable
+
+    def test_arrays_read_only(self, full):
+        with pytest.raises(ValueError):
+            full.data[0] = 1.0
+        with pytest.raises(ValueError):
+            full.f[0] = 1.0
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(InvalidInstanceError, match="non-negative"):
+            SparseFacilityLocationInstance(
+                [0, 1], [0], [-1.0], [1.0], n_clients=2, fallback=[1.0, 1.0]
+            )
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(InvalidInstanceError, match="finite"):
+            SparseFacilityLocationInstance(
+                [0, 1], [0], [np.inf], [1.0], n_clients=1
+            )
+
+    def test_rejects_bad_fallback_shape(self):
+        with pytest.raises(InvalidInstanceError, match="fallback"):
+            SparseFacilityLocationInstance(
+                [0, 1], [0], [1.0], [1.0], n_clients=2, fallback=[1.0]
+            )
+
+    def test_rejects_uncovered_client_with_inf_fallback(self):
+        # client 1 has no candidate and no finite fallback
+        with pytest.raises(InvalidInstanceError, match="no candidate"):
+            SparseFacilityLocationInstance([0, 1], [0], [1.0], [1.0], n_clients=2)
+
+    def test_uncovered_client_with_finite_fallback_ok(self):
+        inst = SparseFacilityLocationInstance(
+            [0, 1], [0], [1.0], [1.0], n_clients=2, fallback=[np.inf, 3.0]
+        )
+        assert inst.cost([0]) == pytest.approx(1.0 + 1.0 + 3.0)
+
+    def test_rejects_duplicate_candidate(self):
+        with pytest.raises(InvalidInstanceError, match="duplicate"):
+            SparseFacilityLocationInstance(
+                [0, 2], [1, 1], [1.0, 2.0], [1.0], n_clients=2
+            )
+
+    def test_from_scipy(self, dense):
+        sparse = pytest.importorskip("scipy.sparse")
+        A = sparse.csr_matrix(dense.D)
+        inst = SparseFacilityLocationInstance.from_scipy(A, dense.f)
+        # scipy drops the (rare) exact zeros, so compare per-entry
+        assert inst.n_facilities == dense.n_facilities
+        assert inst.nnz == A.nnz
+
+
+class TestObjective:
+    @pytest.mark.parametrize("opened", [[0], [1, 3], [0, 2, 4, 5]])
+    def test_dense_representable_matches_dense(self, dense, full, opened):
+        assert full.cost(opened) == dense.cost(opened)
+        assert full.facility_cost(opened) == dense.facility_cost(opened)
+        assert full.connection_cost(opened) == dense.connection_cost(opened)
+        np.testing.assert_array_equal(
+            full.connection_distances(opened), dense.connection_distances(opened)
+        )
+        np.testing.assert_array_equal(full.assignment(opened), dense.assignment(opened))
+
+    def test_fallback_caps_service_cost(self):
+        inst = SparseFacilityLocationInstance(
+            [0, 1, 2], [0, 0], [2.0, 5.0], [1.0, 1.0], n_clients=2,
+            fallback=[0.5, 4.0],
+        )
+        d = inst.connection_distances([0])
+        np.testing.assert_array_equal(d, [0.5, 4.0])
+        assert inst.assignment([0]).tolist() == [-1, -1]
+
+    def test_requires_at_least_one_open(self, full):
+        with pytest.raises(InvalidParameterError):
+            full.cost([])
+
+
+class TestClientView:
+    def test_transpose_round_trip(self, full, dense):
+        ct_indptr, ct_rows, ct_entry = full.client_view
+        assert ct_indptr[-1] == full.nnz
+        # every client sees every facility on a full instance
+        np.testing.assert_array_equal(np.diff(ct_indptr), dense.n_facilities)
+        d_by_client = full.data[ct_entry].reshape(dense.n_clients, -1)
+        np.testing.assert_array_equal(d_by_client, dense.D.T)
+
+    def test_to_dense_round_trip(self, dense, full):
+        back = full.to_dense()
+        np.testing.assert_array_equal(back.D, dense.D)
+        np.testing.assert_array_equal(back.f, dense.f)
+
+    def test_to_dense_rejects_truncated(self, dense):
+        trunc = knn_sparsify(dense, 3)
+        with pytest.raises(InvalidInstanceError, match="dense-representable"):
+            trunc.to_dense()
+
+
+class TestKnnSparsify:
+    def test_keeps_exactly_k_nearest(self, dense):
+        trunc = knn_sparsify(dense, 2)
+        counts = np.bincount(trunc.indices, minlength=dense.n_clients)
+        assert np.all(counts == 2)
+        assert trunc.nnz == 2 * dense.n_clients
+        # kept distances per client are the smallest ones
+        ct_indptr, ct_rows, ct_entry = trunc.client_view
+        for j in range(dense.n_clients):
+            kept = np.sort(trunc.data[ct_entry[ct_indptr[j] : ct_indptr[j + 1]]])
+            best = np.sort(dense.D[:, j])[: kept.size]
+            np.testing.assert_allclose(kept, best)
+
+    def test_tied_metric_stays_sparse(self):
+        """Fully tied distances must not defeat the truncation: exactly
+        k entries per client survive, never the whole matrix."""
+        from repro.metrics.instance import FacilityLocationInstance
+
+        inst = FacilityLocationInstance(np.ones((30, 90)), np.ones(30))
+        trunc = knn_sparsify(inst, 3)
+        assert trunc.nnz == 3 * 90
+        np.testing.assert_array_equal(
+            np.bincount(trunc.indices, minlength=90), np.full(90, 3)
+        )
+
+    def test_full_k_is_dense_equal(self, dense):
+        trunc = knn_sparsify(dense, dense.n_facilities, fallback_slack=1.0)
+        assert trunc.nnz == dense.m
+        assert np.all(np.isfinite(trunc.fallback))
+
+    def test_rejects_bad_k(self, dense):
+        with pytest.raises(InvalidParameterError):
+            knn_sparsify(dense, 0)
+        with pytest.raises(InvalidParameterError):
+            knn_sparsify(dense, dense.n_facilities + 1)
+
+
+class TestThresholdSparsify:
+    def test_keeps_competitive_candidates(self, dense):
+        trunc = threshold_sparsify(dense, 0.25)
+        total = dense.D + dense.f[:, None]
+        gamma = total.min(axis=0)
+        rows = trunc.rows_flat()
+        kept = trunc.f[rows] + trunc.data
+        assert np.all(kept <= (1.0 + 0.25) * gamma[trunc.indices] + 1e-12)
+        np.testing.assert_allclose(trunc.fallback, gamma)
+
+    def test_every_client_keeps_its_best(self, dense):
+        trunc = threshold_sparsify(dense, 0.01)
+        counts = np.bincount(trunc.indices, minlength=dense.n_clients)
+        assert counts.min() >= 1
+
+
+class TestKnnInstance:
+    def test_deterministic(self):
+        a = knn_instance(30, 100, k=4, seed=7)
+        b = knn_instance(30, 100, k=4, seed=7)
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.data, b.data)
+        np.testing.assert_array_equal(a.f, b.f)
+        np.testing.assert_array_equal(a.fallback, b.fallback)
+
+    def test_shape_and_coverage(self):
+        inst = knn_instance(25, 80, k=5, seed=1)
+        assert inst.n_facilities == 25
+        assert inst.n_clients == 80
+        assert inst.nnz == 80 * 5
+        counts = np.bincount(inst.indices, minlength=80)
+        assert np.all(counts == 5)
+        assert np.all(np.isfinite(inst.fallback))
+
+    def test_matches_brute_force_knn(self):
+        inst = knn_instance(12, 40, k=3, seed=2, dim=3)
+        # rebuild the geometry with the same RNG stream
+        from repro.util.rng import ensure_rng
+
+        rng = ensure_rng(2)
+        facilities = rng.random((12, 3))
+        clients = rng.random((40, 3))
+        D = np.linalg.norm(facilities[:, None, :] - clients[None, :, :], axis=2)
+        ct_indptr, ct_rows, ct_entry = inst.client_view
+        for j in range(40):
+            kept = np.sort(inst.data[ct_entry[ct_indptr[j] : ct_indptr[j + 1]]])
+            np.testing.assert_allclose(kept, np.sort(D[:, j])[:3])
+
+    def test_clustered_clients(self):
+        inst = knn_instance(20, 60, k=3, n_clusters=4, seed=3)
+        assert inst.nnz == 180
+
+    def test_k_one(self):
+        inst = knn_instance(10, 30, k=1, seed=4)
+        assert inst.nnz == 30
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            knn_instance(10, 30, k=11, seed=0)
+        with pytest.raises(InvalidParameterError):
+            knn_instance(10, 30, k=2, fallback_slack=-0.5, seed=0)
+
+
+class TestBruteForceObjective:
+    def test_truncated_cost_against_reference(self, dense):
+        """Sparse objective = dense objective with non-candidates masked
+        to +inf and the fallback column appended."""
+        trunc = knn_sparsify(dense, 3)
+        rng = np.random.default_rng(0)
+        masked = np.full((dense.n_facilities, dense.n_clients), np.inf)
+        rows = trunc.rows_flat()
+        masked[rows, trunc.indices] = trunc.data
+        for _ in range(10):
+            opened = np.flatnonzero(rng.random(dense.n_facilities) < 0.5)
+            if opened.size == 0:
+                opened = np.array([0])
+            ref = np.minimum(masked[opened].min(axis=0), trunc.fallback)
+            expected = float(dense.f[opened].sum() + ref.sum())
+            assert trunc.cost(opened) == pytest.approx(expected)
