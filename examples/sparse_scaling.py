@@ -1,6 +1,6 @@
 """Sparse-instance walkthrough — from truncation safety to 100k clients.
 
-Three acts:
+Four acts:
 
 1. *Parity*: a dense instance, its full-CSR twin, and byte-identical
    seeded solutions from the dense and sparse execution paths.
@@ -8,6 +8,9 @@ Three acts:
    truncation tightens, priced in the dense objective.
 3. *Scale*: k-NN instances the dense path cannot hold, with ledger
    work confirming O(nnz)-per-round execution.
+4. *Clustering*: the §6.1/§7 solvers on the same CSR subsystem —
+   k-center + warm-started k-median at node counts where the dense
+   n×n matrix is off the table.
 
 Run:  python examples/sparse_scaling.py
 """
@@ -21,9 +24,12 @@ from repro import (
     PramMachine,
     SparseFacilityLocationInstance,
     euclidean_instance,
+    knn_clustering_instance,
     knn_instance,
     knn_sparsify,
     parallel_greedy,
+    parallel_kcenter,
+    parallel_kmedian,
     parallel_primal_dual,
 )
 
@@ -82,7 +88,33 @@ def act_3_scale():
     print("  per-round work scales with the live edge frontier, not n_f·n_c.")
 
 
+def act_4_clustering():
+    print("\n— act 4: clustering at sparse scale —")
+    n, k, neighbors = 20_000, 400, 64
+    inst = knn_clustering_instance(n, k, neighbors=neighbors, seed=0)
+    dense_gib = n * n * 8 / 2**30
+    t0 = time.perf_counter()
+    kc = parallel_kcenter(inst, machine=PramMachine(seed=1))
+    t1 = time.perf_counter()
+    km = parallel_kmedian(
+        inst, epsilon=0.5, machine=PramMachine(seed=1), initial=kc.centers
+    )
+    t2 = time.perf_counter()
+    print(
+        f"  n={n}, k={k}, nnz={inst.nnz}: k-center {t1 - t0:.2f}s "
+        f"({kc.centers.size} centers, radius {kc.cost:.4f}, "
+        f"{kc.extra['probes']} probes)"
+    )
+    print(
+        f"  warm-started k-median {t2 - t1:.2f}s "
+        f"({km.rounds['local_search']} swap rounds, cost {km.cost:.1f}) "
+        f"— dense matrix would need {dense_gib:.1f} GiB"
+    )
+    print("  every swap round is O(nnz) segmented scatter work, not O(k·n²).")
+
+
 if __name__ == "__main__":
     act_1_parity()
     act_2_truncation()
     act_3_scale()
+    act_4_clustering()

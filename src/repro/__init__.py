@@ -30,12 +30,14 @@ from repro.metrics import (
     ClusteringInstance,
     FacilityLocationInstance,
     MetricSpace,
+    SparseClusteringInstance,
     SparseFacilityLocationInstance,
     clustered_clustering,
     clustered_instance,
     euclidean_clustering,
     euclidean_instance,
     graph_instance,
+    knn_clustering_instance,
     knn_instance,
     knn_sparsify,
     load_instance,
@@ -100,10 +102,12 @@ __all__ = [
     "FacilityLocationInstance",
     "ClusteringInstance",
     "SparseFacilityLocationInstance",
+    "SparseClusteringInstance",
     "euclidean_instance",
     "clustered_instance",
     "graph_instance",
     "knn_instance",
+    "knn_clustering_instance",
     "knn_sparsify",
     "threshold_sparsify",
     "random_metric_instance",

@@ -1,25 +1,32 @@
 """Sparse-vs-dense bench: peak memory and wall-clock across the scale axis.
 
-Two tiers, one JSON report (committed as ``BENCH_PR3.json``):
+Four tiers, one JSON report (committed as ``BENCH_PR3.json`` /
+``BENCH_PR4.json``):
 
-* **overlap** — sizes where the dense path still fits: the same seeded
-  geometry is solved by the dense (frontier-compacted) path and by the
-  sparse path on its k-NN truncation. Records wall-clock (min over
-  ``repeats``), solve-phase peak memory (tracemalloc), ledger work, and
-  both objectives (plus the dense objective of the sparse solution, so
-  the truncation error is visible).
+* **overlap** — facility-location sizes where the dense path still
+  fits: the same seeded geometry is solved by the dense
+  (frontier-compacted) path and by the sparse path on its k-NN
+  truncation. Records wall-clock (min over ``repeats``), solve-phase
+  peak memory (tracemalloc), ledger work, and both objectives (plus the
+  dense objective of the sparse solution, so the truncation error is
+  visible).
 * **sparse_scaling** — the ``sparse_scaling_suite`` k-NN instances
   (10k/30k/100k clients by default). For each entry the report records
   the bytes the dense matrix *would* need; tiers over ``--budget-gib``
   are marked ``dense_feasible: false`` and never attempted — that
   marker is the acceptance evidence that the sparse subsystem solves
   instances the dense path cannot hold.
+* **clustering_overlap** — the §6.1/§7 clustering solvers, dense vs
+  kNN-truncated sparse on the same geometry (PR 4).
+* **clustering_scaling** — ``sparse_clustering_suite`` kNN instances up
+  to 100k nodes (dense would need 80 GB), k-center + warm-started
+  k-median local search on the sparse paths only.
 
 Per-round traces are stored as **summary stats** (count/total/first/
 last/median work per round), never as raw per-round sample lists, so
 the committed JSON stays small at any scale::
 
-    PYTHONPATH=src python -m repro.bench.sparse_bench --out BENCH_PR3.json
+    PYTHONPATH=src python -m repro.bench.sparse_bench --out BENCH_PR4.json
     PYTHONPATH=src python -m repro.bench.sparse_bench --fast   # CI smoke
 """
 
@@ -35,10 +42,12 @@ import tracemalloc
 import numpy as np
 
 from repro.bench.reporting import summarize_rounds
-from repro.bench.workloads import sparse_scaling_suite
+from repro.bench.workloads import sparse_clustering_suite, sparse_scaling_suite
 from repro.core.greedy import parallel_greedy
+from repro.core.kcenter import parallel_kcenter
+from repro.core.local_search import parallel_kmedian
 from repro.core.primal_dual import parallel_primal_dual
-from repro.metrics.generators import euclidean_instance
+from repro.metrics.generators import euclidean_clustering, euclidean_instance
 from repro.metrics.sparse import knn_sparsify
 from repro.pram.machine import PramMachine
 
@@ -87,6 +96,72 @@ def _strip(measure: dict) -> dict:
     return out
 
 
+def _measure_clustering(
+    instance, *, epsilon: float, seed: int, repeats: int, trace_memory: bool = True
+) -> dict:
+    """Seeded k-center + warm-started k-median solve on one instance.
+
+    k-center wall is min over ``repeats``; k-median runs once (its
+    round count dwarfs repeat noise) warm-started from the k-center
+    centers so the pair shares one bottleneck search. The memory pass
+    re-runs k-center under tracemalloc (skippable at the 100k tier,
+    where tracing a multi-minute local search would distort it).
+    """
+    best_wall = float("inf")
+    out: dict = {}
+    kc_centers = None
+    for _ in range(max(int(repeats), 1)):
+        machine = PramMachine(seed=seed)
+        t0 = time.perf_counter()
+        kc = parallel_kcenter(instance, machine=machine)
+        wall = time.perf_counter() - t0
+        if wall >= best_wall:
+            continue
+        best_wall = wall
+        kc_centers = kc.centers
+        ledger = machine.ledger
+        out["kcenter"] = {
+            "wall_s": wall,
+            "ledger_work": ledger.work,
+            "ledger_depth": ledger.depth,
+            "cost": kc.cost,
+            "centers": int(kc.centers.size),
+            "probes": kc.extra["probes"],
+            "n_thresholds": kc.extra["n_thresholds"],
+            "rounds": summarize_rounds(ledger.round_log, "kcenter_probe", ledger.work),
+        }
+    machine = PramMachine(seed=seed)
+    t0 = time.perf_counter()
+    km = parallel_kmedian(
+        instance, epsilon=epsilon, machine=machine, initial=kc_centers
+    )
+    wall = time.perf_counter() - t0
+    ledger = machine.ledger
+    out["kmedian"] = {
+        "wall_s": wall,
+        "ledger_work": ledger.work,
+        "ledger_depth": ledger.depth,
+        "cost": km.cost,
+        "initial_cost": km.extra["initial_cost"],
+        "swap_rounds": km.rounds["local_search"],
+        "rounds": summarize_rounds(ledger.round_log, "local_search", ledger.work),
+        "centers_idx": km.centers,
+    }
+    if trace_memory:
+        tracemalloc.start()
+        parallel_kcenter(instance, machine=PramMachine(seed=seed))
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        out["kcenter"]["peak_mib"] = peak / 2**20
+    return out
+
+
+def _strip_clustering(measure: dict) -> dict:
+    out = {key: dict(val) for key, val in measure.items()}
+    out["kmedian"].pop("centers_idx", None)
+    return out
+
+
 def run_sparse_bench(
     *,
     overlap_sizes=(1500, 3000),
@@ -99,8 +174,15 @@ def run_sparse_bench(
     repeats: int = 2,
     budget_gib: float = 2.0,
     algorithms=("parallel_greedy", "parallel_primal_dual"),
+    clustering_overlap_sizes=(600, 1200),
+    clustering_scaling_sizes=(10_000, 30_000, 100_000),
+    clustering_overlap_k: int = 8,
+    clustering_overlap_neighbors: int = 96,
+    clustering_neighbors: int = 64,
+    clustering_k_ratio: float = 0.02,
+    clustering_epsilon: float = 0.5,
 ) -> dict:
-    """Run both tiers and return the report dict (see module docstring)."""
+    """Run all four tiers and return the report dict (module docstring)."""
     report = {
         "meta": {
             "k": k,
@@ -112,12 +194,21 @@ def run_sparse_bench(
             "budget_gib": budget_gib,
             "overlap_sizes": list(overlap_sizes),
             "scaling_sizes": list(scaling_sizes),
+            "clustering_overlap_sizes": list(clustering_overlap_sizes),
+            "clustering_scaling_sizes": list(clustering_scaling_sizes),
+            "clustering_overlap_k": clustering_overlap_k,
+            "clustering_overlap_neighbors": clustering_overlap_neighbors,
+            "clustering_neighbors": clustering_neighbors,
+            "clustering_k_ratio": clustering_k_ratio,
+            "clustering_epsilon": clustering_epsilon,
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
             "numpy": np.__version__,
         },
         "overlap": {},
         "sparse_scaling": {},
+        "clustering_overlap": {},
+        "clustering_scaling": {},
     }
 
     for n_c in overlap_sizes:
@@ -176,6 +267,65 @@ def run_sparse_bench(
                 )
             }
         report["sparse_scaling"][name] = entry
+
+    # -- clustering overlap: §6.1/§7 dense vs kNN-truncated sparse ---------
+    for n in clustering_overlap_sizes:
+        n = int(n)
+        dense_inst = euclidean_clustering(n, clustering_overlap_k, seed=seed)
+        sparse_inst = knn_sparsify(dense_inst, clustering_overlap_neighbors)
+        dense = _measure_clustering(
+            dense_inst, epsilon=clustering_epsilon, seed=machine_seed, repeats=repeats
+        )
+        sparse = _measure_clustering(
+            sparse_inst, epsilon=clustering_epsilon, seed=machine_seed, repeats=repeats
+        )
+        # Truncation error, in the dense objective, of the sparse solution.
+        km_dense_cost = float(
+            dense_inst.kmedian_cost(sparse["kmedian"]["centers_idx"])
+        )
+        entry = {
+            "n": n,
+            "k": clustering_overlap_k,
+            "nnz": sparse_inst.nnz,
+            "dense_bytes": n * n * 8,
+            "dense": _strip_clustering(dense),
+            "sparse": _strip_clustering(sparse),
+            "sparse_kmedian_dense_cost": km_dense_cost,
+            "speedup_wall_kcenter": dense["kcenter"]["wall_s"]
+            / max(sparse["kcenter"]["wall_s"], 1e-12),
+            "speedup_wall_kmedian": dense["kmedian"]["wall_s"]
+            / max(sparse["kmedian"]["wall_s"], 1e-12),
+            "mem_ratio_kcenter": dense["kcenter"]["peak_mib"]
+            / max(sparse["kcenter"]["peak_mib"], 1e-12),
+        }
+        report["clustering_overlap"][
+            f"euclid-n{n}-k{clustering_overlap_k}-m{clustering_overlap_neighbors}"
+        ] = entry
+
+    # -- clustering scaling: sparse-only, up to dense-infeasible sizes -----
+    for name, instance in sparse_clustering_suite(
+        seed,
+        sizes=clustering_scaling_sizes,
+        neighbors=clustering_neighbors,
+        k_ratio=clustering_k_ratio,
+    ):
+        dense_bytes = instance.n * instance.n * 8
+        big = instance.n >= 50_000
+        measured = _measure_clustering(
+            instance,
+            epsilon=clustering_epsilon,
+            seed=machine_seed,
+            repeats=1 if big else repeats,
+            trace_memory=not big,  # tracing a multi-minute solve distorts it
+        )
+        report["clustering_scaling"][name] = {
+            "n": instance.n,
+            "k": instance.k,
+            "nnz": instance.nnz,
+            "dense_bytes": dense_bytes,
+            "dense_feasible": bool(dense_bytes <= budget_gib * 2**30),
+            "sparse": _strip_clustering(measured),
+        }
     return report
 
 
@@ -202,20 +352,43 @@ def main(argv=None) -> None:
         help="memory budget; larger dense matrices are marked infeasible",
     )
     parser.add_argument(
+        "--clustering-overlap",
+        default="600,1200",
+        help="comma-separated clustering overlap node counts",
+    )
+    parser.add_argument(
+        "--clustering-scaling",
+        default="10000,30000,100000",
+        help="comma-separated clustering scaling node counts",
+    )
+    parser.add_argument(
+        "--clustering-neighbors", type=int, default=64, help="kNN neighbors per node"
+    )
+    parser.add_argument(
+        "--clustering-k-ratio", type=float, default=0.02, help="centers per node"
+    )
+    parser.add_argument(
         "--fast",
         action="store_true",
-        help="CI smoke sizes (overlap 400, scaling 2000/5000, 1 repeat)",
+        help="CI smoke sizes (overlap 400/300, scaling 2000/5000, 1 repeat)",
     )
     parser.add_argument("--out", default=None, help="write the JSON report here")
     args = parser.parse_args(argv)
 
+    def _sizes(spec):
+        return tuple(int(s) for s in spec.split(",") if s.strip())
+
     if args.fast:
         overlap = (400,)
         scaling = (2000, 5000)
+        clustering_overlap = (300,)
+        clustering_scaling = (2000, 5000)
         repeats = 1
     else:
-        overlap = tuple(int(s) for s in args.overlap.split(",") if s.strip())
-        scaling = tuple(int(s) for s in args.scaling.split(",") if s.strip())
+        overlap = _sizes(args.overlap)
+        scaling = _sizes(args.scaling)
+        clustering_overlap = _sizes(args.clustering_overlap)
+        clustering_scaling = _sizes(args.clustering_scaling)
         repeats = args.repeats
 
     report = run_sparse_bench(
@@ -227,6 +400,10 @@ def main(argv=None) -> None:
         machine_seed=args.machine_seed,
         repeats=repeats,
         budget_gib=args.budget_gib,
+        clustering_overlap_sizes=clustering_overlap,
+        clustering_scaling_sizes=clustering_scaling,
+        clustering_neighbors=args.clustering_neighbors,
+        clustering_k_ratio=args.clustering_k_ratio,
     )
     for name, entry in report["overlap"].items():
         for algorithm in _ALGORITHMS:
@@ -253,6 +430,24 @@ def main(argv=None) -> None:
                 f"{name} {algorithm}: sparse {sp['wall_s']:.2f}s/"
                 f"{sp['peak_mib']:.0f}MiB work {sp['ledger_work']:.3g} | dense {dense_note}"
             )
+    for name, entry in report["clustering_overlap"].items():
+        print(
+            f"{name}: kcenter dense {entry['dense']['kcenter']['wall_s']:.2f}s | "
+            f"sparse {entry['sparse']['kcenter']['wall_s']:.2f}s "
+            f"({entry['speedup_wall_kcenter']:.1f}x, mem {entry['mem_ratio_kcenter']:.1f}x) | "
+            f"kmedian {entry['speedup_wall_kmedian']:.1f}x"
+        )
+    for name, entry in report["clustering_scaling"].items():
+        dense_note = (
+            "feasible" if entry["dense_feasible"] else
+            f"INFEASIBLE ({entry['dense_bytes'] / 2**30:.1f} GiB > budget)"
+        )
+        kc, km = entry["sparse"]["kcenter"], entry["sparse"]["kmedian"]
+        print(
+            f"{name}: kcenter {kc['wall_s']:.2f}s ({kc['centers']} centers) | "
+            f"kmedian {km['wall_s']:.2f}s ({km['swap_rounds']} rounds) | "
+            f"dense {dense_note}"
+        )
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=1)

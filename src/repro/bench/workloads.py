@@ -20,6 +20,7 @@ from repro.metrics.generators import (
     clustered_instance,
     euclidean_clustering,
     euclidean_instance,
+    knn_clustering_instance,
     knn_instance,
     random_metric_instance,
     star_instance,
@@ -101,6 +102,36 @@ def clustering_scaling_suite(seed: int = 0, *, sizes=(40, 60, 90, 135, 200), k: 
         (f"euclid-n{n}-k{k}", euclidean_clustering(int(n), k, seed=seed + i))
         for i, n in enumerate(sizes)
     ]
+
+
+def sparse_clustering_suite(
+    seed: int = 0,
+    *,
+    sizes=(10_000, 30_000, 100_000),
+    neighbors: int = 64,
+    k_ratio: float = 0.02,
+) -> list:
+    """kNN clustering instances at node counts the dense path cannot touch.
+
+    Each entry is ``(name, SparseClusteringInstance)`` with
+    ``k = k_ratio · n`` centers and ``neighbors`` candidates per node
+    (symmetrized), so ``nnz ≈ 2·neighbors·n`` while the dense matrix
+    would need ``n²`` entries (80 GiB at the 100k tier). Built
+    KD-tree-first — no dense intermediate ever exists. The defaults
+    keep ``k`` comfortably above the kNN graph's dominator count, so
+    the §6.1 bottleneck search stays feasible on the stored radius.
+    """
+    out = []
+    for i, n in enumerate(sizes):
+        n = int(n)
+        k = max(int(n * k_ratio), 2)
+        out.append(
+            (
+                f"knn-cluster-{n}-m{neighbors}-k{k}",
+                knn_clustering_instance(n, k, neighbors=neighbors, seed=seed + i),
+            )
+        )
+    return out
 
 
 def epsilon_sweep(values=(0.02, 0.05, 0.1, 0.2, 0.5, 1.0)) -> np.ndarray:

@@ -27,6 +27,14 @@ their caveats documented in-module):
   ``O(|E| log |V|)``-work dominator sets on sparse graphs.
 * :func:`parallel_kmedian_lagrangian` — the Jain–Vazirani k-median
   pipeline the §5 LMP property exists to enable.
+
+Every solver dispatches transparently on sparse instances: facility
+location on :class:`~repro.metrics.sparse.SparseFacilityLocationInstance`
+(§4/§5) and clustering on
+:class:`~repro.metrics.sparse.SparseClusteringInstance` (§6.1/§7 —
+:mod:`repro.core.kcenter_sparse`, :mod:`repro.core.local_search_sparse`),
+so the paper's input-size parameter ``m`` is the candidate-edge count on
+every algorithm in the repo.
 """
 
 from repro.core.result import ClusteringSolution, FacilityLocationSolution

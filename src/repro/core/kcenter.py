@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.dominator import max_dominator_set
 from repro.core.result import ClusteringSolution
 from repro.metrics.instance import ClusteringInstance
+from repro.metrics.sparse import SparseClusteringInstance
 from repro.pram.machine import PramMachine, ensure_machine
 
 
@@ -40,15 +41,34 @@ def parallel_kcenter(
         ``centers`` (≤ k of them), the achieved bottleneck ``cost``,
         round counters (``kcenter_probe`` per probe plus the dominator
         rounds), and ``extra = {threshold, probes}``.
+
+    Notes
+    -----
+    ``instance`` may also be a
+    :class:`~repro.metrics.sparse.SparseClusteringInstance`; the binary
+    search then runs over the *stored* distinct distances and each
+    probe is a :func:`~repro.core.dominator_sparse.max_dominator_set_sparse`
+    over the threshold subgraph — ``O(nnz)`` work per probe round
+    (:mod:`repro.core.kcenter_sparse`), with byte-identical seeded
+    solutions on dense-representable instances. If the stored graph is
+    too sparse for ``k`` centers to cover it (e.g. a kNN truncation
+    with too few neighbors), the sparse path raises
+    :class:`~repro.errors.InfeasibleSolutionError` instead of returning
+    a silently-capped radius.
     """
+    if isinstance(instance, SparseClusteringInstance):
+        from repro.core.kcenter_sparse import _parallel_kcenter_sparse
+
+        machine = ensure_machine(machine, backend=backend, seed=seed, size=instance.m)
+        return _parallel_kcenter_sparse(instance, machine)
     machine = ensure_machine(machine, backend=backend, seed=seed, size=instance.D.size)
     D, k, n = instance.D, instance.k, instance.n
     start = machine.snapshot()
 
     # Candidate thresholds: the sorted distinct distances (§6.1 computes
-    # this sequence once up front).
+    # this sequence once up front, as a single sorted-unique primitive).
     flat = machine.map(np.ravel, D)
-    thresholds = np.unique(machine.sort(flat))
+    thresholds = machine.sorted_unique(flat)
 
     lo, hi = 0, thresholds.size - 1
     probes = 0

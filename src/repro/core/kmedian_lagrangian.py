@@ -30,15 +30,52 @@ from repro.core.primal_dual import parallel_primal_dual
 from repro.core.result import ClusteringSolution
 from repro.errors import InvalidParameterError
 from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
+from repro.metrics.sparse import SparseClusteringInstance, SparseFacilityLocationInstance
 from repro.pram.machine import PramMachine, ensure_machine
 from repro.util.validation import check_epsilon, check_positive_int
 
 
 def _solve_at_price(instance: ClusteringInstance, lam: float, eps: float, machine: PramMachine):
-    """Run the LMP primal–dual with uniform opening price λ."""
-    fl = FacilityLocationInstance(instance.D, np.full(instance.n, lam))
+    """Run the LMP primal–dual with uniform opening price λ.
+
+    Sparse clustering instances relax to a sparse facility-location
+    instance over the same candidate structure (every node a facility
+    at price λ, same fallback column), which the §5 entry point then
+    executes on its ``O(nnz)`` path.
+    """
+    if isinstance(instance, SparseClusteringInstance):
+        fl = SparseFacilityLocationInstance(
+            instance.indptr,
+            instance.indices,
+            instance.data,
+            np.full(instance.n, lam),
+            n_clients=instance.n,
+            fallback=instance.fallback,
+        )
+    else:
+        fl = FacilityLocationInstance(instance.D, np.full(instance.n, lam))
     sol = parallel_primal_dual(fl, epsilon=eps, machine=machine)
     return sol
+
+
+def _price_ceiling(instance: ClusteringInstance) -> float:
+    """λ ceiling: ``(n+1) ×`` the largest finite service distance.
+
+    At this price a single facility serving everyone beats any second
+    opening. The multiplicative form (no additive constant) keeps the
+    probe sequence exactly covariant under distance scaling, so seeded
+    runs on ``c·d`` return the scaled solution bit-for-bit when ``c``
+    is a power of two — the scale-equivariance the metamorphic suite
+    asserts.
+    """
+    if isinstance(instance, SparseClusteringInstance):
+        dmax = float(instance.data.max()) if instance.nnz else 0.0
+        finite_fb = instance.fallback[np.isfinite(instance.fallback)]
+        if finite_fb.size:
+            dmax = max(dmax, float(finite_fb.max()))
+    else:
+        dmax = float(instance.D.max())
+    return (dmax if dmax > 0 else 1.0) * (instance.n + 1)
 
 
 def parallel_kmedian_lagrangian(
@@ -72,10 +109,19 @@ def parallel_kmedian_lagrangian(
         Best ``≤ k`` solution encountered. ``extra`` carries the probe
         trace and the bracketing (λ, facility-count, centers) pair for
         callers wanting the convex-combination rounding.
+
+    Notes
+    -----
+    ``instance`` may also be a
+    :class:`~repro.metrics.sparse.SparseClusteringInstance`; each probe
+    then runs the §5 primal–dual on the candidate-edge structure in
+    ``O(nnz)`` work per round, with byte-identical seeded solutions to
+    the dense path on dense-representable instances.
     """
     eps = check_epsilon(epsilon)
     check_positive_int(max_probes, name="max_probes")
-    machine = ensure_machine(machine, backend=backend, seed=seed, size=instance.D.size)
+    size = instance.m if isinstance(instance, SparseClusteringInstance) else instance.D.size
+    machine = ensure_machine(machine, backend=backend, seed=seed, size=size)
     n, k = instance.n, instance.k
     if k >= n:
         centers = np.arange(n)
@@ -85,9 +131,9 @@ def parallel_kmedian_lagrangian(
         )
 
     start = machine.snapshot()
-    # λ range: at 0 every node can open freely; at n·max(d) a single
+    # λ range: at 0 every node can open freely; at the ceiling a single
     # facility always wins.
-    lo, hi = 0.0, float(instance.D.max()) * n + 1.0
+    lo, hi = 0.0, _price_ceiling(instance)
     best_centers: np.ndarray | None = None
     best_cost = np.inf
     trace: list[dict] = []

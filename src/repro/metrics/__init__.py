@@ -12,6 +12,7 @@ from repro.metrics.space import MetricSpace
 from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
 from repro.metrics.validation import check_metric_matrix, triangle_violation
 from repro.metrics.sparse import (
+    SparseClusteringInstance,
     SparseFacilityLocationInstance,
     knn_sparsify,
     threshold_sparsify,
@@ -25,6 +26,7 @@ from repro.metrics.generators import (
     euclidean_points,
     graph_instance,
     grid_points,
+    knn_clustering_instance,
     knn_instance,
     line_instance,
     powerlaw_cluster_instance,
@@ -38,10 +40,12 @@ __all__ = [
     "MetricSpace",
     "FacilityLocationInstance",
     "ClusteringInstance",
+    "SparseClusteringInstance",
     "SparseFacilityLocationInstance",
     "knn_sparsify",
     "threshold_sparsify",
     "knn_instance",
+    "knn_clustering_instance",
     "check_metric_matrix",
     "triangle_violation",
     "euclidean_instance",

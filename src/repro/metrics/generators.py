@@ -400,6 +400,68 @@ def knn_instance(
     )
 
 
+def knn_clustering_instance(
+    n: int,
+    k: int,
+    *,
+    neighbors: int = 16,
+    dim: int = 2,
+    n_clusters: int | None = None,
+    spread: float = 0.05,
+    fallback_slack: float = 1.0,
+    seed=None,
+):
+    """k-NN-truncated clustering instance, built without the dense matrix.
+
+    Each node's candidate centers are its ``neighbors`` nearest nodes
+    (KD-tree query, self included at distance 0), symmetrized, so the
+    instance costs ``O(neighbors · n)`` memory instead of ``n²`` — the
+    construction that takes the §6.1/§7 clustering solvers to node
+    counts the dense path cannot touch. Nodes are uniform in the unit
+    cube, or Gaussian blobs when ``n_clusters`` is given.
+
+    The fallback column is ``(1 + fallback_slack) ×`` each node's
+    truncation radius (its ``neighbors``-th nearest distance); see
+    :func:`repro.metrics.sparse.knn_sparsify` for why that keeps
+    objectives comparable.
+
+    Returns a :class:`~repro.metrics.sparse.SparseClusteringInstance`
+    with center budget ``k``.
+    """
+    from scipy.spatial import cKDTree
+
+    from repro.metrics.sparse import (
+        SparseClusteringInstance,
+        _symmetrized_clustering_csr,
+    )
+
+    check_positive_int(n, name="n")
+    check_k(k, n, name="k")
+    check_positive_int(dim, name="dim")
+    neighbors = check_k(neighbors, n, name="neighbors")
+    slack = float(fallback_slack)
+    if slack < 0:
+        raise InvalidParameterError(f"fallback_slack must be >= 0, got {fallback_slack}")
+    rng = ensure_rng(seed)
+    if n_clusters is None:
+        pts = rng.random((n, dim))
+    else:
+        check_k(n_clusters, n, name="n_clusters")
+        centers = rng.random((n_clusters, dim))
+        labels = rng.integers(0, n_clusters, size=n)
+        pts = centers[labels] + rng.normal(scale=spread, size=(n, dim))
+    dist, near = cKDTree(pts).query(pts, k=neighbors)
+    dist = np.asarray(dist, dtype=float).reshape(n, neighbors)
+    near = np.asarray(near, dtype=np.intp).reshape(n, neighbors)
+    rows = np.repeat(np.arange(n, dtype=np.intp), neighbors)
+    indptr, indices, data = _symmetrized_clustering_csr(
+        n, rows, near.ravel(), dist.ravel()
+    )
+    return SparseClusteringInstance(
+        indptr, indices, data, k, fallback=(1.0 + slack) * dist[:, -1]
+    )
+
+
 # --------------------------------------------------------------------------
 # Clustering instances
 # --------------------------------------------------------------------------

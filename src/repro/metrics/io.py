@@ -13,11 +13,12 @@ import numpy as np
 from repro.errors import InvalidInstanceError
 from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
 from repro.metrics.space import MetricSpace
-from repro.metrics.sparse import SparseFacilityLocationInstance
+from repro.metrics.sparse import SparseClusteringInstance, SparseFacilityLocationInstance
 
 _KIND_FL = "facility-location"
 _KIND_CLUSTER = "clustering"
 _KIND_SPARSE_FL = "sparse-facility-location"
+_KIND_SPARSE_CLUSTER = "sparse-clustering"
 
 
 def save_instance(path, instance) -> None:
@@ -43,6 +44,16 @@ def save_instance(path, instance) -> None:
             f=instance.f,
             fallback=instance.fallback,
             n_clients=np.asarray(instance.n_clients),
+        )
+    elif isinstance(instance, SparseClusteringInstance):
+        np.savez_compressed(
+            path,
+            kind=np.asarray(_KIND_SPARSE_CLUSTER),
+            indptr=instance.indptr,
+            indices=instance.indices,
+            data=instance.data,
+            fallback=instance.fallback,
+            k=np.asarray(instance.k),
         )
     elif isinstance(instance, ClusteringInstance):
         np.savez_compressed(
@@ -77,6 +88,14 @@ def load_instance(path):
                 data["data"],
                 data["f"],
                 n_clients=int(data["n_clients"]),
+                fallback=data["fallback"],
+            )
+        if kind == _KIND_SPARSE_CLUSTER:
+            return SparseClusteringInstance(
+                data["indptr"],
+                data["indices"],
+                data["data"],
+                int(data["k"]),
                 fallback=data["fallback"],
             )
         if kind == _KIND_CLUSTER:

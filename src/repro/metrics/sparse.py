@@ -31,11 +31,44 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import InvalidInstanceError, InvalidParameterError
-from repro.metrics.instance import FacilityLocationInstance, _as_open_indices
+from repro.metrics.instance import (
+    ClusteringInstance,
+    FacilityLocationInstance,
+    _as_open_indices,
+)
+from repro.metrics.space import MetricSpace
 from repro.util.csr import csr_transpose, rows_are_uniform, validate_csr
 
 
-class SparseFacilityLocationInstance:
+class _CsrCandidateShape:
+    """Shared CSR-shape members of the sparse instance classes.
+
+    Both sparse instance shapes store their candidate structure as
+    ``_indptr``/``_indices``/``_fallback``; the row-expansion and
+    dense-representability semantics are defined once here so the two
+    classes cannot drift. Subclasses provide ``_n_cols`` — the full
+    column count a dense-representable row must reach.
+    """
+
+    __slots__ = ()
+
+    @property
+    def row_lengths(self) -> np.ndarray:
+        """Candidate count per row."""
+        return np.diff(self._indptr)
+
+    @property
+    def is_dense_representable(self) -> bool:
+        """Every candidate pair present and no finite fallback."""
+        uniform, k = rows_are_uniform(self._indptr)
+        return uniform and k == self._n_cols and not np.any(np.isfinite(self._fallback))
+
+    def rows_flat(self) -> np.ndarray:
+        """Row id per candidate entry (the CSR row expansion)."""
+        return np.repeat(np.arange(self._indptr.size - 1), self.row_lengths)
+
+
+class SparseFacilityLocationInstance(_CsrCandidateShape):
     """A facility-location instance over sparse candidate connections.
 
     Parameters
@@ -169,10 +202,12 @@ class SparseFacilityLocationInstance:
 
     @property
     def n_facilities(self) -> int:
+        """Number of candidate facilities ``|F|`` (CSR rows)."""
         return self._indptr.size - 1
 
     @property
     def n_clients(self) -> int:
+        """Number of clients ``|C|`` (CSR columns)."""
         return self._n_clients
 
     @property
@@ -186,19 +221,8 @@ class SparseFacilityLocationInstance:
         return self.nnz
 
     @property
-    def row_lengths(self) -> np.ndarray:
-        """Candidate count per facility."""
-        return np.diff(self._indptr)
-
-    @property
-    def is_dense_representable(self) -> bool:
-        """Every facility–client pair present and no finite fallback."""
-        uniform, k = rows_are_uniform(self._indptr)
-        return (
-            uniform
-            and k == self._n_clients
-            and not np.any(np.isfinite(self._fallback))
-        )
+    def _n_cols(self) -> int:
+        return self._n_clients
 
     # -- client-major transpose -------------------------------------------
 
@@ -215,10 +239,6 @@ class SparseFacilityLocationInstance:
         if self._ct is None:
             self._ct = csr_transpose(self._indptr, self._indices, self._n_clients)
         return self._ct
-
-    def rows_flat(self) -> np.ndarray:
-        """Facility id per candidate entry (the CSR row expansion)."""
-        return np.repeat(np.arange(self.n_facilities), self.row_lengths)
 
     # -- dense bridge ------------------------------------------------------
 
@@ -276,10 +296,12 @@ class SparseFacilityLocationInstance:
         return out
 
     def facility_cost(self, opened) -> float:
+        """Opening-cost part of the objective: ``Σ_{i∈S} f_i``."""
         idx = _as_open_indices(opened, self.n_facilities)
         return float(np.sum(self._f[idx]))
 
     def connection_cost(self, opened) -> float:
+        """Connection part: ``Σ_j min(d(j, S ∩ candidates), fallback_j)``."""
         return float(np.sum(self.connection_distances(opened)))
 
     def cost(self, opened) -> float:
@@ -291,6 +313,293 @@ class SparseFacilityLocationInstance:
             f"SparseFacilityLocationInstance(n_f={self.n_facilities}, "
             f"n_c={self.n_clients}, nnz={self.nnz})"
         )
+
+
+# --------------------------------------------------------------------------
+# Sparse clustering instances (§6.1 / §7 over CSR candidate structures)
+# --------------------------------------------------------------------------
+
+class SparseClusteringInstance(_CsrCandidateShape):
+    """A k-median / k-means / k-center instance over sparse candidates.
+
+    Every node is simultaneously a client and a candidate center (the
+    paper's §2 convention), but only the *stored* node pairs are
+    candidate assignments: entry ``(j, i)`` present means node ``j``
+    may be served by center ``i`` at distance ``data``; absent means
+    "not a candidate assignment" (outside the truncated neighborhood,
+    not "distance zero").
+
+    Structure requirements, validated on construction:
+
+    * **node-major CSR**, square, column ids strictly ascending per row
+      (so segmented argmins break ties exactly like the dense kernels);
+    * **symmetric** in both structure and values — a candidate pair is
+      a candidate pair from both ends, as in a metric;
+    * the **diagonal is always stored at distance 0** — a node is
+      always a candidate center of itself, which keeps every objective
+      well-defined without a coverage precondition.
+
+    Because a node's stored candidates might all stay closed, every
+    instance carries an explicit **fallback cost column**: node ``j``
+    can always be served at cost ``fallback[j]`` (``+inf`` on
+    dense-representable instances). Objectives are therefore total::
+
+        service(j, S) = min( min_{i∈S, (j,i) stored} d(j, i),
+                             fallback_j )
+
+    A *dense-representable* instance (every pair present, ``fallback ≡
+    +inf``) evaluates the exact §2 objectives, which is what the
+    sparse-vs-dense equivalence suite compares against.
+    """
+
+    __slots__ = ("_indptr", "_indices", "_data", "_fallback", "_k", "_n")
+
+    def __init__(self, indptr, indices, data, k, *, fallback=None):
+        indptr = np.asarray(indptr, dtype=np.intp)
+        n = indptr.size - 1
+        if n <= 0:
+            raise InvalidInstanceError("instance needs >= 1 node")
+        indptr, indices = validate_csr(
+            indptr, indices, n, name="sparse clustering instance", require_sorted=True
+        )
+        data = np.asarray(data, dtype=float)
+        if data.shape != (indices.size,):
+            raise InvalidInstanceError(
+                f"data must have one value per index, got {data.shape} for nnz={indices.size}"
+            )
+        if not np.all(np.isfinite(data)):
+            raise InvalidInstanceError("distances must be finite")
+        if data.size and data.min() < 0:
+            raise InvalidInstanceError("distances must be non-negative")
+        k = int(k)
+        if not 1 <= k <= n:
+            raise InvalidParameterError(f"k must be in [1, {n}], got {k}")
+        if fallback is None:
+            fallback = np.full(n, np.inf)
+        else:
+            fallback = np.asarray(fallback, dtype=float)
+            if fallback.shape != (n,):
+                raise InvalidInstanceError(
+                    f"fallback must have shape ({n},), got {fallback.shape}"
+                )
+            if np.any(np.isnan(fallback)):
+                raise InvalidInstanceError("fallback costs must not be NaN")
+            if fallback.size and fallback.min() < 0:
+                raise InvalidInstanceError("fallback costs must be non-negative")
+        rows = np.repeat(np.arange(n), np.diff(indptr))
+        diag = indices == rows
+        diag_count = np.bincount(rows[diag], minlength=n)
+        if not np.all(diag_count == 1):
+            missing = int(np.flatnonzero(diag_count == 0)[0]) if np.any(diag_count == 0) else -1
+            raise InvalidInstanceError(
+                "every node must store itself as a candidate center "
+                f"(diagonal entry missing for node {missing})"
+            )
+        if np.any(data[diag] != 0.0):
+            raise InvalidInstanceError("diagonal candidate distances must be 0")
+        # Symmetry of structure *and* values. The +1 shift keeps stored
+        # zeros (the diagonal) distinguishable from absent entries under
+        # scipy's sparse comparison.
+        from scipy import sparse as _sp
+
+        M = _sp.csr_matrix((data + 1.0, indices.copy(), indptr.copy()), shape=(n, n))
+        if (M != M.T).nnz != 0:
+            raise InvalidInstanceError(
+                "candidate structure must be symmetric (same pairs and "
+                "distances from both ends)"
+            )
+        self._indptr = indptr
+        self._indices = indices
+        self._data = data
+        self._fallback = fallback
+        self._k = k
+        self._n = n
+        for arr in (self._data, self._fallback):
+            arr.setflags(write=False)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, D, k, *, fallback=None) -> "SparseClusteringInstance":
+        """Full CSR over a dense ``n × n`` matrix (dense-representable)."""
+        D = np.asarray(D, dtype=float)
+        if D.ndim != 2 or D.shape[0] != D.shape[1]:
+            raise InvalidInstanceError(f"D must be square, got shape {D.shape}")
+        n = D.shape[0]
+        indptr = np.arange(0, n * n + 1, n, dtype=np.intp)
+        indices = np.tile(np.arange(n, dtype=np.intp), n)
+        return cls(indptr, indices, D.ravel(), k, fallback=fallback)
+
+    @classmethod
+    def from_instance(cls, instance: ClusteringInstance) -> "SparseClusteringInstance":
+        """Dense-representable copy of a dense instance (``fallback ≡ +inf``)."""
+        return cls.from_dense(instance.D, instance.k)
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR segment boundaries, length ``n + 1`` (read-only view)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Candidate center id per entry, length ``nnz``."""
+        return self._indices
+
+    @property
+    def data(self) -> np.ndarray:
+        """Distance per candidate entry, length ``nnz``."""
+        return self._data
+
+    @property
+    def fallback(self) -> np.ndarray:
+        """Per-node fallback service cost, shape ``(n,)``."""
+        return self._fallback
+
+    @property
+    def k(self) -> int:
+        """Center budget."""
+        return self._k
+
+    @property
+    def n(self) -> int:
+        """Number of nodes (each a client and a candidate center)."""
+        return self._n
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored candidate pairs ``|E|`` (diagonal included)."""
+        return self._indices.size
+
+    @property
+    def m(self) -> int:
+        """The paper's input-size parameter — ``nnz`` for sparse instances."""
+        return self.nnz
+
+    @property
+    def _n_cols(self) -> int:
+        return self._n
+
+    def with_budget(self, k: int) -> "SparseClusteringInstance":
+        """Same candidate structure with a different center budget."""
+        return SparseClusteringInstance(
+            self._indptr, self._indices, self._data, k, fallback=self._fallback
+        )
+
+    # -- dense bridge ------------------------------------------------------
+
+    def to_dense(self) -> ClusteringInstance:
+        """Convert a dense-representable instance back to the dense shape.
+
+        Raises for truncated instances: an absent candidate pair has no
+        faithful dense distance, so the bridge exists exactly on the
+        overlap where the equivalence suite compares solvers.
+        """
+        if not self.is_dense_representable:
+            raise InvalidInstanceError(
+                "only dense-representable instances (all pairs present, "
+                "no finite fallback) can convert to a dense instance"
+            )
+        D = np.empty((self._n, self._n))
+        D[self.rows_flat(), self._indices] = self._data
+        return ClusteringInstance(MetricSpace(D, validate=False), self._k)
+
+    # -- objectives --------------------------------------------------------
+
+    def _center_distances(self, centers) -> np.ndarray:
+        idx = _as_open_indices(centers, self._n)
+        open_mask = np.zeros(self._n, dtype=bool)
+        open_mask[idx] = True
+        sel = open_mask[self._indices]
+        best = np.full(self._n, np.inf)
+        np.minimum.at(best, self.rows_flat()[sel], self._data[sel])
+        return np.minimum(best, self._fallback)
+
+    def check_budget(self, centers) -> np.ndarray:
+        """Validate ``|centers| ≤ k``; return the center index array."""
+        idx = _as_open_indices(centers, self._n)
+        if idx.size > self._k:
+            raise InvalidParameterError(
+                f"solution opens {idx.size} centers but k={self._k}"
+            )
+        return idx
+
+    def kmedian_cost(self, centers) -> float:
+        """``Σ_j service(j, S)`` — the k-median objective (fallback-capped)."""
+        return float(np.sum(self._center_distances(centers)))
+
+    def kmeans_cost(self, centers) -> float:
+        """``Σ_j service(j, S)²`` — the k-means objective (fallback-capped)."""
+        d = self._center_distances(centers)
+        return float(np.sum(d * d))
+
+    def kcenter_cost(self, centers) -> float:
+        """``max_j service(j, S)`` — the bottleneck objective (fallback-capped)."""
+        return float(np.max(self._center_distances(centers)))
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseClusteringInstance(n={self._n}, k={self._k}, nnz={self.nnz})"
+        )
+
+
+def _symmetrized_clustering_csr(
+    n: int, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Union the edge list with its transpose and the zero diagonal,
+    dedupe, and return a sorted node-major CSR — the shared tail of
+    every clustering sparsifier. ``O(nnz log nnz)``."""
+    diag = np.arange(n, dtype=np.intp)
+    r = np.concatenate([rows, cols, diag])
+    c = np.concatenate([cols, rows, diag])
+    v = np.concatenate([vals, vals, np.zeros(n)])
+    order = np.lexsort((c, r))
+    r, c, v = r[order], c[order], v[order]
+    keep = np.concatenate(([True], (np.diff(r) != 0) | (np.diff(c) != 0)))
+    r, c, v = r[keep], c[keep], v[keep]
+    indptr = np.concatenate(([0], np.cumsum(np.bincount(r, minlength=n)))).astype(np.intp)
+    return indptr, c.astype(np.intp), v
+
+
+def _knn_sparsify_clustering(
+    instance: ClusteringInstance, neighbors: int, slack: float
+) -> SparseClusteringInstance:
+    """Clustering branch of :func:`knn_sparsify` (see its docstring)."""
+    n = instance.n
+    if not 1 <= int(neighbors) <= n:
+        raise InvalidParameterError(f"k must be in [1, {n}], got {neighbors}")
+    neighbors = int(neighbors)
+    D = instance.D
+    near = np.argpartition(D, neighbors - 1, axis=1)[:, :neighbors]
+    dist = np.take_along_axis(D, near, axis=1)
+    radius = dist.max(axis=1)
+    rows = np.repeat(np.arange(n, dtype=np.intp), neighbors)
+    indptr, indices, data = _symmetrized_clustering_csr(
+        n, rows, near.ravel().astype(np.intp), dist.ravel()
+    )
+    return SparseClusteringInstance(
+        indptr, indices, data, instance.k, fallback=(1.0 + slack) * radius
+    )
+
+
+def _threshold_sparsify_clustering(
+    instance: ClusteringInstance, radius: float
+) -> SparseClusteringInstance:
+    """Clustering branch of :func:`threshold_sparsify` (see its docstring)."""
+    t = float(radius)
+    if t <= 0:
+        raise InvalidParameterError(f"radius must be > 0, got {radius}")
+    D = instance.D
+    n = instance.n
+    keep = D <= t
+    rows, cols = np.nonzero(keep)
+    indptr, indices, data = _symmetrized_clustering_csr(
+        n, rows.astype(np.intp), cols.astype(np.intp), D[keep]
+    )
+    return SparseClusteringInstance(
+        indptr, indices, data, instance.k, fallback=np.full(n, t)
+    )
 
 
 # --------------------------------------------------------------------------
@@ -311,15 +620,23 @@ def knn_sparsify(
     radius in the dense instance, which keeps sparse and dense optima
     comparable when ``k`` covers the dense optimum's assignments (see
     README, "Sparse instances").
+
+    A :class:`~repro.metrics.instance.ClusteringInstance` is accepted
+    too: ``k`` is then the number of nearest *nodes* kept per node, the
+    edge set is symmetrized (a candidate pair is kept if either end
+    keeps it) with the zero diagonal always present, and the result is
+    a :class:`SparseClusteringInstance` with the same center budget.
     """
+    slack = float(fallback_slack)
+    if slack < 0:
+        raise InvalidParameterError(f"fallback_slack must be >= 0, got {fallback_slack}")
+    if isinstance(instance, ClusteringInstance):
+        return _knn_sparsify_clustering(instance, k, slack)
     if not 1 <= int(k) <= instance.n_facilities:
         raise InvalidParameterError(
             f"k must be in [1, {instance.n_facilities}], got {k}"
         )
     k = int(k)
-    slack = float(fallback_slack)
-    if slack < 0:
-        raise InvalidParameterError(f"fallback_slack must be >= 0, got {fallback_slack}")
     D = instance.D
     n_f, n_c = D.shape
     # Exactly k candidates per client (argpartition breaks distance ties
@@ -353,7 +670,16 @@ def threshold_sparsify(
     cost of privately opening ``j``'s best facility — so the sparse
     objective of any solution is at most a ``(1+ε)``-factor plus the
     singleton bound away from its dense value.
+
+    A :class:`~repro.metrics.instance.ClusteringInstance` is accepted
+    too (clustering has no opening costs, so no competitiveness ratio):
+    the second argument is then an absolute distance **radius** — node
+    pairs with ``d ≤ radius`` survive (plus the zero diagonal), and the
+    fallback is the radius itself, the floor on any absent assignment's
+    cost. Returns a :class:`SparseClusteringInstance`.
     """
+    if isinstance(instance, ClusteringInstance):
+        return _threshold_sparsify_clustering(instance, epsilon)
     eps = float(epsilon)
     if eps <= 0:
         raise InvalidParameterError(f"epsilon must be > 0, got {epsilon}")

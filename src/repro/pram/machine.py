@@ -558,6 +558,30 @@ class PramMachine:
         self.ledger.charge_sort("sort", a.size, a.size)
         return out
 
+    def sorted_unique(self, a: np.ndarray) -> np.ndarray:
+        """Ascending distinct values of a 1-D vector.
+
+        One sort followed by an adjacent-difference pack (a map + a
+        scan-compaction in the §2 model) — the single-primitive
+        replacement for the ``np.unique(machine.sort(v))`` pattern,
+        which sorted twice at the wall clock while charging the ledger
+        once. Charged: one sort of ``|v|`` plus one pack of ``|v|``.
+        """
+        a = np.asarray(a)
+        if a.ndim != 1:
+            raise InvalidParameterError(
+                f"sorted_unique requires a vector, got ndim={a.ndim}"
+            )
+        out = np.sort(a, kind="stable")
+        self.ledger.charge_sort("sorted_unique", a.size, a.size)
+        if out.size:
+            keep = np.empty(out.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(out[1:], out[:-1], out=keep[1:])
+            out = out[keep]
+            self.ledger.charge_basic("pack", a.size)
+        return out
+
     # -- randomness --------------------------------------------------------------
 
     def random_uniform(self, shape) -> np.ndarray:

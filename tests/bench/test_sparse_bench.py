@@ -32,6 +32,10 @@ def test_report_structure_and_feasibility_marker():
         k=3,
         repeats=1,
         budget_gib=1e-6,  # force the infeasible marker even at test sizes
+        clustering_overlap_sizes=(120,),
+        clustering_scaling_sizes=(300,),
+        clustering_overlap_neighbors=60,
+        clustering_neighbors=48,
     )
     (overlap_entry,) = report["overlap"].values()
     for algorithm in ("parallel_greedy", "parallel_primal_dual"):
@@ -47,14 +51,35 @@ def test_report_structure_and_feasibility_marker():
     (scaling_entry,) = report["sparse_scaling"].values()
     assert scaling_entry["dense_feasible"] is False
     assert scaling_entry["dense_bytes"] == scaling_entry["n_f"] * scaling_entry["n_c"] * 8
-    # the whole report must serialize as-is (the committed BENCH_PR3.json)
+    # clustering tiers (PR 4): dense-vs-sparse ratios and the
+    # infeasibility marker, with no raw center arrays in the JSON
+    (cluster_overlap,) = report["clustering_overlap"].values()
+    assert cluster_overlap["speedup_wall_kcenter"] > 0
+    assert cluster_overlap["mem_ratio_kcenter"] > 0
+    assert cluster_overlap["sparse_kmedian_dense_cost"] > 0
+    for side in ("dense", "sparse"):
+        assert "centers_idx" not in cluster_overlap[side]["kmedian"]
+        assert cluster_overlap[side]["kcenter"]["probes"] >= 1
+        assert cluster_overlap[side]["kmedian"]["swap_rounds"] >= 1
+    (cluster_scaling,) = report["clustering_scaling"].values()
+    assert cluster_scaling["dense_feasible"] is False
+    assert cluster_scaling["dense_bytes"] == cluster_scaling["n"] ** 2 * 8
+    assert "centers_idx" not in cluster_scaling["sparse"]["kmedian"]
+    # the whole report must serialize as-is (the committed BENCH_PR4.json)
     json.dumps(report)
 
 
 def test_round_traces_are_summaries_not_samples():
     """Per-suite summary stats, never raw per-round sample lists."""
     report = run_sparse_bench(
-        overlap_sizes=(150,), scaling_sizes=(300,), k=3, repeats=1
+        overlap_sizes=(150,),
+        scaling_sizes=(300,),
+        k=3,
+        repeats=1,
+        clustering_overlap_sizes=(120,),
+        clustering_scaling_sizes=(300,),
+        clustering_overlap_neighbors=60,
+        clustering_neighbors=48,
     )
     for tier in ("overlap", "sparse_scaling"):
         for entry in report[tier].values():

@@ -73,6 +73,15 @@ class TestStructure:
         assert m.ledger.rounds["kcenter_probe"] >= 1
         assert m.ledger.rounds["maxdom"] >= 1
 
+    def test_thresholds_charged_as_single_sorted_unique(self, small_clustering):
+        """Ledger-honesty regression: the threshold sequence is one
+        sorted-unique primitive — not a charged machine sort followed by
+        an uncharged ``np.unique`` re-sort."""
+        m = PramMachine(seed=0)
+        parallel_kcenter(small_clustering, machine=m)
+        assert m.ledger.calls_by_op["sorted_unique"] == 1
+        assert "sort" not in m.ledger.calls_by_op
+
 
 class TestEdgeCases:
     def test_k_equals_n(self):

@@ -45,6 +45,8 @@ def test_public_item_documented(name, obj):
         "MetricSpace",
         "FacilityLocationInstance",
         "ClusteringInstance",
+        "SparseFacilityLocationInstance",
+        "SparseClusteringInstance",
         "CostLedger",
     ],
 )

@@ -1,10 +1,16 @@
-"""Sparse-vs-dense equivalence suite (the PR-3 parity gate).
+"""Sparse-vs-dense equivalence suite (the PR-3/PR-4 parity gate).
 
 On dense-representable instances (full CSR, no finite fallback) the
-sparse greedy and primal–dual paths must return **byte-identical**
-seeded solutions to the dense paths — opened set, cost, duals, traces,
-and round counters — on all three execution backends. The sparse
-``MaxUDom`` must match the dense one selection-for-selection.
+sparse execution paths must return **byte-identical** seeded solutions
+to the dense paths on all three execution backends:
+
+* PR 3: greedy and primal–dual facility location — opened set, cost,
+  duals, traces, and round counters; sparse ``MaxUDom``
+  selection-for-selection.
+* PR 4: the clustering stack — k-center (centers, radius, threshold,
+  probe schedule), §7 local search for k-median/k-means (centers,
+  final and warm-start costs, swap sequence, round count), and the
+  Lagrangian k-median (centers, cost, full λ-probe trace).
 """
 
 import numpy as np
@@ -14,9 +20,20 @@ from repro import PramMachine, ProcessBackend, SerialBackend, ThreadBackend
 from repro.core.dominator import max_u_dominator_set
 from repro.core.dominator_sparse import max_u_dominator_set_sparse
 from repro.core.greedy import parallel_greedy
+from repro.core.kcenter import parallel_kcenter
+from repro.core.kmedian_lagrangian import parallel_kmedian_lagrangian
+from repro.core.local_search import parallel_local_search
 from repro.core.primal_dual import parallel_primal_dual
-from repro.metrics.generators import clustered_instance, euclidean_instance
-from repro.metrics.sparse import SparseFacilityLocationInstance
+from repro.metrics.generators import (
+    clustered_clustering,
+    clustered_instance,
+    euclidean_clustering,
+    euclidean_instance,
+)
+from repro.metrics.sparse import (
+    SparseClusteringInstance,
+    SparseFacilityLocationInstance,
+)
 
 BACKEND_NAMES = ("serial", "thread", "process")
 
@@ -158,3 +175,148 @@ def test_preprocessing_ablation_parity():
     )
     b = parallel_greedy(sp, epsilon=0.2, machine=PramMachine(seed=5), preprocess=False)
     _greedy_check(a, b)
+
+
+# --------------------------------------------------------------------------
+# PR 4: the sparse clustering stack (§6.1 k-center, §7 local search,
+# Lagrangian k-median) against the dense paths.
+# --------------------------------------------------------------------------
+
+CLUSTER_WORKLOADS = [
+    ("euclid-n30-k3", lambda: euclidean_clustering(30, 3, seed=5)),
+    ("euclid-n28-k4", lambda: euclidean_clustering(28, 4, seed=9)),
+    ("blobs-n30-k3", lambda: clustered_clustering(30, 3, seed=2)),
+]
+
+
+def _kcenter_check(a, b):
+    assert np.array_equal(a.centers, b.centers)
+    assert a.cost == b.cost
+    assert a.extra["threshold"] == b.extra["threshold"]
+    assert a.extra["probes"] == b.extra["probes"]
+    assert a.extra["n_thresholds"] == b.extra["n_thresholds"]
+
+
+def _local_search_check(a, b, *, float_rel=1e-12):
+    """Byte-identical decisions, ulp-tolerant float traces: centers,
+    swap pairs, round counts, and the recomputed final cost must match
+    exactly; the summed traces (warm-start cost, swap objective values)
+    may reassociate by an ulp — between the decomposed sparse batch and
+    the dense one, and across pool backends — the caveat already
+    documented on every sum-reduction."""
+    assert np.array_equal(a.centers, b.centers)
+    assert a.cost == b.cost
+    assert a.extra["initial_cost"] == pytest.approx(
+        b.extra["initial_cost"], rel=float_rel, abs=0.0
+    )
+    assert [(i, j) for i, j, _ in a.extra["swaps"]] == [
+        (i, j) for i, j, _ in b.extra["swaps"]
+    ]
+    for (_, _, va), (_, _, vb) in zip(a.extra["swaps"], b.extra["swaps"]):
+        assert va == pytest.approx(vb, rel=float_rel, abs=0.0)
+    assert a.rounds["local_search"] == b.rounds["local_search"]
+
+
+def _lagrangian_check(a, b):
+    assert np.array_equal(a.centers, b.centers)
+    assert a.cost == b.cost
+    assert [(p["lambda"], p["n_open"]) for p in a.extra["probes"]] == [
+        (p["lambda"], p["n_open"]) for p in b.extra["probes"]
+    ]
+
+
+@pytest.mark.parametrize("name,make", CLUSTER_WORKLOADS, ids=[w[0] for w in CLUSTER_WORKLOADS])
+def test_sparse_kcenter_matches_dense(name, make):
+    dense = make()
+    sp = SparseClusteringInstance.from_instance(dense)
+    a = parallel_kcenter(dense, machine=PramMachine(seed=123))
+    b = parallel_kcenter(sp, machine=PramMachine(seed=123))
+    _kcenter_check(a, b)
+
+
+@pytest.mark.parametrize("objective", ["kmedian", "kmeans"])
+@pytest.mark.parametrize("name,make", CLUSTER_WORKLOADS, ids=[w[0] for w in CLUSTER_WORKLOADS])
+def test_sparse_local_search_matches_dense(name, make, objective):
+    dense = make()
+    sp = SparseClusteringInstance.from_instance(dense)
+    a = parallel_local_search(dense, objective, epsilon=0.3, machine=PramMachine(seed=123))
+    b = parallel_local_search(sp, objective, epsilon=0.3, machine=PramMachine(seed=123))
+    _local_search_check(a, b)
+
+
+@pytest.mark.parametrize("name,make", CLUSTER_WORKLOADS, ids=[w[0] for w in CLUSTER_WORKLOADS])
+def test_sparse_lagrangian_matches_dense(name, make):
+    dense = make()
+    sp = SparseClusteringInstance.from_instance(dense)
+    a = parallel_kmedian_lagrangian(
+        dense, epsilon=0.2, machine=PramMachine(seed=123), max_probes=20
+    )
+    b = parallel_kmedian_lagrangian(
+        sp, epsilon=0.2, machine=PramMachine(seed=123), max_probes=20
+    )
+    _lagrangian_check(a, b)
+
+
+_CLUSTER_ALGORITHMS = {
+    "kcenter": (lambda inst, m: parallel_kcenter(inst, machine=m), _kcenter_check),
+    "kmedian": (
+        lambda inst, m: parallel_local_search(inst, "kmedian", epsilon=0.3, machine=m),
+        _local_search_check,
+    ),
+    "kmeans": (
+        lambda inst, m: parallel_local_search(inst, "kmeans", epsilon=0.3, machine=m),
+        _local_search_check,
+    ),
+    "lagrangian": (
+        lambda inst, m: parallel_kmedian_lagrangian(
+            inst, epsilon=0.2, machine=m, max_probes=15
+        ),
+        _lagrangian_check,
+    ),
+}
+
+
+@pytest.mark.parametrize("algorithm", sorted(_CLUSTER_ALGORITHMS))
+def test_sparse_clustering_equals_dense_across_backends(backend_set, algorithm):
+    """The PR-4 acceptance gate: seeded sparse clustering solutions are
+    byte-identical to the dense paths on serial, thread, and process."""
+    run, check = _CLUSTER_ALGORITHMS[algorithm]
+    dense = euclidean_clustering(30, 3, seed=5)
+    sp = SparseClusteringInstance.from_instance(dense)
+    for name in BACKEND_NAMES:
+        a = run(dense, PramMachine(backend=backend_set[name], seed=123))
+        b = run(sp, PramMachine(backend=backend_set[name], seed=123))
+        check(a, b)
+
+
+@pytest.mark.parametrize("algorithm", sorted(_CLUSTER_ALGORITHMS))
+def test_sparse_clustering_byte_identical_across_backends(backend_set, algorithm):
+    """Seeded sparse clustering runs must agree across serial, thread,
+    and process — ledger charges included, floats to the ulp."""
+    run, check = _CLUSTER_ALGORITHMS[algorithm]
+    dense = euclidean_clustering(28, 4, seed=9)
+    sp = SparseClusteringInstance.from_instance(dense)
+    results = {}
+    for name in BACKEND_NAMES:
+        machine = PramMachine(backend=backend_set[name], seed=123)
+        sol = run(sp, machine)
+        ledger = machine.ledger
+        results[name] = (sol, (ledger.work, ledger.depth, ledger.cache))
+    ref_sol, ref_costs = results["serial"]
+    for name in BACKEND_NAMES[1:]:
+        sol, costs = results[name]
+        check(ref_sol, sol)
+        assert costs == ref_costs, f"ledger charges drifted on {name}"
+
+
+@pytest.mark.parametrize("algorithm", sorted(_CLUSTER_ALGORITHMS))
+def test_truncated_sparse_deterministic_across_backends(backend_set, algorithm):
+    """kNN truncations (genuinely sparse, finite fallback) must return
+    the same seeded solution on every backend."""
+    from repro.metrics.sparse import knn_sparsify
+
+    run, check = _CLUSTER_ALGORITHMS[algorithm]
+    sp = knn_sparsify(euclidean_clustering(30, 3, seed=5), 18)
+    ref = run(sp, PramMachine(backend=backend_set["serial"], seed=123))
+    for name in BACKEND_NAMES[1:]:
+        check(ref, run(sp, PramMachine(backend=backend_set[name], seed=123)))

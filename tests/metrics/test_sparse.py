@@ -242,3 +242,228 @@ class TestBruteForceObjective:
             ref = np.minimum(masked[opened].min(axis=0), trunc.fallback)
             expected = float(dense.f[opened].sum() + ref.sum())
             assert trunc.cost(opened) == pytest.approx(expected)
+
+
+# --------------------------------------------------------------------------
+# SparseClusteringInstance (PR 4)
+# --------------------------------------------------------------------------
+
+from repro.metrics.generators import (  # noqa: E402
+    euclidean_clustering,
+    knn_clustering_instance,
+)
+from repro.metrics.instance import ClusteringInstance  # noqa: E402
+from repro.metrics.space import MetricSpace  # noqa: E402
+from repro.metrics.sparse import SparseClusteringInstance  # noqa: E402
+
+
+@pytest.fixture
+def dense_clustering():
+    return euclidean_clustering(18, 3, seed=7)
+
+
+@pytest.fixture
+def full_clustering(dense_clustering):
+    return SparseClusteringInstance.from_instance(dense_clustering)
+
+
+class TestSparseClusteringConstruction:
+    def test_from_instance_shape(self, dense_clustering, full_clustering):
+        sp = full_clustering
+        assert sp.n == dense_clustering.n
+        assert sp.k == dense_clustering.k
+        assert sp.nnz == dense_clustering.n**2
+        assert sp.m == sp.nnz
+        assert sp.is_dense_representable
+
+    def test_to_dense_round_trip(self, dense_clustering, full_clustering):
+        back = full_clustering.to_dense()
+        assert np.array_equal(back.D, dense_clustering.D)
+        assert back.k == dense_clustering.k
+
+    def test_truncated_not_dense_representable(self, dense_clustering):
+        sp = knn_sparsify(dense_clustering, 6)
+        assert not sp.is_dense_representable
+        with pytest.raises(InvalidInstanceError, match="dense-representable"):
+            sp.to_dense()
+
+    def test_arrays_read_only(self, full_clustering):
+        with pytest.raises(ValueError):
+            full_clustering.data[0] = 1.0
+        with pytest.raises(ValueError):
+            full_clustering.fallback[0] = 1.0
+
+    def test_rejects_missing_diagonal(self):
+        # 2 nodes, edges (0,1)/(1,0) only — no self candidates.
+        with pytest.raises(InvalidInstanceError, match="diagonal"):
+            SparseClusteringInstance([0, 1, 2], [1, 0], [1.0, 1.0], 1)
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(InvalidInstanceError, match="diagonal"):
+            SparseClusteringInstance([0, 1, 2], [0, 1], [0.5, 0.0], 1)
+
+    def test_rejects_asymmetric_structure(self):
+        # (0,1) stored, (1,0) absent.
+        with pytest.raises(InvalidInstanceError, match="symmetric"):
+            SparseClusteringInstance(
+                [0, 2, 3], [0, 1, 1], [0.0, 1.0, 0.0], 1
+            )
+
+    def test_rejects_asymmetric_values(self):
+        with pytest.raises(InvalidInstanceError, match="symmetric"):
+            SparseClusteringInstance(
+                [0, 2, 4], [0, 1, 0, 1], [0.0, 1.0, 2.0, 0.0], 1
+            )
+
+    def test_rejects_unsorted_rows(self):
+        with pytest.raises(InvalidInstanceError, match="ascending"):
+            SparseClusteringInstance(
+                [0, 2, 4], [1, 0, 0, 1], [1.0, 0.0, 1.0, 0.0], 1
+            )
+
+    def test_rejects_bad_budget(self, dense_clustering):
+        with pytest.raises(InvalidParameterError, match="k must be"):
+            SparseClusteringInstance.from_dense(dense_clustering.D, 0)
+        with pytest.raises(InvalidParameterError, match="k must be"):
+            SparseClusteringInstance.from_dense(dense_clustering.D, dense_clustering.n + 1)
+
+    def test_rejects_bad_fallback(self, dense_clustering):
+        D = dense_clustering.D
+        with pytest.raises(InvalidInstanceError, match="fallback"):
+            SparseClusteringInstance.from_dense(D, 2, fallback=np.ones(3))
+        with pytest.raises(InvalidInstanceError, match="non-negative"):
+            SparseClusteringInstance.from_dense(D, 2, fallback=-np.ones(D.shape[0]))
+
+    def test_with_budget(self, full_clustering):
+        other = full_clustering.with_budget(5)
+        assert other.k == 5
+        assert other.nnz == full_clustering.nnz
+
+
+class TestSparseClusteringObjectives:
+    def test_match_dense_exactly(self, dense_clustering, full_clustering):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            centers = np.unique(rng.integers(0, dense_clustering.n, size=4))
+            for obj in ("kmedian_cost", "kmeans_cost", "kcenter_cost"):
+                assert getattr(full_clustering, obj)(centers) == getattr(
+                    dense_clustering, obj
+                )(centers)
+
+    def test_boolean_mask_accepted(self, dense_clustering, full_clustering):
+        mask = np.zeros(dense_clustering.n, dtype=bool)
+        mask[[1, 4]] = True
+        assert full_clustering.kmedian_cost(mask) == dense_clustering.kmedian_cost(mask)
+
+    def test_fallback_caps_uncovered_nodes(self):
+        # Two far nodes, only diagonal stored, finite fallback.
+        sp = SparseClusteringInstance(
+            [0, 1, 2], [0, 1], [0.0, 0.0], 1, fallback=[5.0, 7.0]
+        )
+        assert sp.kmedian_cost([0]) == 7.0  # node 1 pays its fallback
+        assert sp.kcenter_cost([0]) == 7.0
+        assert sp.kmeans_cost([0]) == 49.0
+
+    def test_check_budget(self, full_clustering):
+        with pytest.raises(InvalidParameterError, match="centers"):
+            full_clustering.check_budget(np.arange(full_clustering.k + 1))
+
+
+class TestClusteringSparsifiers:
+    def test_knn_structure(self, dense_clustering):
+        sp = knn_sparsify(dense_clustering, 6)
+        n = dense_clustering.n
+        assert sp.n == n and sp.k == dense_clustering.k
+        # symmetrized union: at least the kNN edges, at most double.
+        assert n * 6 <= sp.nnz <= n * 6 * 2
+        # diagonal present: kmedian of everything is 0
+        assert sp.kmedian_cost(np.arange(n)) == 0.0
+
+    def test_knn_fallback_is_scaled_radius(self, dense_clustering):
+        sp = knn_sparsify(dense_clustering, 6, fallback_slack=0.5)
+        D = dense_clustering.D
+        radius = np.sort(D, axis=1)[:, 5]  # 6th nearest including self
+        assert np.allclose(sp.fallback, 1.5 * radius)
+
+    def test_knn_all_neighbors_is_full(self, dense_clustering):
+        sp = knn_sparsify(dense_clustering, dense_clustering.n)
+        assert sp.nnz == dense_clustering.n**2
+
+    def test_threshold_structure(self, dense_clustering):
+        t = 0.4
+        sp = threshold_sparsify(dense_clustering, t)
+        assert np.all(sp.data <= t)
+        assert np.all(sp.fallback == t)
+        # every stored off-diagonal pair of D within t survives
+        D = dense_clustering.D
+        assert sp.nnz == int((D <= t).sum())
+
+    def test_threshold_rejects_nonpositive(self, dense_clustering):
+        with pytest.raises(InvalidParameterError, match="radius"):
+            threshold_sparsify(dense_clustering, 0.0)
+
+    def test_dispatch_returns_right_types(self, dense_clustering, dense):
+        assert isinstance(knn_sparsify(dense_clustering, 4), SparseClusteringInstance)
+        assert isinstance(knn_sparsify(dense, 4), SparseFacilityLocationInstance)
+        assert isinstance(
+            threshold_sparsify(dense_clustering, 0.5), SparseClusteringInstance
+        )
+        assert isinstance(
+            threshold_sparsify(dense, 0.5), SparseFacilityLocationInstance
+        )
+
+
+class TestKnnClusteringInstance:
+    def test_deterministic(self):
+        a = knn_clustering_instance(200, 5, neighbors=8, seed=4)
+        b = knn_clustering_instance(200, 5, neighbors=8, seed=4)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.data, b.data)
+        assert np.array_equal(a.fallback, b.fallback)
+
+    def test_memory_scales_with_neighbors(self):
+        sp = knn_clustering_instance(400, 5, neighbors=8, seed=0)
+        assert sp.nnz <= 400 * 8 * 2  # symmetrized union, diag inside kNN
+        assert sp.m == sp.nnz
+
+    def test_blob_mode(self):
+        sp = knn_clustering_instance(120, 4, neighbors=6, n_clusters=4, seed=1)
+        assert sp.n == 120
+
+    def test_matches_dense_knn_sparsify(self):
+        """KD-tree-first construction == dense-then-sparsify on the
+        same geometry (same points, same neighbor count)."""
+        rng = np.random.default_rng(9)
+        pts = rng.random((60, 2))
+        dense = ClusteringInstance(MetricSpace.from_points(pts), 4)
+        via_dense = knn_sparsify(dense, 7, fallback_slack=1.0)
+        from scipy.spatial import cKDTree
+
+        from repro.metrics.sparse import _symmetrized_clustering_csr
+
+        dist, near = cKDTree(pts).query(pts, k=7)
+        rows = np.repeat(np.arange(60, dtype=np.intp), 7)
+        indptr, indices, data = _symmetrized_clustering_csr(
+            60, rows, near.ravel().astype(np.intp), dist.ravel()
+        )
+        direct = SparseClusteringInstance(
+            indptr, indices, data, 4, fallback=2.0 * dist[:, -1]
+        )
+        assert np.array_equal(direct.indptr, via_dense.indptr)
+        assert np.array_equal(direct.indices, via_dense.indices)
+        assert np.allclose(direct.data, via_dense.data)
+
+    def test_io_round_trip(self, tmp_path):
+        from repro.metrics.io import load_instance, save_instance
+
+        sp = knn_clustering_instance(80, 3, neighbors=5, seed=2)
+        path = tmp_path / "cluster.npz"
+        save_instance(path, sp)
+        back = load_instance(path)
+        assert isinstance(back, SparseClusteringInstance)
+        assert np.array_equal(back.indptr, sp.indptr)
+        assert np.array_equal(back.indices, sp.indices)
+        assert np.array_equal(back.data, sp.data)
+        assert np.array_equal(back.fallback, sp.fallback)
+        assert back.k == sp.k

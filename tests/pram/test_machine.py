@@ -243,6 +243,37 @@ def test_sort_vector_requires_1d(m):
         m.sort(np.ones((2, 2)))
 
 
+def test_sorted_unique_values(m, rng):
+    v = rng.integers(0, 12, size=40).astype(float)
+    assert np.array_equal(m.sorted_unique(v), np.unique(v))
+
+
+def test_sorted_unique_requires_1d(m):
+    with pytest.raises(InvalidParameterError):
+        m.sorted_unique(np.ones((2, 2)))
+
+
+def test_sorted_unique_empty(m):
+    assert m.sorted_unique(np.array([])).size == 0
+
+
+def test_sorted_unique_charges_one_sort_plus_pack(rng):
+    """The ledger-honesty regression: exactly one sort charge (no
+    second, uncharged sort the way ``np.unique(machine.sort(v))`` did)
+    plus one pack for the adjacent-difference compaction."""
+    import math
+
+    m = PramMachine()
+    v = rng.integers(0, 30, size=128).astype(float)
+    m.sorted_unique(v)
+    assert m.ledger.calls_by_op["sorted_unique"] == 1
+    assert m.ledger.calls_by_op["pack"] == 1
+    assert "sort" not in m.ledger.calls_by_op
+    assert m.ledger.total_calls == 2
+    # work = one m·log₂(m) sort + one m pack, nothing else
+    assert m.ledger.work == pytest.approx(128 * math.log2(128) + 128)
+
+
 def test_random_uniform_shape_and_range(m):
     x = m.random_uniform((10, 3))
     assert x.shape == (10, 3) and np.all((0 <= x) & (x < 1))
