@@ -85,6 +85,18 @@ from repro.lp import (
     solve_primal,
 )
 from repro.analysis import Certificate, certify_facility_location
+from repro.shard import (
+    ShardCoreset,
+    ShardSolution,
+    build_coreset,
+    build_shard_coresets,
+    grid_partition,
+    kdtree_partition,
+    make_partition,
+    merge_coresets,
+    random_partition,
+    shard_and_solve,
+)
 
 __version__ = "1.0.0"
 
@@ -154,4 +166,15 @@ __all__ = [
     # analysis
     "Certificate",
     "certify_facility_location",
+    # shard
+    "ShardCoreset",
+    "ShardSolution",
+    "build_coreset",
+    "build_shard_coresets",
+    "grid_partition",
+    "kdtree_partition",
+    "make_partition",
+    "merge_coresets",
+    "random_partition",
+    "shard_and_solve",
 ]

@@ -6,7 +6,12 @@ ledger data (for the work-efficiency claims), and round-count envelopes
 (for the ``O(log_{1+ε} m)`` claims).
 """
 
-from repro.analysis.bounds import eq2_bounds, verify_eq2
+from repro.analysis.bounds import (
+    CoresetBound,
+    composed_coreset_bound,
+    eq2_bounds,
+    verify_eq2,
+)
 from repro.analysis.certificates import Certificate, certify_facility_location
 from repro.analysis.ratios import RatioReport, measure_ratio
 from repro.analysis.scaling import fit_work_exponent, predicted_work
@@ -15,6 +20,8 @@ from repro.analysis.rounds import round_envelopes
 __all__ = [
     "eq2_bounds",
     "verify_eq2",
+    "CoresetBound",
+    "composed_coreset_bound",
     "Certificate",
     "certify_facility_location",
     "RatioReport",

@@ -54,3 +54,51 @@ def verify_eq2(instance: FacilityLocationInstance, opt: float, *, tol: float = 1
             f"Eq.(2) chain broken: Σγ_j={b.sum_gamma_j} > γ·n_c={b.gamma_times_nc}"
         )
     return b
+
+
+# --------------------------------------------------------------------------
+# Shard-and-conquer composition (coreset → solver) accounting
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CoresetBound:
+    """Composed approximation accounting for a coreset-then-solve run.
+
+    For a movement-``R`` coreset (``R = Σ_j w_j · d(j, rep(j))``, the
+    total weighted distance the summarization moved the demand) and a
+    ``c``-approximate solver run on the summarized instance, the
+    triangle inequality gives, for the k-median objective::
+
+        |cost_true(S) − cost_coreset(S)| ≤ R        for every S
+        cost_true(ALG) ≤ c · opt_true + (c + 1) · R
+
+    ``additive_term`` is ``(c+1)·R``. On kNN-truncated merged
+    instances the solver's ``c`` is itself conditional on the
+    truncation retaining the relevant candidate edges (see the sparse
+    module docstrings); the bound composes whatever ratio is supplied.
+    """
+
+    solver_ratio: float
+    movement: float
+    additive_term: float
+    statement: str
+
+
+def composed_coreset_bound(solver_ratio: float, movement: float) -> CoresetBound:
+    """The shard-and-conquer guarantee: solving a movement-``R``
+    coreset with a ``c``-approximation is a ``(c, (c+1)·R)``-
+    approximation to the original k-median instance (see
+    :class:`CoresetBound`)."""
+    c = float(solver_ratio)
+    r = float(movement)
+    if c < 1.0:
+        raise InfeasibleSolutionError(f"solver ratio must be ≥ 1, got {c}")
+    if r < 0.0:
+        raise InfeasibleSolutionError(f"coreset movement must be ≥ 0, got {r}")
+    add = (c + 1.0) * r
+    return CoresetBound(
+        solver_ratio=c,
+        movement=r,
+        additive_term=add,
+        statement=f"cost_true(ALG) ≤ {c:g}·opt_true + {add:g}",
+    )

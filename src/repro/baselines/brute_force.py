@@ -29,12 +29,14 @@ def brute_force_facility_location(
             f"brute force caps at {max_facilities} facilities, instance has {nf}"
         )
     D, f = instance.D, instance.f
+    w = None if instance.has_unit_weights else instance.client_weights
     best_cost = np.inf
     best: np.ndarray | None = None
     # Grow subsets in Gray-code-free simple order; vectorized min over rows.
     for mask in range(1, 1 << nf):
         idx = np.flatnonzero([(mask >> i) & 1 for i in range(nf)])
-        cost = f[idx].sum() + D[idx].min(axis=0).sum()
+        conn = D[idx].min(axis=0)
+        cost = f[idx].sum() + (conn.sum() if w is None else (w * conn).sum())
         if cost < best_cost:
             best_cost = cost
             best = idx
@@ -49,11 +51,12 @@ def _brute_force_centers(instance: ClusteringInstance, objective, *, max_subsets
             f"brute force caps at {max_subsets} subsets, C({n},{k})={comb(n, k)}"
         )
     D = instance.D
+    w = None if instance.has_unit_weights else instance.weights
     best_cost, best = np.inf, None
     for centers in combinations(range(n), k):
         idx = np.asarray(centers)
         d = D[:, idx].min(axis=1)
-        cost = objective(d)
+        cost = objective(d, w)
         if cost < best_cost:
             best_cost, best = cost, idx
     return float(best_cost), best
@@ -62,19 +65,30 @@ def _brute_force_centers(instance: ClusteringInstance, objective, *, max_subsets
 def brute_force_kmedian(
     instance: ClusteringInstance, *, max_subsets: int = 500_000
 ) -> tuple[float, np.ndarray]:
-    """Exact k-median optimum by enumerating all k-subsets."""
-    return _brute_force_centers(instance, lambda d: d.sum(), max_subsets=max_subsets)
+    """Exact (weighted) k-median optimum by enumerating all k-subsets."""
+    return _brute_force_centers(
+        instance,
+        lambda d, w: d.sum() if w is None else (w * d).sum(),
+        max_subsets=max_subsets,
+    )
 
 
 def brute_force_kmeans(
     instance: ClusteringInstance, *, max_subsets: int = 500_000
 ) -> tuple[float, np.ndarray]:
-    """Exact k-means (sum of squared distances) optimum by enumeration."""
-    return _brute_force_centers(instance, lambda d: (d * d).sum(), max_subsets=max_subsets)
+    """Exact (weighted) k-means (sum of squared distances) optimum by enumeration."""
+    return _brute_force_centers(
+        instance,
+        lambda d, w: (d * d).sum() if w is None else (w * d * d).sum(),
+        max_subsets=max_subsets,
+    )
 
 
 def brute_force_kcenter(
     instance: ClusteringInstance, *, max_subsets: int = 500_000
 ) -> tuple[float, np.ndarray]:
-    """Exact k-center (bottleneck radius) optimum by enumeration."""
-    return _brute_force_centers(instance, lambda d: d.max(), max_subsets=max_subsets)
+    """Exact k-center (bottleneck radius) optimum by enumeration
+    (weight-invariant: multiplicities duplicate points in place)."""
+    return _brute_force_centers(
+        instance, lambda d, w: d.max(), max_subsets=max_subsets
+    )

@@ -1,7 +1,7 @@
 """Sparse-vs-dense bench: peak memory and wall-clock across the scale axis.
 
-Four tiers, one JSON report (committed as ``BENCH_PR3.json`` /
-``BENCH_PR4.json``):
+Five tiers, one JSON report (committed as ``BENCH_PR3.json`` /
+``BENCH_PR4.json`` / ``BENCH_PR5.json``):
 
 * **overlap** — facility-location sizes where the dense path still
   fits: the same seeded geometry is solved by the dense
@@ -21,6 +21,11 @@ Four tiers, one JSON report (committed as ``BENCH_PR3.json`` /
 * **clustering_scaling** — ``sparse_clustering_suite`` kNN instances up
   to 100k nodes (dense would need 80 GB), k-center + warm-started
   k-median local search on the sparse paths only.
+* **shard_scaling** — raw point clouds (250k/1M by default) through
+  ``repro.shard.shard_and_solve`` k-median (PR 5). Both the dense
+  matrix *and* the single full-point kNN CSR structure are costed
+  against ``--budget-gib``; tiers where both are infeasible are the
+  scales only the shard-and-conquer pipeline reaches.
 
 Per-round traces are stored as **summary stats** (count/total/first/
 last/median work per round), never as raw per-round sample lists, so
@@ -42,7 +47,11 @@ import tracemalloc
 import numpy as np
 
 from repro.bench.reporting import summarize_rounds
-from repro.bench.workloads import sparse_clustering_suite, sparse_scaling_suite
+from repro.bench.workloads import (
+    shard_scaling_suite,
+    sparse_clustering_suite,
+    sparse_scaling_suite,
+)
 from repro.core.greedy import parallel_greedy
 from repro.core.kcenter import parallel_kcenter
 from repro.core.local_search import parallel_kmedian
@@ -162,6 +171,44 @@ def _strip_clustering(measure: dict) -> dict:
     return out
 
 
+def _measure_shard(
+    points, k, *, shards, coreset_size, neighbors, epsilon, seed, backend, trace_memory
+) -> dict:
+    """One shard-and-conquer k-median solve: wall-clock, ledger work,
+    true vs merged objective, movement, and (optionally) peak memory."""
+    from repro.shard import shard_and_solve
+
+    t0 = time.perf_counter()
+    sol = shard_and_solve(
+        points, k, shards=shards, coreset_size=coreset_size, neighbors=neighbors,
+        solver="kmedian", epsilon=epsilon, seed=seed, backend=backend,
+    )
+    wall = time.perf_counter() - t0
+    out = {
+        "wall_s": wall,
+        "ledger_work": sol.model_costs.work,
+        "ledger_depth": sol.model_costs.depth,
+        "cost_merged": sol.cost,
+        "cost_true": sol.true_cost,
+        "movement": sol.movement,
+        "merged_n": sol.extra["merged_n"],
+        "merged_nnz": sol.extra["merged_nnz"],
+        "centers": int(sol.centers.size),
+        "swap_rounds": int(sol.rounds.get("local_search", 0)),
+        "bound": sol.bound.statement if sol.bound else None,
+    }
+    if trace_memory:
+        tracemalloc.start()
+        shard_and_solve(
+            points, k, shards=shards, coreset_size=coreset_size, neighbors=neighbors,
+            solver="kmedian", epsilon=epsilon, seed=seed, backend=backend,
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        out["peak_mib"] = peak / 2**20
+    return out
+
+
 def run_sparse_bench(
     *,
     overlap_sizes=(1500, 3000),
@@ -181,8 +228,14 @@ def run_sparse_bench(
     clustering_neighbors: int = 64,
     clustering_k_ratio: float = 0.02,
     clustering_epsilon: float = 0.5,
+    shard_sizes=(250_000, 1_000_000),
+    shard_k: int = 32,
+    shard_shards: int = 16,
+    shard_coreset_size: int = 512,
+    shard_neighbors: int = 64,
+    shard_backend=None,
 ) -> dict:
-    """Run all four tiers and return the report dict (module docstring)."""
+    """Run all five tiers and return the report dict (module docstring)."""
     report = {
         "meta": {
             "k": k,
@@ -201,6 +254,11 @@ def run_sparse_bench(
             "clustering_neighbors": clustering_neighbors,
             "clustering_k_ratio": clustering_k_ratio,
             "clustering_epsilon": clustering_epsilon,
+            "shard_sizes": list(shard_sizes),
+            "shard_k": shard_k,
+            "shard_shards": shard_shards,
+            "shard_coreset_size": shard_coreset_size,
+            "shard_neighbors": shard_neighbors,
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -209,6 +267,7 @@ def run_sparse_bench(
         "sparse_scaling": {},
         "clustering_overlap": {},
         "clustering_scaling": {},
+        "shard_scaling": {},
     }
 
     for n_c in overlap_sizes:
@@ -326,6 +385,38 @@ def run_sparse_bench(
             "dense_feasible": bool(dense_bytes <= budget_gib * 2**30),
             "sparse": _strip_clustering(measured),
         }
+
+    # -- shard scaling: raw points no single instance can hold -------------
+    # Feasibility markers: the dense matrix *and* the single full-point
+    # kNN CSR structure (indptr/indices/data + the segmented per-edge
+    # temporaries the solvers allocate, ~5 edge-sized arrays) are costed
+    # against the budget; tiers where both blow past it are the scales
+    # only the shard pipeline reaches.
+    for name, pts, k_pts in shard_scaling_suite(seed, sizes=shard_sizes, k=shard_k):
+        n = pts.shape[0]
+        dense_bytes = n * n * 8
+        # the clustering_scaling construction at this n
+        csr_nnz = 2 * clustering_neighbors * n
+        single_csr_bytes = csr_nnz * 8 * 5
+        big = n >= 500_000
+        measured = _measure_shard(
+            pts, k_pts,
+            shards=shard_shards, coreset_size=shard_coreset_size,
+            neighbors=shard_neighbors, epsilon=clustering_epsilon,
+            seed=machine_seed, backend=shard_backend,
+            trace_memory=not big,
+        )
+        report["shard_scaling"][name] = {
+            "n": n,
+            "k": k_pts,
+            "shards": shard_shards,
+            "coreset_size": shard_coreset_size,
+            "dense_bytes": dense_bytes,
+            "dense_feasible": bool(dense_bytes <= budget_gib * 2**30),
+            "single_csr_bytes": single_csr_bytes,
+            "single_csr_feasible": bool(single_csr_bytes <= budget_gib * 2**30),
+            "shard": measured,
+        }
     return report
 
 
@@ -368,6 +459,17 @@ def main(argv=None) -> None:
         "--clustering-k-ratio", type=float, default=0.02, help="centers per node"
     )
     parser.add_argument(
+        "--shard-scaling",
+        default="250000,1000000",
+        help="comma-separated shard-tier point counts",
+    )
+    parser.add_argument("--shard-k", type=int, default=32)
+    parser.add_argument("--shard-shards", type=int, default=16)
+    parser.add_argument("--shard-coreset-size", type=int, default=512)
+    parser.add_argument(
+        "--shard-backend", default=None, help="backend for the shard tier (default env)"
+    )
+    parser.add_argument(
         "--fast",
         action="store_true",
         help="CI smoke sizes (overlap 400/300, scaling 2000/5000, 1 repeat)",
@@ -383,12 +485,18 @@ def main(argv=None) -> None:
         scaling = (2000, 5000)
         clustering_overlap = (300,)
         clustering_scaling = (2000, 5000)
+        shard_scaling = (20_000,)
+        shard_shards, shard_coreset = 4, 128
+        shard_k = 8
         repeats = 1
     else:
         overlap = _sizes(args.overlap)
         scaling = _sizes(args.scaling)
         clustering_overlap = _sizes(args.clustering_overlap)
         clustering_scaling = _sizes(args.clustering_scaling)
+        shard_scaling = _sizes(args.shard_scaling)
+        shard_shards, shard_coreset = args.shard_shards, args.shard_coreset_size
+        shard_k = args.shard_k
         repeats = args.repeats
 
     report = run_sparse_bench(
@@ -404,6 +512,11 @@ def main(argv=None) -> None:
         clustering_scaling_sizes=clustering_scaling,
         clustering_neighbors=args.clustering_neighbors,
         clustering_k_ratio=args.clustering_k_ratio,
+        shard_sizes=shard_scaling,
+        shard_k=shard_k,
+        shard_shards=shard_shards,
+        shard_coreset_size=shard_coreset,
+        shard_backend=args.shard_backend,
     )
     for name, entry in report["overlap"].items():
         for algorithm in _ALGORITHMS:
@@ -447,6 +560,19 @@ def main(argv=None) -> None:
             f"{name}: kcenter {kc['wall_s']:.2f}s ({kc['centers']} centers) | "
             f"kmedian {km['wall_s']:.2f}s ({km['swap_rounds']} rounds) | "
             f"dense {dense_note}"
+        )
+    for name, entry in report["shard_scaling"].items():
+        sh = entry["shard"]
+        notes = []
+        for key, label in (("dense_feasible", "dense"), ("single_csr_feasible", "single-CSR")):
+            bkey = key.replace("_feasible", "_bytes")
+            notes.append(
+                f"{label} " + ("feasible" if entry[key] else f"INFEASIBLE ({entry[bkey] / 2**30:.1f} GiB)")
+            )
+        print(
+            f"{name}: shard_and_solve {sh['wall_s']:.1f}s | true cost {sh['cost_true']:.4g} "
+            f"(merged {sh['cost_merged']:.4g}, movement {sh['movement']:.3g}) | "
+            f"merged {sh['merged_n']} nodes | " + " | ".join(notes)
         )
     if args.out:
         with open(args.out, "w") as fh:

@@ -26,6 +26,7 @@ from repro.metrics.generators import (
     star_instance,
     two_scale_instance,
 )
+from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
 
 
 def fl_ratio_suite(seed: int = 0) -> list:
@@ -131,6 +132,68 @@ def sparse_clustering_suite(
                 knn_clustering_instance(n, k, neighbors=neighbors, seed=seed + i),
             )
         )
+    return out
+
+
+def _with_weights(instance, rng, *, low=1.0, high=5.0):
+    """Reweight a clustering/FL instance with seeded uniform weights."""
+    if isinstance(instance, ClusteringInstance):
+        return ClusteringInstance(
+            instance.space, instance.k,
+            weights=rng.uniform(low, high, size=instance.n),
+        )
+    return FacilityLocationInstance(
+        instance.D, instance.f,
+        client_weights=rng.uniform(low, high, size=instance.n_clients),
+    )
+
+
+def weighted_clustering_ratio_suite(seed: int = 0) -> list:
+    """Small *weighted* clustering instances with exact (weighted
+    brute-force) optima — the ratio gate for the shard-and-conquer
+    weighted objectives."""
+    rng = np.random.default_rng(seed + 1000)
+    return [
+        (f"w-{name}", _with_weights(inst, rng))
+        for name, inst in clustering_ratio_suite(seed)
+    ]
+
+
+def weighted_fl_ratio_suite(seed: int = 0) -> list:
+    """Small *weighted* facility-location instances (client
+    multiplicities) with exact optima."""
+    rng = np.random.default_rng(seed + 2000)
+    return [
+        (f"w-{name}", _with_weights(inst, rng))
+        for name, inst in fl_ratio_suite(seed)
+    ]
+
+
+def shard_scaling_suite(
+    seed: int = 0,
+    *,
+    sizes=(250_000, 1_000_000),
+    dim: int = 2,
+    k: int = 32,
+    n_clusters: int = 64,
+) -> list:
+    """Raw point clouds at counts no single instance can hold.
+
+    Each entry is ``(name, points, k)`` — coordinates only, *no*
+    instance object: at these sizes even the kNN CSR structure of the
+    full point set blows past a laptop budget, which is exactly what
+    ``repro.shard.shard_and_solve`` exists to get around. Points are
+    Gaussian blobs (``n_clusters`` ground-truth clusters) so the
+    sharded objective has meaningful structure to recover.
+    """
+    out = []
+    for i, n in enumerate(sizes):
+        n = int(n)
+        rng = np.random.default_rng(seed + 3000 + i)
+        centers = rng.random((n_clusters, dim))
+        labels = rng.integers(0, n_clusters, size=n)
+        pts = centers[labels] + rng.normal(scale=0.02, size=(n, dim))
+        out.append((f"blobs-{n}-k{k}", pts, k))
     return out
 
 

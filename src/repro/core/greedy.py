@@ -224,6 +224,13 @@ def _parallel_greedy_dense(
     f_cur = instance.f.astype(float).copy()
     nf, nc = D.shape
     m = max(instance.m, 2)
+    # Client multiplicities generalize star prices to (f + Σwd)/Σw and
+    # subselection degrees/votes to weighted sums; None keeps the exact
+    # unweighted code path (byte-identical seeded runs). The weighted
+    # distance matrix is loop-invariant — built (and ledger-charged)
+    # once.
+    w = None if instance.has_unit_weights else instance.client_weights
+    wD = None if w is None else machine.map(lambda d, ww: d * ww, D, w[None, :])
 
     start = machine.snapshot()
     order, D_sorted = presort_distances(machine, D)
@@ -235,7 +242,9 @@ def _parallel_greedy_dense(
     preprocessed = 0
 
     if preprocess:
-        prices = cheapest_star_prices_masked(machine, D_sorted, order, f_cur, active)
+        prices = cheapest_star_prices_masked(
+            machine, D_sorted, order, f_cur, active, weights=w
+        )
         f_cur, preprocessed = _apply_preprocessing(
             machine, D, prices, gamma / (m * m), opened, f_cur, active
         )
@@ -246,7 +255,9 @@ def _parallel_greedy_dense(
             raise ConvergenceError(
                 f"greedy exceeded {outer_cap} outer rounds (m={m}, eps={eps})"
             )
-        prices = cheapest_star_prices_masked(machine, D_sorted, order, f_cur, active)
+        prices = cheapest_star_prices_masked(
+            machine, D_sorted, order, f_cur, active, weights=w
+        )
         tau = float(machine.reduce(prices, "min"))
         tau_trace.append(tau)
         cut = tau * (1.0 + eps) * _REL_TOL
@@ -260,7 +271,14 @@ def _parallel_greedy_dense(
 
         sub = 0
         while True:
-            deg = machine.reduce(E.astype(float), "add", axis=1)
+            if w is None:
+                deg = machine.reduce(E.astype(float), "add", axis=1)
+            else:
+                deg = machine.reduce(
+                    machine.where(E, np.broadcast_to(w[None, :], E.shape), 0.0),
+                    "add",
+                    axis=1,
+                )
             I = machine.map(lambda Ii, dg: Ii & (dg > 0), I, deg)
             E = machine.map(lambda e, Ii: e & Ii, E, np.broadcast_to(I[:, None], E.shape))
             if not I.any():
@@ -286,7 +304,16 @@ def _parallel_greedy_dense(
                 np.broadcast_to(has_edge[None, :], E.shape),
                 np.broadcast_to(np.arange(nf)[:, None], E.shape),
             )
-            votes = machine.reduce(vote_matrix.astype(float), "add", axis=1)
+            if w is None:
+                votes = machine.reduce(vote_matrix.astype(float), "add", axis=1)
+            else:
+                votes = machine.reduce(
+                    machine.where(
+                        vote_matrix, np.broadcast_to(w[None, :], E.shape), 0.0
+                    ),
+                    "add",
+                    axis=1,
+                )
             open_now = machine.map(
                 lambda Ii, v, dg: Ii & (dg > 0) & (v * (2.0 * (1.0 + eps)) >= dg * (1.0 - 1e-12)),
                 I,
@@ -312,8 +339,16 @@ def _parallel_greedy_dense(
                 )
 
             # 4(d): drop facilities whose reduced star price exceeds the cut.
-            wsum = machine.reduce(machine.where(E, D, 0.0), "add", axis=1)
-            deg_now = machine.reduce(E.astype(float), "add", axis=1)
+            if w is None:
+                wsum = machine.reduce(machine.where(E, D, 0.0), "add", axis=1)
+                deg_now = machine.reduce(E.astype(float), "add", axis=1)
+            else:
+                wsum = machine.reduce(machine.where(E, wD, 0.0), "add", axis=1)
+                deg_now = machine.reduce(
+                    machine.where(E, np.broadcast_to(w[None, :], E.shape), 0.0),
+                    "add",
+                    axis=1,
+                )
             drop = machine.map(
                 lambda Ii, dg, ws, fc: Ii & (dg > 0) & ((fc + ws) > cut * dg * _REL_TOL),
                 I,
@@ -359,6 +394,8 @@ def _parallel_greedy_compact(
     f_cur = instance.f.astype(float).copy()
     nf, nc = D.shape
     m = max(instance.m, 2)
+    # Client multiplicities (see the dense path); None = unweighted.
+    w = None if instance.has_unit_weights else instance.client_weights
 
     start = machine.snapshot()
     order, D_sorted = presort_distances(machine, D)
@@ -370,16 +407,31 @@ def _parallel_greedy_compact(
     preprocessed = 0
 
     # Live-frontier sorted structure: each facility's remaining clients
-    # in ascending-distance order (ids + distances).
+    # in ascending-distance order (ids + distances, plus weights on
+    # weighted instances).
     live_ids, live_d = order, D_sorted
+    live_w = (
+        None
+        if w is None
+        else machine.gather_rows(np.broadcast_to(w, D_sorted.shape), order)
+    )
+
+    def _compact_live_structure():
+        nonlocal live_ids, live_d, live_w
+        if live_w is None:
+            live_ids, live_d = compact_sorted_columns(machine, live_ids, live_d, active)
+        else:
+            live_ids, live_d, live_w = compact_sorted_columns(
+                machine, live_ids, live_d, active, sorted_w=live_w
+            )
 
     if preprocess:
-        prices = cheapest_star_prices_compact(machine, live_d, f_cur)
+        prices = cheapest_star_prices_compact(machine, live_d, f_cur, live_w)
         f_cur, preprocessed = _apply_preprocessing(
             machine, D, prices, gamma / (m * m), opened, f_cur, active
         )
         if preprocessed:
-            live_ids, live_d = compact_sorted_columns(machine, live_ids, live_d, active)
+            _compact_live_structure()
 
     while active.any():
         outer = machine.bump_round("greedy_outer")
@@ -387,7 +439,7 @@ def _parallel_greedy_compact(
             raise ConvergenceError(
                 f"greedy exceeded {outer_cap} outer rounds (m={m}, eps={eps})"
             )
-        prices = cheapest_star_prices_compact(machine, live_d, f_cur)
+        prices = cheapest_star_prices_compact(machine, live_d, f_cur, live_w)
         tau = float(machine.reduce(prices, "min"))
         tau_trace.append(tau)
         cut = tau * (1.0 + eps) * _REL_TOL
@@ -395,13 +447,19 @@ def _parallel_greedy_compact(
         # Frontier index sets: admitted facilities × active clients.
         adm = np.flatnonzero(machine.map(lambda p: p <= cut, prices))
         act = np.flatnonzero(active)
+        w_act = None if w is None else machine.take_rows(w, act)
         D_sub = machine.take_submatrix(D, adm, act)
         E_sub = machine.map(lambda d: d <= cut, D_sub)
         any_served = False
 
         sub = 0
         while True:
-            deg = machine.reduce(E_sub.astype(float), "add", axis=1)
+            if w_act is None:
+                deg = machine.reduce(E_sub.astype(float), "add", axis=1)
+            else:
+                deg = machine.reduce(
+                    machine.where(E_sub, w_act[None, :], 0.0), "add", axis=1
+                )
             row_keep = machine.map(lambda dg: dg > 0, deg)
             if not row_keep.all():
                 keep_idx = np.flatnonzero(row_keep)
@@ -428,7 +486,16 @@ def _parallel_greedy_compact(
             has_edge = machine.reduce(E_sub, "or", axis=0)
 
             # 4(c): segmented vote count — O(|C_active|), no vote matrix.
-            votes = machine.count_votes(phi, adm.size, mask=has_edge).astype(float)
+            if w_act is None:
+                votes = machine.count_votes(phi, adm.size, mask=has_edge).astype(float)
+            else:
+                votes = np.asarray(
+                    machine.scatter_add(
+                        np.where(has_edge, w_act, 0.0),
+                        np.where(has_edge, phi, 0),
+                        adm.size,
+                    )
+                )
             open_now = machine.map(
                 lambda v, dg: (dg > 0) & (v * (2.0 * (1.0 + eps)) >= dg * (1.0 - 1e-12)),
                 votes,
@@ -452,12 +519,26 @@ def _parallel_greedy_compact(
                 col_keep_idx = np.flatnonzero(~served_local)
                 adm = adm[row_keep_idx]
                 act = act[col_keep_idx]
+                if w_act is not None:
+                    w_act = w_act[col_keep_idx]
                 E_sub = machine.take_submatrix(E_sub, row_keep_idx, col_keep_idx)
                 D_sub = machine.take_submatrix(D_sub, row_keep_idx, col_keep_idx)
 
             # 4(d): drop facilities whose reduced star price exceeds the cut.
-            wsum = machine.reduce(machine.where(E_sub, D_sub, 0.0), "add", axis=1)
-            deg_now = machine.reduce(E_sub.astype(float), "add", axis=1)
+            if w_act is None:
+                wsum = machine.reduce(machine.where(E_sub, D_sub, 0.0), "add", axis=1)
+                deg_now = machine.reduce(E_sub.astype(float), "add", axis=1)
+            else:
+                wsum = machine.reduce(
+                    machine.where(
+                        E_sub, machine.map(lambda d, ww: d * ww, D_sub, w_act[None, :]), 0.0
+                    ),
+                    "add",
+                    axis=1,
+                )
+                deg_now = machine.reduce(
+                    machine.where(E_sub, w_act[None, :], 0.0), "add", axis=1
+                )
             fc = machine.take_rows(f_cur, adm)
             drop = machine.map(
                 lambda dg, ws, fcv: (dg > 0) & ((fcv + ws) > cut * dg * _REL_TOL),
@@ -472,7 +553,7 @@ def _parallel_greedy_compact(
                 D_sub = machine.take_rows(D_sub, keep_idx)
 
         if any_served:
-            live_ids, live_d = compact_sorted_columns(machine, live_ids, live_d, active)
+            _compact_live_structure()
 
     return _build_solution(
         instance, machine, start, opened, alpha, gamma, tau_trace, preprocessed, eps

@@ -58,6 +58,7 @@ def _star_prices_sparse(
     live_d: np.ndarray,
     live_indptr: np.ndarray,
     f_cur: np.ndarray,
+    live_w: np.ndarray | None = None,
 ) -> np.ndarray:
     """Cheapest-maximal-star price per facility over the live sorted
     structure: ``min_k (f_i + Σ of k closest remaining distances)/k``,
@@ -66,7 +67,21 @@ def _star_prices_sparse(
     One segmented scan, one map, one segmented min — ``O(nnz(live))``.
     On uniform segments this is bit-identical to
     :func:`repro.core.stars.cheapest_star_prices_compact`.
+
+    ``live_w`` (per-edge client weights in the same layout, weighted
+    instances only) switches the price to ``(f_i + Σ w·d) / Σ w`` over
+    each ascending-distance prefix.
     """
+    if live_w is not None:
+        psum = machine.segmented_scan(
+            np.asarray(machine.map(np.multiply, live_d, live_w)), live_indptr, "add"
+        )
+        rank = machine.segmented_scan(live_w, live_indptr, "add")
+        fc = machine.segment_spread(np.asarray(f_cur, dtype=float), live_indptr)
+        candidate = machine.map(
+            lambda p, r, ff: (ff + p) / np.where(r > 0, r, 1.0), psum, rank, fc
+        )
+        return machine.segmented_reduce(candidate, live_indptr, "min")
     starts = machine.segment_spread(live_indptr[:-1].astype(float), live_indptr)
     psum = machine.segmented_scan(live_d, live_indptr, "add")
     rank = machine.map(
@@ -114,6 +129,10 @@ def _parallel_greedy_sparse(
     nf, nc = instance.n_facilities, instance.n_clients
     f_cur = instance.f.astype(float).copy()
     m = max(instance.m, 2)
+    # Client multiplicities generalize star prices to (f + Σwd)/Σw and
+    # degrees/votes to weighted sums (see repro.core.greedy); None
+    # keeps the exact unweighted code path.
+    w = None if instance.has_unit_weights else instance.client_weights
 
     start = machine.snapshot()
     # One-time presort of each facility's candidate segment by distance
@@ -133,7 +152,8 @@ def _parallel_greedy_sparse(
     preprocessed = 0
 
     if preprocess:
-        prices = _star_prices_sparse(machine, l_d, l_indptr, f_cur)
+        l_w = None if w is None else np.asarray(machine.take_rows(w, l_cols))
+        prices = _star_prices_sparse(machine, l_d, l_indptr, f_cur, l_w)
         threshold = gamma / (m * m)
         pre_open = np.asarray(machine.map(lambda p: p <= threshold * _REL_TOL, prices))
         if pre_open.any():
@@ -162,7 +182,8 @@ def _parallel_greedy_sparse(
             raise ConvergenceError(
                 f"sparse greedy exceeded {outer_cap} outer rounds (m={m}, eps={eps})"
             )
-        prices = _star_prices_sparse(machine, l_d, l_indptr, f_cur)
+        l_w = None if w is None else np.asarray(machine.take_rows(w, l_cols))
+        prices = _star_prices_sparse(machine, l_d, l_indptr, f_cur, l_w)
         tau = float(machine.reduce(prices, "min"))
         tau_trace.append(tau)
         cut = tau * (1.0 + eps) * _REL_TOL
@@ -180,7 +201,14 @@ def _parallel_greedy_sparse(
 
         sub = 0
         while True:
-            deg = machine.count_votes(e_row, adm.size).astype(float)
+            if w is None:
+                deg = machine.count_votes(e_row, adm.size).astype(float)
+            else:
+                deg = np.asarray(
+                    machine.scatter_add(
+                        np.asarray(machine.take_rows(w, e_col)), e_row, adm.size
+                    )
+                )
             row_keep = np.asarray(machine.map(lambda dg: dg > 0, deg))
             if not row_keep.all():
                 # Empty rows have no edges, so only the labels compress.
@@ -212,8 +240,15 @@ def _parallel_greedy_sparse(
             )
 
             # 4(c): votes per facility (priorities are distinct, so each
-            # client with an edge contributes exactly one vote).
-            votes = machine.count_votes(e_row, adm.size, mask=vote_edge).astype(float)
+            # client with an edge contributes exactly one — weighted —
+            # vote).
+            if w is None:
+                votes = machine.count_votes(e_row, adm.size, mask=vote_edge).astype(float)
+            else:
+                e_w = np.asarray(machine.take_rows(w, e_col))
+                votes = np.asarray(
+                    machine.scatter_add(np.where(vote_edge, e_w, 0.0), e_row, adm.size)
+                )
             open_now = np.asarray(
                 machine.map(
                     lambda v, dg: (dg > 0)
@@ -249,8 +284,15 @@ def _parallel_greedy_sparse(
                 e_row = machine.take_rows(relabel, e_row) if e_row.size else e_row
 
             # 4(d): drop facilities whose reduced star price exceeds the cut.
-            wsum = machine.scatter_add(e_d, e_row, adm.size)
-            deg_now = machine.count_votes(e_row, adm.size).astype(float)
+            if w is None:
+                wsum = machine.scatter_add(e_d, e_row, adm.size)
+                deg_now = machine.count_votes(e_row, adm.size).astype(float)
+            else:
+                e_w = np.asarray(machine.take_rows(w, e_col))
+                wsum = machine.scatter_add(
+                    np.asarray(machine.map(np.multiply, e_d, e_w)), e_row, adm.size
+                )
+                deg_now = np.asarray(machine.scatter_add(e_w, e_row, adm.size))
             fc = machine.take_rows(f_cur, adm)
             drop = np.asarray(
                 machine.map(

@@ -55,6 +55,11 @@ def parallel_kcenter(
     with too few neighbors), the sparse path raises
     :class:`~repro.errors.InfeasibleSolutionError` instead of returning
     a silently-capped radius.
+
+    Weighted instances (node multiplicities) need no special handling:
+    the bottleneck objective is weight-invariant — the farthest of
+    ``w_j`` co-located copies is the copy itself — so the search runs
+    identically and the 2-approximation guarantee is unchanged.
     """
     if isinstance(instance, SparseClusteringInstance):
         from repro.core.kcenter_sparse import _parallel_kcenter_sparse

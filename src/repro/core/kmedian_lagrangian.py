@@ -43,6 +43,7 @@ def _solve_at_price(instance: ClusteringInstance, lam: float, eps: float, machin
     at price λ, same fallback column), which the §5 entry point then
     executes on its ``O(nnz)`` path.
     """
+    weights = None if instance.has_unit_weights else instance.weights
     if isinstance(instance, SparseClusteringInstance):
         fl = SparseFacilityLocationInstance(
             instance.indptr,
@@ -51,22 +52,28 @@ def _solve_at_price(instance: ClusteringInstance, lam: float, eps: float, machin
             np.full(instance.n, lam),
             n_clients=instance.n,
             fallback=instance.fallback,
+            client_weights=weights,
         )
     else:
-        fl = FacilityLocationInstance(instance.D, np.full(instance.n, lam))
+        fl = FacilityLocationInstance(
+            instance.D, np.full(instance.n, lam), client_weights=weights
+        )
     sol = parallel_primal_dual(fl, epsilon=eps, machine=machine)
     return sol
 
 
 def _price_ceiling(instance: ClusteringInstance) -> float:
-    """λ ceiling: ``(n+1) ×`` the largest finite service distance.
+    """λ ceiling: ``(W+1) ×`` the largest finite service distance,
+    where ``W = Σ_j w_j`` is the total demand (``n`` when unweighted).
 
     At this price a single facility serving everyone beats any second
-    opening. The multiplicative form (no additive constant) keeps the
-    probe sequence exactly covariant under distance scaling, so seeded
-    runs on ``c·d`` return the scaled solution bit-for-bit when ``c``
-    is a power of two — the scale-equivariance the metamorphic suite
-    asserts.
+    opening: closing a facility moves at most ``W`` units of demand by
+    at most ``dmax`` each. The multiplicative form (no additive
+    constant) keeps the probe sequence exactly covariant under distance
+    scaling, so seeded runs on ``c·d`` return the scaled solution
+    bit-for-bit when ``c`` is a power of two — the scale-equivariance
+    the metamorphic suite asserts. Unit weights give exactly the
+    historical ``(n+1)`` factor.
     """
     if isinstance(instance, SparseClusteringInstance):
         dmax = float(instance.data.max()) if instance.nnz else 0.0
@@ -75,7 +82,8 @@ def _price_ceiling(instance: ClusteringInstance) -> float:
             dmax = max(dmax, float(finite_fb.max()))
     else:
         dmax = float(instance.D.max())
-    return (dmax if dmax > 0 else 1.0) * (instance.n + 1)
+    spread = (instance.n + 1) if instance.has_unit_weights else (instance.total_weight + 1.0)
+    return (dmax if dmax > 0 else 1.0) * spread
 
 
 def parallel_kmedian_lagrangian(

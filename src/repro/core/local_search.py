@@ -133,6 +133,12 @@ def parallel_local_search(
     ``O(k·n²)`` (:mod:`repro.core.local_search_sparse`) — with
     identical seeded solutions to the dense path on dense-representable
     instances.
+
+    Weighted instances (node multiplicities, the shard-and-conquer
+    coreset representation) are optimized under the weighted objective
+    ``Σ_j w_j d(j, S)^p`` on both paths; unit-weight instances run the
+    exact unweighted code, byte-identical to instances built without
+    weights.
     """
     if objective not in _OBJECTIVE_POWER:
         raise InvalidParameterError(
@@ -155,6 +161,9 @@ def parallel_local_search(
     power = _OBJECTIVE_POWER[objective]
     # Service costs; for k-means these are squared distances (one map).
     Dp = machine.map(lambda d: d**power, instance.D) if power != 1.0 else instance.D
+    # Node multiplicities scale each node's service cost (Σ w_j d^p);
+    # None keeps the exact unweighted code path (byte-identical runs).
+    w = None if instance.has_unit_weights else instance.weights
 
     if max_rounds is not None:
         cap = max_rounds
@@ -164,6 +173,11 @@ def parallel_local_search(
 
     def service_state(c: np.ndarray):
         Dc = machine.take_columns(Dp, c)
+        if w is not None:
+            # Row scale by a positive weight: argmins and the d1/d2
+            # order within each node's row are unchanged, the sums
+            # become the weighted objective.
+            Dc = machine.map(lambda d, ww: d * ww, Dc, w[:, None])
         near_pos = machine.argmin(Dc, axis=1)
         d1 = Dc[np.arange(n), near_pos]
         masked = Dc.copy()
@@ -199,8 +213,13 @@ def parallel_local_search(
             np.broadcast_to(d1[None, :], (k, n)),
             np.broadcast_to(np.arange(k)[:, None], (k, n)),
         )
-        # new_cost[a, c] = Σ_j min(base[a, j], Dp[candidate_c, j])
+        # new_cost[a, c] = Σ_j w_j · min(base[a, j], Dp[candidate_c, j])
         cand_rows = machine.take_columns(Dp.T, candidates).T  # (n_cand, n)
+        if w is not None:
+            # base is already weighted (built from weighted d1/d2);
+            # weighting the candidate rows the same way keeps
+            # min(w·x, w·y) = w·min(x, y) exact.
+            cand_rows = machine.map(lambda d, ww: d * ww, cand_rows, w[None, :])
         trial = machine.map(
             np.minimum,
             np.broadcast_to(base[:, None, :], (k, candidates.size, n)),

@@ -185,6 +185,15 @@ def _parallel_local_search_sparse(
         if power != 1.0
         else instance.fallback
     )
+    if not instance.has_unit_weights:
+        # Node multiplicities scale every service cost of node j (its
+        # CSR row and its fallback) by w_j, so each segmented sum below
+        # is the weighted objective; per-row argmins are unchanged
+        # (positive uniform scale within a row). Unit weights skip this
+        # entirely — the unweighted code path stays byte-identical.
+        w = instance.weights
+        dp = np.asarray(machine.map(lambda d, ww: d * ww, dp, machine.take_rows(w, rows_e)))
+        fb = np.asarray(machine.map(lambda f, ww: f * ww, fb, w))
 
     if max_rounds is not None:
         cap = max_rounds

@@ -104,6 +104,15 @@ def parallel_primal_dual(
         iter_cap = max_iterations
     else:
         iter_cap = math.ceil(3.0 * math.log(m) / math.log1p(eps)) + 8
+        if not instance.has_unit_weights:
+            # Payments scale by w_j, so a client with weight w < 1 needs
+            # its dual raised ~log_{1+ε}(1/w) levels further before its
+            # (shrunken) contribution covers the same opening cost; the
+            # geometric schedule gets that many extra levels. Weights
+            # ≥ 1 only open facilities sooner — no extension needed.
+            w_min = float(instance.client_weights.min())
+            if w_min < 1.0:
+                iter_cap += math.ceil(math.log(1.0 / w_min) / math.log1p(eps))
 
     if isinstance(instance, SparseFacilityLocationInstance):
         # Sparse instances always execute the (inherently compacted)
@@ -132,6 +141,11 @@ def _parallel_primal_dual_dense(
     f = instance.f.astype(float)
     nf, nc = D.shape
     m = max(instance.m, 2)
+    # Client multiplicities scale each client's payment contribution
+    # w_j·max(0, (1+ε)α_j − d) — the continuous-time view of w_j
+    # co-located duals rising together. Freeze/H-edge conditions stay
+    # per-client. None keeps the exact unweighted code path.
+    w = None if instance.has_unit_weights else instance.client_weights
 
     start = machine.snapshot()
     gamma = _instance_gamma(machine, D, f)
@@ -146,9 +160,10 @@ def _parallel_primal_dual_dense(
     H = np.zeros((nf, nc), dtype=bool)
 
     if preprocess or gamma == 0.0:
-        paid0 = machine.reduce(
-            machine.map(lambda d: np.maximum(0.0, base * _REL_TOL - d), D), "add", axis=1
-        )
+        pay0 = machine.map(lambda d: np.maximum(0.0, base * _REL_TOL - d), D)
+        if w is not None:
+            pay0 = machine.map(lambda p, ww: p * ww, pay0, w[None, :])
+        paid0 = machine.reduce(pay0, "add", axis=1)
         free_open = machine.map(lambda p, ff: p >= ff / _REL_TOL, paid0, f)
         if free_open.any():
             near = machine.map(
@@ -174,15 +189,14 @@ def _parallel_primal_dual_dense(
         # Step 1: raise unfrozen duals to the schedule level.
         alpha = machine.where(frozen, alpha, t)
         # Step 2: open facilities whose (1+ε)-lookahead payment covers f.
-        paid = machine.reduce(
-            machine.map(
-                lambda d, a: np.maximum(0.0, (1.0 + eps) * a - d),
-                D,
-                np.broadcast_to(alpha[None, :], D.shape),
-            ),
-            "add",
-            axis=1,
+        pay = machine.map(
+            lambda d, a: np.maximum(0.0, (1.0 + eps) * a - d),
+            D,
+            np.broadcast_to(alpha[None, :], D.shape),
         )
+        if w is not None:
+            pay = machine.map(lambda p, ww: p * ww, pay, w[None, :])
+        paid = machine.reduce(pay, "add", axis=1)
         openable = machine.map(
             lambda p, ff, fo, to: (p * _REL_TOL >= ff) & ~fo & ~to, paid, f, free_open, tent_open
         )
@@ -249,6 +263,8 @@ def _parallel_primal_dual_compact(
     f = instance.f.astype(float)
     nf, nc = D.shape
     m = max(instance.m, 2)
+    # Client multiplicities (see the dense path); None = unweighted.
+    w = None if instance.has_unit_weights else instance.client_weights
 
     start = machine.snapshot()
     gamma = _instance_gamma(machine, D, f)
@@ -263,9 +279,10 @@ def _parallel_primal_dual_compact(
     dmin_open = np.full(nc, np.inf)
 
     if preprocess or gamma == 0.0:
-        paid0 = machine.reduce(
-            machine.map(lambda d: np.maximum(0.0, base * _REL_TOL - d), D), "add", axis=1
-        )
+        pay0 = machine.map(lambda d: np.maximum(0.0, base * _REL_TOL - d), D)
+        if w is not None:
+            pay0 = machine.map(lambda p, ww: p * ww, pay0, w[None, :])
+        paid0 = machine.reduce(pay0, "add", axis=1)
         free_open = machine.map(lambda p, ff: p >= ff / _REL_TOL, paid0, f)
         if free_open.any():
             near = machine.map(
@@ -313,6 +330,8 @@ def _parallel_primal_dual_compact(
         # Step 2: live payments over the closed × unfrozen frontier;
         # frozen columns are already folded into paid_frozen.
         live = machine.masked_axpy(-1.0, D_cu, (1.0 + eps) * t, clamp_min=0.0)
+        if w is not None:
+            live = machine.map(lambda lv, ww: lv * ww, live, w[unfro][None, :])
         paid = machine.map(
             lambda fr, lv: fr + lv,
             machine.take_rows(paid_frozen, closed),
@@ -371,6 +390,10 @@ def _parallel_primal_dual_compact(
                 (1.0 + eps) * t,
                 clamp_min=0.0,
             )
+            if w is not None:
+                contrib = machine.map(
+                    lambda c, ww: c * ww, contrib, w[newly_frozen][None, :]
+                )
             paid_frozen = machine.map(
                 lambda pf, c: pf + c, paid_frozen, machine.reduce(contrib, "add", axis=1)
             )

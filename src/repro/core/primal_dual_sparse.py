@@ -59,6 +59,9 @@ def _parallel_primal_dual_sparse(
     data, indices, indptr = instance.data, instance.indices, instance.indptr
     ct_indptr, ct_rows, ct_entry = instance.client_view
     m = max(instance.m, 2)
+    # Client multiplicities scale each client's payment contribution
+    # (see repro.core.primal_dual); None = exact unweighted code path.
+    w = None if instance.has_unit_weights else instance.client_weights
 
     start = machine.snapshot()
     gamma = _sparse_gamma(machine, instance)
@@ -77,13 +80,14 @@ def _parallel_primal_dual_sparse(
     fallback_live = bool(np.any(np.isfinite(dmin_open)))
 
     if preprocess or gamma == 0.0:
-        paid0 = machine.scatter_add(
-            np.asarray(
-                machine.map(lambda d: np.maximum(0.0, base * _REL_TOL - d), data)
-            ),
-            instance.rows_flat(),
-            nf,
+        pay0 = np.asarray(
+            machine.map(lambda d: np.maximum(0.0, base * _REL_TOL - d), data)
         )
+        if w is not None:
+            pay0 = np.asarray(
+                machine.map(lambda p, ww: p * ww, pay0, machine.take_rows(w, indices))
+            )
+        paid0 = machine.scatter_add(pay0, instance.rows_flat(), nf)
         free_open = np.asarray(machine.map(lambda p, ff: p >= ff / _REL_TOL, paid0, f))
         if free_open.any():
             near = np.asarray(
@@ -109,7 +113,7 @@ def _parallel_primal_dual_sparse(
     # The closed × unfrozen candidate-edge frontier is cached across
     # iterations, exactly like the dense compacted path: the geometric
     # schedule runs many levels where nothing opens or freezes.
-    unfro = closed = fe_pos = fe_rlocal = None
+    unfro = closed = fe_pos = fe_rlocal = fe_w = None
     frontier_dirty = True
     while not frozen.all():
         iterations += 1
@@ -132,6 +136,10 @@ def _parallel_primal_dual_sparse(
             fe_rlocal = machine.pack(
                 machine.segment_spread(np.arange(closed.size), cl_indptr), ekeep
             )
+            if w is not None:
+                fe_w = np.asarray(
+                    machine.take_rows(w, machine.take_rows(indices, fe_pos))
+                )
             frontier_dirty = False
 
         # Step 1: raise unfrozen duals to the schedule level.
@@ -143,6 +151,8 @@ def _parallel_primal_dual_sparse(
         live = machine.masked_axpy(
             -1.0, machine.take_rows(data, fe_pos), (1.0 + eps) * t, clamp_min=0.0
         )
+        if w is not None:
+            live = machine.map(lambda lv, ww: lv * ww, live, fe_w)
         paid = machine.map(
             lambda fr, lv: fr + lv,
             machine.take_rows(paid_frozen, closed),
@@ -206,13 +216,19 @@ def _parallel_primal_dual_sparse(
         # Fold the payments of clients frozen this iteration into the
         # per-facility running totals (their α is now final).
         if newly_frozen.size:
-            pos4, _ = machine.segment_positions(ct_indptr, newly_frozen)
+            pos4, nf_indptr = machine.segment_positions(ct_indptr, newly_frozen)
             contrib = machine.masked_axpy(
                 -1.0,
                 machine.take_rows(data, machine.take_rows(ct_entry, pos4)),
                 (1.0 + eps) * t,
                 clamp_min=0.0,
             )
+            if w is not None:
+                contrib = machine.map(
+                    lambda c, ww: c * ww,
+                    contrib,
+                    machine.segment_spread(w[newly_frozen], nf_indptr),
+                )
             paid_frozen = np.asarray(
                 machine.map(
                     lambda pf, c: pf + c,

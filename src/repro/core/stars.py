@@ -35,6 +35,7 @@ def cheapest_star_prices_masked(
     order: np.ndarray,
     f_current: np.ndarray,
     active: np.ndarray,
+    weights: np.ndarray | None = None,
 ) -> np.ndarray:
     """Price of the cheapest (maximal) star at every facility.
 
@@ -46,6 +47,12 @@ def cheapest_star_prices_masked(
         Current opening costs (zero for already-open facilities).
     active:
         Boolean client mask; inactive clients are excluded from stars.
+    weights:
+        Optional client multiplicities: the star price generalizes to
+        ``(f_i + Σ w_j d(j,i)) / Σ w_j`` over the ``κ`` closest active
+        clients (the same exchange argument holds — for any weighted
+        client budget the cheapest fill is ascending by distance).
+        ``None`` runs the exact unweighted computation.
 
     Returns
     -------
@@ -63,11 +70,28 @@ def cheapest_star_prices_masked(
     active_sorted = machine.gather_rows(
         np.broadcast_to(np.asarray(active, dtype=bool), D_sorted.shape), order
     )
-    contrib = machine.where(active_sorted, D_sorted, 0.0)
+    if weights is None:
+        contrib = machine.where(active_sorted, D_sorted, 0.0)
+        psum = machine.scan(contrib, "add", axis=1)
+        rank = machine.scan(active_sorted.astype(float), "add", axis=1)
+        candidate = machine.map(
+            lambda a, p, r, fc: np.where(a, (fc + p) / np.maximum(r, 1.0), np.inf),
+            active_sorted,
+            psum,
+            rank,
+            np.asarray(f_current, dtype=float)[:, None],
+        )
+        return machine.reduce(candidate, "min", axis=1)
+    w_sorted = machine.gather_rows(
+        np.broadcast_to(np.asarray(weights, dtype=float), D_sorted.shape), order
+    )
+    contrib = machine.where(active_sorted, machine.map(np.multiply, D_sorted, w_sorted), 0.0)
     psum = machine.scan(contrib, "add", axis=1)
-    rank = machine.scan(active_sorted.astype(float), "add", axis=1)
+    rank = machine.scan(machine.where(active_sorted, w_sorted, 0.0), "add", axis=1)
     candidate = machine.map(
-        lambda a, p, r, fc: np.where(a, (fc + p) / np.maximum(r, 1.0), np.inf),
+        # Fractional weights can sit below 1, so the zero-guard must not
+        # clamp genuine ranks; inactive positions read +inf regardless.
+        lambda a, p, r, fc: np.where(a, (fc + p) / np.where(r > 0, r, 1.0), np.inf),
         active_sorted,
         psum,
         rank,
@@ -81,7 +105,8 @@ def compact_sorted_columns(
     sorted_ids: np.ndarray,
     sorted_d: np.ndarray,
     active: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray]:
+    sorted_w: np.ndarray | None = None,
+) -> tuple:
     """Drop inactive clients from the presorted per-facility structure.
 
     ``sorted_ids``/``sorted_d`` hold each facility's remaining clients
@@ -91,17 +116,23 @@ def compact_sorted_columns(
     set drops the same count per row and the pack stays rectangular.
     Cost: one map + one row-pack over the *current* frontier — this is
     what keeps later rounds from paying for served clients.
+
+    With ``sorted_w`` (the per-row client weights in the same sorted
+    order, weighted instances only) a third packed array is returned.
     """
     keep = machine.map(lambda ids: np.asarray(active, dtype=bool)[ids], sorted_ids)
     ids = machine.pack_rows(sorted_ids, keep)
     d = machine.pack_rows(sorted_d, keep)
-    return ids, d
+    if sorted_w is None:
+        return ids, d
+    return ids, d, machine.pack_rows(sorted_w, keep)
 
 
 def cheapest_star_prices_compact(
     machine: PramMachine,
     live_d: np.ndarray,
     f_current: np.ndarray,
+    live_w: np.ndarray | None = None,
 ) -> np.ndarray:
     """Cheapest-star prices when the sorted structure is pre-compacted.
 
@@ -113,16 +144,29 @@ def cheapest_star_prices_compact(
     the remaining instance. Produces bit-identical prices: the masked
     variant's prefix sums skip exactly the zero contributions this
     layout never materializes.
+
+    ``live_w`` (same layout, weighted instances only) switches the
+    price to ``(f_i + Σ w·d) / Σ w`` over each prefix.
     """
     nf, live = live_d.shape
     if live == 0:
         return np.full(nf, np.inf)
-    psum = machine.scan(live_d, "add", axis=1)
-    rank = np.arange(1.0, live + 1.0)
+    if live_w is None:
+        psum = machine.scan(live_d, "add", axis=1)
+        rank = np.arange(1.0, live + 1.0)
+        candidate = machine.map(
+            lambda p, r, fc: (fc + p) / r,
+            psum,
+            rank[None, :],
+            np.asarray(f_current, dtype=float)[:, None],
+        )
+        return machine.reduce(candidate, "min", axis=1)
+    psum = machine.scan(machine.map(np.multiply, live_d, live_w), "add", axis=1)
+    rank = machine.scan(live_w, "add", axis=1)
     candidate = machine.map(
-        lambda p, r, fc: (fc + p) / r,
+        lambda p, r, fc: (fc + p) / np.where(r > 0, r, 1.0),
         psum,
-        rank[None, :],
+        rank,
         np.asarray(f_current, dtype=float)[:, None],
     )
     return machine.reduce(candidate, "min", axis=1)

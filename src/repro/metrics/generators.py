@@ -428,20 +428,9 @@ def knn_clustering_instance(
     Returns a :class:`~repro.metrics.sparse.SparseClusteringInstance`
     with center budget ``k``.
     """
-    from scipy.spatial import cKDTree
-
-    from repro.metrics.sparse import (
-        SparseClusteringInstance,
-        _symmetrized_clustering_csr,
-    )
-
     check_positive_int(n, name="n")
     check_k(k, n, name="k")
     check_positive_int(dim, name="dim")
-    neighbors = check_k(neighbors, n, name="neighbors")
-    slack = float(fallback_slack)
-    if slack < 0:
-        raise InvalidParameterError(f"fallback_slack must be >= 0, got {fallback_slack}")
     rng = ensure_rng(seed)
     if n_clusters is None:
         pts = rng.random((n, dim))
@@ -450,7 +439,49 @@ def knn_clustering_instance(
         centers = rng.random((n_clusters, dim))
         labels = rng.integers(0, n_clusters, size=n)
         pts = centers[labels] + rng.normal(scale=spread, size=(n, dim))
-    dist, near = cKDTree(pts).query(pts, k=neighbors)
+    return knn_clustering_from_points(
+        pts, k, neighbors=neighbors, fallback_slack=fallback_slack
+    )
+
+
+def knn_clustering_from_points(
+    points,
+    k: int,
+    *,
+    neighbors: int = 16,
+    fallback_slack: float = 1.0,
+    weights=None,
+):
+    """kNN-truncated clustering instance over *given* coordinates.
+
+    The KD-tree-first construction behind
+    :func:`knn_clustering_instance`, factored out so callers with their
+    own point sets — notably the shard-and-conquer merge step, whose
+    points are coreset representatives carrying aggregated ``weights``
+    — can build the candidate structure without a dense intermediate.
+
+    Returns a (possibly weighted)
+    :class:`~repro.metrics.sparse.SparseClusteringInstance`.
+    """
+    from scipy.spatial import cKDTree
+
+    from repro.metrics.sparse import (
+        SparseClusteringInstance,
+        _symmetrized_clustering_csr,
+    )
+
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise InvalidParameterError(
+            f"points must be a non-empty (n, dim) array, got shape {points.shape}"
+        )
+    n = points.shape[0]
+    check_k(k, n, name="k")
+    neighbors = check_k(neighbors, n, name="neighbors")
+    slack = float(fallback_slack)
+    if slack < 0:
+        raise InvalidParameterError(f"fallback_slack must be >= 0, got {fallback_slack}")
+    dist, near = cKDTree(points).query(points, k=neighbors)
     dist = np.asarray(dist, dtype=float).reshape(n, neighbors)
     near = np.asarray(near, dtype=np.intp).reshape(n, neighbors)
     rows = np.repeat(np.arange(n, dtype=np.intp), neighbors)
@@ -458,7 +489,8 @@ def knn_clustering_instance(
         n, rows, near.ravel(), dist.ravel()
     )
     return SparseClusteringInstance(
-        indptr, indices, data, k, fallback=(1.0 + slack) * dist[:, -1]
+        indptr, indices, data, k, fallback=(1.0 + slack) * dist[:, -1],
+        weights=weights,
     )
 
 

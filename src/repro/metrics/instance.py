@@ -23,6 +23,30 @@ from repro.errors import InvalidInstanceError, InvalidParameterError
 from repro.metrics.space import MetricSpace
 
 
+def _check_weights(weights, n: int, *, name: str = "weights") -> tuple:
+    """Validate a point/client weight vector.
+
+    Returns ``(weights_or_None, is_unit)``. ``None`` means "unit
+    weights" (the default); an explicit all-ones vector is stored but
+    flagged unit so solvers can take the exact unweighted code path —
+    the byte-identical guarantee the weighted subsystem rests on.
+    Weights are multiplicities: ``w_j`` co-located copies of point
+    ``j`` (possibly fractional, from coreset aggregation), so they must
+    be strictly positive and finite.
+    """
+    if weights is None:
+        return None, True
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape != (n,):
+        raise InvalidInstanceError(f"{name} must have shape ({n},), got {weights.shape}")
+    if not np.all(np.isfinite(weights)):
+        raise InvalidInstanceError(f"{name} must be finite")
+    if weights.size and weights.min() <= 0:
+        raise InvalidInstanceError(f"{name} must be strictly positive")
+    weights.setflags(write=False)
+    return weights, bool(np.all(weights == 1.0))
+
+
 def _as_open_indices(opened, n: int) -> np.ndarray:
     """Normalize a facility set given as indices or boolean mask."""
     arr = np.asarray(opened)
@@ -53,9 +77,15 @@ class FacilityLocationInstance:
         ``F`` and ``C``, for analyses needing client–client or
         facility–facility distances. ``D`` must equal the corresponding
         block of the metric.
+    client_weights:
+        Optional length-``n_c`` strictly positive multiplicities:
+        client ``j`` stands for ``w_j`` co-located demand points (the
+        shard-and-conquer coreset representation). ``None`` (default)
+        means unit weights; solvers then take the exact unweighted code
+        path, byte-identical to instances built without the parameter.
     """
 
-    __slots__ = ("_D", "_f", "metric", "facility_ids", "client_ids")
+    __slots__ = ("_D", "_f", "metric", "facility_ids", "client_ids", "_client_weights", "_unit_weights")
 
     def __init__(
         self,
@@ -65,6 +95,7 @@ class FacilityLocationInstance:
         metric: MetricSpace | None = None,
         facility_ids: np.ndarray | None = None,
         client_ids: np.ndarray | None = None,
+        client_weights: np.ndarray | None = None,
     ):
         D = np.asarray(D, dtype=float)
         f = np.asarray(f, dtype=float)
@@ -93,14 +124,22 @@ class FacilityLocationInstance:
         self.metric = metric
         self.facility_ids = facility_ids
         self.client_ids = client_ids
+        self._client_weights, self._unit_weights = _check_weights(
+            client_weights, D.shape[1], name="client_weights"
+        )
 
     @classmethod
-    def from_metric(cls, metric: MetricSpace, facility_ids, client_ids, f) -> "FacilityLocationInstance":
+    def from_metric(
+        cls, metric: MetricSpace, facility_ids, client_ids, f, *, client_weights=None
+    ) -> "FacilityLocationInstance":
         """Carve an instance out of a metric space by index sets."""
         facility_ids = np.asarray(facility_ids, dtype=int)
         client_ids = np.asarray(client_ids, dtype=int)
         D = metric.submatrix(facility_ids, client_ids)
-        return cls(D, f, metric=metric, facility_ids=facility_ids, client_ids=client_ids)
+        return cls(
+            D, f, metric=metric, facility_ids=facility_ids, client_ids=client_ids,
+            client_weights=client_weights,
+        )
 
     # -- shape ------------------------------------------------------------
 
@@ -129,6 +168,26 @@ class FacilityLocationInstance:
         """The paper's input-size parameter ``m = n_f · n_c``."""
         return self._D.size
 
+    @property
+    def client_weights(self) -> np.ndarray:
+        """Per-client multiplicities, shape ``(n_c,)`` (ones if unset)."""
+        if self._client_weights is None:
+            return np.ones(self.n_clients)
+        return self._client_weights
+
+    @property
+    def has_unit_weights(self) -> bool:
+        """True when every client weight is 1 (solvers then take the
+        exact unweighted code path)."""
+        return self._unit_weights
+
+    @property
+    def total_weight(self) -> float:
+        """``Σ_j w_j`` — the represented demand (``n_c`` when unit)."""
+        if self._client_weights is None:
+            return float(self.n_clients)
+        return float(self._client_weights.sum())
+
     # -- objective (Eq. 1) ---------------------------------------------------
 
     def connection_distances(self, opened) -> np.ndarray:
@@ -147,11 +206,14 @@ class FacilityLocationInstance:
         return float(np.sum(self._f[idx]))
 
     def connection_cost(self, opened) -> float:
-        """Connection part of Eq. (1): ``Σ_j d(j, F_S)``."""
-        return float(np.sum(self.connection_distances(opened)))
+        """Connection part of Eq. (1): ``Σ_j w_j · d(j, F_S)``."""
+        d = self.connection_distances(opened)
+        if self._unit_weights:
+            return float(np.sum(d))
+        return float(np.sum(self._client_weights * d))
 
     def cost(self, opened) -> float:
-        """The facility-location objective ``Σ f_i + Σ_j d(j, F_S)``."""
+        """The facility-location objective ``Σ f_i + Σ_j w_j d(j, F_S)``."""
         return self.facility_cost(opened) + self.connection_cost(opened)
 
     def __repr__(self) -> str:
@@ -163,11 +225,19 @@ class ClusteringInstance:
 
     Every node is simultaneously a client and a candidate center, per
     the paper's §2 conventions for these problems.
+
+    ``weights`` (optional, strictly positive) are node multiplicities:
+    node ``j`` stands for ``w_j`` co-located demand points, the
+    representation shard-and-conquer coresets merge into. They scale
+    the k-median/k-means objectives (``Σ w_j d^p``) and leave the
+    bottleneck k-center objective unchanged (the farthest of ``w_j``
+    co-located copies is the copy itself). ``None`` means unit weights,
+    and solvers then run the exact unweighted code path.
     """
 
-    __slots__ = ("space", "k")
+    __slots__ = ("space", "k", "_weights", "_unit_weights")
 
-    def __init__(self, space: MetricSpace, k: int):
+    def __init__(self, space: MetricSpace, k: int, *, weights=None):
         if not isinstance(space, MetricSpace):
             raise InvalidInstanceError("ClusteringInstance requires a MetricSpace")
         k = int(k)
@@ -175,6 +245,7 @@ class ClusteringInstance:
             raise InvalidParameterError(f"k must be in [1, {space.n}], got {k}")
         self.space = space
         self.k = k
+        self._weights, self._unit_weights = _check_weights(weights, space.n)
 
     @property
     def n(self) -> int:
@@ -185,6 +256,26 @@ class ClusteringInstance:
     def D(self) -> np.ndarray:
         """Full ``n × n`` distance matrix (read-only)."""
         return self.space.D
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Per-node multiplicities, shape ``(n,)`` (ones if unset)."""
+        if self._weights is None:
+            return np.ones(self.n)
+        return self._weights
+
+    @property
+    def has_unit_weights(self) -> bool:
+        """True when every node weight is 1 (solvers then take the
+        exact unweighted code path)."""
+        return self._unit_weights
+
+    @property
+    def total_weight(self) -> float:
+        """``Σ_j w_j`` — the represented demand (``n`` when unit)."""
+        if self._weights is None:
+            return float(self.n)
+        return float(self._weights.sum())
 
     # -- objectives -----------------------------------------------------------
 
@@ -200,16 +291,25 @@ class ClusteringInstance:
         return idx
 
     def kmedian_cost(self, centers) -> float:
-        """``Σ_j d(j, F_S)`` — the k-median objective."""
-        return float(np.sum(self._center_distances(centers)))
+        """``Σ_j w_j · d(j, F_S)`` — the k-median objective."""
+        d = self._center_distances(centers)
+        if self._unit_weights:
+            return float(np.sum(d))
+        return float(np.sum(self._weights * d))
 
     def kmeans_cost(self, centers) -> float:
-        """``Σ_j d²(j, F_S)`` — the k-means objective (general metric)."""
+        """``Σ_j w_j · d²(j, F_S)`` — the k-means objective (general metric)."""
         d = self._center_distances(centers)
-        return float(np.sum(d * d))
+        if self._unit_weights:
+            return float(np.sum(d * d))
+        return float(np.sum(self._weights * d * d))
 
     def kcenter_cost(self, centers) -> float:
-        """``max_j d(j, F_S)`` — the k-center (bottleneck) objective."""
+        """``max_j d(j, F_S)`` — the k-center (bottleneck) objective.
+
+        Weight-invariant: multiplicities duplicate points in place, and
+        the max over co-located copies is the copy itself.
+        """
         return float(np.max(self._center_distances(centers)))
 
     def __repr__(self) -> str:

@@ -4,6 +4,16 @@ Instances round-trip through NumPy ``.npz`` archives so benchmark
 workloads can be frozen to disk and examples can ship reproducible
 inputs. The format stores only validated payloads, so loading skips
 re-validation of the (possibly large) triangle-inequality check.
+
+**Schema versioning.** Every archive carries a ``version`` field
+(:data:`SCHEMA_VERSION` at write time). Weighted instances additionally
+write *distinct kind tags* (``…-weighted``): a pre-versioning reader
+dispatching on the kind string then fails loudly with "unrecognized
+instance kind" instead of silently loading the structure and dropping
+the weights — which would mis-evaluate every objective. Readers here
+reject archives from a newer schema, and reject kind/version
+mismatches (a weighted kind without a ``version ≥ 2`` stamp, or a
+legacy kind smuggling weight arrays) explicitly.
 """
 
 from __future__ import annotations
@@ -15,10 +25,22 @@ from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
 from repro.metrics.space import MetricSpace
 from repro.metrics.sparse import SparseClusteringInstance, SparseFacilityLocationInstance
 
+#: Archive schema generation this module writes. v1: unweighted
+#: instances, no version field. v2: explicit version field + weighted
+#: variants under ``…-weighted`` kind tags.
+SCHEMA_VERSION = 2
+
 _KIND_FL = "facility-location"
 _KIND_CLUSTER = "clustering"
 _KIND_SPARSE_FL = "sparse-facility-location"
 _KIND_SPARSE_CLUSTER = "sparse-clustering"
+_WEIGHTED_SUFFIX = "-weighted"
+#: Kinds whose payload carries a weight vector; they require v ≥ 2.
+_WEIGHTED_KINDS = frozenset(
+    kind + _WEIGHTED_SUFFIX
+    for kind in (_KIND_FL, _KIND_CLUSTER, _KIND_SPARSE_FL, _KIND_SPARSE_CLUSTER)
+)
+_WEIGHT_FIELDS = ("weights", "client_weights")
 
 
 def save_instance(path, instance) -> None:
@@ -33,44 +55,97 @@ def save_instance(path, instance) -> None:
             payload["metric_D"] = instance.metric.D
             payload["facility_ids"] = instance.facility_ids
             payload["client_ids"] = instance.client_ids
-        np.savez_compressed(path, **payload)
+        if not instance.has_unit_weights:
+            payload["kind"] = np.asarray(_KIND_FL + _WEIGHTED_SUFFIX)
+            payload["client_weights"] = instance.client_weights
     elif isinstance(instance, SparseFacilityLocationInstance):
-        np.savez_compressed(
-            path,
-            kind=np.asarray(_KIND_SPARSE_FL),
-            indptr=instance.indptr,
-            indices=instance.indices,
-            data=instance.data,
-            f=instance.f,
-            fallback=instance.fallback,
-            n_clients=np.asarray(instance.n_clients),
-        )
+        payload = {
+            "kind": np.asarray(_KIND_SPARSE_FL),
+            "indptr": instance.indptr,
+            "indices": instance.indices,
+            "data": instance.data,
+            "f": instance.f,
+            "fallback": instance.fallback,
+            "n_clients": np.asarray(instance.n_clients),
+        }
+        if not instance.has_unit_weights:
+            payload["kind"] = np.asarray(_KIND_SPARSE_FL + _WEIGHTED_SUFFIX)
+            payload["client_weights"] = instance.client_weights
     elif isinstance(instance, SparseClusteringInstance):
-        np.savez_compressed(
-            path,
-            kind=np.asarray(_KIND_SPARSE_CLUSTER),
-            indptr=instance.indptr,
-            indices=instance.indices,
-            data=instance.data,
-            fallback=instance.fallback,
-            k=np.asarray(instance.k),
-        )
+        payload = {
+            "kind": np.asarray(_KIND_SPARSE_CLUSTER),
+            "indptr": instance.indptr,
+            "indices": instance.indices,
+            "data": instance.data,
+            "fallback": instance.fallback,
+            "k": np.asarray(instance.k),
+        }
+        if not instance.has_unit_weights:
+            payload["kind"] = np.asarray(_KIND_SPARSE_CLUSTER + _WEIGHTED_SUFFIX)
+            payload["weights"] = instance.weights
     elif isinstance(instance, ClusteringInstance):
-        np.savez_compressed(
-            path,
-            kind=np.asarray(_KIND_CLUSTER),
-            D=instance.space.D,
-            k=np.asarray(instance.k),
-        )
+        payload = {
+            "kind": np.asarray(_KIND_CLUSTER),
+            "D": instance.space.D,
+            "k": np.asarray(instance.k),
+        }
+        if not instance.has_unit_weights:
+            payload["kind"] = np.asarray(_KIND_CLUSTER + _WEIGHTED_SUFFIX)
+            payload["weights"] = instance.weights
     else:
         raise InvalidInstanceError(f"cannot save object of type {type(instance).__name__}")
+    payload["version"] = np.asarray(SCHEMA_VERSION)
+    np.savez_compressed(path, **payload)
+
+
+def _check_schema(data, kind: str, path) -> None:
+    """Reject version-tag mismatches before any payload is touched."""
+    version = int(data["version"]) if "version" in data else 1
+    if version > SCHEMA_VERSION:
+        raise InvalidInstanceError(
+            f"{path} was written by archive schema v{version}; this reader "
+            f"supports ≤ v{SCHEMA_VERSION} — upgrade repro to load it"
+        )
+    weighted_kind = kind in _WEIGHTED_KINDS
+    if weighted_kind and version < 2:
+        raise InvalidInstanceError(
+            f"{path} declares weighted kind {kind!r} but schema v{version} "
+            "(< 2) has no weighted payloads: the version tag and the kind "
+            "tag disagree — the archive is corrupt or hand-edited"
+        )
+    if weighted_kind:
+        base = kind[: -len(_WEIGHTED_SUFFIX)]
+        expected = "client_weights" if base in (_KIND_FL, _KIND_SPARSE_FL) else "weights"
+        if expected not in data:
+            raise InvalidInstanceError(
+                f"{path} declares weighted kind {kind!r} but carries no "
+                f"{expected!r} array: loading it would silently produce a "
+                "unit-weight instance (kind/payload mismatch)"
+            )
+        stray = [f for f in _WEIGHT_FIELDS if f != expected and f in data]
+        if stray:
+            raise InvalidInstanceError(
+                f"{path} carries {stray[0]!r} under kind {kind!r}, which "
+                f"stores its weights as {expected!r}; refusing to load an "
+                "archive whose weights would be silently dropped"
+            )
+    elif any(fld in data for fld in _WEIGHT_FIELDS):
+        raise InvalidInstanceError(
+            f"{path} carries a weight vector under unweighted kind {kind!r}; "
+            "refusing to load an archive whose weights would be silently "
+            "dropped (kind/payload mismatch)"
+        )
 
 
 def load_instance(path):
     """Read an instance previously written by :func:`save_instance`."""
     with np.load(path, allow_pickle=False) as data:
         kind = str(data["kind"])
-        if kind == _KIND_FL:
+        _check_schema(data, kind, path)
+        base_kind = kind[: -len(_WEIGHTED_SUFFIX)] if kind in _WEIGHTED_KINDS else kind
+        weights = data["weights"] if "weights" in data else None
+        client_weights = data["client_weights"] if "client_weights" in data else None
+        if base_kind == _KIND_FL:
             if "metric_D" in data:
                 metric = MetricSpace(data["metric_D"], validate=False)
                 return FacilityLocationInstance(
@@ -79,9 +154,12 @@ def load_instance(path):
                     metric=metric,
                     facility_ids=data["facility_ids"],
                     client_ids=data["client_ids"],
+                    client_weights=client_weights,
                 )
-            return FacilityLocationInstance(data["D"], data["f"])
-        if kind == _KIND_SPARSE_FL:
+            return FacilityLocationInstance(
+                data["D"], data["f"], client_weights=client_weights
+            )
+        if base_kind == _KIND_SPARSE_FL:
             return SparseFacilityLocationInstance(
                 data["indptr"],
                 data["indices"],
@@ -89,15 +167,19 @@ def load_instance(path):
                 data["f"],
                 n_clients=int(data["n_clients"]),
                 fallback=data["fallback"],
+                client_weights=client_weights,
             )
-        if kind == _KIND_SPARSE_CLUSTER:
+        if base_kind == _KIND_SPARSE_CLUSTER:
             return SparseClusteringInstance(
                 data["indptr"],
                 data["indices"],
                 data["data"],
                 int(data["k"]),
                 fallback=data["fallback"],
+                weights=weights,
             )
-        if kind == _KIND_CLUSTER:
-            return ClusteringInstance(MetricSpace(data["D"], validate=False), int(data["k"]))
+        if base_kind == _KIND_CLUSTER:
+            return ClusteringInstance(
+                MetricSpace(data["D"], validate=False), int(data["k"]), weights=weights
+            )
     raise InvalidInstanceError(f"unrecognized instance kind {kind!r} in {path}")

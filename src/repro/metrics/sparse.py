@@ -35,6 +35,7 @@ from repro.metrics.instance import (
     ClusteringInstance,
     FacilityLocationInstance,
     _as_open_indices,
+    _check_weights,
 )
 from repro.metrics.space import MetricSpace
 from repro.util.csr import csr_transpose, rows_are_uniform, validate_csr
@@ -87,11 +88,22 @@ class SparseFacilityLocationInstance(_CsrCandidateShape):
         allowed; the default). A client with no candidate entry **and**
         an infinite fallback would make every objective infinite, so
         that combination is rejected.
+    client_weights:
+        Optional length-``n_c`` strictly positive multiplicities
+        (client ``j`` stands for ``w_j`` co-located demand points);
+        ``None`` means unit weights and keeps solvers on the exact
+        unweighted code path.
     """
 
-    __slots__ = ("_indptr", "_indices", "_data", "_f", "_fallback", "_n_clients", "_ct")
+    __slots__ = (
+        "_indptr", "_indices", "_data", "_f", "_fallback", "_n_clients", "_ct",
+        "_client_weights", "_unit_weights",
+    )
 
-    def __init__(self, indptr, indices, data, f, *, n_clients: int, fallback=None):
+    def __init__(
+        self, indptr, indices, data, f, *, n_clients: int, fallback=None,
+        client_weights=None,
+    ):
         n_clients = int(n_clients)
         if n_clients <= 0:
             raise InvalidInstanceError(f"instance needs >= 1 client, got {n_clients}")
@@ -137,6 +149,9 @@ class SparseFacilityLocationInstance(_CsrCandidateShape):
         self._f = f
         self._fallback = fallback
         self._n_clients = n_clients
+        self._client_weights, self._unit_weights = _check_weights(
+            client_weights, n_clients, name="client_weights"
+        )
         for arr in (self._data, self._f, self._fallback):
             arr.setflags(write=False)
         self._ct = None  # lazy client-major transpose
@@ -144,7 +159,7 @@ class SparseFacilityLocationInstance(_CsrCandidateShape):
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def from_dense(cls, D, f, *, fallback=None) -> "SparseFacilityLocationInstance":
+    def from_dense(cls, D, f, *, fallback=None, client_weights=None) -> "SparseFacilityLocationInstance":
         """Full CSR over a dense matrix (dense-representable instance)."""
         D = np.asarray(D, dtype=float)
         if D.ndim != 2:
@@ -152,12 +167,19 @@ class SparseFacilityLocationInstance(_CsrCandidateShape):
         n_f, n_c = D.shape
         indptr = np.arange(0, n_f * n_c + 1, n_c, dtype=np.intp)
         indices = np.tile(np.arange(n_c, dtype=np.intp), n_f)
-        return cls(indptr, indices, D.ravel(), f, n_clients=n_c, fallback=fallback)
+        return cls(
+            indptr, indices, D.ravel(), f, n_clients=n_c, fallback=fallback,
+            client_weights=client_weights,
+        )
 
     @classmethod
     def from_instance(cls, instance: FacilityLocationInstance) -> "SparseFacilityLocationInstance":
         """Dense-representable copy of a dense instance (``fallback ≡ +inf``)."""
-        return cls.from_dense(instance.D, instance.f)
+        return cls.from_dense(
+            instance.D,
+            instance.f,
+            client_weights=None if instance.has_unit_weights else instance.client_weights,
+        )
 
     @classmethod
     def from_scipy(cls, A, f, *, fallback=None) -> "SparseFacilityLocationInstance":
@@ -199,6 +221,26 @@ class SparseFacilityLocationInstance(_CsrCandidateShape):
     def fallback(self) -> np.ndarray:
         """Per-client fallback connection cost, shape ``(n_c,)``."""
         return self._fallback
+
+    @property
+    def client_weights(self) -> np.ndarray:
+        """Per-client multiplicities, shape ``(n_c,)`` (ones if unset)."""
+        if self._client_weights is None:
+            return np.ones(self._n_clients)
+        return self._client_weights
+
+    @property
+    def has_unit_weights(self) -> bool:
+        """True when every client weight is 1 (solvers then take the
+        exact unweighted code path)."""
+        return self._unit_weights
+
+    @property
+    def total_weight(self) -> float:
+        """``Σ_j w_j`` — the represented demand (``n_c`` when unit)."""
+        if self._client_weights is None:
+            return float(self._n_clients)
+        return float(self._client_weights.sum())
 
     @property
     def n_facilities(self) -> int:
@@ -259,7 +301,10 @@ class SparseFacilityLocationInstance(_CsrCandidateShape):
         D = np.empty((n_f, n_c))
         rows = self.rows_flat()
         D[rows, self._indices] = self._data
-        return FacilityLocationInstance(D, self._f)
+        return FacilityLocationInstance(
+            D, self._f,
+            client_weights=None if self._unit_weights else self._client_weights,
+        )
 
     # -- objective ---------------------------------------------------------
 
@@ -301,8 +346,11 @@ class SparseFacilityLocationInstance(_CsrCandidateShape):
         return float(np.sum(self._f[idx]))
 
     def connection_cost(self, opened) -> float:
-        """Connection part: ``Σ_j min(d(j, S ∩ candidates), fallback_j)``."""
-        return float(np.sum(self.connection_distances(opened)))
+        """Connection part: ``Σ_j w_j · min(d(j, S ∩ candidates), fallback_j)``."""
+        d = self.connection_distances(opened)
+        if self._unit_weights:
+            return float(np.sum(d))
+        return float(np.sum(self._client_weights * d))
 
     def cost(self, opened) -> float:
         """``Σ f_i + Σ_j min(d(j, S ∩ candidates), fallback_j)``."""
@@ -352,9 +400,9 @@ class SparseClusteringInstance(_CsrCandidateShape):
     sparse-vs-dense equivalence suite compares against.
     """
 
-    __slots__ = ("_indptr", "_indices", "_data", "_fallback", "_k", "_n")
+    __slots__ = ("_indptr", "_indices", "_data", "_fallback", "_k", "_n", "_weights", "_unit_weights")
 
-    def __init__(self, indptr, indices, data, k, *, fallback=None):
+    def __init__(self, indptr, indices, data, k, *, fallback=None, weights=None):
         indptr = np.asarray(indptr, dtype=np.intp)
         n = indptr.size - 1
         if n <= 0:
@@ -414,13 +462,14 @@ class SparseClusteringInstance(_CsrCandidateShape):
         self._fallback = fallback
         self._k = k
         self._n = n
+        self._weights, self._unit_weights = _check_weights(weights, n)
         for arr in (self._data, self._fallback):
             arr.setflags(write=False)
 
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def from_dense(cls, D, k, *, fallback=None) -> "SparseClusteringInstance":
+    def from_dense(cls, D, k, *, fallback=None, weights=None) -> "SparseClusteringInstance":
         """Full CSR over a dense ``n × n`` matrix (dense-representable)."""
         D = np.asarray(D, dtype=float)
         if D.ndim != 2 or D.shape[0] != D.shape[1]:
@@ -428,12 +477,15 @@ class SparseClusteringInstance(_CsrCandidateShape):
         n = D.shape[0]
         indptr = np.arange(0, n * n + 1, n, dtype=np.intp)
         indices = np.tile(np.arange(n, dtype=np.intp), n)
-        return cls(indptr, indices, D.ravel(), k, fallback=fallback)
+        return cls(indptr, indices, D.ravel(), k, fallback=fallback, weights=weights)
 
     @classmethod
     def from_instance(cls, instance: ClusteringInstance) -> "SparseClusteringInstance":
         """Dense-representable copy of a dense instance (``fallback ≡ +inf``)."""
-        return cls.from_dense(instance.D, instance.k)
+        return cls.from_dense(
+            instance.D, instance.k,
+            weights=None if instance.has_unit_weights else instance.weights,
+        )
 
     # -- shape -------------------------------------------------------------
 
@@ -456,6 +508,26 @@ class SparseClusteringInstance(_CsrCandidateShape):
     def fallback(self) -> np.ndarray:
         """Per-node fallback service cost, shape ``(n,)``."""
         return self._fallback
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Per-node multiplicities, shape ``(n,)`` (ones if unset)."""
+        if self._weights is None:
+            return np.ones(self._n)
+        return self._weights
+
+    @property
+    def has_unit_weights(self) -> bool:
+        """True when every node weight is 1 (solvers then take the
+        exact unweighted code path)."""
+        return self._unit_weights
+
+    @property
+    def total_weight(self) -> float:
+        """``Σ_j w_j`` — the represented demand (``n`` when unit)."""
+        if self._weights is None:
+            return float(self._n)
+        return float(self._weights.sum())
 
     @property
     def k(self) -> int:
@@ -484,7 +556,8 @@ class SparseClusteringInstance(_CsrCandidateShape):
     def with_budget(self, k: int) -> "SparseClusteringInstance":
         """Same candidate structure with a different center budget."""
         return SparseClusteringInstance(
-            self._indptr, self._indices, self._data, k, fallback=self._fallback
+            self._indptr, self._indices, self._data, k, fallback=self._fallback,
+            weights=self._weights,
         )
 
     # -- dense bridge ------------------------------------------------------
@@ -503,7 +576,9 @@ class SparseClusteringInstance(_CsrCandidateShape):
             )
         D = np.empty((self._n, self._n))
         D[self.rows_flat(), self._indices] = self._data
-        return ClusteringInstance(MetricSpace(D, validate=False), self._k)
+        return ClusteringInstance(
+            MetricSpace(D, validate=False), self._k, weights=self._weights
+        )
 
     # -- objectives --------------------------------------------------------
 
@@ -526,16 +601,23 @@ class SparseClusteringInstance(_CsrCandidateShape):
         return idx
 
     def kmedian_cost(self, centers) -> float:
-        """``Σ_j service(j, S)`` — the k-median objective (fallback-capped)."""
-        return float(np.sum(self._center_distances(centers)))
+        """``Σ_j w_j · service(j, S)`` — the k-median objective (fallback-capped)."""
+        d = self._center_distances(centers)
+        if self._unit_weights:
+            return float(np.sum(d))
+        return float(np.sum(self._weights * d))
 
     def kmeans_cost(self, centers) -> float:
-        """``Σ_j service(j, S)²`` — the k-means objective (fallback-capped)."""
+        """``Σ_j w_j · service(j, S)²`` — the k-means objective (fallback-capped)."""
         d = self._center_distances(centers)
-        return float(np.sum(d * d))
+        if self._unit_weights:
+            return float(np.sum(d * d))
+        return float(np.sum(self._weights * d * d))
 
     def kcenter_cost(self, centers) -> float:
-        """``max_j service(j, S)`` — the bottleneck objective (fallback-capped)."""
+        """``max_j service(j, S)`` — the bottleneck objective
+        (fallback-capped, weight-invariant: multiplicities duplicate
+        points in place)."""
         return float(np.max(self._center_distances(centers)))
 
     def __repr__(self) -> str:
@@ -579,7 +661,8 @@ def _knn_sparsify_clustering(
         n, rows, near.ravel().astype(np.intp), dist.ravel()
     )
     return SparseClusteringInstance(
-        indptr, indices, data, instance.k, fallback=(1.0 + slack) * radius
+        indptr, indices, data, instance.k, fallback=(1.0 + slack) * radius,
+        weights=None if instance.has_unit_weights else instance.weights,
     )
 
 
@@ -598,7 +681,8 @@ def _threshold_sparsify_clustering(
         n, rows.astype(np.intp), cols.astype(np.intp), D[keep]
     )
     return SparseClusteringInstance(
-        indptr, indices, data, instance.k, fallback=np.full(n, t)
+        indptr, indices, data, instance.k, fallback=np.full(n, t),
+        weights=None if instance.has_unit_weights else instance.weights,
     )
 
 
@@ -655,6 +739,7 @@ def knn_sparsify(
         instance.f,
         n_clients=n_c,
         fallback=(1.0 + slack) * radius,
+        client_weights=None if instance.has_unit_weights else instance.client_weights,
     )
 
 
@@ -693,4 +778,5 @@ def threshold_sparsify(
     return SparseFacilityLocationInstance(
         indptr, cols[keep], D[keep], instance.f, n_clients=instance.n_clients,
         fallback=gamma_j.copy(),
+        client_weights=None if instance.has_unit_weights else instance.client_weights,
     )

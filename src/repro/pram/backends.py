@@ -140,6 +140,23 @@ class Backend:
         """One-pass ``a*x + y`` with optional clamp/mask (a is scalar)."""
         raise NotImplementedError
 
+    def submit_batch(self, fn, items) -> list:
+        """Run ``fn`` over ``items``, one task each, preserving order.
+
+        The coarse-grained counterpart of the row-blocked kernels: used
+        by the shard subsystem to execute independent per-shard jobs
+        (e.g. coreset builds) over whatever worker pool this backend
+        owns. The serial backend — and any closed/pool-less backend —
+        runs the tasks in a plain loop, so results are identical on
+        every backend provided ``fn`` is deterministic per item. On a
+        process pool ``fn`` and each item must be picklable; an
+        unpicklable ``fn`` is detected up front and falls back to the
+        serial loop, while unpicklable *items* (or return values) and
+        exceptions raised by ``fn`` itself propagate to the caller —
+        no task ever runs twice.
+        """
+        return [fn(item) for item in items]
+
     @property
     def closed(self) -> bool:
         """Whether :meth:`close` has run (kernels then execute serially)."""
@@ -194,6 +211,10 @@ class _BlockedBackend(Backend):
     backends provide ``_make_pool`` plus the kernels.
     """
 
+    #: Whether batch tasks cross a pickling boundary (process pools);
+    #: gates submit_batch's fn-picklability probe.
+    _batch_requires_pickle = False
+
     def __init__(self, num_workers: int | None = None, *, grain: int):
         workers = num_workers if num_workers is not None else (os.cpu_count() or 1)
         if workers < 1:
@@ -246,6 +267,27 @@ class _BlockedBackend(Backend):
         """Split ``range(n_rows)`` into at most ``num_workers`` slices."""
         per = -(-n_rows // self.num_workers)
         return [slice(s, min(s + per, n_rows)) for s in range(0, n_rows, per)]
+
+    def submit_batch(self, fn, items) -> list:
+        """Fan independent tasks across the pool (order-preserving).
+
+        Unlike the element-count dispatch of the kernels, batches go to
+        the pool whenever it exists and there is more than one task —
+        per-shard jobs are coarse by construction. On a process pool an
+        unpicklable ``fn`` is detected by a ``pickle.dumps`` probe
+        *before* anything runs and falls back to the serial loop;
+        exceptions raised by ``fn`` itself always propagate without a
+        serial re-run, so no task ever executes twice.
+        """
+        items = list(items)
+        if self._pool is None or len(items) < 2:
+            return [fn(item) for item in items]
+        if self._batch_requires_pickle:
+            try:
+                pickle.dumps(fn)
+            except Exception:
+                return [fn(item) for item in items]
+        return list(self._pool.map(fn, items))
 
 
 class ThreadBackend(_BlockedBackend):
@@ -548,6 +590,7 @@ class ProcessBackend(_BlockedBackend):
     """
 
     name = "process"
+    _batch_requires_pickle = True
 
     def __init__(
         self,

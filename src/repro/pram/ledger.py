@@ -86,6 +86,26 @@ class CostLedger:
         d = math.ceil(math.log2(size)) + 1 if depth is None else depth
         self.charge(op, work=float(size), depth=float(d), cache=size / self.block_size)
 
+    def charge_parallel(self, op: str, costs) -> "CostSnapshot":
+        """Fold independently-accrued cost intervals in under *parallel*
+        composition: work and cache add (every shard's operations
+        happen), depth is the max (the shards run side by side).
+
+        ``costs`` is an iterable of :class:`CostSnapshot` intervals —
+        typically ``ledger.since(start)`` from per-shard machines. The
+        combined snapshot is charged as a single ``op`` invocation and
+        returned, so callers can assert the aggregation seam charges
+        exactly the sum of the parts (the shard ledger-honesty
+        regression).
+        """
+        costs = list(costs)
+        work = float(sum(c.work for c in costs))
+        depth = float(max((c.depth for c in costs), default=0.0))
+        cache = float(sum(c.cache for c in costs))
+        combined = CostSnapshot(work=work, depth=depth, cache=cache, calls=1)
+        self.charge(op, work=work, depth=depth, cache=cache)
+        return combined
+
     def charge_sort(self, op: str, total: int, key_length: int) -> None:
         """Charge sorting ``total`` elements in sequences of ``key_length``.
 

@@ -1,0 +1,77 @@
+"""Merge shard coresets into one weighted sparse clustering instance.
+
+The reduce step of shard-and-conquer: concatenate every shard's
+representatives (points, aggregated weights, original ids) and build a
+weighted kNN :class:`~repro.metrics.sparse.SparseClusteringInstance`
+over them — KD-tree-first, so no dense matrix over the merged coreset
+ever exists. The merged instance's node ``i`` *is* representative
+``i``; the returned ``origin`` array maps merged node ids back to
+original point ids, which is how the driver translates solved centers
+into answers about the full dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.metrics.generators import knn_clustering_from_points
+from repro.metrics.sparse import SparseClusteringInstance
+from repro.shard.coreset import ShardCoreset
+
+
+def merge_coresets(
+    coresets,
+    k: int,
+    *,
+    neighbors: int = 16,
+    fallback_slack: float = 1.0,
+) -> tuple[SparseClusteringInstance, np.ndarray, np.ndarray]:
+    """Concatenate shard coresets and build the merged weighted instance.
+
+    Parameters
+    ----------
+    coresets:
+        Iterable of :class:`~repro.shard.coreset.ShardCoreset`.
+    k:
+        Center budget of the merged instance.
+    neighbors:
+        kNN candidates per merged node (clipped to the merged size).
+    fallback_slack:
+        Passed through to the kNN builder's fallback column.
+
+    Returns
+    -------
+    (instance, origin, points):
+        The weighted :class:`SparseClusteringInstance`, the original
+        point id of each merged node, and the merged coordinates
+        (``(t, dim)``) — kept so the driver can evaluate the true
+        objective over all original points.
+    """
+    coresets = list(coresets)
+    if not coresets:
+        raise InvalidParameterError("merge_coresets needs at least one coreset")
+    for c in coresets:
+        if not isinstance(c, ShardCoreset):
+            raise InvalidParameterError(
+                f"expected ShardCoreset entries, got {type(c).__name__}"
+            )
+    points = np.concatenate([c.points for c in coresets], axis=0)
+    weights = np.concatenate([c.weights for c in coresets])
+    origin = np.concatenate([c.origin for c in coresets])
+    t = points.shape[0]
+    if t < int(k):
+        raise InvalidParameterError(
+            f"merged coreset has {t} representatives but k={k}: raise "
+            "coreset_size (or lower k) so the reduced instance can hold "
+            "a feasible solution"
+        )
+    unit = bool(np.all(weights == 1.0))
+    instance = knn_clustering_from_points(
+        points,
+        int(k),
+        neighbors=min(int(neighbors), t),
+        fallback_slack=fallback_slack,
+        weights=None if unit else weights,
+    )
+    return instance, origin, points

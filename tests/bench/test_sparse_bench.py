@@ -36,6 +36,10 @@ def test_report_structure_and_feasibility_marker():
         clustering_scaling_sizes=(300,),
         clustering_overlap_neighbors=60,
         clustering_neighbors=48,
+        shard_sizes=(500,),
+        shard_k=4,
+        shard_shards=2,
+        shard_coreset_size=40,
     )
     (overlap_entry,) = report["overlap"].values()
     for algorithm in ("parallel_greedy", "parallel_primal_dual"):
@@ -65,7 +69,16 @@ def test_report_structure_and_feasibility_marker():
     assert cluster_scaling["dense_feasible"] is False
     assert cluster_scaling["dense_bytes"] == cluster_scaling["n"] ** 2 * 8
     assert "centers_idx" not in cluster_scaling["sparse"]["kmedian"]
-    # the whole report must serialize as-is (the committed BENCH_PR4.json)
+    # shard tier (PR 5): both feasibility markers plus the composed
+    # accounting fields
+    (shard_entry,) = report["shard_scaling"].values()
+    assert shard_entry["dense_feasible"] is False  # tiny budget forces it
+    assert shard_entry["single_csr_feasible"] is False
+    sh = shard_entry["shard"]
+    assert sh["cost_true"] > 0 and sh["movement"] >= 0
+    assert sh["merged_n"] <= shard_entry["shards"] * shard_entry["coreset_size"]
+    assert "5" in sh["bound"]  # the (5+ε) local-search ratio composed in
+    # the whole report must serialize as-is (the committed BENCH_PR5.json)
     json.dumps(report)
 
 
@@ -80,6 +93,10 @@ def test_round_traces_are_summaries_not_samples():
         clustering_scaling_sizes=(300,),
         clustering_overlap_neighbors=60,
         clustering_neighbors=48,
+        shard_sizes=(400,),
+        shard_k=4,
+        shard_shards=2,
+        shard_coreset_size=40,
     )
     for tier in ("overlap", "sparse_scaling"):
         for entry in report[tier].values():

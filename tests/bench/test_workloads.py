@@ -59,3 +59,31 @@ def test_clustering_scaling_suite_fixed_k():
 def test_epsilon_sweep_sorted_positive():
     eps = epsilon_sweep()
     assert np.all(eps > 0) and np.all(np.diff(eps) > 0)
+
+
+def test_weighted_ratio_suites_are_weighted_and_seeded():
+    from repro.bench.workloads import (
+        weighted_clustering_ratio_suite,
+        weighted_fl_ratio_suite,
+    )
+
+    wc = weighted_clustering_ratio_suite(0)
+    assert all(not inst.has_unit_weights for _, inst in wc)
+    assert all(name.startswith("w-") for name, _ in wc)
+    again = weighted_clustering_ratio_suite(0)
+    for (_, a), (_, b) in zip(wc, again):
+        assert np.array_equal(a.weights, b.weights)
+    wf = weighted_fl_ratio_suite(0)
+    assert all(not inst.has_unit_weights for _, inst in wf)
+
+
+def test_shard_scaling_suite_returns_points():
+    from repro.bench.workloads import shard_scaling_suite
+
+    suite = shard_scaling_suite(0, sizes=(1000, 2500), k=4)
+    assert [pts.shape[0] for _, pts, _ in suite] == [1000, 2500]
+    for name, pts, k in suite:
+        assert pts.ndim == 2 and k == 4
+        assert np.all(np.isfinite(pts))
+    again = shard_scaling_suite(0, sizes=(1000,), k=4)
+    assert np.array_equal(suite[0][1], again[0][1])

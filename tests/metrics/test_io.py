@@ -103,3 +103,135 @@ def test_sparse_roundtrip_preserves_seeded_objective(tmp_path):
         np.testing.assert_array_equal(
             back.connection_distances(opened), inst.connection_distances(opened)
         )
+
+
+# -- schema versioning (PR 5) ----------------------------------------------
+
+def test_archives_carry_schema_version(tmp_path):
+    from repro.metrics.io import SCHEMA_VERSION
+
+    path = tmp_path / "v.npz"
+    save_instance(path, euclidean_clustering(10, 2, seed=1))
+    with np.load(path) as data:
+        assert int(data["version"]) == SCHEMA_VERSION
+
+
+def test_weighted_clustering_roundtrip(tmp_path):
+    rng = np.random.default_rng(3)
+    base = euclidean_clustering(12, 3, seed=5)
+    inst = ClusteringInstance(base.space, 3, weights=rng.uniform(1, 4, 12))
+    path = tmp_path / "wcl.npz"
+    save_instance(path, inst)
+    back = load_instance(path)
+    assert not back.has_unit_weights
+    assert np.array_equal(back.weights, inst.weights)
+    assert back.kmedian_cost([0, 4, 7]) == inst.kmedian_cost([0, 4, 7])
+
+
+def test_weighted_fl_and_sparse_roundtrip(tmp_path):
+    rng = np.random.default_rng(4)
+    fl = euclidean_instance(5, 11, seed=3)
+    wfl = FacilityLocationInstance(fl.D, fl.f, client_weights=rng.uniform(1, 2, 11))
+    save_instance(tmp_path / "wfl.npz", wfl)
+    back = load_instance(tmp_path / "wfl.npz")
+    assert np.array_equal(back.client_weights, wfl.client_weights)
+
+    sp = knn_sparsify(wfl, 3)
+    save_instance(tmp_path / "wsp.npz", sp)
+    back_sp = load_instance(tmp_path / "wsp.npz")
+    assert isinstance(back_sp, SparseFacilityLocationInstance)
+    assert np.array_equal(back_sp.client_weights, sp.client_weights)
+    assert back_sp.cost([0, 1]) == sp.cost([0, 1])
+
+    from repro.metrics.sparse import SparseClusteringInstance
+
+    wcl = ClusteringInstance(
+        euclidean_clustering(12, 3, seed=5).space, 3, weights=rng.uniform(1, 2, 12)
+    )
+    spc = SparseClusteringInstance.from_instance(wcl)
+    save_instance(tmp_path / "wspc.npz", spc)
+    back_c = load_instance(tmp_path / "wspc.npz")
+    assert np.array_equal(back_c.weights, spc.weights)
+
+
+def test_weighted_kind_fails_loudly_on_legacy_reader(tmp_path):
+    """A pre-versioning reader dispatches on the kind string alone; a
+    weighted archive's distinct kind must make it raise instead of
+    silently loading the structure without its weights."""
+    rng = np.random.default_rng(5)
+    base = euclidean_clustering(10, 2, seed=7)
+    inst = ClusteringInstance(base.space, 2, weights=rng.uniform(1, 3, 10))
+    path = tmp_path / "wk.npz"
+    save_instance(path, inst)
+    legacy_kinds = {
+        "facility-location", "clustering", "sparse-facility-location", "sparse-clustering",
+    }
+    with np.load(path) as data:
+        assert str(data["kind"]) not in legacy_kinds
+
+
+def test_newer_schema_rejected(tmp_path):
+    path = tmp_path / "future.npz"
+    base = euclidean_clustering(8, 2, seed=9)
+    np.savez_compressed(
+        path, kind=np.asarray("clustering"), D=base.D, k=np.asarray(2),
+        version=np.asarray(99),
+    )
+    with pytest.raises(InvalidInstanceError, match="schema v99"):
+        load_instance(path)
+
+
+def test_weighted_kind_without_version_rejected(tmp_path):
+    path = tmp_path / "mismatch.npz"
+    base = euclidean_clustering(8, 2, seed=9)
+    np.savez_compressed(
+        path, kind=np.asarray("clustering-weighted"), D=base.D, k=np.asarray(2),
+        weights=np.ones(8) * 2.0,
+    )
+    with pytest.raises(InvalidInstanceError, match="disagree"):
+        load_instance(path)
+
+
+def test_smuggled_weights_under_legacy_kind_rejected(tmp_path):
+    path = tmp_path / "smuggle.npz"
+    base = euclidean_clustering(8, 2, seed=9)
+    np.savez_compressed(
+        path, kind=np.asarray("clustering"), D=base.D, k=np.asarray(2),
+        weights=np.ones(8) * 2.0, version=np.asarray(2),
+    )
+    with pytest.raises(InvalidInstanceError, match="silently"):
+        load_instance(path)
+
+
+def test_legacy_v1_archive_still_loads(tmp_path):
+    """Pre-versioning archives (no version field) keep loading."""
+    path = tmp_path / "v1.npz"
+    base = euclidean_clustering(8, 2, seed=9)
+    np.savez_compressed(path, kind=np.asarray("clustering"), D=base.D, k=np.asarray(2))
+    back = load_instance(path)
+    assert isinstance(back, ClusteringInstance)
+    assert back.k == 2 and back.has_unit_weights
+
+
+def test_weighted_kind_missing_weight_array_rejected(tmp_path):
+    """A weighted kind with no weight payload must not load as a silent
+    unit-weight instance."""
+    base = euclidean_clustering(8, 2, seed=9)
+    path = tmp_path / "noweights.npz"
+    np.savez_compressed(
+        path, kind=np.asarray("clustering-weighted"), D=base.D, k=np.asarray(2),
+        version=np.asarray(2),
+    )
+    with pytest.raises(InvalidInstanceError, match="no 'weights'"):
+        load_instance(path)
+
+
+def test_weighted_kind_with_misnamed_weight_field_rejected(tmp_path):
+    inst = euclidean_instance(4, 8, seed=2)
+    path = tmp_path / "misnamed.npz"
+    np.savez_compressed(
+        path, kind=np.asarray("facility-location-weighted"), D=inst.D, f=inst.f,
+        weights=np.full(8, 2.0), version=np.asarray(2),  # should be client_weights
+    )
+    with pytest.raises(InvalidInstanceError, match="client_weights"):
+        load_instance(path)

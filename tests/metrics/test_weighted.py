@@ -1,0 +1,147 @@
+"""Weighted-instance semantics: validation, unit-weight equivalence,
+and the duplicate-point ≡ weight-2 metamorphic property.
+
+Weights are multiplicities — ``w_j`` co-located copies of point ``j``
+— so every weighted objective must equal the unweighted objective of
+the physically expanded instance, and unit weights must change nothing
+at all (the byte-identical contract the solvers rely on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.metrics.generators import euclidean_clustering, euclidean_instance
+from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
+from repro.metrics.space import MetricSpace
+from repro.metrics.sparse import (
+    SparseClusteringInstance,
+    SparseFacilityLocationInstance,
+    knn_sparsify,
+)
+
+
+@pytest.fixture
+def base_clustering():
+    return euclidean_clustering(24, 3, seed=11)
+
+
+@pytest.fixture
+def base_fl():
+    return euclidean_instance(6, 15, seed=12)
+
+
+# -- validation -------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "bad",
+    [np.zeros(24), -np.ones(24), np.full(24, np.inf), np.ones(23), np.full(24, np.nan)],
+    ids=["zero", "negative", "inf", "wrong-shape", "nan"],
+)
+def test_clustering_weights_validated(base_clustering, bad):
+    with pytest.raises(InvalidInstanceError):
+        ClusteringInstance(base_clustering.space, 3, weights=bad)
+
+
+def test_fl_client_weights_validated(base_fl):
+    with pytest.raises(InvalidInstanceError):
+        FacilityLocationInstance(base_fl.D, base_fl.f, client_weights=np.zeros(15))
+    with pytest.raises(InvalidInstanceError):
+        SparseFacilityLocationInstance.from_dense(
+            base_fl.D, base_fl.f, client_weights=np.ones(14)
+        )
+
+
+# -- unit-weight equivalence ------------------------------------------------
+
+def test_unit_weights_equal_unweighted_objectives(base_clustering):
+    explicit = ClusteringInstance(base_clustering.space, 3, weights=np.ones(24))
+    assert explicit.has_unit_weights
+    centers = [0, 5, 9]
+    for obj in ("kmedian_cost", "kmeans_cost", "kcenter_cost"):
+        assert getattr(explicit, obj)(centers) == getattr(base_clustering, obj)(centers)
+
+
+def test_unit_weights_equal_unweighted_fl(base_fl):
+    explicit = FacilityLocationInstance(base_fl.D, base_fl.f, client_weights=np.ones(15))
+    assert explicit.has_unit_weights
+    assert explicit.cost([0, 2]) == base_fl.cost([0, 2])
+    assert explicit.total_weight == 15.0
+
+
+def test_weights_property_defaults(base_clustering, base_fl):
+    assert np.array_equal(base_clustering.weights, np.ones(24))
+    assert base_clustering.has_unit_weights
+    assert base_clustering.total_weight == 24.0
+    assert np.array_equal(base_fl.client_weights, np.ones(15))
+    sp = SparseClusteringInstance.from_instance(base_clustering)
+    assert sp.has_unit_weights and sp.total_weight == 24.0
+
+
+# -- duplicate-point ≡ weight-2 metamorphic property ------------------------
+
+def _expand(instance: ClusteringInstance, w: np.ndarray):
+    """Physically duplicate node ``j`` ``w_j`` times (integer weights)."""
+    reps = np.repeat(np.arange(instance.n), w.astype(int))
+    D = instance.D[np.ix_(reps, reps)]
+    first = np.searchsorted(reps, np.arange(instance.n))
+    return ClusteringInstance(MetricSpace(D, validate=False), instance.k), first
+
+
+def test_duplicate_collapses_to_weight_two(base_clustering):
+    w = np.ones(24)
+    w[[2, 7, 19]] = 2.0
+    weighted = ClusteringInstance(base_clustering.space, 3, weights=w)
+    expanded, first = _expand(base_clustering, w)
+    centers = np.array([1, 7, 13])
+    assert weighted.kmedian_cost(centers) == pytest.approx(
+        expanded.kmedian_cost(first[centers])
+    )
+    assert weighted.kmeans_cost(centers) == pytest.approx(
+        expanded.kmeans_cost(first[centers])
+    )
+    assert weighted.kcenter_cost(centers) == pytest.approx(
+        expanded.kcenter_cost(first[centers])
+    )
+
+
+def test_duplicate_collapses_fl(base_fl):
+    w = np.ones(15)
+    w[[0, 4]] = 3.0
+    weighted = FacilityLocationInstance(base_fl.D, base_fl.f, client_weights=w)
+    cols = np.repeat(np.arange(15), w.astype(int))
+    expanded = FacilityLocationInstance(base_fl.D[:, cols], base_fl.f)
+    for opened in ([0], [1, 3], [0, 2, 5]):
+        assert weighted.cost(opened) == pytest.approx(expanded.cost(opened))
+
+
+def test_sparse_weighted_objectives_match_dense(base_clustering):
+    rng = np.random.default_rng(5)
+    w = rng.uniform(0.5, 4.0, 24)
+    weighted = ClusteringInstance(base_clustering.space, 3, weights=w)
+    sp = SparseClusteringInstance.from_instance(weighted)
+    assert not sp.has_unit_weights
+    centers = [3, 10, 17]
+    for obj in ("kmedian_cost", "kmeans_cost", "kcenter_cost"):
+        assert getattr(sp, obj)(centers) == pytest.approx(getattr(weighted, obj)(centers))
+    # round-trip through the dense bridge preserves the weights
+    back = sp.to_dense()
+    assert np.allclose(back.weights, w)
+
+
+def test_sparsifiers_carry_weights(base_fl, base_clustering):
+    rng = np.random.default_rng(6)
+    wfl = FacilityLocationInstance(
+        base_fl.D, base_fl.f, client_weights=rng.uniform(1, 3, 15)
+    )
+    sp = knn_sparsify(wfl, 4)
+    assert not sp.has_unit_weights
+    assert np.allclose(sp.client_weights, wfl.client_weights)
+    wcl = ClusteringInstance(base_clustering.space, 3, weights=rng.uniform(1, 3, 24))
+    spc = knn_sparsify(wcl, 8)
+    assert not spc.has_unit_weights
+    assert np.allclose(spc.weights, wcl.weights)
+    assert spc.with_budget(5).weights is not None
+    assert np.allclose(spc.with_budget(5).weights, wcl.weights)

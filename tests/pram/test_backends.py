@@ -296,3 +296,54 @@ def test_shared_backend_rejects_bad_env(monkeypatch):
 def test_shared_backend_instance_passthrough():
     b = SerialBackend()
     assert shared_backend(b) is b
+
+
+# -- submit_batch: the shard-parallel task fan-out (PR 5) -------------------
+
+def _square(x):
+    return x * x
+
+
+class TestSubmitBatch:
+    def test_serial_runs_in_order(self):
+        from repro.pram.backends import SerialBackend
+
+        assert SerialBackend().submit_batch(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_thread_pool_matches_serial(self):
+        from repro.pram.backends import ThreadBackend
+
+        with ThreadBackend(num_workers=2, grain=1) as b:
+            assert b.submit_batch(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_process_pool_matches_serial(self):
+        from repro.pram.backends import ProcessBackend
+
+        with ProcessBackend(num_workers=2, grain=1) as b:
+            assert b.submit_batch(_square, range(6)) == [x * x for x in range(6)]
+
+    def test_closed_backend_falls_back_to_serial(self):
+        from repro.pram.backends import ThreadBackend
+
+        b = ThreadBackend(num_workers=2, grain=1)
+        b.close()
+        assert b.submit_batch(_square, [4, 5]) == [16, 25]
+
+    def test_unpicklable_fn_falls_back_on_process_pool(self):
+        from repro.pram.backends import ProcessBackend
+
+        captured = []
+
+        def closure(x):  # locals + side effect: unpicklable for a process pool
+            captured.append(x)
+            return x + 1
+
+        with ProcessBackend(num_workers=2, grain=1) as b:
+            assert b.submit_batch(closure, [1, 2]) == [2, 3]
+        assert captured == [1, 2]
+
+    def test_single_item_skips_pool(self):
+        from repro.pram.backends import ThreadBackend
+
+        with ThreadBackend(num_workers=2, grain=1) as b:
+            assert b.submit_batch(_square, [7]) == [49]

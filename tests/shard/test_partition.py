@@ -1,0 +1,82 @@
+"""Partitioner contracts: coverage, balance, determinism, locality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.shard.partition import (
+    grid_partition,
+    kdtree_partition,
+    make_partition,
+    random_partition,
+    shard_sizes,
+)
+
+
+@pytest.fixture
+def points():
+    return np.random.default_rng(7).random((500, 2))
+
+
+@pytest.mark.parametrize("method", ["random", "grid", "locality"])
+@pytest.mark.parametrize("shards", [1, 3, 8])
+def test_partition_covers_all_points(points, method, shards):
+    labels = make_partition(points, shards, method, seed=3)
+    assert labels.shape == (500,)
+    sizes = shard_sizes(labels, shards)
+    assert sizes.sum() == 500
+    assert np.all(sizes > 0)
+
+
+def test_random_partition_balanced_and_seeded():
+    a = random_partition(101, 4, seed=5)
+    b = random_partition(101, 4, seed=5)
+    c = random_partition(101, 4, seed=6)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+    sizes = np.bincount(a)
+    assert sizes.max() - sizes.min() <= 1
+
+
+def test_grid_partition_balanced(points):
+    sizes = shard_sizes(grid_partition(points, 7), 7)
+    assert sizes.max() - sizes.min() <= 1
+
+
+def test_grid_partition_handles_duplicates():
+    pts = np.zeros((40, 3))  # fully degenerate cloud
+    sizes = shard_sizes(grid_partition(pts, 5), 5)
+    assert sizes.max() - sizes.min() <= 1
+
+
+def test_kdtree_partition_is_local(points):
+    """Leaves from median splits have smaller spread than random shards."""
+    loc = kdtree_partition(points, 8)
+    rnd = random_partition(500, 8, seed=1)
+
+    def mean_spread(labels):
+        return np.mean([
+            points[labels == s].std(axis=0).sum() for s in range(8)
+        ])
+
+    assert mean_spread(loc) < mean_spread(rnd)
+
+
+def test_kdtree_partition_balanced(points):
+    sizes = shard_sizes(kdtree_partition(points, 8), 8)
+    assert sizes.max() <= 2 * sizes.min()
+
+
+def test_partition_validation(points):
+    with pytest.raises(InvalidParameterError):
+        make_partition(points, 0, "random")
+    with pytest.raises(InvalidParameterError):
+        make_partition(points, 501, "locality")
+    with pytest.raises(InvalidParameterError):
+        make_partition(points, 4, "voronoi")
+    with pytest.raises(InvalidParameterError):
+        grid_partition(np.full((4, 2), np.nan), 2)
+    with pytest.raises(InvalidParameterError):
+        shard_sizes(np.zeros(10, dtype=np.intp), 3)  # shards 1..2 empty
