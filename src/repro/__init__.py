@@ -20,11 +20,24 @@ paper-claim vs. measured results.
 
 from repro.errors import (
     ConvergenceError,
+    ExecutionError,
     InfeasibleSolutionError,
     InvalidInstanceError,
     InvalidParameterError,
     LPSolveError,
     ReproError,
+    ShardFailedError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
+from repro.faults import (
+    NO_RETRY,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    Supervisor,
+    TaskFailure,
+    supervised_submit_batch,
 )
 from repro.metrics import (
     ClusteringInstance,
@@ -96,6 +109,7 @@ from repro.shard import (
     merge_coresets,
     random_partition,
     shard_and_solve,
+    supervised_shard_coresets,
 )
 
 __version__ = "1.0.0"
@@ -109,6 +123,18 @@ __all__ = [
     "ConvergenceError",
     "LPSolveError",
     "InfeasibleSolutionError",
+    "ExecutionError",
+    "WorkerCrashError",
+    "TaskTimeoutError",
+    "ShardFailedError",
+    # faults
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "NO_RETRY",
+    "Supervisor",
+    "TaskFailure",
+    "supervised_submit_batch",
     # metrics
     "MetricSpace",
     "FacilityLocationInstance",
@@ -177,4 +203,5 @@ __all__ = [
     "merge_coresets",
     "random_partition",
     "shard_and_solve",
+    "supervised_shard_coresets",
 ]

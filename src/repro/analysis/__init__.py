@@ -8,7 +8,9 @@ ledger data (for the work-efficiency claims), and round-count envelopes
 
 from repro.analysis.bounds import (
     CoresetBound,
+    DegradedCoresetBound,
     composed_coreset_bound,
+    degraded_coreset_bound,
     eq2_bounds,
     verify_eq2,
 )
@@ -22,6 +24,8 @@ __all__ = [
     "verify_eq2",
     "CoresetBound",
     "composed_coreset_bound",
+    "DegradedCoresetBound",
+    "degraded_coreset_bound",
     "Certificate",
     "certify_facility_location",
     "RatioReport",

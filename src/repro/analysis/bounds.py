@@ -102,3 +102,74 @@ def composed_coreset_bound(solver_ratio: float, movement: float) -> CoresetBound
         additive_term=add,
         statement=f"cost_true(ALG) ≤ {c:g}·opt_true + {add:g}",
     )
+
+
+@dataclass(frozen=True)
+class DegradedCoresetBound(CoresetBound):
+    """The widened certificate for a degraded (shards-dropped) solve.
+
+    When a shard's coreset is lost and the solve proceeds on survivors
+    (``on_shard_failure="drop"``), the dropped demand is charged to its
+    nearest *surviving* representative: for a dropped point ``j`` with
+    nearest surviving representative ``rep(j)``,
+
+        d(j, S) ≤ d(j, rep(j)) + d(rep(j), S)
+
+    so the extra additive damage is ``R_drop = Σ_dropped w_j ·
+    d(j, rep(j))`` — the movement the failed shards *would* have paid
+    had their points been summarized by the surviving representatives —
+    and the composed bound widens from ``(c+1)·R`` to
+    ``(c+1)·(R + R_drop)``. ``covered_weight_fraction`` reports how much
+    of the total demand weight the surviving shards actually represent;
+    the ratio ``c`` is now conditional on the dropped demand not hiding
+    structure the solver needed (the same caveat as kNN truncation,
+    recorded in the statement rather than silently absorbed).
+
+    The directly checkable consequence (pinned by the fault tests) is
+    the sandwich::
+
+        cost_true(S) ≤ cost_coreset_exact(S) + R + R_drop + Σ_dropped w_j·d(rep(j), S)
+    """
+
+    dropped_movement: float = 0.0
+    covered_weight_fraction: float = 1.0
+
+
+def degraded_coreset_bound(
+    solver_ratio: float,
+    movement: float,
+    dropped_movement: float,
+    covered_weight_fraction: float,
+) -> DegradedCoresetBound:
+    """Compose the coreset guarantee after dropping failed shards: the
+    surviving-shard movement ``R`` widens by ``R_drop`` (dropped demand
+    charged at its nearest surviving representative) to a
+    ``(c, (c+1)·(R + R_drop))`` statement over the *full* input (see
+    :class:`DegradedCoresetBound`)."""
+    c = float(solver_ratio)
+    r = float(movement)
+    r_drop = float(dropped_movement)
+    frac = float(covered_weight_fraction)
+    if c < 1.0:
+        raise InfeasibleSolutionError(f"solver ratio must be ≥ 1, got {c}")
+    if r < 0.0:
+        raise InfeasibleSolutionError(f"coreset movement must be ≥ 0, got {r}")
+    if r_drop < 0.0:
+        raise InfeasibleSolutionError(f"dropped movement must be ≥ 0, got {r_drop}")
+    if not 0.0 < frac <= 1.0:
+        raise InfeasibleSolutionError(
+            f"covered weight fraction must be in (0, 1], got {frac}"
+        )
+    add = (c + 1.0) * (r + r_drop)
+    return DegradedCoresetBound(
+        solver_ratio=c,
+        movement=r,
+        additive_term=add,
+        statement=(
+            f"degraded ({frac:.1%} of demand weight covered): "
+            f"cost_true(ALG) ≤ {c:g}·opt_true + {add:g} "
+            f"(dropped demand charged at nearest surviving representative)"
+        ),
+        dropped_movement=r_drop,
+        covered_weight_fraction=frac,
+    )

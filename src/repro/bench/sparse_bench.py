@@ -1,7 +1,7 @@
 """Sparse-vs-dense bench: peak memory and wall-clock across the scale axis.
 
-Five tiers, one JSON report (committed as ``BENCH_PR3.json`` /
-``BENCH_PR4.json`` / ``BENCH_PR5.json``):
+Six tiers, one JSON report (committed as ``BENCH_PR3.json`` /
+``BENCH_PR4.json`` / ``BENCH_PR5.json`` / ``BENCH_PR6.json``):
 
 * **overlap** — facility-location sizes where the dense path still
   fits: the same seeded geometry is solved by the dense
@@ -26,6 +26,12 @@ Five tiers, one JSON report (committed as ``BENCH_PR3.json`` /
   matrix *and* the single full-point kNN CSR structure are costed
   against ``--budget-gib``; tiers where both are infeasible are the
   scales only the shard-and-conquer pipeline reaches.
+* **fault_recovery** — the 250k shard workload re-run on a real process
+  pool with one injected worker crash (PR 6): supervised retry must
+  reproduce the unfailed run byte-identically at ≤ ~10% wall-clock
+  overhead, and degraded-mode drop (retries disabled) must return a
+  coverage-accounted widened certificate in under 2× the unfailed
+  wall clock.
 
 Per-round traces are stored as **summary stats** (count/total/first/
 last/median work per round), never as raw per-round sample lists, so
@@ -209,6 +215,91 @@ def _measure_shard(
     return out
 
 
+def _measure_fault_recovery(
+    points, k, *, shards, coreset_size, neighbors, epsilon, seed, workers, repeats
+) -> dict:
+    """Clean vs crash-retried vs degraded shard solve on a real process
+    pool: the retry overhead and drop ratio the PR 6 acceptance pins."""
+    from repro.faults import NO_RETRY, FaultPlan, RetryPolicy
+    from repro.pram.backends import ProcessBackend
+    from repro.pram.machine import PramMachine
+    from repro.shard import shard_and_solve
+
+    kw = dict(
+        shards=shards, coreset_size=coreset_size, neighbors=neighbors,
+        solver="kmedian", epsilon=epsilon, seed=seed,
+    )
+    crash_shard = shards // 2
+    fast_retry = RetryPolicy(base_delay=0.0, jitter=0.0)
+    # None = size to the host like every other pool in the repo, but
+    # keep a *real* pool (ProcessBackend(1) runs serially and would
+    # only simulate the crash). Oversubscribing a small host inflates
+    # retry overhead artificially: each extra in-flight worker loses
+    # its partial shard build when the crashed worker breaks the pool.
+    if workers is None:
+        workers = min(4, max(2, os.cpu_count() or 1))
+    with ProcessBackend(workers, grain=1) as backend:
+        def solve(**extra):
+            machine = PramMachine(backend=backend, seed=seed)
+            t0 = time.perf_counter()
+            sol = shard_and_solve(points, k, machine=machine, **kw, **extra)
+            return sol, time.perf_counter() - t0
+
+        def best_of(**extra):
+            # min over repeats for every variant alike — the faulted
+            # runs deserve the same noise treatment as the clean one.
+            best_sol, best_wall = None, float("inf")
+            for _ in range(max(int(repeats), 1)):
+                sol, wall = solve(**extra)
+                if wall < best_wall:
+                    best_sol, best_wall = sol, wall
+            return best_sol, best_wall
+
+        base, base_wall = best_of()
+        retried, retry_wall = best_of(
+            on_shard_failure="retry",
+            fault_plan=FaultPlan.single("crash", crash_shard),
+            retry_policy=fast_retry,
+        )
+        dropped, drop_wall = best_of(
+            on_shard_failure="drop",
+            fault_plan=FaultPlan.single("crash", crash_shard, attempt=None),
+            retry_policy=NO_RETRY,
+        )
+    sandwich_rhs = (
+        dropped.extra["merged_cost_exact"] + dropped.movement
+        + dropped.extra["dropped_movement"] + dropped.extra["dropped_rep_service"]
+    )
+    return {
+        "n": int(points.shape[0]),
+        "k": int(k),
+        "shards": int(shards),
+        "workers": int(workers),
+        "crash_shard": int(crash_shard),
+        "base_wall_s": base_wall,
+        "retry_wall_s": retry_wall,
+        "retry_overhead": retry_wall / max(base_wall, 1e-12) - 1.0,
+        "retry_byte_identical": bool(
+            np.array_equal(retried.centers, base.centers)
+            and retried.cost == base.cost
+            and retried.true_cost == base.true_cost
+            and retried.movement == base.movement
+        ),
+        "drop_wall_s": drop_wall,
+        "drop_ratio": drop_wall / max(base_wall, 1e-12),
+        "drop_degraded": bool(dropped.degraded),
+        "drop_failed_shards": [int(s) for s in dropped.failed_shards],
+        "drop_covered_weight_fraction": float(dropped.covered_weight_fraction),
+        "drop_cost_true": float(dropped.true_cost),
+        "drop_certificate_valid": bool(
+            dropped.true_cost <= sandwich_rhs * (1.0 + 1e-9)
+        ),
+        "base_cost_true": float(base.true_cost),
+        "bound_clean": base.bound.statement if base.bound else None,
+        "bound_degraded": dropped.bound.statement if dropped.bound else None,
+    }
+
+
 def run_sparse_bench(
     *,
     overlap_sizes=(1500, 3000),
@@ -234,8 +325,10 @@ def run_sparse_bench(
     shard_coreset_size: int = 512,
     shard_neighbors: int = 64,
     shard_backend=None,
+    fault_sizes=(250_000,),
+    fault_workers: int | None = None,
 ) -> dict:
-    """Run all five tiers and return the report dict (module docstring)."""
+    """Run all six tiers and return the report dict (module docstring)."""
     report = {
         "meta": {
             "k": k,
@@ -259,6 +352,8 @@ def run_sparse_bench(
             "shard_shards": shard_shards,
             "shard_coreset_size": shard_coreset_size,
             "shard_neighbors": shard_neighbors,
+            "fault_sizes": list(fault_sizes),
+            "fault_workers": fault_workers,
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -268,6 +363,7 @@ def run_sparse_bench(
         "clustering_overlap": {},
         "clustering_scaling": {},
         "shard_scaling": {},
+        "fault_recovery": {},
     }
 
     for n_c in overlap_sizes:
@@ -417,6 +513,15 @@ def run_sparse_bench(
             "single_csr_feasible": bool(single_csr_bytes <= budget_gib * 2**30),
             "shard": measured,
         }
+
+    # -- fault recovery: the same shard workload under injected crashes ----
+    for name, pts, k_pts in shard_scaling_suite(seed, sizes=fault_sizes, k=shard_k):
+        report["fault_recovery"][name] = _measure_fault_recovery(
+            pts, k_pts,
+            shards=shard_shards, coreset_size=shard_coreset_size,
+            neighbors=shard_neighbors, epsilon=clustering_epsilon,
+            seed=machine_seed, workers=fault_workers, repeats=repeats,
+        )
     return report
 
 
@@ -470,6 +575,16 @@ def main(argv=None) -> None:
         "--shard-backend", default=None, help="backend for the shard tier (default env)"
     )
     parser.add_argument(
+        "--fault-scaling",
+        default="250000",
+        help="comma-separated fault-recovery point counts",
+    )
+    parser.add_argument(
+        "--fault-workers", type=int, default=None,
+        help="process-pool workers for the fault-recovery tier "
+             "(default: cpu_count, the backend default)",
+    )
+    parser.add_argument(
         "--fast",
         action="store_true",
         help="CI smoke sizes (overlap 400/300, scaling 2000/5000, 1 repeat)",
@@ -488,6 +603,7 @@ def main(argv=None) -> None:
         shard_scaling = (20_000,)
         shard_shards, shard_coreset = 4, 128
         shard_k = 8
+        fault_scaling = (20_000,)
         repeats = 1
     else:
         overlap = _sizes(args.overlap)
@@ -497,6 +613,7 @@ def main(argv=None) -> None:
         shard_scaling = _sizes(args.shard_scaling)
         shard_shards, shard_coreset = args.shard_shards, args.shard_coreset_size
         shard_k = args.shard_k
+        fault_scaling = _sizes(args.fault_scaling)
         repeats = args.repeats
 
     report = run_sparse_bench(
@@ -517,6 +634,8 @@ def main(argv=None) -> None:
         shard_shards=shard_shards,
         shard_coreset_size=shard_coreset,
         shard_backend=args.shard_backend,
+        fault_sizes=fault_scaling,
+        fault_workers=args.fault_workers,
     )
     for name, entry in report["overlap"].items():
         for algorithm in _ALGORITHMS:
@@ -573,6 +692,15 @@ def main(argv=None) -> None:
             f"{name}: shard_and_solve {sh['wall_s']:.1f}s | true cost {sh['cost_true']:.4g} "
             f"(merged {sh['cost_merged']:.4g}, movement {sh['movement']:.3g}) | "
             f"merged {sh['merged_n']} nodes | " + " | ".join(notes)
+        )
+    for name, entry in report["fault_recovery"].items():
+        print(
+            f"{name}: clean {entry['base_wall_s']:.1f}s | retry after crash "
+            f"{entry['retry_wall_s']:.1f}s ({entry['retry_overhead']:+.1%}, "
+            f"byte-identical={entry['retry_byte_identical']}) | drop "
+            f"{entry['drop_wall_s']:.1f}s ({entry['drop_ratio']:.2f}x, covered "
+            f"{entry['drop_covered_weight_fraction']:.1%}, certificate "
+            f"valid={entry['drop_certificate_valid']})"
         )
     if args.out:
         with open(args.out, "w") as fh:

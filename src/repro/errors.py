@@ -53,3 +53,48 @@ class InfeasibleSolutionError(ReproError):
     Raised by checkers when, e.g., a dual solution is infeasible or a
     k-clustering opens more than ``k`` centers.
     """
+
+
+class ExecutionError(ReproError):
+    """Base class for execution-layer (fault-tolerance) failures.
+
+    Raised by the supervised execution path (:mod:`repro.faults`) when a
+    task could not be completed — as opposed to the modelling errors
+    above, which describe bad inputs or broken invariants. Concrete
+    subclasses carry the original cause via ``__cause__`` chaining, so
+    ``raise TaskTimeoutError(...) from exc`` preserves the full story.
+    """
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker died while (or before) executing a task.
+
+    On a process pool this wraps ``BrokenProcessPool`` — the pool is
+    unusable afterwards and the supervisor respawns it. On thread or
+    serial execution it wraps an injected/simulated crash (threads
+    cannot take the interpreter down without taking the suite with it).
+    """
+
+
+class TaskTimeoutError(ExecutionError):
+    """A supervised task exceeded its :class:`~repro.faults.RetryPolicy`
+    timeout.
+
+    The task may still be running (neither a thread nor an already-
+    started process-pool task can be preempted); the supervisor stops
+    waiting, counts the attempt, and — on process pools — abandons and
+    respawns the pool so a hung worker cannot wedge later rounds.
+    """
+
+
+class ShardFailedError(ExecutionError):
+    """A shard's task exhausted its retry budget (or degradation was
+    refused).
+
+    Raised by :func:`repro.shard.shard_and_solve` when
+    ``on_shard_failure`` is ``"raise"``/``"retry"`` and a shard still
+    fails after all permitted attempts, or when ``"drop"`` would push
+    the covered weight below the configured coverage floor. The first
+    underlying :class:`~repro.faults.TaskFailure`'s error is chained as
+    ``__cause__``.
+    """

@@ -43,9 +43,15 @@ import marshal
 import os
 import pickle
 import sys
+import threading
 import types
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
-from multiprocessing import get_context, shared_memory
+from concurrent.futures import (
+    CancelledError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from multiprocessing import get_context, resource_tracker, shared_memory
 
 import numpy as np
 
@@ -224,6 +230,11 @@ class _BlockedBackend(Backend):
         self._pool = self._make_pool() if self.num_workers > 1 else None
         self._serial = SerialBackend()
         self._closed = False
+        # Guards the pool handle and the in-flight batch futures against
+        # a concurrent close(): batches drain deterministically instead
+        # of racing shutdown (see close()).
+        self._lock = threading.Lock()
+        self._inflight: set = set()
 
     def _make_pool(self):
         raise NotImplementedError
@@ -235,18 +246,51 @@ class _BlockedBackend(Backend):
         return self._closed
 
     def close(self):
-        """Shut the worker pool down (idempotent).
+        """Shut the worker pool down (idempotent, thread-safe).
 
         After closing, every kernel keeps working via the serial
         fallback — the pinned-down use-after-close contract, asserted
-        by the backend test suite.
+        by the backend test suite. A close racing an in-flight
+        :meth:`submit_batch` is deterministic: batch tasks already
+        running are drained (``shutdown(wait=True)`` joins them), tasks
+        still queued are cancelled — the batch caller observes the
+        cancellation and runs those items serially, exactly once. No
+        path deadlocks: close never waits on anything the batch caller
+        holds.
         """
-        if self._closed:
-            return
-        self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+            inflight = list(self._inflight)
+        for fut in inflight:
+            fut.cancel()
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _respawn_pool(self):
+        """Replace a broken/hung worker pool with a fresh one.
+
+        The recovery hook used by :class:`repro.faults.Supervisor`
+        after a worker crash (``BrokenProcessPool``) or a process-pool
+        timeout: the old pool is abandoned without joining (its workers
+        are dead or hung), outstanding futures are cancelled, and — on a
+        still-open backend — a new pool of the same size takes its
+        place. Returns the new pool (``None`` when closed or
+        single-worker)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            inflight = list(self._inflight)
+            self._inflight.clear()
+        for fut in inflight:
+            fut.cancel()
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        with self._lock:
+            if not self._closed and self._pool is None and self.num_workers > 1:
+                self._pool = self._make_pool()
+            return self._pool
 
     # -- helpers ----------------------------------------------------------
 
@@ -275,19 +319,83 @@ class _BlockedBackend(Backend):
         the pool whenever it exists and there is more than one task —
         per-shard jobs are coarse by construction. On a process pool an
         unpicklable ``fn`` is detected by a ``pickle.dumps`` probe
-        *before* anything runs and falls back to the serial loop;
-        exceptions raised by ``fn`` itself always propagate without a
-        serial re-run, so no task ever executes twice.
+        *before* anything runs and falls back to the serial loop.
+
+        Failure contract (pinned by the backend test suite):
+
+        * an exception raised by ``fn`` on item ``i`` cancels every
+          outstanding task, waits out whatever is already running, and
+          re-raises with the item index attached (``exc.batch_index``
+          plus an ``add_note`` line) — never a silent swallow, and no
+          task ever executes twice;
+        * a concurrent :meth:`close` drains deterministically: tasks it
+          cancelled before they started are re-run serially exactly
+          once, everything else completes on the pool.
         """
         items = list(items)
-        if self._pool is None or len(items) < 2:
-            return [fn(item) for item in items]
+        with self._lock:
+            pool = None if self._closed else self._pool
+        if pool is None or len(items) < 2:
+            return self._serial_batch(fn, items)
         if self._batch_requires_pickle:
             try:
                 pickle.dumps(fn)
             except Exception:
-                return [fn(item) for item in items]
-        return list(self._pool.map(fn, items))
+                return self._serial_batch(fn, items)
+        try:
+            with self._lock:
+                if self._closed or self._pool is None:
+                    raise RuntimeError("backend closed under submit_batch")
+                futures = [self._pool.submit(fn, item) for item in items]
+                self._inflight.update(futures)
+        except RuntimeError:
+            # Closed (or pool shut down) between the check and the
+            # submit: honor the use-after-close contract serially.
+            return self._serial_batch(fn, items)
+        try:
+            results: list = [None] * len(items)
+            for i, fut in enumerate(futures):
+                try:
+                    results[i] = fut.result()
+                except CancelledError:
+                    # close() cancelled it before it started — run the
+                    # item serially, its one and only execution.
+                    try:
+                        results[i] = fn(items[i])
+                    except Exception as exc:
+                        self._annotate_batch_failure(exc, i, len(items))
+                        raise
+                except Exception as exc:
+                    for later in futures[i + 1:]:
+                        later.cancel()
+                    wait(futures[i + 1:])
+                    self._annotate_batch_failure(exc, i, len(items))
+                    raise
+            return results
+        finally:
+            with self._lock:
+                self._inflight.difference_update(futures)
+
+    def _annotate_batch_failure(self, exc, index: int, total: int) -> None:
+        """Attach the failing item's position to a batch exception —
+        the failure contract above."""
+        exc.batch_index = index
+        exc.add_note(
+            f"submit_batch: item {index} of {total} failed on the "
+            f"{self.name} backend"
+        )
+
+    def _serial_batch(self, fn, items) -> list:
+        """Pool-less fallback loop with the same failure annotation as
+        the pool path."""
+        results = []
+        for i, item in enumerate(items):
+            try:
+                results.append(fn(item))
+            except Exception as exc:
+                self._annotate_batch_failure(exc, i, len(items))
+                raise
+        return results
 
 
 class ThreadBackend(_BlockedBackend):
@@ -609,6 +717,16 @@ class ProcessBackend(_BlockedBackend):
                 ctx = get_context(self._mp_context)
             except ValueError:
                 ctx = None
+        # Start the shared-memory resource tracker *before* any worker
+        # forks. Workers fork lazily at first submit; if that first
+        # submit carries no shared memory (e.g. a pickled submit_batch),
+        # the children inherit an unstarted tracker and each spawns its
+        # own on first attach — an orphan that only ever sees REGISTERs
+        # and warns about phantom "leaked" segments at shutdown.
+        try:
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker unavailable
+            pass
         return ProcessPoolExecutor(max_workers=self.num_workers, mp_context=ctx)
 
     # -- dispatch ---------------------------------------------------------

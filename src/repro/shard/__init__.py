@@ -33,7 +33,12 @@ solutions to calling the solver directly — the regression anchor the
 test suite pins.
 """
 
-from repro.shard.coreset import ShardCoreset, build_coreset, build_shard_coresets
+from repro.shard.coreset import (
+    ShardCoreset,
+    build_coreset,
+    build_shard_coresets,
+    supervised_shard_coresets,
+)
 from repro.shard.merge import merge_coresets
 from repro.shard.partition import (
     grid_partition,
@@ -48,6 +53,7 @@ __all__ = [
     "ShardCoreset",
     "build_coreset",
     "build_shard_coresets",
+    "supervised_shard_coresets",
     "merge_coresets",
     "random_partition",
     "grid_partition",

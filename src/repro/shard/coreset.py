@@ -197,25 +197,12 @@ def _coreset_task(payload) -> ShardCoreset:
     )
 
 
-def build_shard_coresets(
-    points,
-    labels,
-    shards: int,
-    size: int,
-    *,
-    weights=None,
-    method: str = "gonzalez",
-    seed=None,
-    machine: PramMachine | None = None,
-) -> list[ShardCoreset]:
-    """Build every shard's coreset, shard-parallel over the backend.
-
-    Shard seeds derive from one :class:`numpy.random.SeedSequence`
-    spawn, so results are identical however the backend schedules the
-    tasks (serial loop, thread pool, or process pool). When ``machine``
-    is given, the per-shard ledger intervals are folded into its global
-    ledger as a single parallel-composition charge.
-    """
+def _shard_payloads(points, labels, shards, size, weights, method, seed) -> list:
+    """Validated per-shard task payloads, seeds spawned from one
+    :class:`numpy.random.SeedSequence` — the determinism anchor: a
+    shard's payload (and therefore its coreset, on any attempt of any
+    backend) depends only on ``(seed, shard index)``, never on
+    scheduling or on which other shards failed."""
     points = np.asarray(points, dtype=float)
     labels = np.asarray(labels, dtype=np.intp)
     n = points.shape[0]
@@ -246,6 +233,33 @@ def build_shard_coresets(
                 child_seeds[s],
             )
         )
+    return payloads
+
+
+def build_shard_coresets(
+    points,
+    labels,
+    shards: int,
+    size: int,
+    *,
+    weights=None,
+    method: str = "gonzalez",
+    seed=None,
+    machine: PramMachine | None = None,
+) -> list[ShardCoreset]:
+    """Build every shard's coreset, shard-parallel over the backend.
+
+    Shard seeds derive from one :class:`numpy.random.SeedSequence`
+    spawn, so results are identical however the backend schedules the
+    tasks (serial loop, thread pool, or process pool). When ``machine``
+    is given, the per-shard ledger intervals are folded into its global
+    ledger as a single parallel-composition charge.
+
+    Failures propagate raw (first one wins); for supervised execution
+    with retries, timeouts, and structured failure records use
+    :func:`supervised_shard_coresets`.
+    """
+    payloads = _shard_payloads(points, labels, shards, size, weights, method, seed)
     if machine is not None and not machine.backend.closed:
         results = machine.backend.submit_batch(_coreset_task, payloads)
     else:
@@ -254,3 +268,91 @@ def build_shard_coresets(
         machine.ledger.charge_parallel("shard_coreset", [c.costs for c in results])
         machine.bump_round("shard_coreset")
     return results
+
+
+def _coreset_validator(expected_weight: np.ndarray):
+    """Result validation for supervised builds: a returned coreset must
+    be a :class:`ShardCoreset` with finite, strictly positive weights
+    conserving the shard's total — the contract a corrupted result
+    (injected or real) breaks."""
+    from repro.errors import InvalidInstanceError
+
+    def validate(index: int, coreset) -> None:
+        if not isinstance(coreset, ShardCoreset):
+            raise InvalidInstanceError(
+                f"shard {index} returned {type(coreset).__name__}, not a ShardCoreset"
+            )
+        w = np.asarray(coreset.weights, dtype=float)
+        if w.size == 0 or not np.all(np.isfinite(w)) or float(w.min()) <= 0.0:
+            raise InvalidInstanceError(
+                f"shard {index} coreset weights are not finite and strictly "
+                f"positive (corrupt result?)"
+            )
+        want = float(expected_weight[index])
+        if abs(float(w.sum()) - want) > 1e-6 * max(want, 1.0):
+            raise InvalidInstanceError(
+                f"shard {index} coreset does not conserve weight: "
+                f"{float(w.sum())!r} != {want!r}"
+            )
+
+    return validate
+
+
+def supervised_shard_coresets(
+    points,
+    labels,
+    shards: int,
+    size: int,
+    *,
+    weights=None,
+    method: str = "gonzalez",
+    seed=None,
+    machine: PramMachine | None = None,
+    policy=None,
+    fault_plan=None,
+):
+    """Fault-tolerant :func:`build_shard_coresets`.
+
+    Runs the same per-shard tasks — identical payloads, identical
+    seeds — under a :class:`repro.faults.Supervisor`: per-task
+    timeouts, retries with backoff per ``policy``, crash recovery with
+    pool respawn, and result validation that rejects corrupted coresets
+    (non-finite/non-positive weights, broken weight conservation).
+
+    Returns ``(coresets, failures)`` where ``coresets[s]`` is shard
+    ``s``'s :class:`ShardCoreset` or ``None`` if it terminally failed,
+    and ``failures`` the :class:`repro.faults.TaskFailure` records.
+    Because a retried shard reuses its own ``SeedSequence`` child, a
+    recovered run is **byte-identical** to one that never failed — the
+    property the fault test matrix pins.
+
+    Only surviving shards' ledger intervals are folded into the
+    machine's global ledger (work that died with a worker was model
+    work never completed).
+    """
+    from repro.faults.supervisor import Supervisor
+    from repro.pram.backends import SerialBackend
+
+    payloads = _shard_payloads(points, labels, shards, size, weights, method, seed)
+    labels_arr = np.asarray(labels, dtype=np.intp)
+    if weights is None:
+        expected = np.bincount(labels_arr, minlength=int(shards)).astype(float)
+    else:
+        expected = np.bincount(
+            labels_arr, weights=np.asarray(weights, dtype=float), minlength=int(shards)
+        )
+    backend = (
+        machine.backend
+        if machine is not None and not machine.backend.closed
+        else SerialBackend()
+    )
+    supervisor = Supervisor(backend, policy, fault_plan)
+    results, failures = supervisor.submit_batch(
+        _coreset_task, payloads, validate=_coreset_validator(expected)
+    )
+    if machine is not None:
+        survived = [c.costs for c in results if c is not None]
+        if survived:
+            machine.ledger.charge_parallel("shard_coreset", survived)
+        machine.bump_round("shard_coreset")
+    return results, failures

@@ -34,19 +34,33 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.bounds import CoresetBound, composed_coreset_bound
+from repro.analysis.bounds import (
+    CoresetBound,
+    composed_coreset_bound,
+    degraded_coreset_bound,
+)
 from repro.core.kcenter import parallel_kcenter
 from repro.core.kmedian_lagrangian import parallel_kmedian_lagrangian
 from repro.core.local_search import parallel_kmeans, parallel_kmedian
 from repro.core.result import ClusteringSolution
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, ShardFailedError
+from repro.faults.plan import FaultPlan
+from repro.faults.supervisor import NO_RETRY, RetryPolicy
 from repro.metrics.instance import ClusteringInstance
 from repro.metrics.sparse import SparseClusteringInstance
 from repro.pram.ledger import CostSnapshot
 from repro.pram.machine import PramMachine, ensure_machine
-from repro.shard.coreset import build_shard_coresets, farthest_point_seeds
+from repro.shard.coreset import (
+    build_shard_coresets,
+    farthest_point_seeds,
+    supervised_shard_coresets,
+)
 from repro.shard.merge import merge_coresets
 from repro.shard.partition import make_partition, shard_sizes
+from repro.util.validation import check_unit_fraction
+
+#: Accepted ``on_shard_failure`` modes for :func:`shard_and_solve`.
+_FAILURE_MODES = ("raise", "retry", "drop")
 
 
 def _solve_kmedian(instance, machine, epsilon, **kw):
@@ -102,10 +116,21 @@ class ShardSolution:
     rounds: dict = field(default_factory=dict)
     model_costs: CostSnapshot | None = None
     extra: dict = field(default_factory=dict)
+    #: Fault-tolerance accounting (defaults describe a clean run).
+    #: ``degraded`` flags a solve that dropped failed shards and
+    #: proceeded on survivors; ``failed_shards`` lists them,
+    #: ``covered_weight_fraction`` is the demand weight the surviving
+    #: shards represent, and ``failures`` carries the structured
+    #: :class:`repro.faults.TaskFailure` records.
+    degraded: bool = False
+    failed_shards: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+    covered_weight_fraction: float = 1.0
+    failures: list = field(default_factory=list)
 
     def __post_init__(self):
         self.centers = np.asarray(self.centers, dtype=int)
         self.merged_centers = np.asarray(self.merged_centers, dtype=int)
+        self.failed_shards = np.asarray(self.failed_shards, dtype=int)
 
 
 def _gonzalez_warm_start(points: np.ndarray, k: int) -> np.ndarray:
@@ -159,6 +184,10 @@ def shard_and_solve(
     seed=None,
     backend=None,
     machine: PramMachine | None = None,
+    on_shard_failure: str = "raise",
+    retry_policy: RetryPolicy | None = None,
+    coverage_floor: float = 0.5,
+    fault_plan: FaultPlan | None = None,
     **solver_kwargs,
 ) -> ShardSolution:
     """Partition → coreset → merge → solve → map back, in one call.
@@ -198,6 +227,29 @@ def shard_and_solve(
         Standard execution controls; coreset seeding derives from
         ``seed`` through a SeedSequence spawn, so results do not depend
         on how the backend schedules the shard builds.
+    on_shard_failure:
+        What to do when a shard's coreset build terminally fails.
+        ``"raise"`` (default) surfaces the failure as
+        :class:`~repro.errors.ShardFailedError`; ``"retry"`` supervises
+        the builds under ``retry_policy`` (default
+        :class:`~repro.faults.RetryPolicy`) and raises only once the
+        budget is exhausted — because a retried shard reuses its own
+        seed, a recovered run is byte-identical to one that never
+        failed; ``"drop"`` proceeds on surviving shards with a widened,
+        coverage-aware certificate (``degraded=True`` on the result).
+    retry_policy:
+        The :class:`~repro.faults.RetryPolicy` for supervised builds
+        (timeouts, backoff, attempt budget). ``None`` means a default
+        policy for ``"retry"``, fail-fast for the other modes.
+    coverage_floor:
+        Refuse to degrade below this fraction of the total demand
+        weight (in ``(0, 1]``): if surviving shards cover less,
+        ``"drop"`` raises instead of returning garbage.
+    fault_plan:
+        Test/CI hook: a :class:`~repro.faults.FaultPlan` injected into
+        the supervised builds. ``None`` consults ``REPRO_FAULT_PLAN``
+        in the environment (unset = no injection). Any fault plan or
+        retry policy forces the supervised path even for ``"raise"``.
     solver_kwargs:
         Forwarded to the solver entry point (e.g. ``max_rounds``,
         ``initial``, ``max_probes``).
@@ -210,6 +262,18 @@ def shard_and_solve(
     shards = int(shards)
     if shards < 1:
         raise InvalidParameterError(f"shards must be >= 1, got {shards}")
+    if on_shard_failure not in _FAILURE_MODES:
+        raise InvalidParameterError(
+            f"unknown on_shard_failure {on_shard_failure!r}; "
+            f"expected one of {_FAILURE_MODES}"
+        )
+    check_unit_fraction(coverage_floor, name="coverage_floor")
+    if retry_policy is not None and not isinstance(retry_policy, RetryPolicy):
+        raise InvalidParameterError(
+            f"retry_policy must be a RetryPolicy, got {type(retry_policy).__name__}"
+        )
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
 
     # -- identity pipeline: an instance passed straight through --------
     if isinstance(source, (ClusteringInstance, SparseClusteringInstance)):
@@ -267,13 +331,66 @@ def shard_and_solve(
     machine.ledger.charge_basic("shard_partition", n)
     machine.bump_round("shard_partition")
 
-    coresets = build_shard_coresets(
-        points, labels, shards, per_shard,
-        weights=weights, method=coreset, seed=seed, machine=machine,
+    # Supervision is opt-in: the unsupervised path below is byte-for-byte
+    # the historical one, and the supervised path with zero failures runs
+    # the *same* per-shard payloads with the same seeds, so both agree.
+    supervise = (
+        on_shard_failure != "raise"
+        or retry_policy is not None
+        or fault_plan is not None
     )
-    movement = float(sum(c.movement for c in coresets))
+    failed: list[int] = []
+    failures: list = []
+    weights_arr = None if weights is None else np.asarray(weights, dtype=float)
+    if supervise:
+        policy = retry_policy if retry_policy is not None else (
+            RetryPolicy() if on_shard_failure == "retry" else NO_RETRY
+        )
+        coresets, failures = supervised_shard_coresets(
+            points, labels, shards, per_shard,
+            weights=weights, method=coreset, seed=seed, machine=machine,
+            policy=policy, fault_plan=fault_plan,
+        )
+        failed = [s for s, c in enumerate(coresets) if c is None]
+        if failed and on_shard_failure != "drop":
+            raise ShardFailedError(
+                f"{len(failed)} of {shards} shard coreset build(s) failed "
+                f"terminally (shards {failed}); first failure: "
+                f"{failures[0].error}"
+            ) from failures[0].error
+    else:
+        coresets = build_shard_coresets(
+            points, labels, shards, per_shard,
+            weights=weights, method=coreset, seed=seed, machine=machine,
+        )
 
-    merged_n = int(sum(c.size for c in coresets))
+    covered_frac = 1.0
+    failed_mask = None
+    if failed:
+        if len(failed) == shards:
+            raise ShardFailedError(
+                f"every shard failed ({shards}/{shards}); nothing to degrade "
+                f"onto. First failure: {failures[0].error}"
+            ) from failures[0].error
+        failed_mask = np.isin(labels, np.asarray(failed, dtype=np.intp))
+        if weights_arr is None:
+            total_w = float(n)
+            dropped_w = float(np.count_nonzero(failed_mask))
+        else:
+            total_w = float(weights_arr.sum())
+            dropped_w = float(weights_arr[failed_mask].sum())
+        covered_frac = 1.0 - dropped_w / total_w
+        if covered_frac < float(coverage_floor):
+            raise ShardFailedError(
+                f"refusing to degrade: surviving shards cover "
+                f"{covered_frac:.4f} of the demand weight, below "
+                f"coverage_floor={float(coverage_floor):g}"
+            ) from failures[0].error
+
+    survivors = [c for c in coresets if c is not None]
+    movement = float(sum(c.movement for c in survivors))
+
+    merged_n = int(sum(c.size for c in survivors))
     neighbors_eff = int(neighbors)
     if solver == "kcenter":
         # The §6.1 bottleneck search needs the stored graph dominable by
@@ -283,7 +400,7 @@ def shard_and_solve(
         # cheap by construction).
         neighbors_eff = max(neighbors_eff, int(np.ceil(2.0 * merged_n / max(k, 1))) + 1)
     merged, origin, merged_points = merge_coresets(
-        coresets, k, neighbors=neighbors_eff, fallback_slack=fallback_slack
+        survivors, k, neighbors=neighbors_eff, fallback_slack=fallback_slack
     )
     machine.ledger.charge_basic(
         "shard_merge", merged.nnz * int(np.ceil(np.log2(max(merged.nnz, 2))))
@@ -295,7 +412,6 @@ def shard_and_solve(
     sol = run(merged, machine, epsilon, **solver_kwargs)
     merged_centers = np.sort(sol.centers)
     centers = np.sort(origin[merged_centers])
-    weights_arr = None if weights is None else np.asarray(weights, dtype=float)
     true_cost = _true_cost(
         points, weights_arr, merged_points[merged_centers], sol.objective, machine
     )
@@ -307,7 +423,59 @@ def shard_and_solve(
         merged_points, merged.weights, merged_points[merged_centers],
         sol.objective, machine,
     )
-    bound = composed_coreset_bound(ratio_fn(epsilon), movement) if ratio_fn else None
+    extra = {
+        "identity": False,
+        "solver": solver,
+        "partition": partition,
+        "coreset": coreset,
+        "coreset_size": per_shard,
+        "neighbors": neighbors_eff,
+        "merged_n": merged.n,
+        "merged_nnz": merged.nnz,
+        "merged_cost_exact": merged_cost_exact,
+    }
+    if failed:
+        # Degraded accounting: charge each dropped point to its nearest
+        # *surviving* representative. The triangle inequality then gives
+        # the verifiable sandwich (linear distances, k-median family)
+        #   true_cost ≤ merged_cost_exact + movement
+        #               + dropped_movement + dropped_rep_service
+        # where dropped_movement = Σ w_j·d(j, rep(j)) widens the
+        # certificate and dropped_rep_service = Σ w_j·d(rep(j), S) is
+        # already (approximately) paid inside the solved objective.
+        from scipy.spatial import cKDTree
+
+        fp = points[failed_mask]
+        fw = (
+            np.ones(fp.shape[0])
+            if weights_arr is None
+            else weights_arr[failed_mask]
+        )
+        dist_rep, rep_idx = cKDTree(merged_points).query(fp)
+        dropped_movement = float(np.sum(fw * dist_rep))
+        rep_to_center, _ = cKDTree(merged_points[merged_centers]).query(
+            merged_points[rep_idx]
+        )
+        dropped_rep_service = float(np.sum(fw * rep_to_center))
+        machine.ledger.charge_basic(
+            "shard_degraded_account",
+            2 * fp.shape[0] * int(np.ceil(np.log2(max(merged_points.shape[0], 2)))),
+        )
+        machine.bump_round("shard_degraded_account")
+        extra.update(
+            dropped_movement=dropped_movement,
+            dropped_rep_service=dropped_rep_service,
+            dropped_weight=float(np.sum(fw)),
+        )
+        bound = (
+            degraded_coreset_bound(
+                ratio_fn(epsilon), movement, dropped_movement, covered_frac
+            )
+            if ratio_fn
+            else None
+        )
+    else:
+        bound = composed_coreset_bound(ratio_fn(epsilon), movement) if ratio_fn else None
     return ShardSolution(
         centers=centers,
         merged_centers=merged_centers,
@@ -317,22 +485,16 @@ def shard_and_solve(
         solution=sol,
         shards=shards,
         shard_sizes=sizes,
-        coreset_sizes=np.asarray([c.size for c in coresets]),
+        coreset_sizes=np.asarray([0 if c is None else c.size for c in coresets]),
         movement=movement,
         bound=bound,
         rounds=dict(machine.ledger.rounds),
         model_costs=machine.ledger.snapshot(),
-        extra={
-            "identity": False,
-            "solver": solver,
-            "partition": partition,
-            "coreset": coreset,
-            "coreset_size": per_shard,
-            "neighbors": neighbors_eff,
-            "merged_n": merged.n,
-            "merged_nnz": merged.nnz,
-            "merged_cost_exact": merged_cost_exact,
-        },
+        extra=extra,
+        degraded=bool(failed),
+        failed_shards=np.asarray(failed, dtype=int),
+        covered_weight_fraction=covered_frac,
+        failures=failures,
     )
 
 

@@ -4,8 +4,11 @@ from repro.util.rng import ensure_rng, spawn_rngs
 from repro.util.validation import (
     check_epsilon,
     check_k,
+    check_nonnegative,
+    check_positive_float,
     check_positive_int,
     check_probability,
+    check_unit_fraction,
 )
 
 __all__ = [
@@ -13,6 +16,9 @@ __all__ = [
     "spawn_rngs",
     "check_epsilon",
     "check_k",
+    "check_nonnegative",
+    "check_positive_float",
     "check_positive_int",
     "check_probability",
+    "check_unit_fraction",
 ]

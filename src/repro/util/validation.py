@@ -44,3 +44,31 @@ def check_probability(p: float, *, name: str = "p") -> float:
     if not 0.0 <= pp <= 1.0:
         raise InvalidParameterError(f"{name} must be in [0, 1], got {p!r}")
     return pp
+
+
+def check_nonnegative(value: float, *, name: str) -> float:
+    """Validate a finite float ``>= 0`` (delays, jitter fractions)."""
+    v = float(value)
+    if not v >= 0.0 or v != v or v == float("inf"):
+        raise InvalidParameterError(f"{name} must be a finite float >= 0, got {value!r}")
+    return v
+
+
+def check_positive_float(value: float, *, name: str) -> float:
+    """Validate a finite float ``> 0`` (timeouts, backoff bases)."""
+    v = float(value)
+    if not v > 0.0 or v == float("inf"):
+        raise InvalidParameterError(f"{name} must be a finite float > 0, got {value!r}")
+    return v
+
+
+def check_unit_fraction(value: float, *, name: str) -> float:
+    """Validate a fraction in the half-open interval ``(0, 1]``.
+
+    The domain of coverage floors: 0 would accept an answer covering
+    nothing, while exactly 1 ("only a complete answer") is legitimate.
+    """
+    v = float(value)
+    if not 0.0 < v <= 1.0:
+        raise InvalidParameterError(f"{name} must be in (0, 1], got {value!r}")
+    return v

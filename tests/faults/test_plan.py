@@ -1,0 +1,122 @@
+"""FaultPlan/FaultSpec: deterministic fault descriptions and parsing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    apply_fault_after,
+    apply_fault_before,
+    corrupt_result,
+)
+from repro.shard import build_coreset
+
+
+class TestFaultSpec:
+    def test_matches_pins_index_and_attempt(self):
+        spec = FaultSpec("raise", 3, attempt=2)
+        assert spec.matches(3, 2)
+        assert not spec.matches(3, 1)
+        assert not spec.matches(2, 2)
+
+    def test_attempt_none_matches_every_attempt(self):
+        spec = FaultSpec("crash", 0, attempt=None)
+        assert all(spec.matches(0, a) for a in (1, 2, 5))
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(kind="melt", index=0),
+            dict(kind="raise", index=-1),
+            dict(kind="raise", index=0, attempt=0),
+            dict(kind="sleep", index=0, duration=-0.5),
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(InvalidParameterError):
+            FaultSpec(**kw)
+
+
+class TestFaultPlan:
+    def test_lookup_first_match_wins(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("raise", 1), FaultSpec("crash", 1, attempt=None))
+        )
+        assert plan.lookup(1, 1).kind == "raise"
+        assert plan.lookup(1, 2).kind == "crash"
+        assert plan.lookup(0, 1) is None
+
+    def test_single(self):
+        plan = FaultPlan.single("sleep", 2, duration=0.25)
+        assert len(plan) == 1
+        assert plan.lookup(2, 1).duration == 0.25
+
+    def test_rejects_non_spec_entries(self):
+        with pytest.raises(InvalidParameterError):
+            FaultPlan(specs=("crash@1",))
+
+    def test_random_is_seed_deterministic(self):
+        a = FaultPlan.random(42, 10, n_faults=3)
+        b = FaultPlan.random(42, 10, n_faults=3)
+        assert a == b
+        assert len(a) == 3
+        assert len({s.index for s in a.specs}) == 3  # distinct targets
+        assert all(s.kind in ("crash", "raise") for s in a.specs)
+
+    def test_random_validation(self):
+        with pytest.raises(InvalidParameterError):
+            FaultPlan.random(0, 0)
+        with pytest.raises(InvalidParameterError):
+            FaultPlan.random(0, 4, n_faults=5)
+
+
+class TestFromEnv:
+    def test_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "   ")
+        assert FaultPlan.from_env() is None
+
+    def test_grammar(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", "crash@1, sleep@0:0.5, raise@3#2, corrupt@2#*"
+        )
+        plan = FaultPlan.from_env()
+        kinds = [(s.kind, s.index, s.attempt, s.duration) for s in plan.specs]
+        assert kinds == [
+            ("crash", 1, 1, 0.0),
+            ("sleep", 0, 1, 0.5),
+            ("raise", 3, 2, 0.0),
+            ("corrupt", 2, None, 0.0),
+        ]
+
+    @pytest.mark.parametrize("bad", ["explode@1", "crash@x", "crash@1#zero", "crash"])
+    def test_bad_grammar_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", bad)
+        with pytest.raises(InvalidParameterError):
+            FaultPlan.from_env()
+
+
+class TestApplication:
+    def test_raise_fault_fires(self):
+        with pytest.raises(InjectedFaultError):
+            apply_fault_before(FaultSpec("raise", 0))
+
+    def test_none_spec_is_noop(self):
+        apply_fault_before(None)
+        assert apply_fault_after(None, "x") == "x"
+
+    def test_corrupt_negates_coreset_weights(self, rng):
+        coreset = build_coreset(rng.random((40, 2)), 8, seed=0)
+        bad = corrupt_result(coreset)
+        assert np.all(np.asarray(bad.weights) < 0)
+        # the original is untouched (dataclasses.replace copies)
+        assert np.all(np.asarray(coreset.weights) > 0)
+
+    def test_corrupt_bare_array_and_opaque(self):
+        arr = np.ones(3)
+        assert np.array_equal(corrupt_result(arr), -arr)
+        assert corrupt_result("not-an-array") is None

@@ -4,6 +4,9 @@ The pool backends are exercised with a tiny grain so the parallel code
 paths actually run on test-sized arrays.
 """
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -347,3 +350,87 @@ class TestSubmitBatch:
 
         with ThreadBackend(num_workers=2, grain=1) as b:
             assert b.submit_batch(_square, [7]) == [49]
+
+
+# -- submit_batch failure reporting + close-under-in-flight (PR 6) ----------
+
+def _boom_on_two(x):
+    if x == 2:
+        raise ValueError(f"item {x} exploded")
+    return x * x
+
+
+def _slow_square(x):
+    time.sleep(0.03)
+    return x * x
+
+
+class TestSubmitBatchFailures:
+    """The bare ``except Exception`` fix: a failing item re-raises with
+    its batch index attached (``exc.batch_index`` + ``__notes__``) after
+    cancelling the outstanding futures."""
+
+    @pytest.mark.parametrize("cls", [ThreadBackend, ProcessBackend])
+    def test_failure_carries_batch_index_and_note(self, cls):
+        with cls(num_workers=2, grain=1) as b:
+            with pytest.raises(ValueError, match="item 2 exploded") as ei:
+                b.submit_batch(_boom_on_two, [0, 1, 2, 3, 4])
+        assert ei.value.batch_index == 2
+        notes = getattr(ei.value, "__notes__", [])
+        assert any("item 2 of 5" in n and b.name in n for n in notes)
+
+    def test_failure_on_serial_path_also_annotated(self):
+        b = ThreadBackend(num_workers=2, grain=1)
+        b.close()  # forces the pool-less loop
+        with pytest.raises(ValueError) as ei:
+            b.submit_batch(_boom_on_two, [1, 2, 3])
+        assert ei.value.batch_index == 1
+
+    @pytest.mark.parametrize("cls", [ThreadBackend, ProcessBackend])
+    def test_backend_usable_after_batch_failure(self, cls):
+        with cls(num_workers=2, grain=1) as b:
+            with pytest.raises(ValueError):
+                b.submit_batch(_boom_on_two, [2, 3])
+            assert b.submit_batch(_square, [3, 4]) == [9, 16]
+
+
+class TestCloseUnderInflightBatch:
+    """``close()`` racing a live ``submit_batch`` must neither deadlock
+    nor lose results: cancelled tasks are re-run in the caller, so the
+    batch still returns the full, correct output."""
+
+    @pytest.mark.parametrize("cls", [ThreadBackend, ProcessBackend])
+    def test_close_midbatch_drains_and_completes(self, cls):
+        b = cls(num_workers=2, grain=1)
+        out: dict = {}
+
+        def run():
+            out["results"] = b.submit_batch(_slow_square, list(range(12)))
+
+        t = threading.Thread(target=run)
+        t.start()
+        time.sleep(0.05)  # let a few tasks start
+        b.close()  # must return promptly, not deadlock
+        t.join(timeout=30)
+        assert not t.is_alive(), "submit_batch deadlocked against close()"
+        assert out["results"] == [x * x for x in range(12)]
+        assert b.closed and b._pool is None
+
+    def test_close_midbatch_is_reentrant_safe(self):
+        b = ThreadBackend(num_workers=3, grain=1)
+        outs = []
+        threads = [
+            threading.Thread(
+                target=lambda: outs.append(b.submit_batch(_slow_square, range(6)))
+            )
+            for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.04)
+        b.close()
+        b.close()  # idempotent under fire
+        for t in threads:
+            t.join(timeout=30)
+        assert all(not t.is_alive() for t in threads)
+        assert outs == [[x * x for x in range(6)]] * 3
