@@ -32,6 +32,18 @@ Six tiers, one JSON report (committed as ``BENCH_PR3.json`` /
   overhead, and degraded-mode drop (retries disabled) must return a
   coverage-accounted widened certificate in under 2× the unfailed
   wall clock.
+* **shard_scaling, out-of-core tier** (PR 7) — a 10M-point cloud
+  through ``shard_and_solve(..., spill_dir=...)`` on a real process
+  pool: partitioned blocks spill to a :class:`repro.shard.ShardStore`
+  and every downstream pass streams one shard at a time. Records
+  wall-clock and driver **peak RSS** (``/proc/self/status`` VmRSS,
+  sampled) alongside the resident 250k/1M tiers — the acceptance
+  evidence that the 10M tier completes and the driver's residency
+  stays far below the dataset footprint.
+* **kernel_microbench** (PR 7) — the four segmented primitives
+  (scatter_min/scatter_add/segmented_argmin/segmented_scan_add) timed
+  per :mod:`repro.pram.kernels` provider ({numpy, numba-if-present}),
+  each output checked byte-identical against the numpy reference.
 
 Per-round traces are stored as **summary stats** (count/total/first/
 last/median work per round), never as raw per-round sample lists, so
@@ -215,6 +227,142 @@ def _measure_shard(
     return out
 
 
+def _rss_mib() -> float:
+    """Current resident set of this process in MiB (0.0 off-Linux)."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return 0.0
+
+
+def _run_with_peak_rss(fn, interval: float = 0.02):
+    """Run ``fn()`` while a sampler thread tracks the driver's VmRSS.
+
+    Returns ``(result, wall_s, peak_rss_mib)``. Sampling (vs
+    tracemalloc) sees *all* resident pages — memmaps the OS has paged
+    in, shm segments, allocator slack — which is the honest number for
+    an out-of-core claim; tracemalloc only sees Python allocations.
+    """
+    import threading
+
+    stop = threading.Event()
+    peak = [_rss_mib()]
+
+    def _sample():
+        while not stop.is_set():
+            peak[0] = max(peak[0], _rss_mib())
+            stop.wait(interval)
+
+    sampler = threading.Thread(target=_sample, daemon=True)
+    sampler.start()
+    t0 = time.perf_counter()
+    try:
+        result = fn()
+    finally:
+        stop.set()
+        sampler.join()
+    wall = time.perf_counter() - t0
+    peak[0] = max(peak[0], _rss_mib())
+    return result, wall, peak[0]
+
+
+def _measure_shard_store(
+    points, k, *, shards, coreset_size, neighbors, epsilon, seed, workers
+) -> dict:
+    """One out-of-core shard solve on a real process pool: the blocks
+    spill to a ShardStore and the driver streams them, so the recorded
+    peak RSS is the out-of-core residency claim."""
+    import shutil
+    import tempfile
+
+    from repro.pram.backends import ProcessBackend
+    from repro.pram.machine import PramMachine
+    from repro.shard import shard_and_solve
+
+    spill_dir = tempfile.mkdtemp(prefix="repro-shard-store-")
+    try:
+        with ProcessBackend(workers, grain=1) as backend:
+            machine = PramMachine(backend=backend, seed=seed)
+            sol, wall, peak_rss = _run_with_peak_rss(
+                lambda: shard_and_solve(
+                    points, k, shards=shards, coreset_size=coreset_size,
+                    neighbors=neighbors, solver="kmedian", epsilon=epsilon,
+                    seed=seed, machine=machine, spill_dir=spill_dir,
+                )
+            )
+        store_bytes = sum(
+            os.path.getsize(os.path.join(spill_dir, f))
+            for f in os.listdir(spill_dir)
+        )
+    finally:
+        shutil.rmtree(spill_dir, ignore_errors=True)
+    return {
+        "wall_s": wall,
+        "peak_rss_mib": peak_rss,
+        "store_bytes": int(store_bytes),
+        "points_bytes": int(points.nbytes),
+        "workers": int(workers),
+        "ledger_work": sol.model_costs.work,
+        "ledger_depth": sol.model_costs.depth,
+        "cost_merged": sol.cost,
+        "cost_true": sol.true_cost,
+        "movement": sol.movement,
+        "merged_n": sol.extra["merged_n"],
+        "merged_nnz": sol.extra["merged_nnz"],
+        "centers": int(sol.centers.size),
+        "swap_rounds": int(sol.rounds.get("local_search", 0)),
+        "bound": sol.bound.statement if sol.bound else None,
+    }
+
+
+def _measure_kernels(*, n, n_seg, repeats, seed) -> dict:
+    """Per-provider timings of the four segmented primitives, each
+    output checked byte-identical against the numpy reference."""
+    from repro.pram.kernels import (
+        NumpyKernels,
+        available_kernel_providers,
+        make_kernel_provider,
+    )
+
+    rng = np.random.default_rng(seed)
+    values = rng.random(int(n))
+    idx = rng.integers(0, int(n_seg), int(n)).astype(np.intp)
+    indptr = np.concatenate(
+        ([0], np.sort(rng.integers(0, int(n), int(n_seg) - 1)), [int(n)])
+    ).astype(np.intp)
+
+    calls = {
+        "scatter_min": lambda p: p.scatter_min(values, idx, int(n_seg)),
+        "scatter_add": lambda p: p.scatter_add(values, idx, int(n_seg)),
+        "segmented_argmin": lambda p: p.segmented_argmin(values, indptr),
+        "segmented_scan_add": lambda p: p.segmented_scan_add(values, indptr),
+    }
+    ref = NumpyKernels()
+    want = {name: call(ref) for name, call in calls.items()}
+
+    out: dict = {"n": int(n), "segments": int(n_seg)}
+    for spec in available_kernel_providers():
+        provider = make_kernel_provider(spec)
+        entry = {}
+        for name, call in calls.items():
+            got = call(provider)  # warm-up: triggers any JIT compile
+            best = float("inf")
+            for _ in range(max(int(repeats), 1)):
+                t0 = time.perf_counter()
+                got = call(provider)
+                best = min(best, time.perf_counter() - t0)
+            entry[name] = {
+                "wall_s": best,
+                "matches_numpy": bool(np.array_equal(np.asarray(got), want[name])),
+            }
+        out[spec] = entry
+    return out
+
+
 def _measure_fault_recovery(
     points, k, *, shards, coreset_size, neighbors, epsilon, seed, workers, repeats
 ) -> dict:
@@ -327,6 +475,11 @@ def run_sparse_bench(
     shard_backend=None,
     fault_sizes=(250_000,),
     fault_workers: int | None = None,
+    shard_store_sizes=(10_000_000,),
+    shard_store_workers: int | None = None,
+    kernel_micro_n: int = 2_000_000,
+    kernel_micro_segments: int = 4_000,
+    kernel_micro_repeats: int = 3,
 ) -> dict:
     """Run all six tiers and return the report dict (module docstring)."""
     report = {
@@ -354,6 +507,10 @@ def run_sparse_bench(
             "shard_neighbors": shard_neighbors,
             "fault_sizes": list(fault_sizes),
             "fault_workers": fault_workers,
+            "shard_store_sizes": list(shard_store_sizes),
+            "shard_store_workers": shard_store_workers,
+            "kernel_micro_n": kernel_micro_n,
+            "kernel_micro_segments": kernel_micro_segments,
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -514,6 +671,41 @@ def run_sparse_bench(
             "shard": measured,
         }
 
+    # -- shard scaling, out-of-core: blocks on disk, driver streams ---------
+    store_workers = (
+        shard_store_workers
+        if shard_store_workers is not None
+        else min(4, max(2, os.cpu_count() or 1))
+    )
+    for name, pts, k_pts in shard_scaling_suite(seed, sizes=shard_store_sizes, k=shard_k):
+        n = pts.shape[0]
+        measured = _measure_shard_store(
+            pts, k_pts,
+            shards=shard_shards, coreset_size=shard_coreset_size,
+            neighbors=shard_neighbors, epsilon=clustering_epsilon,
+            seed=machine_seed, workers=store_workers,
+        )
+        report["shard_scaling"][f"{name}-store"] = {
+            "n": n,
+            "k": k_pts,
+            "shards": shard_shards,
+            "coreset_size": shard_coreset_size,
+            "mode": "store",
+            "dense_bytes": n * n * 8,
+            "dense_feasible": bool(n * n * 8 <= budget_gib * 2**30),
+            "single_csr_bytes": 2 * clustering_neighbors * n * 8 * 5,
+            "single_csr_feasible": bool(
+                2 * clustering_neighbors * n * 8 * 5 <= budget_gib * 2**30
+            ),
+            "shard": measured,
+        }
+
+    # -- kernel microbench: the provider matrix on one big workload --------
+    report["kernel_microbench"] = _measure_kernels(
+        n=kernel_micro_n, n_seg=kernel_micro_segments,
+        repeats=kernel_micro_repeats, seed=seed,
+    )
+
     # -- fault recovery: the same shard workload under injected crashes ----
     for name, pts, k_pts in shard_scaling_suite(seed, sizes=fault_sizes, k=shard_k):
         report["fault_recovery"][name] = _measure_fault_recovery(
@@ -585,6 +777,18 @@ def main(argv=None) -> None:
              "(default: cpu_count, the backend default)",
     )
     parser.add_argument(
+        "--shard-store-scaling",
+        default="10000000",
+        help="comma-separated out-of-core shard-tier point counts",
+    )
+    parser.add_argument(
+        "--shard-store-workers", type=int, default=None,
+        help="process-pool workers for the out-of-core tier "
+             "(default: min(4, max(2, cpu_count)))",
+    )
+    parser.add_argument("--kernel-micro-n", type=int, default=2_000_000)
+    parser.add_argument("--kernel-micro-segments", type=int, default=4_000)
+    parser.add_argument(
         "--fast",
         action="store_true",
         help="CI smoke sizes (overlap 400/300, scaling 2000/5000, 1 repeat)",
@@ -604,6 +808,8 @@ def main(argv=None) -> None:
         shard_shards, shard_coreset = 4, 128
         shard_k = 8
         fault_scaling = (20_000,)
+        shard_store_scaling = (20_000,)
+        kernel_micro_n, kernel_micro_segments = 100_000, 500
         repeats = 1
     else:
         overlap = _sizes(args.overlap)
@@ -614,6 +820,9 @@ def main(argv=None) -> None:
         shard_shards, shard_coreset = args.shard_shards, args.shard_coreset_size
         shard_k = args.shard_k
         fault_scaling = _sizes(args.fault_scaling)
+        shard_store_scaling = _sizes(args.shard_store_scaling)
+        kernel_micro_n = args.kernel_micro_n
+        kernel_micro_segments = args.kernel_micro_segments
         repeats = args.repeats
 
     report = run_sparse_bench(
@@ -636,6 +845,10 @@ def main(argv=None) -> None:
         shard_backend=args.shard_backend,
         fault_sizes=fault_scaling,
         fault_workers=args.fault_workers,
+        shard_store_sizes=shard_store_scaling,
+        shard_store_workers=args.shard_store_workers,
+        kernel_micro_n=kernel_micro_n,
+        kernel_micro_segments=kernel_micro_segments,
     )
     for name, entry in report["overlap"].items():
         for algorithm in _ALGORITHMS:
@@ -688,10 +901,28 @@ def main(argv=None) -> None:
             notes.append(
                 f"{label} " + ("feasible" if entry[key] else f"INFEASIBLE ({entry[bkey] / 2**30:.1f} GiB)")
             )
+        if "peak_rss_mib" in sh:
+            notes.append(
+                f"peak RSS {sh['peak_rss_mib']:.0f} MiB "
+                f"(store {sh['store_bytes'] / 2**20:.0f} MiB on disk)"
+            )
         print(
             f"{name}: shard_and_solve {sh['wall_s']:.1f}s | true cost {sh['cost_true']:.4g} "
             f"(merged {sh['cost_merged']:.4g}, movement {sh['movement']:.3g}) | "
             f"merged {sh['merged_n']} nodes | " + " | ".join(notes)
+        )
+    micro = report.get("kernel_microbench", {})
+    for spec, entry in micro.items():
+        if spec in ("n", "segments"):
+            continue
+        parts = [
+            f"{kname} {kentry['wall_s'] * 1e3:.1f}ms"
+            + ("" if kentry["matches_numpy"] else " MISMATCH")
+            for kname, kentry in entry.items()
+        ]
+        print(
+            f"kernels[{spec}] n={micro['n']} segs={micro['segments']}: "
+            + " | ".join(parts)
         )
     for name, entry in report["fault_recovery"].items():
         print(

@@ -46,7 +46,6 @@ pipeline guarantees this by deriving each task's seed from a
 
 from __future__ import annotations
 
-import pickle
 import time
 from concurrent.futures import BrokenExecutor, CancelledError
 from concurrent.futures import TimeoutError as _FuturesTimeout
@@ -68,6 +67,7 @@ from repro.faults.plan import (
     apply_fault_after,
     apply_fault_before,
 )
+from repro.pram.backends import _unpack_value, fn_picklable, pack_batch_items
 from repro.util.validation import (
     check_nonnegative,
     check_positive_float,
@@ -167,11 +167,16 @@ def _supervised_call(payload):
     """Run one supervised task inside a worker (module-level: must
     pickle to process pools). Stamps the sentinel flag array — shared
     memory attached by name — at start and finish, applies the injected
-    fault (if any) around the real function."""
-    fn, item, spec, flags_name, slot = payload
+    fault (if any) around the real function. ``packed`` marks an item
+    whose ndarrays crossed by shared-memory name (zero-copy process
+    transport); it is materialized into read-only views here, under the
+    same tracker suppression as the flags segment — the parent owns
+    every segment's lifetime."""
+    fn, item, spec, flags_name, slot, packed = payload
     shm = None
     flags = None
-    if flags_name is not None:
+    item_shms: list = []
+    if flags_name is not None or packed:
         # On this Python, *attaching* registers the segment with the
         # resource tracker, so a worker killed mid-task (the exact
         # event we supervise) would leave a dangling registration that
@@ -182,12 +187,16 @@ def _supervised_call(payload):
         orig_register = resource_tracker.register
         resource_tracker.register = lambda *a, **k: None
         try:
-            shm = shared_memory.SharedMemory(name=flags_name)
-        except (FileNotFoundError, OSError):
-            # The segment vanished (parent already tore the round
-            # down): run unstamped — worst case the task is reported
-            # as a suspect and re-proven in isolation.
-            shm = None
+            if flags_name is not None:
+                try:
+                    shm = shared_memory.SharedMemory(name=flags_name)
+                except (FileNotFoundError, OSError):
+                    # The segment vanished (parent already tore the round
+                    # down): run unstamped — worst case the task is reported
+                    # as a suspect and re-proven in isolation.
+                    shm = None
+            if packed:
+                item = _unpack_value(item, item_shms)
         finally:
             resource_tracker.register = orig_register
         if shm is not None:
@@ -200,6 +209,8 @@ def _supervised_call(payload):
             flags[slot] = _FINISHED
         return result
     finally:
+        for item_shm in item_shms:
+            item_shm.close()
         if shm is not None:
             shm.close()
 
@@ -357,9 +368,7 @@ class Supervisor:
         if pool is None or getattr(backend, "closed", False):
             return self._run_inline(fn, items, pending, attempts)
         if getattr(backend, "_batch_requires_pickle", False):
-            try:
-                pickle.dumps(fn)
-            except Exception:
+            if not fn_picklable(fn):
                 return self._run_inline(fn, items, pending, attempts)
             return self._run_pool(fn, items, pending, attempts, pool, sentinel=True)
         return self._run_pool(fn, items, pending, attempts, pool, sentinel=False)
@@ -373,7 +382,7 @@ class Supervisor:
             spec = self._spec(idx, attempts[idx])
             t0 = time.perf_counter()
             try:
-                value = _supervised_call((fn, items[idx], spec, None, 0))
+                value = _supervised_call((fn, items[idx], spec, None, 0, False))
             except Exception as exc:
                 outcomes.append(
                     _Outcome(
@@ -408,16 +417,25 @@ class Supervisor:
             flags_shm = shared_memory.SharedMemory(create=True, size=max(len(pending), 1))
             flags = np.ndarray((flags_shm.size,), dtype=np.uint8, buffer=flags_shm.buf)
             flags[:] = _IDLE
+        # Zero-copy item transport rides under supervision unchanged:
+        # when the backend moves batch items by shared memory, pack the
+        # round's items here and let _supervised_call materialize them.
+        packed = sentinel and getattr(self.backend, "_batch_shm_items", False)
+        item_shms: list = []
+        round_items = [items[idx] for idx in pending]
         try:
+            if packed:
+                round_items, _ = pack_batch_items(round_items, item_shms)
             futures = []
             for slot, idx in enumerate(pending):
                 spec = self._spec(idx, attempts[idx])
                 payload = (
                     fn,
-                    items[idx],
+                    round_items[slot],
                     spec,
                     flags_shm.name if sentinel else None,
                     slot,
+                    packed,
                 )
                 try:
                     futures.append(pool.submit(_supervised_call, payload))
@@ -499,6 +517,12 @@ class Supervisor:
                     respawn()
             return raw
         finally:
+            for item_shm in item_shms:
+                item_shm.close()
+                try:
+                    item_shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - defensive
+                    pass
             if flags_shm is not None:
                 flags_shm.close()
                 try:

@@ -14,13 +14,27 @@ the weights — which would mis-evaluate every objective. Readers here
 reject archives from a newer schema, and reject kind/version
 mismatches (a weighted kind without a ``version ≥ 2`` stamp, or a
 legacy kind smuggling weight arrays) explicitly.
+
+**Large instances.** ``save_instance(..., compressed=False)`` writes an
+uncompressed archive — same schema, same member names, just ``ZIP_STORED``
+entries — because deflate dominates save time at 1M+ points. Uncompressed
+archives can additionally be *memory-mapped*: ``load_instance(path,
+mmap_mode="r")`` parses each member's position inside the zip and hands
+the instance ``np.memmap`` views of the raw ``.npy`` payload bytes, so
+loading touches no array data until a solver reads it (the out-of-core
+entry point of the shard pipeline).
 """
 
 from __future__ import annotations
 
-import numpy as np
+import os
+import struct
+import zipfile
 
-from repro.errors import InvalidInstanceError
+import numpy as np
+from numpy.lib import format as _npy_format
+
+from repro.errors import InvalidInstanceError, InvalidParameterError
 from repro.metrics.instance import ClusteringInstance, FacilityLocationInstance
 from repro.metrics.space import MetricSpace
 from repro.metrics.sparse import SparseClusteringInstance, SparseFacilityLocationInstance
@@ -43,8 +57,15 @@ _WEIGHTED_KINDS = frozenset(
 _WEIGHT_FIELDS = ("weights", "client_weights")
 
 
-def save_instance(path, instance) -> None:
-    """Write an instance to ``path`` as an ``.npz`` archive."""
+def save_instance(path, instance, *, compressed: bool = True) -> None:
+    """Write an instance to ``path`` as an ``.npz`` archive.
+
+    ``compressed=False`` writes ``ZIP_STORED`` members instead of
+    deflated ones — identical schema and member names, so every reader
+    works on both — trading disk size for save speed (compression
+    dominates wall-clock at 1M+ points) and enabling memory-mapped
+    loading via ``load_instance(path, mmap_mode=...)``.
+    """
     if isinstance(instance, FacilityLocationInstance):
         payload = {
             "kind": np.asarray(_KIND_FL),
@@ -95,7 +116,10 @@ def save_instance(path, instance) -> None:
     else:
         raise InvalidInstanceError(f"cannot save object of type {type(instance).__name__}")
     payload["version"] = np.asarray(SCHEMA_VERSION)
-    np.savez_compressed(path, **payload)
+    if compressed:
+        np.savez_compressed(path, **payload)
+    else:
+        np.savez(path, **payload)
 
 
 def _check_schema(data, kind: str, path) -> None:
@@ -137,49 +161,148 @@ def _check_schema(data, kind: str, path) -> None:
         )
 
 
-def load_instance(path):
-    """Read an instance previously written by :func:`save_instance`."""
-    with np.load(path, allow_pickle=False) as data:
-        kind = str(data["kind"])
-        _check_schema(data, kind, path)
-        base_kind = kind[: -len(_WEIGHTED_SUFFIX)] if kind in _WEIGHTED_KINDS else kind
-        weights = data["weights"] if "weights" in data else None
-        client_weights = data["client_weights"] if "client_weights" in data else None
-        if base_kind == _KIND_FL:
-            if "metric_D" in data:
-                metric = MetricSpace(data["metric_D"], validate=False)
-                return FacilityLocationInstance(
-                    data["D"],
-                    data["f"],
-                    metric=metric,
-                    facility_ids=data["facility_ids"],
-                    client_ids=data["client_ids"],
-                    client_weights=client_weights,
+#: ``mmap_mode`` values accepted by :func:`load_instance`. ``r+`` is
+#: deliberately rejected: the maps point *into the archive file*, so a
+#: writable map would corrupt the zip structure around the payload.
+_MMAP_MODES = ("r", "c")
+
+
+def _read_npy_header(fh):
+    """``(shape, fortran, dtype, header_size)`` of the ``.npy`` stream
+    at ``fh``'s current position (consumes exactly the header)."""
+    version = _npy_format.read_magic(fh)
+    if version == (1, 0):
+        shape, fortran, dtype = _npy_format.read_array_header_1_0(fh)
+    elif version == (2, 0):
+        shape, fortran, dtype = _npy_format.read_array_header_2_0(fh)
+    else:  # pragma: no cover - numpy writes 1.0/2.0 for plain arrays
+        raise InvalidInstanceError(
+            f"unsupported .npy format version {version} for memory-mapping"
+        )
+    return shape, fortran, dtype, fh.tell()
+
+
+def _mmap_npz_members(path, mmap_mode: str) -> dict:
+    """Memory-map every array member of an *uncompressed* ``.npz``.
+
+    ``np.load``'s ``mmap_mode`` silently ignores zip archives, so this
+    walks the archive itself: for each ``ZIP_STORED`` member, the
+    payload's absolute file offset is the member's local-header offset
+    plus the (30-byte fixed + variable name/extra) local header — read
+    from the *local* header, whose extra field legitimately differs
+    from the central directory's — plus the ``.npy`` header; the array
+    is then an ``np.memmap`` straight into the archive file. 0-d
+    members (kind/version/scalars) are read eagerly — there is nothing
+    to stream.
+    """
+    out: dict = {}
+    with zipfile.ZipFile(path) as zf, open(path, "rb") as raw:
+        for info in zf.infolist():
+            if not info.filename.endswith(".npy"):  # pragma: no cover - defensive
+                continue
+            name = info.filename[: -len(".npy")]
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise InvalidInstanceError(
+                    f"{path} member {info.filename!r} is compressed and cannot "
+                    "be memory-mapped; rewrite the archive with "
+                    "save_instance(..., compressed=False) or load without "
+                    "mmap_mode"
                 )
-            return FacilityLocationInstance(
-                data["D"], data["f"], client_weights=client_weights
+            with zf.open(info) as fh:
+                shape, fortran, dtype, header_size = _read_npy_header(fh)
+            if dtype.hasobject:  # pragma: no cover - schema stores no objects
+                raise InvalidInstanceError(
+                    f"{path} member {info.filename!r} holds objects; refusing "
+                    "to memory-map"
+                )
+            if shape == ():
+                with zf.open(info) as fh:
+                    out[name] = _npy_format.read_array(fh, allow_pickle=False)
+                continue
+            raw.seek(info.header_offset + 26)
+            fname_len, extra_len = struct.unpack("<HH", raw.read(4))
+            data_offset = (
+                info.header_offset + 30 + fname_len + extra_len + header_size
             )
-        if base_kind == _KIND_SPARSE_FL:
-            return SparseFacilityLocationInstance(
-                data["indptr"],
-                data["indices"],
-                data["data"],
+            out[name] = np.memmap(
+                path,
+                dtype=dtype,
+                shape=shape,
+                order="F" if fortran else "C",
+                mode=mmap_mode,
+                offset=data_offset,
+            )
+    return out
+
+
+def load_instance(path, *, mmap_mode: str | None = None):
+    """Read an instance previously written by :func:`save_instance`.
+
+    ``mmap_mode`` (``"r"`` read-only or ``"c"`` copy-on-write) hands
+    the instance ``np.memmap`` views into the archive instead of
+    resident arrays — no array data is read until used. Requires an
+    uncompressed archive (``save_instance(..., compressed=False)``);
+    a compressed one is rejected with instructions, never silently
+    loaded resident.
+    """
+    if mmap_mode is not None:
+        if mmap_mode not in _MMAP_MODES:
+            raise InvalidParameterError(
+                f"mmap_mode must be one of {_MMAP_MODES} (or None), "
+                f"got {mmap_mode!r}"
+            )
+        if not isinstance(path, (str, os.PathLike)):
+            raise InvalidParameterError(
+                "mmap_mode requires a filesystem path, not a file object"
+            )
+        return _build_instance(_mmap_npz_members(path, mmap_mode), path)
+    with np.load(path, allow_pickle=False) as data:
+        return _build_instance(data, path)
+
+
+def _build_instance(data, path):
+    """Shared kind dispatch over a mapping of payload arrays (an open
+    ``NpzFile`` or the memmap-member dict)."""
+    kind = str(data["kind"])
+    _check_schema(data, kind, path)
+    base_kind = kind[: -len(_WEIGHTED_SUFFIX)] if kind in _WEIGHTED_KINDS else kind
+    weights = data["weights"] if "weights" in data else None
+    client_weights = data["client_weights"] if "client_weights" in data else None
+    if base_kind == _KIND_FL:
+        if "metric_D" in data:
+            metric = MetricSpace(data["metric_D"], validate=False)
+            return FacilityLocationInstance(
+                data["D"],
                 data["f"],
-                n_clients=int(data["n_clients"]),
-                fallback=data["fallback"],
+                metric=metric,
+                facility_ids=data["facility_ids"],
+                client_ids=data["client_ids"],
                 client_weights=client_weights,
             )
-        if base_kind == _KIND_SPARSE_CLUSTER:
-            return SparseClusteringInstance(
-                data["indptr"],
-                data["indices"],
-                data["data"],
-                int(data["k"]),
-                fallback=data["fallback"],
-                weights=weights,
-            )
-        if base_kind == _KIND_CLUSTER:
-            return ClusteringInstance(
-                MetricSpace(data["D"], validate=False), int(data["k"]), weights=weights
-            )
+        return FacilityLocationInstance(
+            data["D"], data["f"], client_weights=client_weights
+        )
+    if base_kind == _KIND_SPARSE_FL:
+        return SparseFacilityLocationInstance(
+            data["indptr"],
+            data["indices"],
+            data["data"],
+            data["f"],
+            n_clients=int(data["n_clients"]),
+            fallback=data["fallback"],
+            client_weights=client_weights,
+        )
+    if base_kind == _KIND_SPARSE_CLUSTER:
+        return SparseClusteringInstance(
+            data["indptr"],
+            data["indices"],
+            data["data"],
+            int(data["k"]),
+            fallback=data["fallback"],
+            weights=weights,
+        )
+    if base_kind == _KIND_CLUSTER:
+        return ClusteringInstance(
+            MetricSpace(data["D"], validate=False), int(data["k"]), weights=weights
+        )
     raise InvalidInstanceError(f"unrecognized instance kind {kind!r} in {path}")

@@ -45,6 +45,7 @@ import pickle
 import sys
 import threading
 import types
+import weakref
 from concurrent.futures import (
     CancelledError,
     ProcessPoolExecutor,
@@ -97,6 +98,37 @@ def _axpy_kernel(a, x, y, clamp_min, mask, fill):
     if mask is not None:
         out = np.where(mask, out, fill)
     return out
+
+
+_PICKLABLE_FNS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def fn_picklable(fn) -> bool:
+    """Whether ``fn`` survives ``pickle.dumps`` — cached per function.
+
+    ``submit_batch`` (and the faults supervisor on top of it) probes the
+    task callable before every process-pool fan-out; serializing the
+    same module-level function once per batch is pure waste, so the
+    verdict is memoized in a :class:`weakref.WeakKeyDictionary` (no
+    lifetime extension — a function that dies drops its entry).
+    Callables that resist weak references fall back to a direct probe.
+    """
+    try:
+        cached = _PICKLABLE_FNS.get(fn)
+    except TypeError:
+        cached = None
+    if cached is not None:
+        return cached
+    try:
+        pickle.dumps(fn)
+        ok = True
+    except Exception:
+        ok = False
+    try:
+        _PICKLABLE_FNS[fn] = ok
+    except TypeError:
+        pass
+    return ok
 
 
 class Backend:
@@ -221,6 +253,11 @@ class _BlockedBackend(Backend):
     #: gates submit_batch's fn-picklability probe.
     _batch_requires_pickle = False
 
+    #: Whether submit_batch moves ndarray item arguments by
+    #: shared-memory segment name instead of pickled value (process
+    #: pools with ``shm_items=True``).
+    _batch_shm_items = False
+
     def __init__(self, num_workers: int | None = None, *, grain: int):
         workers = num_workers if num_workers is not None else (os.cpu_count() or 1)
         if workers < 1:
@@ -318,8 +355,13 @@ class _BlockedBackend(Backend):
         Unlike the element-count dispatch of the kernels, batches go to
         the pool whenever it exists and there is more than one task —
         per-shard jobs are coarse by construction. On a process pool an
-        unpicklable ``fn`` is detected by a ``pickle.dumps`` probe
-        *before* anything runs and falls back to the serial loop.
+        unpicklable ``fn`` is detected by a (per-function cached)
+        ``pickle.dumps`` probe *before* anything runs and falls back to
+        the serial loop. When the backend transports items by shared
+        memory (:class:`ProcessBackend` with ``shm_items=True``), large
+        ndarrays inside each item cross by segment name — the pickled
+        task payload carries only refs — and results are byte-identical
+        to the pickled transport (the parity suite asserts it).
 
         Failure contract (pinned by the backend test suite):
 
@@ -337,44 +379,58 @@ class _BlockedBackend(Backend):
             pool = None if self._closed else self._pool
         if pool is None or len(items) < 2:
             return self._serial_batch(fn, items)
-        if self._batch_requires_pickle:
-            try:
-                pickle.dumps(fn)
-            except Exception:
-                return self._serial_batch(fn, items)
-        try:
-            with self._lock:
-                if self._closed or self._pool is None:
-                    raise RuntimeError("backend closed under submit_batch")
-                futures = [self._pool.submit(fn, item) for item in items]
-                self._inflight.update(futures)
-        except RuntimeError:
-            # Closed (or pool shut down) between the check and the
-            # submit: honor the use-after-close contract serially.
+        if self._batch_requires_pickle and not fn_picklable(fn):
             return self._serial_batch(fn, items)
+        item_shms: list = []
         try:
-            results: list = [None] * len(items)
-            for i, fut in enumerate(futures):
-                try:
-                    results[i] = fut.result()
-                except CancelledError:
-                    # close() cancelled it before it started — run the
-                    # item serially, its one and only execution.
+            if self._batch_shm_items:
+                packed_items, _ = pack_batch_items(items, item_shms)
+            try:
+                with self._lock:
+                    if self._closed or self._pool is None:
+                        raise RuntimeError("backend closed under submit_batch")
+                    if self._batch_shm_items:
+                        futures = [
+                            self._pool.submit(_shm_batch_call, fn, packed)
+                            for packed in packed_items
+                        ]
+                    else:
+                        futures = [self._pool.submit(fn, item) for item in items]
+                    self._inflight.update(futures)
+            except RuntimeError:
+                # Closed (or pool shut down) between the check and the
+                # submit: honor the use-after-close contract serially.
+                return self._serial_batch(fn, items)
+            try:
+                results: list = [None] * len(items)
+                for i, fut in enumerate(futures):
                     try:
-                        results[i] = fn(items[i])
+                        results[i] = fut.result()
+                    except CancelledError:
+                        # close() cancelled it before it started — run the
+                        # item serially, its one and only execution.
+                        try:
+                            results[i] = fn(items[i])
+                        except Exception as exc:
+                            self._annotate_batch_failure(exc, i, len(items))
+                            raise
                     except Exception as exc:
+                        for later in futures[i + 1:]:
+                            later.cancel()
+                        wait(futures[i + 1:])
                         self._annotate_batch_failure(exc, i, len(items))
                         raise
-                except Exception as exc:
-                    for later in futures[i + 1:]:
-                        later.cancel()
-                    wait(futures[i + 1:])
-                    self._annotate_batch_failure(exc, i, len(items))
-                    raise
-            return results
+                return results
+            finally:
+                with self._lock:
+                    self._inflight.difference_update(futures)
         finally:
-            with self._lock:
-                self._inflight.difference_update(futures)
+            # By here every future is done or cancelled-before-start
+            # (the result loop waits them out on all paths), so no
+            # worker is mid-attach: unlinking the item segments is safe.
+            for shm in item_shms:
+                shm.close()
+                shm.unlink()
 
     def _annotate_batch_failure(self, exc, index: int, total: int) -> None:
         """Attach the failing item's position to a batch exception —
@@ -603,6 +659,100 @@ def _attach_array(spec):
     return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
 
 
+#: Arrays below this many bytes ride along pickled inside the task —
+#: a shm segment (create + copy + attach round-trip) costs more than
+#: pickling a few KiB of data.
+SHM_ITEM_MIN_BYTES = 1 << 15
+
+
+class _ShmItemRef:
+    """Placeholder for an ndarray moved into a shared-memory segment.
+
+    Travels inside the pickled batch-task payload in place of the
+    array; the worker swaps it back for a read-only view of the
+    segment (see :func:`_shm_batch_call`).
+    """
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec):
+        self.spec = spec
+
+    def __reduce__(self):
+        return (_ShmItemRef, (self.spec,))
+
+
+def _pack_value(value, shms: list, seen: dict):
+    if isinstance(value, np.ndarray):
+        if value.dtype.hasobject or value.nbytes < SHM_ITEM_MIN_BYTES:
+            return value
+        ref = seen.get(id(value))
+        if ref is None:
+            shm, spec = _share_array(value)
+            shms.append(shm)
+            ref = _ShmItemRef(spec)
+            seen[id(value)] = ref
+        return ref
+    if isinstance(value, tuple):
+        return tuple(_pack_value(v, shms, seen) for v in value)
+    if isinstance(value, list):
+        return [_pack_value(v, shms, seen) for v in value]
+    if isinstance(value, dict):
+        return {k: _pack_value(v, shms, seen) for k, v in value.items()}
+    return value
+
+
+def pack_batch_items(items, shms: list | None = None):
+    """Replace every large ndarray inside ``items`` with a shm ref.
+
+    Tuples, lists, and dicts are walked recursively; anything else
+    passes through pickled as-is. Returns ``(packed_items, segments)``
+    — the caller owns the segments and must close + unlink them once
+    the batch has drained. An array object appearing in several items
+    is shared through a single segment. Passing ``shms`` lets the
+    caller observe segments created *before* a mid-pack failure (they
+    are appended as created), so nothing leaks on that path.
+    """
+    if shms is None:
+        shms = []
+    seen: dict = {}
+    return [_pack_value(item, shms, seen) for item in items], shms
+
+
+def _unpack_value(value, shms: list):
+    if isinstance(value, _ShmItemRef):
+        shm, arr = _attach_array(value.spec)
+        shms.append(shm)
+        arr.flags.writeable = False
+        return arr
+    if isinstance(value, tuple):
+        return tuple(_unpack_value(v, shms) for v in value)
+    if isinstance(value, list):
+        return [_unpack_value(v, shms) for v in value]
+    if isinstance(value, dict):
+        return {k: _unpack_value(v, shms) for k, v in value.items()}
+    return value
+
+
+def _shm_batch_call(fn, packed):
+    """Worker-side batch shim: rebuild the item (shared-memory refs →
+    read-only array views) and run ``fn`` on it.
+
+    Contract: ``fn`` must not return live views of its item arrays —
+    the segments close when this call returns, *before* the result
+    pickles back to the parent. Task functions in this codebase return
+    fancy-indexed (hence copied) arrays, so the contract holds by
+    construction; it is the same contract the pickled transport imposed
+    implicitly (pickling a view copies it).
+    """
+    shms: list = []
+    try:
+        return fn(_unpack_value(packed, shms))
+    finally:
+        for shm in shms:
+            shm.close()
+
+
 def _pool_task(kind, out_spec, out_index, in_specs, sl, payload):
     """One row-block task, executed inside a worker process.
 
@@ -695,6 +845,12 @@ class ProcessBackend(_BlockedBackend):
         ``multiprocessing`` start method; ``"fork"`` (default) lets
         workers inherit loaded modules, which the lambda transport
         relies on. Falls back to the platform default when unavailable.
+    shm_items:
+        When true (the default), :meth:`submit_batch` moves large
+        ndarrays inside each item by shared-memory segment name —
+        zero-copy end-to-end, never a pickled point block. ``False``
+        restores the pickled transport; the equivalence suite certifies
+        both byte-identical.
     """
 
     name = "process"
@@ -706,8 +862,10 @@ class ProcessBackend(_BlockedBackend):
         *,
         grain: int = 1 << 16,
         mp_context: str | None = "fork",
+        shm_items: bool = True,
     ):
         self._mp_context = mp_context
+        self._batch_shm_items = bool(shm_items)
         super().__init__(num_workers, grain=grain)
 
     def _make_pool(self):

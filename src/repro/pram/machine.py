@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.errors import InvalidParameterError
 from repro.pram.backends import Backend, resolve_backend_name, shared_backend
+from repro.pram.kernels import KernelProvider, shared_kernel_provider
 from repro.pram.ledger import CostLedger, CostSnapshot
 from repro.pram.operators import AssociativeOp, get_operator
 from repro.util.rng import ensure_rng
@@ -84,6 +85,13 @@ class PramMachine:
         Cost accumulator; a fresh :class:`CostLedger` by default.
     seed:
         Seed/Generator for the machine's random primitives.
+    kernels:
+        Segmented scatter/scan kernel provider: a
+        :class:`~repro.pram.kernels.KernelProvider` instance, a provider
+        name (``"numpy"``/``"numba"``), or ``None`` for the environment
+        default (``REPRO_KERNELS``, numpy unless set). Providers are
+        byte-identical by contract — swapping one moves wall-clock only;
+        ledger charges are computed here, never inside a provider.
     """
 
     def __init__(
@@ -91,6 +99,7 @@ class PramMachine:
         backend: "Backend | str | None" = None,
         ledger: CostLedger | None = None,
         seed=None,
+        kernels: "KernelProvider | str | None" = None,
     ):
         if backend is None or isinstance(backend, str):
             self.backend = shared_backend(backend)
@@ -98,6 +107,7 @@ class PramMachine:
         else:
             self.backend = backend
             self._owns_backend = True
+        self.kernels = shared_kernel_provider(kernels)
         self.ledger = ledger if ledger is not None else CostLedger()
         self.rng = ensure_rng(seed)
 
@@ -374,35 +384,36 @@ class PramMachine:
             return values.copy()
         # Preserve the input dtype so uniform and ragged structures give
         # consistent results (bool accumulates through int, like the
-        # dense scan kernel's add.accumulate would).
-        out = values.astype(np.int_ if values.dtype.kind == "b" else values.dtype, copy=True)
-        # Longest-first segment order makes "segments still live at
-        # position k" a shrinking prefix, so each position advances with
-        # one gather-add over exactly those segments: Σ_k |live_k| = nnz.
-        order = np.argsort(-lens, kind="stable")
-        sorted_lens = lens[order]
-        sorted_starts = indptr[:-1][order]
-        neg_lens = -sorted_lens
-        for pos in range(1, int(sorted_lens[0]) if sorted_lens.size else 0):
-            live = int(np.searchsorted(neg_lens, -pos, side="left"))  # len > pos
-            idx = sorted_starts[:live] + pos
-            out[idx] += out[idx - 1]
+        # dense scan kernel's add.accumulate would). The provider
+        # accumulates left-to-right within each segment — bit-identical
+        # to a sequential per-segment pass on every provider.
+        prepared = values.astype(
+            np.int_ if values.dtype.kind == "b" else values.dtype, copy=False
+        )
+        out = self.kernels.segmented_scan_add(prepared, indptr)
         self.ledger.charge_basic("segmented_scan[add]", max(values.size + n_seg, 1))
-        return out
+        return np.asarray(out)
 
     def segmented_argmin(self, values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
         """Flat position of the first per-segment minimum (−1 if empty).
 
         A min-reduction carrying indices: segment minima, an equality
         map, and a position min — three basic operations, ``O(nnz)``.
+        Executed by the kernel provider; charged here as the reference
+        composition (two segmented min-reductions, a spread, two maps),
+        so ledger totals are provider-invariant.
         """
         values = np.asarray(values)
         indptr = np.asarray(indptr, dtype=np.intp)
-        seg_min = self.segmented_reduce(values, indptr, "min")
-        hit = self.map(lambda v, m: v == m, values, self.segment_spread(seg_min, indptr))
-        pos = self.where(hit, np.arange(values.size, dtype=float), np.inf)
-        first = self.segmented_reduce(pos, indptr, "min")
-        return np.where(np.isfinite(first), first, -1.0).astype(np.intp)
+        n_seg = indptr.size - 1
+        out = self.kernels.segmented_argmin(values, indptr)
+        self.ledger.charge_basic("segmented_reduce[min]", max(values.size + n_seg, 1))
+        self.ledger.charge_basic("segment_spread", max(values.size, 1), depth=1)
+        if values.size:
+            self.ledger.charge_basic("map", values.size, depth=1)
+            self.ledger.charge_basic("map", values.size, depth=1)
+        self.ledger.charge_basic("segmented_reduce[min]", max(values.size + n_seg, 1))
+        return np.asarray(out)
 
     def segment_positions(
         self, indptr: np.ndarray, rows: np.ndarray
@@ -455,10 +466,9 @@ class PramMachine:
             raise InvalidParameterError(
                 f"scatter_min values shape {values.shape} != idx shape {idx.shape}"
             )
-        out = np.full(int(size), np.inf)
-        np.minimum.at(out, idx, values)
+        out = self.kernels.scatter_min(values, idx, int(size))
         self.ledger.charge_basic("scatter_min", max(values.size + int(size), 1))
-        return out
+        return np.asarray(out)
 
     def scatter_add(self, values: np.ndarray, idx: np.ndarray, size: int) -> np.ndarray:
         """Scatter-sum ``out[i] = Σ {values[j] : idx[j] == i}``.
@@ -473,10 +483,9 @@ class PramMachine:
             raise InvalidParameterError(
                 f"scatter_add values shape {values.shape} != idx shape {idx.shape}"
             )
-        out = np.zeros(int(size))
-        np.add.at(out, idx, values)
+        out = self.kernels.scatter_add(values, idx, int(size))
         self.ledger.charge_basic("scatter_add", max(values.size + int(size), 1))
-        return out
+        return np.asarray(out)
 
     def argsort_segments(self, values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
         """Stable ascending argsort within each segment, as flat

@@ -48,8 +48,18 @@ from repro.shard.partition import (
     shard_sizes,
 )
 from repro.shard.solve import ShardSolution, shard_and_solve
+from repro.shard.store import (
+    STORE_VERSION,
+    ShardStore,
+    StoredShard,
+    partition_to_store,
+)
 
 __all__ = [
+    "STORE_VERSION",
+    "ShardStore",
+    "StoredShard",
+    "partition_to_store",
     "ShardCoreset",
     "build_coreset",
     "build_shard_coresets",

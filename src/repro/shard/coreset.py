@@ -38,6 +38,7 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.pram.ledger import CostLedger, CostSnapshot
 from repro.pram.machine import PramMachine
+from repro.shard.store import ShardStore, StoredShard
 
 _METHODS = ("gonzalez", "sample", "none")
 
@@ -190,8 +191,16 @@ def build_coreset(
 
 
 def _coreset_task(payload) -> ShardCoreset:
-    """Module-level worker (picklable for the process pool)."""
+    """Module-level worker (picklable for the process pool).
+
+    A payload's points slot may hold a
+    :class:`~repro.shard.store.StoredShard` instead of a resident
+    block: the ref is resolved to read-only memmap views *here*, inside
+    whichever process runs the task — the out-of-core path ships paths,
+    not points, and the OS page cache is the shared medium."""
     points, weights, origin, size, method, seed = payload
+    if isinstance(points, StoredShard):
+        points, weights, origin = points.load()
     return build_coreset(
         points, size, weights=weights, origin=origin, method=method, seed=seed
     )
@@ -236,11 +245,25 @@ def _shard_payloads(points, labels, shards, size, weights, method, seed) -> list
     return payloads
 
 
+def _store_payloads(store: ShardStore, size, method, seed) -> list:
+    """Per-shard task payloads over a :class:`ShardStore` — the same
+    tuple shape as :func:`_shard_payloads` with the points slot holding
+    a picklable :class:`StoredShard` ref, and seeds spawned from the
+    same :class:`numpy.random.SeedSequence` rule. A store written from
+    ``(points, labels)`` therefore produces byte-identical coresets to
+    the resident payloads for the same ``(seed, shard index)``."""
+    child_seeds = np.random.SeedSequence(seed).spawn(store.shards)
+    return [
+        (store.shard_ref(s), None, None, size, method, child_seeds[s])
+        for s in range(store.shards)
+    ]
+
+
 def build_shard_coresets(
     points,
-    labels,
-    shards: int,
-    size: int,
+    labels=None,
+    shards: int | None = None,
+    size: int = 128,
     *,
     weights=None,
     method: str = "gonzalez",
@@ -249,17 +272,32 @@ def build_shard_coresets(
 ) -> list[ShardCoreset]:
     """Build every shard's coreset, shard-parallel over the backend.
 
+    ``points`` is either a resident ``(n, dim)`` array accompanied by
+    ``labels``/``shards``, or a :class:`~repro.shard.store.ShardStore`
+    — then ``labels``/``shards``/``weights`` stay ``None`` (the store
+    carries its own partition and weights) and each task streams its
+    block from disk inside the worker.
+
     Shard seeds derive from one :class:`numpy.random.SeedSequence`
     spawn, so results are identical however the backend schedules the
-    tasks (serial loop, thread pool, or process pool). When ``machine``
-    is given, the per-shard ledger intervals are folded into its global
-    ledger as a single parallel-composition charge.
+    tasks (serial loop, thread pool, or process pool) and wherever the
+    blocks live (resident or stored). When ``machine`` is given, the
+    per-shard ledger intervals are folded into its global ledger as a
+    single parallel-composition charge.
 
     Failures propagate raw (first one wins); for supervised execution
     with retries, timeouts, and structured failure records use
     :func:`supervised_shard_coresets`.
     """
-    payloads = _shard_payloads(points, labels, shards, size, weights, method, seed)
+    if isinstance(points, ShardStore):
+        if labels is not None or weights is not None:
+            raise InvalidParameterError(
+                "a ShardStore carries its own partition and weights; "
+                "pass labels/weights only with resident points"
+            )
+        payloads = _store_payloads(points, size, method, seed)
+    else:
+        payloads = _shard_payloads(points, labels, shards, size, weights, method, seed)
     if machine is not None and not machine.backend.closed:
         results = machine.backend.submit_batch(_coreset_task, payloads)
     else:
@@ -300,9 +338,9 @@ def _coreset_validator(expected_weight: np.ndarray):
 
 def supervised_shard_coresets(
     points,
-    labels,
-    shards: int,
-    size: int,
+    labels=None,
+    shards: int | None = None,
+    size: int = 128,
     *,
     weights=None,
     method: str = "gonzalez",
@@ -333,14 +371,25 @@ def supervised_shard_coresets(
     from repro.faults.supervisor import Supervisor
     from repro.pram.backends import SerialBackend
 
-    payloads = _shard_payloads(points, labels, shards, size, weights, method, seed)
-    labels_arr = np.asarray(labels, dtype=np.intp)
-    if weights is None:
-        expected = np.bincount(labels_arr, minlength=int(shards)).astype(float)
+    if isinstance(points, ShardStore):
+        if labels is not None or weights is not None:
+            raise InvalidParameterError(
+                "a ShardStore carries its own partition and weights; "
+                "pass labels/weights only with resident points"
+            )
+        payloads = _store_payloads(points, size, method, seed)
+        expected = np.asarray(points.weight_totals, dtype=float)
     else:
-        expected = np.bincount(
-            labels_arr, weights=np.asarray(weights, dtype=float), minlength=int(shards)
-        )
+        payloads = _shard_payloads(points, labels, shards, size, weights, method, seed)
+        labels_arr = np.asarray(labels, dtype=np.intp)
+        if weights is None:
+            expected = np.bincount(labels_arr, minlength=int(shards)).astype(float)
+        else:
+            expected = np.bincount(
+                labels_arr,
+                weights=np.asarray(weights, dtype=float),
+                minlength=int(shards),
+            )
     backend = (
         machine.backend
         if machine is not None and not machine.backend.closed

@@ -57,6 +57,7 @@ from repro.shard.coreset import (
 )
 from repro.shard.merge import merge_coresets
 from repro.shard.partition import make_partition, shard_sizes
+from repro.shard.store import ShardStore
 from repro.util.validation import check_unit_fraction
 
 #: Accepted ``on_shard_failure`` modes for :func:`shard_and_solve`.
@@ -168,6 +169,41 @@ def _true_cost(points, weights, center_points, objective: str, machine: PramMach
     return float(np.sum(weights * d))
 
 
+def _true_cost_store(
+    store: ShardStore, center_points, objective: str, machine: PramMachine
+) -> float:
+    """Streamed :func:`_true_cost` over a shard store.
+
+    One shard is resident at a time; each block's nearest-center
+    distances are scattered into an ``(n,)`` array at their original
+    positions, and the objective reduces over that array in original
+    point order. Because the KD query computes each point independently
+    and the reduction order matches the single-pass query exactly, the
+    result is **byte-identical** to the resident evaluation — the store
+    parity suite pins it.
+    """
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(center_points)
+    d_full = np.empty(store.n)
+    w_full = np.empty(store.n) if store.has_weights else None
+    for _, pts, w, origin in store.iter_shards():
+        dist, _ = tree.query(np.asarray(pts))
+        d_full[origin] = dist
+        if w_full is not None:
+            w_full[origin] = w
+    machine.ledger.charge_basic(
+        "shard_true_cost",
+        store.n * int(np.ceil(np.log2(max(center_points.shape[0], 2)))),
+    )
+    if objective == "kcenter":
+        return float(d_full.max())
+    d = d_full if objective != "kmeans" else d_full * d_full
+    if w_full is None:
+        return float(d.sum())
+    return float(np.sum(w_full * d))
+
+
 def shard_and_solve(
     source,
     k: int,
@@ -188,6 +224,7 @@ def shard_and_solve(
     retry_policy: RetryPolicy | None = None,
     coverage_floor: float = 0.5,
     fault_plan: FaultPlan | None = None,
+    spill_dir: str | None = None,
     **solver_kwargs,
 ) -> ShardSolution:
     """Partition → coreset → merge → solve → map back, in one call.
@@ -195,7 +232,10 @@ def shard_and_solve(
     Parameters
     ----------
     source:
-        Either an ``(n, dim)`` coordinate array (the scale path), or an
+        Either an ``(n, dim)`` coordinate array (the scale path), a
+        :class:`~repro.shard.store.ShardStore` (the out-of-core path:
+        blocks stream from disk one shard at a time, ``shards`` /
+        ``partition`` / ``weights`` come from the store itself), or an
         existing :class:`~repro.metrics.instance.ClusteringInstance` /
         :class:`~repro.metrics.sparse.SparseClusteringInstance` — then
         ``shards`` must be 1 (instances carry no coordinates to
@@ -250,6 +290,13 @@ def shard_and_solve(
         the supervised builds. ``None`` consults ``REPRO_FAULT_PLAN``
         in the environment (unset = no injection). Any fault plan or
         retry policy forces the supervised path even for ``"raise"``.
+    spill_dir:
+        Raw-points sources only: spill the partitioned blocks to this
+        directory as a :class:`~repro.shard.store.ShardStore` and run
+        the rest of the pipeline out of core (streamed coreset builds
+        and true-cost evaluation). Byte-identical to the resident run —
+        the blocks carry the same bits in the same order — while the
+        points array is no longer touched after the spill.
     solver_kwargs:
         Forwarded to the solver entry point (e.g. ``max_rounds``,
         ``initial``, ``max_probes``).
@@ -287,6 +334,11 @@ def shard_and_solve(
                 "instance sources carry their own weights; pass weights only "
                 "with raw points"
             )
+        if spill_dir is not None:
+            raise InvalidParameterError(
+                "spill_dir applies to raw-points sources; instances carry "
+                "no coordinate blocks to spill"
+            )
         instance = source if int(k) == source.k else _rebudget(source, int(k))
         size = instance.m if isinstance(instance, SparseClusteringInstance) else instance.D.size
         machine = ensure_machine(machine, backend=backend, seed=seed, size=size)
@@ -309,14 +361,32 @@ def shard_and_solve(
             extra={"identity": True, "solver": solver},
         )
 
-    # -- the scale path: raw coordinates -------------------------------
-    points = np.asarray(source, dtype=float)
-    if points.ndim != 2 or points.shape[0] == 0:
-        raise InvalidParameterError(
-            "source must be an (n, dim) point array or a clustering instance; "
-            f"got shape {getattr(points, 'shape', None)}"
-        )
-    n = points.shape[0]
+    # -- the scale path: raw coordinates or an out-of-core store --------
+    store: ShardStore | None = None
+    points = None
+    labels = None
+    if isinstance(source, ShardStore):
+        store = source
+        if weights is not None:
+            raise InvalidParameterError(
+                "a ShardStore carries its own weights; pass weights only "
+                "with raw points"
+            )
+        if spill_dir is not None:
+            raise InvalidParameterError(
+                "spill_dir applies to raw-points sources; the store is "
+                "already on disk"
+            )
+        shards = store.shards
+        n = store.n
+    else:
+        points = np.asarray(source, dtype=float)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise InvalidParameterError(
+                "source must be an (n, dim) point array, a ShardStore, or a "
+                f"clustering instance; got shape {getattr(points, 'shape', None)}"
+            )
+        n = points.shape[0]
     k = int(k)
     if not 1 <= k <= n:
         raise InvalidParameterError(f"k must be in [1, {n}], got {k}")
@@ -326,10 +396,24 @@ def shard_and_solve(
         size=2 * int(neighbors) * min(n, per_shard * shards),
     )
 
-    labels = make_partition(points, shards, partition, seed=seed)
-    sizes = shard_sizes(labels, shards)
-    machine.ledger.charge_basic("shard_partition", n)
-    machine.bump_round("shard_partition")
+    weights_input = weights
+    if store is None:
+        labels = make_partition(points, shards, partition, seed=seed)
+        sizes = shard_sizes(labels, shards)
+        machine.ledger.charge_basic("shard_partition", n)
+        machine.bump_round("shard_partition")
+        if spill_dir is not None:
+            # Spill the blocks and stream everything downstream from
+            # disk: identical bits in identical order, so the result is
+            # byte-for-byte the resident run's.
+            store = ShardStore.create(
+                spill_dir, points, labels, shards, weights=weights
+            )
+            points = None
+            labels = None
+            weights_input = None
+    else:
+        sizes = np.asarray(store.sizes)
 
     # Supervision is opt-in: the unsupervised path below is byte-for-byte
     # the historical one, and the supervised path with zero failures runs
@@ -341,14 +425,19 @@ def shard_and_solve(
     )
     failed: list[int] = []
     failures: list = []
-    weights_arr = None if weights is None else np.asarray(weights, dtype=float)
+    weights_arr = (
+        None if weights_input is None else np.asarray(weights_input, dtype=float)
+    )
+    src = store if store is not None else points
+    src_labels = None if store is not None else labels
+    src_shards = None if store is not None else shards
     if supervise:
         policy = retry_policy if retry_policy is not None else (
             RetryPolicy() if on_shard_failure == "retry" else NO_RETRY
         )
         coresets, failures = supervised_shard_coresets(
-            points, labels, shards, per_shard,
-            weights=weights, method=coreset, seed=seed, machine=machine,
+            src, src_labels, src_shards, per_shard,
+            weights=weights_input, method=coreset, seed=seed, machine=machine,
             policy=policy, fault_plan=fault_plan,
         )
         failed = [s for s, c in enumerate(coresets) if c is None]
@@ -360,8 +449,8 @@ def shard_and_solve(
             ) from failures[0].error
     else:
         coresets = build_shard_coresets(
-            points, labels, shards, per_shard,
-            weights=weights, method=coreset, seed=seed, machine=machine,
+            src, src_labels, src_shards, per_shard,
+            weights=weights_input, method=coreset, seed=seed, machine=machine,
         )
 
     covered_frac = 1.0
@@ -372,13 +461,17 @@ def shard_and_solve(
                 f"every shard failed ({shards}/{shards}); nothing to degrade "
                 f"onto. First failure: {failures[0].error}"
             ) from failures[0].error
-        failed_mask = np.isin(labels, np.asarray(failed, dtype=np.intp))
-        if weights_arr is None:
-            total_w = float(n)
-            dropped_w = float(np.count_nonzero(failed_mask))
+        if store is not None:
+            total_w = store.total_weight
+            dropped_w = float(store.weight_totals[np.asarray(failed, dtype=int)].sum())
         else:
-            total_w = float(weights_arr.sum())
-            dropped_w = float(weights_arr[failed_mask].sum())
+            failed_mask = np.isin(labels, np.asarray(failed, dtype=np.intp))
+            if weights_arr is None:
+                total_w = float(n)
+                dropped_w = float(np.count_nonzero(failed_mask))
+            else:
+                total_w = float(weights_arr.sum())
+                dropped_w = float(weights_arr[failed_mask].sum())
         covered_frac = 1.0 - dropped_w / total_w
         if covered_frac < float(coverage_floor):
             raise ShardFailedError(
@@ -412,9 +505,14 @@ def shard_and_solve(
     sol = run(merged, machine, epsilon, **solver_kwargs)
     merged_centers = np.sort(sol.centers)
     centers = np.sort(origin[merged_centers])
-    true_cost = _true_cost(
-        points, weights_arr, merged_points[merged_centers], sol.objective, machine
-    )
+    if store is not None:
+        true_cost = _true_cost_store(
+            store, merged_points[merged_centers], sol.objective, machine
+        )
+    else:
+        true_cost = _true_cost(
+            points, weights_arr, merged_points[merged_centers], sol.objective, machine
+        )
     # The solver's reported cost is the *fallback-capped* truncated
     # objective; the movement bound composes against the exact coreset
     # cost, so evaluate that too (one tiny KD query over the merged
@@ -427,6 +525,7 @@ def shard_and_solve(
         "identity": False,
         "solver": solver,
         "partition": partition,
+        "store": store is not None,
         "coreset": coreset,
         "coreset_size": per_shard,
         "neighbors": neighbors_eff,
@@ -445,12 +544,28 @@ def shard_and_solve(
         # already (approximately) paid inside the solved objective.
         from scipy.spatial import cKDTree
 
-        fp = points[failed_mask]
-        fw = (
-            np.ones(fp.shape[0])
-            if weights_arr is None
-            else weights_arr[failed_mask]
-        )
+        if store is not None:
+            # Gather the failed shards' blocks and restore global point
+            # order (each block's origin is ascending; a stable argsort
+            # over the concatenation is the merge) — the same rows, in
+            # the same order, a resident ``points[failed_mask]`` yields.
+            blocks = [store.load_shard(s) for s in failed]
+            forder = np.argsort(
+                np.concatenate([o for _, _, o in blocks]), kind="stable"
+            )
+            fp = np.concatenate([np.asarray(p) for p, _, _ in blocks])[forder]
+            fw = (
+                np.concatenate([np.asarray(w) for _, w, _ in blocks])[forder]
+                if store.has_weights
+                else np.ones(fp.shape[0])
+            )
+        else:
+            fp = points[failed_mask]
+            fw = (
+                np.ones(fp.shape[0])
+                if weights_arr is None
+                else weights_arr[failed_mask]
+            )
         dist_rep, rep_idx = cKDTree(merged_points).query(fp)
         dropped_movement = float(np.sum(fw * dist_rep))
         rep_to_center, _ = cKDTree(merged_points[merged_centers]).query(

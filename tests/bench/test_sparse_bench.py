@@ -40,6 +40,11 @@ def test_report_structure_and_feasibility_marker():
         shard_k=4,
         shard_shards=2,
         shard_coreset_size=40,
+        shard_store_sizes=(500,),
+        shard_store_workers=2,
+        kernel_micro_n=20_000,
+        kernel_micro_segments=100,
+        kernel_micro_repeats=1,
     )
     (overlap_entry,) = report["overlap"].values()
     for algorithm in ("parallel_greedy", "parallel_primal_dual"):
@@ -70,14 +75,33 @@ def test_report_structure_and_feasibility_marker():
     assert cluster_scaling["dense_bytes"] == cluster_scaling["n"] ** 2 * 8
     assert "centers_idx" not in cluster_scaling["sparse"]["kmedian"]
     # shard tier (PR 5): both feasibility markers plus the composed
-    # accounting fields
-    (shard_entry,) = report["shard_scaling"].values()
+    # accounting fields; PR 7 adds the out-of-core store entry alongside
+    shard_entry, store_entry = report["shard_scaling"].values()
+    assert "mode" not in shard_entry and store_entry["mode"] == "store"
     assert shard_entry["dense_feasible"] is False  # tiny budget forces it
     assert shard_entry["single_csr_feasible"] is False
     sh = shard_entry["shard"]
     assert sh["cost_true"] > 0 and sh["movement"] >= 0
     assert sh["merged_n"] <= shard_entry["shards"] * shard_entry["coreset_size"]
     assert "5" in sh["bound"]  # the (5+ε) local-search ratio composed in
+    # out-of-core tier (PR 7): same seeded pipeline, so identical costs,
+    # plus the residency evidence (sampled RSS + on-disk block bytes)
+    st = store_entry["shard"]
+    assert st["cost_true"] == sh["cost_true"]
+    assert st["cost_merged"] == sh["cost_merged"]
+    assert st["peak_rss_mib"] > 0
+    assert st["store_bytes"] > 0 and st["workers"] == 2
+    # kernel microbench (PR 7): every provider byte-identical to numpy
+    micro = report["kernel_microbench"]
+    assert micro["n"] == 20_000 and "numpy" in micro
+    for spec, entry in micro.items():
+        if spec in ("n", "segments"):
+            continue
+        assert set(entry) == {
+            "scatter_min", "scatter_add", "segmented_argmin", "segmented_scan_add"
+        }
+        for kentry in entry.values():
+            assert kentry["matches_numpy"] is True and kentry["wall_s"] >= 0
     # the whole report must serialize as-is (the committed BENCH_PR5.json)
     json.dumps(report)
 
@@ -97,6 +121,11 @@ def test_round_traces_are_summaries_not_samples():
         shard_k=4,
         shard_shards=2,
         shard_coreset_size=40,
+        shard_store_sizes=(400,),
+        shard_store_workers=2,
+        kernel_micro_n=20_000,
+        kernel_micro_segments=100,
+        kernel_micro_repeats=1,
     )
     for tier in ("overlap", "sparse_scaling"):
         for entry in report[tier].values():

@@ -235,3 +235,110 @@ def test_weighted_kind_with_misnamed_weight_field_rejected(tmp_path):
     )
     with pytest.raises(InvalidInstanceError, match="client_weights"):
         load_instance(path)
+
+
+# -- uncompressed archives + memory-mapped loading (PR 7) ---------------------
+
+
+def test_uncompressed_roundtrip_byte_identical(tmp_path):
+    inst = euclidean_clustering(20, 4, seed=9)
+    cpath, upath = tmp_path / "c.npz", tmp_path / "u.npz"
+    save_instance(cpath, inst)
+    save_instance(upath, inst, compressed=False)
+    a, b = load_instance(cpath), load_instance(upath)
+    assert type(a) is type(b)
+    assert np.array_equal(a.D, b.D)
+    assert a.k == b.k
+    assert a.kmedian_cost([0, 3]) == b.kmedian_cost([0, 3])
+
+
+def test_mmap_roundtrip_all_kinds(tmp_path):
+    from repro.metrics.generators import knn_clustering_instance
+    from repro.metrics.sparse import SparseClusteringInstance
+
+    dense = euclidean_instance(5, 11, seed=3)
+    sparse = knn_clustering_instance(60, 4, neighbors=16, seed=2)
+    for name, inst in (("fl", dense), ("sp", sparse)):
+        path = tmp_path / f"{name}.npz"
+        save_instance(path, inst, compressed=False)
+        eager = load_instance(path)
+        mapped = load_instance(path, mmap_mode="r")
+        assert type(mapped) is type(eager)
+        if isinstance(eager, SparseClusteringInstance):
+            assert np.array_equal(mapped.indptr, eager.indptr)
+            assert np.array_equal(mapped.indices, eager.indices)
+            assert np.array_equal(mapped.data, eager.data)
+        else:
+            assert np.array_equal(mapped.D, eager.D)
+            assert np.array_equal(mapped.f, eager.f)
+
+
+def test_mmap_arrays_are_memmaps_and_read_only(tmp_path):
+    inst = euclidean_instance(6, 40, seed=7)
+    path = tmp_path / "m.npz"
+    save_instance(path, inst, compressed=False)
+    back = load_instance(path, mmap_mode="r")
+    # instance constructors wrap arrays in plain ndarray views, but the
+    # buffer must still be the file mapping, not a RAM copy
+    assert isinstance(back.D.base, np.memmap)
+    with pytest.raises(ValueError):
+        back.D[0, 0] = -1.0
+
+
+def test_mmap_copy_on_write_mode(tmp_path):
+    inst = euclidean_instance(6, 40, seed=7)
+    path = tmp_path / "cw.npz"
+    save_instance(path, inst, compressed=False)
+    back = load_instance(path, mmap_mode="c")
+    # copy-on-write mapping underneath; the instance still freezes its
+    # arrays (write refusal), and the archive is never touched
+    assert isinstance(back.D.base, np.memmap)
+    assert back.D.base.mode == "c"
+    with pytest.raises(ValueError):
+        back.D[0, 0] = -1.0
+    assert np.array_equal(back.D, load_instance(path).D)
+
+
+def test_mmap_rejects_compressed_archive(tmp_path):
+    inst = euclidean_clustering(10, 3, seed=1)
+    path = tmp_path / "z.npz"
+    save_instance(path, inst)  # compressed (the default)
+    with pytest.raises(InvalidInstanceError, match="compressed=False"):
+        load_instance(path, mmap_mode="r")
+
+
+def test_mmap_mode_validated(tmp_path):
+    inst = euclidean_clustering(10, 3, seed=1)
+    path = tmp_path / "v.npz"
+    save_instance(path, inst, compressed=False)
+    from repro.errors import InvalidParameterError
+
+    for bad in ("r+", "w+", "rw", ""):
+        with pytest.raises(InvalidParameterError, match="mmap_mode"):
+            load_instance(path, mmap_mode=bad)
+
+
+def test_mmap_seeded_solve_matches_eager(tmp_path):
+    """The acceptance invariant: a solver fed a memory-mapped instance
+    produces byte-identical seeded output to the eagerly loaded one."""
+    from repro.core.local_search import parallel_kmedian
+    from repro.metrics.generators import knn_clustering_instance
+
+    inst = knn_clustering_instance(150, 4, neighbors=32, seed=11)
+    path = tmp_path / "solve.npz"
+    save_instance(path, inst, compressed=False)
+    eager = parallel_kmedian(load_instance(path), seed=5)
+    mapped = parallel_kmedian(load_instance(path, mmap_mode="r"), seed=5)
+    assert np.array_equal(mapped.centers, eager.centers)
+    assert mapped.cost == eager.cost
+
+
+def test_uncompressed_weighted_roundtrip(tmp_path):
+    rng = np.random.default_rng(0)
+    base = euclidean_clustering(15, 3, seed=4)
+    inst = ClusteringInstance(base.space, 3, weights=rng.uniform(1, 2, 15))
+    path = tmp_path / "w.npz"
+    save_instance(path, inst, compressed=False)
+    for kwargs in ({}, {"mmap_mode": "r"}):
+        back = load_instance(path, **kwargs)
+        assert np.array_equal(np.asarray(back.weights), inst.weights)

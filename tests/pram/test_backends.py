@@ -4,6 +4,7 @@ The pool backends are exercised with a tiny grain so the parallel code
 paths actually run on test-sized arrays.
 """
 
+import os
 import threading
 import time
 
@@ -434,3 +435,189 @@ class TestCloseUnderInflightBatch:
             t.join(timeout=30)
         assert all(not t.is_alive() for t in threads)
         assert outs == [[x * x for x in range(6)]] * 3
+
+
+# -- zero-copy batch transport (PR 7) ---------------------------------------
+
+def _sum_scaled(item):
+    pts, scale = item
+    return float(np.asarray(pts, dtype=float).sum()) * scale
+
+
+def _writable_flags(item):
+    def walk(v):
+        if isinstance(v, np.ndarray):
+            return [bool(v.flags.writeable)]
+        if isinstance(v, (tuple, list)):
+            return [f for x in v for f in walk(x)]
+        if isinstance(v, dict):
+            return [f for x in v.values() for f in walk(x)]
+        return []
+    return walk(item)
+
+
+def _col_means(arr):
+    return arr.mean(axis=0)  # fresh array, never a view of the segment
+
+
+class TestZeroCopyTransport:
+    """ProcessBackend.submit_batch ships large ndarrays by shared-memory
+    name; results must be byte-identical to the pickled transport, and
+    every segment must be unlinked once the batch drains."""
+
+    @staticmethod
+    def _big(seed, rows=6000):
+        return np.random.default_rng(seed).normal(size=(rows, 2))
+
+    def test_pack_replaces_only_large_arrays(self):
+        from repro.pram.backends import (
+            SHM_ITEM_MIN_BYTES,
+            _ShmItemRef,
+            pack_batch_items,
+        )
+
+        big = self._big(0)
+        small = np.arange(4)
+        obj = np.array([None, {"x": 1}], dtype=object)
+        assert big.nbytes >= SHM_ITEM_MIN_BYTES > small.nbytes
+        packed, shms = pack_batch_items([(big, small, obj, "tag", 7)])
+        try:
+            pb, ps, po, tag, scalar = packed[0]
+            assert isinstance(pb, _ShmItemRef)
+            assert ps is small and po is obj  # inline: below threshold / object
+            assert tag == "tag" and scalar == 7
+            assert len(shms) == 1
+        finally:
+            for shm in shms:
+                shm.close()
+                shm.unlink()
+
+    def test_pack_unpack_round_trip_nested(self):
+        from repro.pram.backends import _unpack_value, pack_batch_items
+
+        big = self._big(1)
+        item = {"blocks": [big, (big[:3000].copy(), 2.5)], "k": 3}
+        packed, shms = pack_batch_items([item])
+        attached: list = []
+        try:
+            out = _unpack_value(packed[0], attached)
+            np.testing.assert_array_equal(out["blocks"][0], big)
+            np.testing.assert_array_equal(out["blocks"][1][0], big[:3000])
+            assert out["blocks"][1][1] == 2.5 and out["k"] == 3
+            assert not out["blocks"][0].flags.writeable
+        finally:
+            for shm in attached:
+                shm.close()
+            for shm in shms:
+                shm.close()
+                shm.unlink()
+
+    def test_pack_dedupes_repeated_array_object(self):
+        from repro.pram.backends import pack_batch_items
+
+        big = self._big(2)
+        packed, shms = pack_batch_items([(big, 1.0), (big, 2.0), [big]])
+        try:
+            assert len(shms) == 1  # one segment serves all three items
+            names = {packed[0][0].spec[0], packed[1][0].spec[0], packed[2][0].spec[0]}
+            assert names == {shms[0].name}
+        finally:
+            for shm in shms:
+                shm.close()
+                shm.unlink()
+
+    def test_zero_copy_matches_pickled_transport(self):
+        blocks = [self._big(s) for s in range(4)]
+        items = [(b, 0.5 + s) for s, b in enumerate(blocks)]
+        with ProcessBackend(2, grain=1, shm_items=False) as pickled:
+            want = pickled.submit_batch(_sum_scaled, items)
+        with ProcessBackend(2, grain=1) as zero_copy:
+            assert zero_copy._batch_shm_items
+            got = zero_copy.submit_batch(_sum_scaled, items)
+        assert got == want  # float equality: byte-identical transport
+
+    def test_worker_views_are_read_only(self):
+        items = [(self._big(7), {"w": self._big(8)}), (self._big(9), {"w": self._big(10)})]
+        with ProcessBackend(2, grain=1) as b:
+            flags = b.submit_batch(_writable_flags, items)
+        assert flags == [[False, False], [False, False]]
+
+    def test_array_results_are_safe_copies(self):
+        blocks = [self._big(s) for s in (3, 4)]
+        with ProcessBackend(2, grain=1) as b:
+            outs = b.submit_batch(_col_means, blocks)
+        for out, block in zip(outs, blocks):
+            np.testing.assert_array_equal(out, block.mean(axis=0))
+
+    def test_segments_unlinked_after_batch(self):
+        from multiprocessing import shared_memory
+
+        from repro.pram.backends import pack_batch_items
+
+        big = self._big(5)
+        packed, shms = pack_batch_items([(big, 1.0)])
+        name = shms[0].name
+        for shm in shms:
+            shm.close()
+            shm.unlink()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+        # and the real path: after submit_batch returns, nothing lingers
+        before = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else None
+        with ProcessBackend(2, grain=1) as b:
+            b.submit_batch(_sum_scaled, [(self._big(6), 1.0)] * 3)
+        if before is not None:
+            leaked = {
+                n for n in set(os.listdir("/dev/shm")) - before if n.startswith("psm_")
+            }
+            assert not leaked
+
+    def test_thread_backend_never_packs(self):
+        with ThreadBackend(2, grain=1) as b:
+            assert not b._batch_shm_items
+            got = b.submit_batch(_sum_scaled, [(self._big(9), 2.0)])
+        assert got == [pytest.approx(self._big(9).sum() * 2.0)]
+
+
+class TestPicklabilityProbeCache:
+    def test_probe_and_cache(self):
+        from repro.pram.backends import _PICKLABLE_FNS, fn_picklable
+
+        assert fn_picklable(_square) is True
+        assert _PICKLABLE_FNS.get(_square) is True
+
+        captured = []
+
+        def closure(x):
+            captured.append(x)
+            return x
+
+        assert fn_picklable(closure) is False
+        assert _PICKLABLE_FNS.get(closure) is False
+        # second call is a pure cache hit (same answer, no re-probe)
+        assert fn_picklable(closure) is False
+
+    def test_unweakrefable_callable_still_probes(self):
+        from repro.pram.backends import fn_picklable
+
+        # builtins cannot be weak-referenced; the cache must degrade to
+        # a plain probe rather than raise
+        assert fn_picklable(len) is True
+        assert fn_picklable(len) is True
+
+    def test_cache_entry_dies_with_function(self):
+        import gc
+
+        from repro.pram.backends import _PICKLABLE_FNS, fn_picklable
+
+        def ephemeral(x):
+            return x
+
+        fn_picklable(ephemeral)
+        assert ephemeral in _PICKLABLE_FNS
+        del ephemeral
+        gc.collect()
+        assert not any(
+            getattr(f, "__name__", "") == "ephemeral" for f in _PICKLABLE_FNS
+        )
