@@ -36,8 +36,18 @@ from repro.faults import (
     FaultSpec,
     RetryPolicy,
     Supervisor,
+    TaskAttempt,
     TaskFailure,
     supervised_submit_batch,
+)
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    run_with_peak_rss,
+    set_tracer,
+    trace_to,
 )
 from repro.metrics import (
     ClusteringInstance,
@@ -64,6 +74,7 @@ from repro.pram import (
     CostLedger,
     CostSnapshot,
     PramMachine,
+    RoundMark,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
@@ -133,8 +144,17 @@ __all__ = [
     "RetryPolicy",
     "NO_RETRY",
     "Supervisor",
+    "TaskAttempt",
     "TaskFailure",
     "supervised_submit_batch",
+    # obs
+    "MetricsRegistry",
+    "NullTracer",
+    "Tracer",
+    "current_tracer",
+    "run_with_peak_rss",
+    "set_tracer",
+    "trace_to",
     # metrics
     "MetricSpace",
     "FacilityLocationInstance",
@@ -165,6 +185,7 @@ __all__ = [
     "available_backends",
     "CostLedger",
     "CostSnapshot",
+    "RoundMark",
     "brent_time",
     "parallelism",
     "speedup_curve",

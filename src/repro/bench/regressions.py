@@ -43,6 +43,7 @@ from repro.core.greedy import parallel_greedy
 from repro.core.primal_dual import parallel_primal_dual
 from repro.metrics.generators import euclidean_instance
 from repro.pram.backends import make_backend
+from repro.pram.ledger import RoundMark
 from repro.pram.machine import PramMachine
 
 #: Round labels whose traces are exported, per algorithm.
@@ -65,7 +66,11 @@ def _per_round(round_log, label, final_work: float, final_wall: float) -> list:
     for greedy this folds a round's subselection iterations into its
     outer round, which is the granularity the §4 analysis bounds.
     """
-    marks = [(w, t) for (lab, _i, w, t) in round_log if lab == label]
+    marks = [
+        (m.work, m.wall)
+        for m in map(RoundMark.coerce, round_log)
+        if m.label == label
+    ]
     out = []
     for k, (w, t) in enumerate(marks):
         w2, t2 = marks[k + 1] if k + 1 < len(marks) else (final_work, final_wall)
@@ -239,6 +244,72 @@ def run_regression(
     return report
 
 
+def measure_obs_overhead(
+    *,
+    nf: int = 1500,
+    nc: int = 1500,
+    seed: int = 0,
+    machine_seed: int = 1,
+    epsilon: float = 0.1,
+    algorithm: str = "parallel_greedy",
+    repeats: int = 3,
+) -> dict:
+    """Wall-clock cost of the observability layer on the regression workload.
+
+    Three modes run the same seeded solve (min wall over ``repeats``):
+
+    * ``off`` — forced :data:`repro.obs.NULL_TRACER`: no primitive
+      wrappers are installed, so this *is* the historical code path;
+    * ``noop`` — an enabled drop-sink ``Tracer(None)``: wrappers,
+      timestamps, and event dicts are built but nothing is written
+      (the instrumentation ceiling);
+    * ``traced`` — a real JSONL trace file.
+
+    ``overhead_noop`` / ``overhead_traced`` are ratios against ``off``.
+    The headline invariant — tracing never perturbs results — is pinned
+    separately by the byte-identity tests; this measures only the
+    clock.
+    """
+    import tempfile
+
+    from repro.obs.tracer import NULL_TRACER, Tracer, set_tracer
+
+    instance = euclidean_instance(nf, nc, seed=seed)
+    fn = _ALGORITHMS[algorithm]
+
+    def _timed(tracer) -> float:
+        prev = set_tracer(tracer)
+        try:
+            best = float("inf")
+            for _ in range(max(int(repeats), 1)):
+                machine = PramMachine(seed=machine_seed)
+                t0 = time.perf_counter()
+                fn(instance, epsilon=epsilon, machine=machine)
+                best = min(best, time.perf_counter() - t0)
+        finally:
+            set_tracer(prev)
+        return best
+
+    wall_off = _timed(NULL_TRACER)
+    wall_noop = _timed(Tracer(None))
+    with tempfile.TemporaryDirectory() as td:
+        tracer = Tracer(os.path.join(td, "overhead.jsonl"))
+        try:
+            wall_traced = _timed(tracer)
+        finally:
+            tracer.close()
+    return {
+        "workload": f"euclidean_instance({nf}, {nc}, seed={seed})",
+        "algorithm": algorithm,
+        "repeats": int(repeats),
+        "wall_off_s": wall_off,
+        "wall_noop_s": wall_noop,
+        "wall_traced_s": wall_traced,
+        "overhead_noop": wall_noop / wall_off - 1.0,
+        "overhead_traced": wall_traced / wall_off - 1.0,
+    }
+
+
 def main(argv=None) -> None:
     """CLI entry point: run the regression sweep and write JSON."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -260,6 +331,12 @@ def main(argv=None) -> None:
         action="store_true",
         help="store per-round traces as summary stats (caps JSON size)",
     )
+    parser.add_argument(
+        "--obs-overhead",
+        action="store_true",
+        help="also measure the observability layer's wall-clock overhead "
+        "(off / noop-tracer / traced) on the same workload",
+    )
     parser.add_argument("--out", default=None, help="write the JSON report here")
     args = parser.parse_args(argv)
 
@@ -275,6 +352,21 @@ def main(argv=None) -> None:
         repeats=args.repeats,
         summary=args.summary,
     )
+    if args.obs_overhead:
+        report["obs_overhead"] = measure_obs_overhead(
+            nf=args.nf,
+            nc=args.nc,
+            seed=args.seed,
+            machine_seed=args.machine_seed,
+            epsilon=args.epsilon,
+            repeats=max(args.repeats, 3),
+        )
+        ov = report["obs_overhead"]
+        print(
+            f"obs overhead: off {ov['wall_off_s']:.2f}s | "
+            f"noop {ov['wall_noop_s']:.2f}s ({ov['overhead_noop']:+.1%}) | "
+            f"traced {ov['wall_traced_s']:.2f}s ({ov['overhead_traced']:+.1%})"
+        )
     for name, entry in report["algorithms"].items():
         print(f"{name}: identical={entry['solutions_identical']}")
         for backend_name, row in entry["backends"].items():

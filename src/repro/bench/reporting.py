@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.pram.ledger import RoundMark
+
 
 def summarize_rounds(round_log, label: str, final_work: float) -> dict:
     """Compress a ledger round trace into fixed-size summary stats.
@@ -13,8 +15,13 @@ def summarize_rounds(round_log, label: str, final_work: float) -> dict:
     summary keeps the trajectory's shape — how much a round costs at
     the start vs. the end of the run — in O(1) space:
     ``{rounds, work_total, work_first, work_last, work_median}``.
+
+    ``round_log`` holds :class:`repro.pram.ledger.RoundMark` entries;
+    bare ``(label, index, work, wall)`` tuples are also accepted.
     """
-    marks = [w for (lab, _i, w, _t) in round_log if lab == label]
+    marks = [
+        m.work for m in map(RoundMark.coerce, round_log) if m.label == label
+    ]
     if not marks:
         return {"rounds": 0}
     deltas = np.diff(np.asarray(marks + [final_work]))

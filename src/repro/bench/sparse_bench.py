@@ -76,6 +76,8 @@ from repro.core.local_search import parallel_kmedian
 from repro.core.primal_dual import parallel_primal_dual
 from repro.metrics.generators import euclidean_clustering, euclidean_instance
 from repro.metrics.sparse import knn_sparsify
+from repro.obs.rss import rss_mib as _rss_mib  # noqa: F401  (bench-module API)
+from repro.obs.rss import run_with_peak_rss as _run_with_peak_rss
 from repro.pram.machine import PramMachine
 
 _ALGORITHMS = {
@@ -227,47 +229,8 @@ def _measure_shard(
     return out
 
 
-def _rss_mib() -> float:
-    """Current resident set of this process in MiB (0.0 off-Linux)."""
-    try:
-        with open("/proc/self/status") as fh:
-            for line in fh:
-                if line.startswith("VmRSS:"):
-                    return int(line.split()[1]) / 1024.0
-    except OSError:
-        pass
-    return 0.0
-
-
-def _run_with_peak_rss(fn, interval: float = 0.02):
-    """Run ``fn()`` while a sampler thread tracks the driver's VmRSS.
-
-    Returns ``(result, wall_s, peak_rss_mib)``. Sampling (vs
-    tracemalloc) sees *all* resident pages — memmaps the OS has paged
-    in, shm segments, allocator slack — which is the honest number for
-    an out-of-core claim; tracemalloc only sees Python allocations.
-    """
-    import threading
-
-    stop = threading.Event()
-    peak = [_rss_mib()]
-
-    def _sample():
-        while not stop.is_set():
-            peak[0] = max(peak[0], _rss_mib())
-            stop.wait(interval)
-
-    sampler = threading.Thread(target=_sample, daemon=True)
-    sampler.start()
-    t0 = time.perf_counter()
-    try:
-        result = fn()
-    finally:
-        stop.set()
-        sampler.join()
-    wall = time.perf_counter() - t0
-    peak[0] = max(peak[0], _rss_mib())
-    return result, wall, peak[0]
+# RSS sampling lives in repro.obs.rss (imported above as _rss_mib /
+# _run_with_peak_rss, the historical private names).
 
 
 def _measure_shard_store(
@@ -933,6 +896,17 @@ def main(argv=None) -> None:
             f"{entry['drop_covered_weight_fraction']:.1%}, certificate "
             f"valid={entry['drop_certificate_valid']})"
         )
+    from repro.obs.tracer import current_tracer
+
+    tracer = current_tracer()
+    if tracer.enabled and tracer.path is not None:
+        # REPRO_TRACE is live: flush the trace and fold its summary into
+        # the committed bench JSON so the profile rides with the numbers.
+        from repro.obs.report import load_trace, summarize_trace
+
+        tracer.flush()
+        report["trace_summary"] = summarize_trace(load_trace(tracer.path))
+        print(f"trace summary attached from {tracer.path}")
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=1)

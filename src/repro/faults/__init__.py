@@ -41,6 +41,7 @@ from repro.faults.supervisor import (
     NO_RETRY,
     RetryPolicy,
     Supervisor,
+    TaskAttempt,
     TaskFailure,
     supervised_submit_batch,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "NO_RETRY",
     "RetryPolicy",
     "Supervisor",
+    "TaskAttempt",
     "TaskFailure",
     "supervised_submit_batch",
 ]

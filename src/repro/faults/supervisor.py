@@ -46,6 +46,8 @@ pipeline guarantees this by deriving each task's seed from a
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from concurrent.futures import BrokenExecutor, CancelledError
 from concurrent.futures import TimeoutError as _FuturesTimeout
@@ -67,7 +69,13 @@ from repro.faults.plan import (
     apply_fault_after,
     apply_fault_before,
 )
-from repro.pram.backends import _unpack_value, fn_picklable, pack_batch_items
+from repro.obs.tracer import current_tracer
+from repro.pram.backends import (
+    _TracedResult,
+    _unpack_value,
+    fn_picklable,
+    pack_batch_items,
+)
 from repro.util.validation import (
     check_nonnegative,
     check_positive_float,
@@ -163,6 +171,29 @@ class TaskFailure:
         )
 
 
+@dataclass(frozen=True)
+class TaskAttempt:
+    """One run of one task, successful or not.
+
+    Where :class:`TaskFailure` exists only for tasks that exhausted
+    their budget, the supervisor's :attr:`Supervisor.attempt_log` keeps
+    a :class:`TaskAttempt` for *every* run of every task — including
+    the retries behind a task that ultimately succeeded, which
+    previously left no record at all.
+
+    ``outcome`` is one of ``"ok"``, ``"fail"``, ``"timeout"``,
+    ``"crash"``, ``"rejected"`` (validation refused the result),
+    ``"suspect"`` (mid-run during a pool breakage, rerun in isolation),
+    or ``"free"`` (collateral rerun, no attempt consumed).
+    """
+
+    index: int
+    attempt: int
+    outcome: str
+    error: str | None
+    duration: float
+
+
 def _supervised_call(payload):
     """Run one supervised task inside a worker (module-level: must
     pickle to process pools). Stamps the sentinel flag array — shared
@@ -171,8 +202,11 @@ def _supervised_call(payload):
     whose ndarrays crossed by shared-memory name (zero-copy process
     transport); it is materialized into read-only views here, under the
     same tracker suppression as the flags segment — the parent owns
-    every segment's lifetime."""
-    fn, item, spec, flags_name, slot, packed = payload
+    every segment's lifetime. ``trace`` asks for worker-local timing:
+    the raw result (with any injected corruption already applied, so
+    fault semantics are identical either way) rides back wrapped in a
+    timing envelope the parent unwraps before validation."""
+    fn, item, spec, flags_name, slot, packed, trace = payload
     shm = None
     flags = None
     item_shms: list = []
@@ -203,10 +237,19 @@ def _supervised_call(payload):
             flags = np.ndarray((shm.size,), dtype=np.uint8, buffer=shm.buf)
             flags[slot] = _STARTED
     try:
+        start_us = time.perf_counter_ns() // 1000 if trace else 0
         apply_fault_before(spec)
         result = apply_fault_after(spec, fn(item))
         if flags is not None:
             flags[slot] = _FINISHED
+        if trace:
+            result = _TracedResult(
+                result,
+                os.getpid(),
+                threading.get_native_id(),
+                start_us,
+                time.perf_counter_ns() // 1000,
+            )
         return result
     finally:
         for item_shm in item_shms:
@@ -238,7 +281,11 @@ class Supervisor:
     a process pool). Results are order-preserving;
     :meth:`submit_batch` returns ``(results, failures)`` where a failed
     task's slot holds ``None`` and its :class:`TaskFailure` explains
-    why.
+    why. Every run of every task — retries behind eventual successes
+    included — is additionally recorded in :attr:`attempt_log` (reset
+    per :meth:`submit_batch`), and, when a tracer is active, emitted as
+    ``cat="fault"`` trace events plus ``supervisor.attempts_total`` /
+    ``supervisor.tasks_retried`` counters.
     """
 
     def __init__(
@@ -246,6 +293,7 @@ class Supervisor:
         backend,
         policy: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        tracer=None,
     ):
         self.backend = backend
         self.policy = policy if policy is not None else RetryPolicy()
@@ -258,6 +306,10 @@ class Supervisor:
                 f"fault_plan must be a FaultPlan, got {type(fault_plan).__name__}"
             )
         self.fault_plan = fault_plan
+        self.tracer = tracer
+        #: :class:`TaskAttempt` records from the most recent
+        #: :meth:`submit_batch`, in processing order.
+        self.attempt_log: list[TaskAttempt] = []
 
     # -- public API ---------------------------------------------------------
 
@@ -276,6 +328,9 @@ class Supervisor:
         """
         items = list(items)
         n = len(items)
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        self.attempt_log = []
+        retried: set = set()
         results: list = [None] * n
         attempts = [1] * n  # attempt number of the task's NEXT run
         spent = [0.0] * n
@@ -300,42 +355,107 @@ class Supervisor:
                 # merely mid-run when someone else died just succeed.
                 outcomes = []
                 for idx in pending:
-                    outcomes.extend(self._run_round(fn, items, [idx], attempts))
+                    outcomes.extend(self._run_round(fn, items, [idx], attempts, tracer))
             else:
-                outcomes = self._run_round(fn, items, pending, attempts)
+                outcomes = self._run_round(fn, items, pending, attempts, tracer)
             isolate = False
             retry: list[int] = []
             burned: list[int] = []
             for idx, outcome in zip(pending, outcomes):
+                rejected = False
                 if outcome.kind == "ok":
                     spent[idx] += outcome.duration
                     error = self._validated(validate, idx, outcome.value)
                     if error is None:
                         results[idx] = outcome.value
+                        self._record(tracer, idx, attempts[idx], "ok", None, outcome.duration)
                         continue
                     outcome = _Outcome("fail", error=error)
+                    rejected = True
                 if outcome.kind == "suspect":
+                    self._record(tracer, idx, attempts[idx], "suspect", None, outcome.duration)
                     isolate = True
                     retry.append(idx)
                     continue
                 if outcome.kind == "free":
+                    self._record(tracer, idx, attempts[idx], "free", None, outcome.duration)
                     retry.append(idx)
                     continue
                 spent[idx] += outcome.duration
                 error = outcome.error
+                self._record(
+                    tracer,
+                    idx,
+                    attempts[idx],
+                    "rejected" if rejected else self._outcome_name(error),
+                    error,
+                    outcome.duration,
+                )
                 if attempts[idx] >= self.policy.max_attempts or not self._retryable(error):
                     failures.append(
                         TaskFailure(idx, attempts[idx], error, spent[idx])
                     )
                 else:
                     attempts[idx] += 1
+                    if idx not in retried:
+                        retried.add(idx)
+                        if tracer.enabled:
+                            tracer.metrics.counter("supervisor.tasks_retried").inc()
                     burned.append(idx)
                     retry.append(idx)
             if burned:
-                time.sleep(max(self.policy.delay(attempts[i] - 1, i) for i in burned))
+                delay = max(self.policy.delay(attempts[i] - 1, i) for i in burned)
+                if tracer.enabled:
+                    tracer.instant(
+                        "retry_wait",
+                        "fault",
+                        args={"tasks": list(burned), "delay_s": delay},
+                    )
+                time.sleep(delay)
             pending = retry
         failures.sort(key=lambda f: f.index)
         return results, failures
+
+    # -- attempt accounting -------------------------------------------------
+
+    @staticmethod
+    def _outcome_name(error) -> str:
+        if isinstance(error, TaskTimeoutError):
+            return "timeout"
+        if isinstance(error, WorkerCrashError):
+            return "crash"
+        return "fail"
+
+    def _record(self, tracer, index, attempt, outcome, error, duration) -> None:
+        """Append one :class:`TaskAttempt`; mirror it into the tracer.
+
+        The log itself is unconditional (it is how successful-task
+        retry history became observable at all); trace events and
+        counters only fire when tracing is on.
+        """
+        self.attempt_log.append(
+            TaskAttempt(
+                index,
+                attempt,
+                outcome,
+                str(error) if error is not None else None,
+                duration,
+            )
+        )
+        if not tracer.enabled:
+            return
+        if outcome not in ("free", "suspect"):
+            tracer.metrics.counter("supervisor.attempts_total").inc()
+        if outcome != "ok":
+            tracer.instant(
+                f"task_{outcome}",
+                "fault",
+                args={
+                    "task": index,
+                    "attempt": attempt,
+                    "error": str(error)[:200] if error is not None else None,
+                },
+            )
 
     # -- round execution ----------------------------------------------------
 
@@ -362,27 +482,60 @@ class Supervisor:
             error.__cause__ = exc
             return error
 
-    def _run_round(self, fn, items, pending, attempts) -> list[_Outcome]:
+    def _run_round(self, fn, items, pending, attempts, tracer) -> list[_Outcome]:
         backend = self.backend
         pool = getattr(backend, "_pool", None)
         if pool is None or getattr(backend, "closed", False):
-            return self._run_inline(fn, items, pending, attempts)
+            return self._run_inline(fn, items, pending, attempts, tracer)
         if getattr(backend, "_batch_requires_pickle", False):
             if not fn_picklable(fn):
-                return self._run_inline(fn, items, pending, attempts)
-            return self._run_pool(fn, items, pending, attempts, pool, sentinel=True)
-        return self._run_pool(fn, items, pending, attempts, pool, sentinel=False)
+                return self._run_inline(fn, items, pending, attempts, tracer)
+            return self._run_pool(fn, items, pending, attempts, tracer, pool, sentinel=True)
+        return self._run_pool(fn, items, pending, attempts, tracer, pool, sentinel=False)
 
-    def _run_inline(self, fn, items, pending, attempts) -> list[_Outcome]:
+    @staticmethod
+    def _unwrap_traced(tracer, value, idx, attempt, submit_ts):
+        """Strip a worker timing envelope, emitting its spans.
+
+        Returns the raw task value. Queue-wait is measured from the
+        round's submit timestamp (``None`` for inline execution, which
+        has no queue).
+        """
+        if not isinstance(value, _TracedResult):
+            return value
+        lane = tracer.worker_lane(value.pid, value.tid)
+        args = {"task": idx, "attempt": attempt, "supervised": True}
+        if submit_ts is not None:
+            tracer.complete(
+                "queue_wait",
+                "backend",
+                submit_ts,
+                max(value.start_us - submit_ts, 0),
+                tid=lane,
+                args=args,
+            )
+        tracer.complete(
+            "exec",
+            "backend",
+            value.start_us,
+            max(value.end_us - value.start_us, 0),
+            tid=lane,
+            args=args,
+        )
+        return value.value
+
+    def _run_inline(self, fn, items, pending, attempts, tracer) -> list[_Outcome]:
         """Pool-less execution in the calling thread. Nothing can be
         preempted here, so timeouts are classified after the fact and a
         ``crash`` fault surfaces as :class:`InjectedCrashError`."""
+        trace = tracer.enabled
         outcomes = []
         for idx in pending:
             spec = self._spec(idx, attempts[idx])
             t0 = time.perf_counter()
             try:
-                value = _supervised_call((fn, items[idx], spec, None, 0, False))
+                value = _supervised_call((fn, items[idx], spec, None, 0, False, trace))
+                value = self._unwrap_traced(tracer, value, idx, attempts[idx], None)
             except Exception as exc:
                 outcomes.append(
                     _Outcome(
@@ -404,13 +557,14 @@ class Supervisor:
                 outcomes.append(_Outcome("ok", value=value, duration=duration))
         return outcomes
 
-    def _run_pool(self, fn, items, pending, attempts, pool, *, sentinel) -> list[_Outcome]:
+    def _run_pool(self, fn, items, pending, attempts, tracer, pool, *, sentinel) -> list[_Outcome]:
         """One round over the backend's worker pool.
 
         ``sentinel=True`` (process pools) plants the shared flag array
         for crash attribution; thread pools deliver exceptions in-band
         and need no flags.
         """
+        trace = tracer.enabled
         flags_shm = None
         flags = None
         if sentinel:
@@ -426,6 +580,7 @@ class Supervisor:
         try:
             if packed:
                 round_items, _ = pack_batch_items(round_items, item_shms)
+            submit_ts = tracer.now() if trace else None
             futures = []
             for slot, idx in enumerate(pending):
                 spec = self._spec(idx, attempts[idx])
@@ -436,6 +591,7 @@ class Supervisor:
                     flags_shm.name if sentinel else None,
                     slot,
                     packed,
+                    trace,
                 )
                 try:
                     futures.append(pool.submit(_supervised_call, payload))
@@ -454,6 +610,7 @@ class Supervisor:
                 t0 = time.perf_counter()
                 try:
                     value = fut.result(timeout=self.policy.timeout)
+                    value = self._unwrap_traced(tracer, value, idx, attempts[idx], submit_ts)
                     raw.append(
                         _Outcome("ok", value=value, duration=time.perf_counter() - t0)
                     )
@@ -514,6 +671,17 @@ class Supervisor:
                 # late.)
                 respawn = getattr(self.backend, "_respawn_pool", None)
                 if respawn is not None:
+                    if trace:
+                        tracer.instant(
+                            "pool_respawn",
+                            "fault",
+                            args={
+                                "backend": getattr(self.backend, "name", "?"),
+                                "broke": broke,
+                                "timed_out": timed_out,
+                            },
+                        )
+                        tracer.metrics.counter("supervisor.pool_respawns").inc()
                     respawn()
             return raw
         finally:
@@ -556,9 +724,10 @@ def supervised_submit_batch(
     policy: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
     validate=None,
+    tracer=None,
 ):
     """One-shot convenience: ``Supervisor(backend, policy,
     fault_plan).submit_batch(fn, items, validate=validate)``."""
-    return Supervisor(backend, policy, fault_plan).submit_batch(
+    return Supervisor(backend, policy, fault_plan, tracer=tracer).submit_batch(
         fn, items, validate=validate
     )

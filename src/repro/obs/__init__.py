@@ -1,0 +1,50 @@
+"""`repro.obs`: tracing, metrics, and profiling for the solver stack.
+
+Three pieces:
+
+- :mod:`repro.obs.tracer` — span tracer emitting Chrome trace-event
+  JSONL (Perfetto / ``chrome://tracing`` loadable), activated by
+  ``REPRO_TRACE=<path>``, ``tracer=`` kwargs, or :func:`trace_to`;
+  a shared no-op singleton when off.
+- :mod:`repro.obs.metrics` — counters / gauges / histograms, one
+  registry per tracer.
+- :mod:`repro.obs.report` — ``python -m repro.obs.report trace.jsonl``
+  turns a trace into per-stage, per-primitive, per-lane, and
+  per-fault summaries; the bench harness attaches the same summary
+  to bench JSON.
+
+Plus :mod:`repro.obs.rss`, the peak-RSS sampler the bench tiers use.
+
+The load-bearing invariant (tested): observability never perturbs
+results. Seeded solver and shard outputs are byte-identical with
+tracing on, off, and under fault injection — instrumentation observes
+timing, never touches data or randomness.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.rss import rss_mib, run_with_peak_rss
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_ENV,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    trace_to,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TRACE_ENV",
+    "Tracer",
+    "current_tracer",
+    "rss_mib",
+    "run_with_peak_rss",
+    "set_tracer",
+    "trace_to",
+]

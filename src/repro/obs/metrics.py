@@ -1,0 +1,168 @@
+"""Metrics registry: counters, gauges, and latency histograms.
+
+The numeric side of :mod:`repro.obs` — where the tracer answers *when*
+something happened, the registry answers *how often* and *how much*:
+tasks retried, shm bytes shipped, per-primitive latency distributions.
+Every :class:`~repro.obs.tracer.Tracer` owns one registry
+(``tracer.metrics``); instrumented layers record into whichever tracer
+is active, so a disabled run records nothing and pays nothing (call
+sites guard on ``tracer.enabled``).
+
+All instruments are thread-safe: a lone :class:`threading.Lock` per
+instrument keeps increments exact when the thread backend's pool and
+the driver both record at once. Nothing here is wait-free fancy — the
+recording rate is per-task / per-primitive, not per-element.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Histograms keep at most this many raw observations for percentile
+#: estimates; past it, new values still update count/sum/min/max but
+#: the sample is frozen (bench runs record thousands of primitive
+#: latencies, not millions — the cap is a safety valve, not a design
+#: point).
+HISTOGRAM_SAMPLE_CAP = 8192
+
+
+class Counter:
+    """Monotonically increasing count (tasks run, bytes shipped)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins scalar (current pool size, live frontier)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Latency/size distribution with O(1) totals and a capped sample.
+
+    ``observe`` is cheap (append + running totals); ``summary`` computes
+    count/total/min/max/mean plus p50/p95 over the retained sample.
+    """
+
+    __slots__ = ("name", "_count", "_total", "_min", "_max", "_sample", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._count = 0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._sample: list = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if len(self._sample) < HISTOGRAM_SAMPLE_CAP:
+                self._sample.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def summary(self) -> dict:
+        with self._lock:
+            if not self._count:
+                return {"count": 0}
+            sample = sorted(self._sample)
+
+        def _pct(q: float) -> float:
+            return sample[min(int(q * len(sample)), len(sample) - 1)]
+
+        return {
+            "count": self._count,
+            "total": self._total,
+            "min": self._min,
+            "max": self._max,
+            "mean": self._total / self._count,
+            "p50": _pct(0.50),
+            "p95": _pct(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    ``registry.counter("tasks_retried").inc()`` — one line at the call
+    site, idempotent creation, and a :meth:`snapshot` that serializes
+    every instrument for attaching to bench JSON or emitting as trace
+    counter events.
+    """
+
+    def __init__(self):
+        self._instruments: dict = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str):
+        key = (cls.__name__, str(name))
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is None:
+                inst = cls(str(name))
+                self._instruments[key] = inst
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(Counter, name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(Gauge, name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(Histogram, name)
+
+    def snapshot(self) -> dict:
+        """JSON-ready ``{counters, gauges, histograms}`` view."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for inst in instruments:
+            if isinstance(inst, Counter):
+                out["counters"][inst.name] = inst.value
+            elif isinstance(inst, Gauge):
+                out["gauges"][inst.name] = inst.value
+            elif isinstance(inst, Histogram):
+                out["histograms"][inst.name] = inst.summary()
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()

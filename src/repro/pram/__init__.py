@@ -21,7 +21,7 @@ quantities on any substrate.
 """
 
 from repro.pram.operators import ADD, AND, MAX, MIN, OR, AssociativeOp, get_operator
-from repro.pram.ledger import CostLedger, CostSnapshot
+from repro.pram.ledger import CostLedger, CostSnapshot, RoundMark
 from repro.pram.backends import (
     AUTO_BACKEND_MIN_SIZE,
     Backend,
@@ -47,6 +47,7 @@ __all__ = [
     "get_operator",
     "CostLedger",
     "CostSnapshot",
+    "RoundMark",
     "Backend",
     "SerialBackend",
     "ThreadBackend",

@@ -44,6 +44,7 @@ import os
 import pickle
 import sys
 import threading
+import time
 import types
 import weakref
 from concurrent.futures import (
@@ -57,6 +58,7 @@ from multiprocessing import get_context, resource_tracker, shared_memory
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.obs.tracer import current_tracer
 from repro.pram.operators import AssociativeOp
 
 
@@ -131,6 +133,104 @@ def fn_picklable(fn) -> bool:
     return ok
 
 
+class _TracedResult:
+    """Worker-side timing riding back with a batch task's result.
+
+    Created inside the worker (process or thread) by :class:`_TracedTask`
+    and unwrapped by the parent, which emits the queue-wait and exec
+    spans on a per-worker lane. Timestamps are ``perf_counter_ns()``
+    microseconds — ``CLOCK_MONOTONIC``, shared across processes on the
+    same machine, so they land on the driver's time axis directly.
+    """
+
+    __slots__ = ("value", "pid", "tid", "start_us", "end_us")
+
+    def __init__(self, value, pid, tid, start_us, end_us):
+        self.value = value
+        self.pid = pid
+        self.tid = tid
+        self.start_us = start_us
+        self.end_us = end_us
+
+    def __reduce__(self):
+        return (
+            _TracedResult,
+            (self.value, self.pid, self.tid, self.start_us, self.end_us),
+        )
+
+
+class _TracedTask:
+    """Picklable wrapper that stamps a batch task with worker-local timing.
+
+    Wraps the user's ``fn`` for the duration of one traced
+    ``submit_batch``; works identically on every execution path — pool
+    worker, thread pool, serial fallback, cancellation rerun — because
+    it *is* the fn the backend runs.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, item):
+        start = time.perf_counter_ns() // 1000
+        value = self.fn(item)
+        return _TracedResult(
+            value,
+            os.getpid(),
+            threading.get_native_id(),
+            start,
+            time.perf_counter_ns() // 1000,
+        )
+
+    def __reduce__(self):
+        return (_TracedTask, (self.fn,))
+
+
+def _traced_batch(backend, tracer, fn, items) -> list:
+    """Run one traced batch: wrap ``fn``, unwrap results, emit spans.
+
+    Per task the trace gains two complete events on the executing
+    worker's lane — ``queue_wait`` (submit to exec-start) and ``exec``
+    (the task body) — the utilization/straggler raw material. Results
+    are returned exactly as the unwrapped ``fn`` produced them, so
+    traced and untraced batches are byte-identical.
+    """
+    submit_ts = tracer.now()
+    raw = backend._submit_batch(_TracedTask(fn), items)
+    results = []
+    exec_hist = tracer.metrics.histogram("backend.exec_us")
+    wait_hist = tracer.metrics.histogram("backend.queue_wait_us")
+    for i, out in enumerate(raw):
+        if isinstance(out, _TracedResult):
+            lane = tracer.worker_lane(out.pid, out.tid)
+            queued = max(out.start_us - submit_ts, 0)
+            dur = max(out.end_us - out.start_us, 0)
+            task_args = {"task": i, "backend": backend.name}
+            tracer.complete("queue_wait", "backend", submit_ts, queued, tid=lane, args=task_args)
+            tracer.complete("exec", "backend", out.start_us, dur, tid=lane, args=task_args)
+            wait_hist.observe(queued)
+            exec_hist.observe(dur)
+            results.append(out.value)
+        else:
+            # A path that bypassed the wrapper (shouldn't happen, but a
+            # raw value must never leak a timing envelope to the caller).
+            results.append(out)
+    tracer.metrics.counter("backend.batch_tasks").inc(len(items))
+    return results
+
+
+def _record_shm_bytes(shms) -> None:
+    """Account shared-memory bytes shipped for a traced batch."""
+    tracer = current_tracer()
+    if not tracer.enabled or not shms:
+        return
+    nbytes = int(sum(s.size for s in shms))
+    tracer.metrics.counter("backend.shm_bytes_shipped").inc(nbytes)
+    tracer.counter_event("shm_bytes", {"shipped": nbytes})
+
+
 class Backend:
     """Kernel interface shared by all backends.
 
@@ -192,7 +292,22 @@ class Backend:
         serial loop, while unpicklable *items* (or return values) and
         exceptions raised by ``fn`` itself propagate to the caller —
         no task ever runs twice.
+
+        When a tracer is active (``REPRO_TRACE`` / ``set_tracer``) each
+        task additionally reports worker-local timing that the driver
+        turns into per-lane queue-wait and exec spans; results are
+        byte-identical to an untraced batch. With tracing off, this
+        method is exactly :meth:`_submit_batch` — no wrapper objects
+        are created.
         """
+        items = list(items)
+        tracer = current_tracer()
+        if tracer.enabled and items:
+            return _traced_batch(self, tracer, fn, items)
+        return self._submit_batch(fn, items)
+
+    def _submit_batch(self, fn, items) -> list:
+        """Backend-specific batch execution (see :meth:`submit_batch`)."""
         return [fn(item) for item in items]
 
     @property
@@ -349,7 +464,7 @@ class _BlockedBackend(Backend):
         per = -(-n_rows // self.num_workers)
         return [slice(s, min(s + per, n_rows)) for s in range(0, n_rows, per)]
 
-    def submit_batch(self, fn, items) -> list:
+    def _submit_batch(self, fn, items) -> list:
         """Fan independent tasks across the pool (order-preserving).
 
         Unlike the element-count dispatch of the kernels, batches go to
@@ -385,6 +500,7 @@ class _BlockedBackend(Backend):
         try:
             if self._batch_shm_items:
                 packed_items, _ = pack_batch_items(items, item_shms)
+                _record_shm_bytes(item_shms)
             try:
                 with self._lock:
                     if self._closed or self._pool is None:

@@ -14,6 +14,27 @@ import math
 import time
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import NamedTuple
+
+
+class RoundMark(NamedTuple):
+    """One entry of :attr:`CostLedger.round_log`.
+
+    A NamedTuple so historical consumers that unpack positionally —
+    ``(label, index, work, wall)`` — keep working unchanged, while new
+    code reads fields by name. ``work`` is cumulative ledger work at
+    the bump; ``wall`` is ``time.perf_counter()`` at the bump.
+    """
+
+    label: str
+    index: int
+    work: float
+    wall: float
+
+    @classmethod
+    def coerce(cls, entry) -> "RoundMark":
+        """Accept a RoundMark or a legacy bare 4-tuple."""
+        return entry if isinstance(entry, cls) else cls(*entry)
 
 
 @dataclass(frozen=True)
@@ -130,13 +151,16 @@ class CostLedger:
     def bump_round(self, label: str) -> int:
         """Increment and return the named round counter.
 
-        Each bump appends ``(label, index, work_so_far, wall_time)`` to
-        :attr:`round_log`, so benches can difference consecutive entries
-        into per-round ledger work and wall-clock — the perf-trajectory
-        instrument behind ``repro.bench.regressions``.
+        Each bump appends a :class:`RoundMark` (positionally compatible
+        with the historical ``(label, index, work_so_far, wall_time)``
+        tuple) to :attr:`round_log`, so benches can difference
+        consecutive entries into per-round ledger work and wall-clock —
+        the perf-trajectory instrument behind ``repro.bench.regressions``.
         """
         self.rounds[label] += 1
-        self.round_log.append((label, self.rounds[label], self.work, time.perf_counter()))
+        self.round_log.append(
+            RoundMark(label, self.rounds[label], self.work, time.perf_counter())
+        )
         return self.rounds[label]
 
     @property

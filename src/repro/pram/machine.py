@@ -42,14 +42,97 @@ basic operations, so the charged totals remain faithful to the model.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.obs.tracer import current_tracer
 from repro.pram.backends import Backend, resolve_backend_name, shared_backend
 from repro.pram.kernels import KernelProvider, shared_kernel_provider
 from repro.pram.ledger import CostLedger, CostSnapshot
 from repro.pram.operators import AssociativeOp, get_operator
 from repro.util.rng import ensure_rng
+
+#: Primitives wrapped with trace spans when a machine is built under an
+#: enabled tracer. Wrapping is per-instance and only happens when
+#: tracing is on — a machine built with tracing off runs the methods
+#: below exactly as written, with zero indirection added.
+_TRACED_PRIMITIVES = (
+    "map",
+    "where",
+    "masked_axpy",
+    "reduce",
+    "scan",
+    "exclusive_scan",
+    "argmin",
+    "argmax",
+    "distribute",
+    "transpose",
+    "gather_rows",
+    "take_columns",
+    "take_rows",
+    "pack_rows",
+    "count_votes",
+    "segmented_reduce",
+    "segmented_scan",
+    "segmented_argmin",
+    "segment_positions",
+    "segment_spread",
+    "scatter_min",
+    "scatter_add",
+    "argsort_segments",
+    "take_submatrix",
+    "pack",
+    "sort_rows",
+    "argsort_rows",
+    "sort",
+    "sorted_unique",
+    "random_uniform",
+    "random_priorities",
+)
+
+
+def _traced_primitive(tracer, ledger, name, bound):
+    """Wrap one bound primitive with a span carrying ledger deltas.
+
+    Each call emits a ``cat="pram"`` complete event whose args hold the
+    work/depth the ledger charged during the call — the correlation
+    between model cost and wall cost per op. Spans nest naturally
+    (``where`` → ``map``, ``exclusive_scan`` → ``scan``) the way the
+    calls do.
+    """
+
+    @functools.wraps(bound)
+    def wrapper(*args, **kwargs):
+        ts = tracer.now()
+        work0, depth0 = ledger.work, ledger.depth
+        try:
+            return bound(*args, **kwargs)
+        finally:
+            dur = tracer.now() - ts
+            tracer.complete(
+                name,
+                "pram",
+                ts,
+                dur,
+                args={"work": ledger.work - work0, "depth": ledger.depth - depth0},
+            )
+            tracer.metrics.histogram(f"pram.{name}_us").observe(dur)
+
+    return wrapper
+
+
+def _instrument_machine(machine: "PramMachine") -> None:
+    """Install per-instance trace wrappers over the machine's primitives."""
+    for name in _TRACED_PRIMITIVES:
+        setattr(
+            machine,
+            name,
+            _traced_primitive(
+                machine.tracer, machine.ledger, name, getattr(machine, name)
+            ),
+        )
 
 
 def _coerce_op(op: "str | AssociativeOp") -> AssociativeOp:
@@ -92,6 +175,14 @@ class PramMachine:
         default (``REPRO_KERNELS``, numpy unless set). Providers are
         byte-identical by contract — swapping one moves wall-clock only;
         ledger charges are computed here, never inside a provider.
+    tracer:
+        Observability sink (:class:`repro.obs.Tracer`), or ``None`` for
+        the process default (``REPRO_TRACE`` env / :func:`~repro.obs.set_tracer`,
+        disabled unless configured). When the tracer is enabled every
+        primitive call emits a span carrying the work/depth it charged;
+        when disabled the machine is byte-for-byte the uninstrumented
+        code — no wrappers are installed at all. Tracing never touches
+        data or randomness, so results are identical either way.
     """
 
     def __init__(
@@ -100,6 +191,7 @@ class PramMachine:
         ledger: CostLedger | None = None,
         seed=None,
         kernels: "KernelProvider | str | None" = None,
+        tracer=None,
     ):
         if backend is None or isinstance(backend, str):
             self.backend = shared_backend(backend)
@@ -110,6 +202,9 @@ class PramMachine:
         self.kernels = shared_kernel_provider(kernels)
         self.ledger = ledger if ledger is not None else CostLedger()
         self.rng = ensure_rng(seed)
+        self.tracer = tracer if tracer is not None else current_tracer()
+        if self.tracer.enabled:
+            _instrument_machine(self)
 
     # -- elementwise -------------------------------------------------------
 
@@ -613,7 +708,12 @@ class PramMachine:
 
     def bump_round(self, label: str) -> int:
         """Count one round of the named phase (for E2 round benches)."""
-        return self.ledger.bump_round(label)
+        index = self.ledger.bump_round(label)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                label, "round", args={"index": index, "work": self.ledger.work}
+            )
+        return index
 
     def snapshot(self) -> CostSnapshot:
         """Current ledger totals (subtract later to cost an interval)."""
@@ -643,15 +743,17 @@ def ensure_machine(
     backend: "Backend | str | None" = None,
     seed=None,
     size: int | None = None,
+    tracer=None,
 ) -> PramMachine:
     """Return ``machine``, or build one on the requested backend.
 
     The shared helper behind every algorithm entry point's
     ``machine=None, backend=None`` signature: an explicit machine wins
-    (passing both is ambiguous and rejected), otherwise a fresh machine
-    is built on the named backend — ``"auto"`` resolved against
-    ``size``, the instance's element count — or on the environment
-    default when neither is given.
+    (passing both is ambiguous and rejected, and likewise for
+    ``tracer=`` — the machine already carries its tracer), otherwise a
+    fresh machine is built on the named backend — ``"auto"`` resolved
+    against ``size``, the instance's element count — or on the
+    environment default when neither is given.
     """
     if machine is not None:
         if backend is not None:
@@ -659,7 +761,12 @@ def ensure_machine(
                 "pass either machine= or backend=, not both (the machine "
                 "already carries its backend)"
             )
+        if tracer is not None:
+            raise InvalidParameterError(
+                "pass either machine= or tracer=, not both (the machine "
+                "already carries its tracer)"
+            )
         return machine
     if isinstance(backend, str):
         backend = resolve_backend_name(backend, size)
-    return PramMachine(backend=backend, seed=seed)
+    return PramMachine(backend=backend, seed=seed, tracer=tracer)

@@ -348,6 +348,7 @@ def supervised_shard_coresets(
     machine: PramMachine | None = None,
     policy=None,
     fault_plan=None,
+    tracer=None,
 ):
     """Fault-tolerant :func:`build_shard_coresets`.
 
@@ -395,7 +396,7 @@ def supervised_shard_coresets(
         if machine is not None and not machine.backend.closed
         else SerialBackend()
     )
-    supervisor = Supervisor(backend, policy, fault_plan)
+    supervisor = Supervisor(backend, policy, fault_plan, tracer=tracer)
     results, failures = supervisor.submit_batch(
         _coreset_task, payloads, validate=_coreset_validator(expected)
     )

@@ -220,6 +220,7 @@ def shard_and_solve(
     seed=None,
     backend=None,
     machine: PramMachine | None = None,
+    tracer=None,
     on_shard_failure: str = "raise",
     retry_policy: RetryPolicy | None = None,
     coverage_floor: float = 0.5,
@@ -341,8 +342,13 @@ def shard_and_solve(
             )
         instance = source if int(k) == source.k else _rebudget(source, int(k))
         size = instance.m if isinstance(instance, SparseClusteringInstance) else instance.D.size
-        machine = ensure_machine(machine, backend=backend, seed=seed, size=size)
-        sol = run(instance, machine, epsilon, **solver_kwargs)
+        machine = ensure_machine(
+            machine, backend=backend, seed=seed, size=size, tracer=tracer
+        )
+        with machine.tracer.span(
+            "shard.solve", "shard", {"solver": solver, "identity": True, "n": int(instance.n)}
+        ):
+            sol = run(instance, machine, epsilon, **solver_kwargs)
         centers = np.sort(sol.centers)
         return ShardSolution(
             centers=centers,
@@ -394,21 +400,30 @@ def shard_and_solve(
     machine = ensure_machine(
         machine, backend=backend, seed=seed,
         size=2 * int(neighbors) * min(n, per_shard * shards),
+        tracer=tracer,
     )
+    obs = machine.tracer
 
     weights_input = weights
     if store is None:
-        labels = make_partition(points, shards, partition, seed=seed)
-        sizes = shard_sizes(labels, shards)
-        machine.ledger.charge_basic("shard_partition", n)
-        machine.bump_round("shard_partition")
+        part_args = {"shards": int(shards), "n": int(n), "partition": partition}
+        with obs.span("shard.partition", "shard", part_args):
+            labels = make_partition(points, shards, partition, seed=seed)
+            sizes = shard_sizes(labels, shards)
+            machine.ledger.charge_basic("shard_partition", n)
+            machine.bump_round("shard_partition")
+            part_args["sizes"] = [int(s) for s in sizes]
         if spill_dir is not None:
             # Spill the blocks and stream everything downstream from
             # disk: identical bits in identical order, so the result is
             # byte-for-byte the resident run's.
-            store = ShardStore.create(
-                spill_dir, points, labels, shards, weights=weights
-            )
+            with obs.span(
+                "shard.spill", "shard",
+                {"bytes": int(points.nbytes), "shards": int(shards)},
+            ):
+                store = ShardStore.create(
+                    spill_dir, points, labels, shards, weights=weights
+                )
             points = None
             labels = None
             weights_input = None
@@ -431,27 +446,33 @@ def shard_and_solve(
     src = store if store is not None else points
     src_labels = None if store is not None else labels
     src_shards = None if store is not None else shards
-    if supervise:
-        policy = retry_policy if retry_policy is not None else (
-            RetryPolicy() if on_shard_failure == "retry" else NO_RETRY
-        )
-        coresets, failures = supervised_shard_coresets(
-            src, src_labels, src_shards, per_shard,
-            weights=weights_input, method=coreset, seed=seed, machine=machine,
-            policy=policy, fault_plan=fault_plan,
-        )
-        failed = [s for s, c in enumerate(coresets) if c is None]
-        if failed and on_shard_failure != "drop":
-            raise ShardFailedError(
-                f"{len(failed)} of {shards} shard coreset build(s) failed "
-                f"terminally (shards {failed}); first failure: "
-                f"{failures[0].error}"
-            ) from failures[0].error
-    else:
-        coresets = build_shard_coresets(
-            src, src_labels, src_shards, per_shard,
-            weights=weights_input, method=coreset, seed=seed, machine=machine,
-        )
+    core_args = {
+        "shards": int(shards), "size": int(per_shard), "method": coreset,
+        "supervised": supervise,
+    }
+    with obs.span("shard.coreset", "shard", core_args):
+        if supervise:
+            policy = retry_policy if retry_policy is not None else (
+                RetryPolicy() if on_shard_failure == "retry" else NO_RETRY
+            )
+            coresets, failures = supervised_shard_coresets(
+                src, src_labels, src_shards, per_shard,
+                weights=weights_input, method=coreset, seed=seed, machine=machine,
+                policy=policy, fault_plan=fault_plan, tracer=obs,
+            )
+            failed = [s for s, c in enumerate(coresets) if c is None]
+            core_args["failed"] = len(failed)
+            if failed and on_shard_failure != "drop":
+                raise ShardFailedError(
+                    f"{len(failed)} of {shards} shard coreset build(s) failed "
+                    f"terminally (shards {failed}); first failure: "
+                    f"{failures[0].error}"
+                ) from failures[0].error
+        else:
+            coresets = build_shard_coresets(
+                src, src_labels, src_shards, per_shard,
+                weights=weights_input, method=coreset, seed=seed, machine=machine,
+            )
 
     covered_frac = 1.0
     failed_mask = None
@@ -492,35 +513,46 @@ def shard_and_solve(
         # merged instance is the *reduced* one — the extra edges are
         # cheap by construction).
         neighbors_eff = max(neighbors_eff, int(np.ceil(2.0 * merged_n / max(k, 1))) + 1)
-    merged, origin, merged_points = merge_coresets(
-        survivors, k, neighbors=neighbors_eff, fallback_slack=fallback_slack
-    )
-    machine.ledger.charge_basic(
-        "shard_merge", merged.nnz * int(np.ceil(np.log2(max(merged.nnz, 2))))
-    )
-    machine.bump_round("shard_merge")
+    merge_args = {"survivors": len(survivors), "neighbors": neighbors_eff}
+    with obs.span("shard.merge", "shard", merge_args):
+        merged, origin, merged_points = merge_coresets(
+            survivors, k, neighbors=neighbors_eff, fallback_slack=fallback_slack
+        )
+        machine.ledger.charge_basic(
+            "shard_merge", merged.nnz * int(np.ceil(np.log2(max(merged.nnz, 2))))
+        )
+        machine.bump_round("shard_merge")
+        merge_args["merged_n"] = int(merged.n)
+        merge_args["merged_nnz"] = int(merged.nnz)
 
     if solver in ("kmedian", "kmeans") and "initial" not in solver_kwargs:
         solver_kwargs = {**solver_kwargs, "initial": _gonzalez_warm_start(merged_points, k)}
-    sol = run(merged, machine, epsilon, **solver_kwargs)
+    with obs.span(
+        "shard.solve", "shard", {"solver": solver, "merged_n": int(merged.n)}
+    ):
+        sol = run(merged, machine, epsilon, **solver_kwargs)
     merged_centers = np.sort(sol.centers)
     centers = np.sort(origin[merged_centers])
-    if store is not None:
-        true_cost = _true_cost_store(
-            store, merged_points[merged_centers], sol.objective, machine
+    with obs.span(
+        "shard.true_cost", "shard", {"store": store is not None, "n": int(n)}
+    ):
+        if store is not None:
+            true_cost = _true_cost_store(
+                store, merged_points[merged_centers], sol.objective, machine
+            )
+        else:
+            true_cost = _true_cost(
+                points, weights_arr, merged_points[merged_centers], sol.objective,
+                machine,
+            )
+        # The solver's reported cost is the *fallback-capped* truncated
+        # objective; the movement bound composes against the exact coreset
+        # cost, so evaluate that too (one tiny KD query over the merged
+        # points): true_cost ≤ merged_cost_exact + movement for k-median.
+        merged_cost_exact = _true_cost(
+            merged_points, merged.weights, merged_points[merged_centers],
+            sol.objective, machine,
         )
-    else:
-        true_cost = _true_cost(
-            points, weights_arr, merged_points[merged_centers], sol.objective, machine
-        )
-    # The solver's reported cost is the *fallback-capped* truncated
-    # objective; the movement bound composes against the exact coreset
-    # cost, so evaluate that too (one tiny KD query over the merged
-    # points): true_cost ≤ merged_cost_exact + movement for k-median.
-    merged_cost_exact = _true_cost(
-        merged_points, merged.weights, merged_points[merged_centers],
-        sol.objective, machine,
-    )
     extra = {
         "identity": False,
         "solver": solver,
@@ -544,39 +576,44 @@ def shard_and_solve(
         # already (approximately) paid inside the solved objective.
         from scipy.spatial import cKDTree
 
-        if store is not None:
-            # Gather the failed shards' blocks and restore global point
-            # order (each block's origin is ascending; a stable argsort
-            # over the concatenation is the merge) — the same rows, in
-            # the same order, a resident ``points[failed_mask]`` yields.
-            blocks = [store.load_shard(s) for s in failed]
-            forder = np.argsort(
-                np.concatenate([o for _, _, o in blocks]), kind="stable"
+        with obs.span(
+            "shard.degraded_account", "shard",
+            {"failed": len(failed), "covered_frac": covered_frac},
+        ):
+            if store is not None:
+                # Gather the failed shards' blocks and restore global point
+                # order (each block's origin is ascending; a stable argsort
+                # over the concatenation is the merge) — the same rows, in
+                # the same order, a resident ``points[failed_mask]`` yields.
+                blocks = [store.load_shard(s) for s in failed]
+                forder = np.argsort(
+                    np.concatenate([o for _, _, o in blocks]), kind="stable"
+                )
+                fp = np.concatenate([np.asarray(p) for p, _, _ in blocks])[forder]
+                fw = (
+                    np.concatenate([np.asarray(w) for _, w, _ in blocks])[forder]
+                    if store.has_weights
+                    else np.ones(fp.shape[0])
+                )
+            else:
+                fp = points[failed_mask]
+                fw = (
+                    np.ones(fp.shape[0])
+                    if weights_arr is None
+                    else weights_arr[failed_mask]
+                )
+            dist_rep, rep_idx = cKDTree(merged_points).query(fp)
+            dropped_movement = float(np.sum(fw * dist_rep))
+            rep_to_center, _ = cKDTree(merged_points[merged_centers]).query(
+                merged_points[rep_idx]
             )
-            fp = np.concatenate([np.asarray(p) for p, _, _ in blocks])[forder]
-            fw = (
-                np.concatenate([np.asarray(w) for _, w, _ in blocks])[forder]
-                if store.has_weights
-                else np.ones(fp.shape[0])
+            dropped_rep_service = float(np.sum(fw * rep_to_center))
+            machine.ledger.charge_basic(
+                "shard_degraded_account",
+                2 * fp.shape[0]
+                * int(np.ceil(np.log2(max(merged_points.shape[0], 2)))),
             )
-        else:
-            fp = points[failed_mask]
-            fw = (
-                np.ones(fp.shape[0])
-                if weights_arr is None
-                else weights_arr[failed_mask]
-            )
-        dist_rep, rep_idx = cKDTree(merged_points).query(fp)
-        dropped_movement = float(np.sum(fw * dist_rep))
-        rep_to_center, _ = cKDTree(merged_points[merged_centers]).query(
-            merged_points[rep_idx]
-        )
-        dropped_rep_service = float(np.sum(fw * rep_to_center))
-        machine.ledger.charge_basic(
-            "shard_degraded_account",
-            2 * fp.shape[0] * int(np.ceil(np.log2(max(merged_points.shape[0], 2)))),
-        )
-        machine.bump_round("shard_degraded_account")
+            machine.bump_round("shard_degraded_account")
         extra.update(
             dropped_movement=dropped_movement,
             dropped_rep_service=dropped_rep_service,

@@ -1,0 +1,107 @@
+"""Tests for round-trace summarization shared by reporting and regressions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.regressions import _per_round
+from repro.bench.reporting import summarize_rounds
+from repro.pram.ledger import CostLedger, RoundMark
+
+
+def _mark(label, index, work, wall=0.0):
+    return RoundMark(label, index, work, wall)
+
+
+class TestRoundMark:
+    def test_coerce_passes_marks_through(self):
+        m = _mark("a", 1, 2.0, 3.0)
+        assert RoundMark.coerce(m) is m
+
+    def test_coerce_accepts_legacy_tuples(self):
+        m = RoundMark.coerce(("a", 1, 2.0, 3.0))
+        assert isinstance(m, RoundMark)
+        assert m.label == "a"
+        assert m.work == 2.0
+
+    def test_positional_unpacking_still_works(self):
+        lab, idx, work, wall = _mark("a", 1, 2.0, 3.0)
+        assert (lab, idx, work, wall) == ("a", 1, 2.0, 3.0)
+
+    def test_ledger_round_log_holds_marks(self):
+        ledger = CostLedger()
+        ledger.charge_basic("x", 10)
+        ledger.bump_round("outer")
+        ledger.bump_round("outer")
+        assert all(isinstance(m, RoundMark) for m in ledger.round_log)
+        assert [m.label for m in ledger.round_log] == ["outer", "outer"]
+        assert ledger.round_log[0].index == 1
+        assert ledger.round_log[1].index == 2
+
+
+class TestSummarizeRounds:
+    def test_empty_log(self):
+        assert summarize_rounds([], "outer", 100.0) == {"rounds": 0}
+
+    def test_no_matching_label(self):
+        log = [_mark("other", 1, 10.0)]
+        assert summarize_rounds(log, "outer", 100.0) == {"rounds": 0}
+
+    def test_single_mark(self):
+        log = [_mark("outer", 1, 10.0)]
+        s = summarize_rounds(log, "outer", 25.0)
+        assert s["rounds"] == 1
+        assert s["work_total"] == 15.0
+        assert s["work_first"] == 15.0
+        assert s["work_last"] == 15.0
+        assert s["work_median"] == 15.0
+
+    def test_mixed_labels(self):
+        log = [
+            _mark("outer", 1, 0.0),
+            _mark("inner", 1, 5.0),
+            _mark("outer", 2, 10.0),
+            _mark("inner", 2, 12.0),
+            _mark("outer", 3, 30.0),
+        ]
+        s = summarize_rounds(log, "outer", 60.0)
+        assert s["rounds"] == 3
+        # deltas between consecutive outer marks: 10, 20, then 30 to final
+        assert s["work_first"] == 10.0
+        assert s["work_last"] == 30.0
+        assert s["work_total"] == 60.0
+        assert s["work_median"] == 20.0
+
+    def test_accepts_legacy_tuples(self):
+        log = [("outer", 1, 10.0, 0.0), ("outer", 2, 20.0, 1.0)]
+        s = summarize_rounds(log, "outer", 40.0)
+        assert s["rounds"] == 2
+        assert s["work_total"] == 30.0
+
+
+class TestPerRound:
+    def test_empty_log(self):
+        assert _per_round([], "outer", 100.0, 1.0) == []
+
+    def test_single_mark_spans_to_final(self):
+        log = [_mark("outer", 1, 10.0, 0.5)]
+        rows = _per_round(log, "outer", 30.0, 2.5)
+        assert rows == [{"round": 1, "ledger_work": 20.0, "wall_s": 2.0}]
+
+    def test_mixed_labels(self):
+        log = [
+            _mark("outer", 1, 0.0, 0.0),
+            _mark("inner", 1, 1.0, 0.1),
+            _mark("outer", 2, 10.0, 1.0),
+        ]
+        rows = _per_round(log, "outer", 25.0, 3.0)
+        assert [r["round"] for r in rows] == [1, 2]
+        assert rows[0]["ledger_work"] == 10.0
+        assert rows[0]["wall_s"] == pytest.approx(1.0)
+        assert rows[1]["ledger_work"] == 15.0
+        assert rows[1]["wall_s"] == pytest.approx(2.0)
+
+    def test_accepts_legacy_tuples(self):
+        log = [("outer", 1, 0.0, 0.0), ("outer", 2, 10.0, 1.0)]
+        rows = _per_round(log, "outer", 20.0, 2.0)
+        assert [r["ledger_work"] for r in rows] == [10.0, 10.0]

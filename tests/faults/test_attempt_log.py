@@ -1,0 +1,95 @@
+"""Satellite: the supervisor records attempt history for *every* task,
+successes included, and exposes retry counters through the tracer's
+metrics registry."""
+
+from __future__ import annotations
+
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    Supervisor,
+    TaskAttempt,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.pram.backends import SerialBackend
+
+FAST = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+def _square(x):
+    return x * x
+
+
+def test_attempt_log_records_successes():
+    sup = Supervisor(SerialBackend(), FAST)
+    results, failures = sup.submit_batch(_square, [1, 2, 3])
+    assert results == [1, 4, 9]
+    assert failures == []
+    assert len(sup.attempt_log) == 3
+    assert all(isinstance(a, TaskAttempt) for a in sup.attempt_log)
+    assert sorted(a.index for a in sup.attempt_log) == [0, 1, 2]
+    assert all(a.outcome == "ok" for a in sup.attempt_log)
+    assert all(a.attempt == 1 for a in sup.attempt_log)
+    assert all(a.error is None for a in sup.attempt_log)
+    assert all(a.duration >= 0.0 for a in sup.attempt_log)
+
+
+def test_attempt_log_records_failures_then_success():
+    plan = FaultPlan([FaultSpec("raise", 1, attempt=1)])
+    sup = Supervisor(SerialBackend(), FAST, plan)
+    results, failures = sup.submit_batch(_square, [1, 2, 3])
+    assert results == [1, 4, 9]
+    assert failures == []
+    task1 = sorted(
+        (a for a in sup.attempt_log if a.index == 1), key=lambda a: a.attempt
+    )
+    assert [a.outcome for a in task1] == ["fail", "ok"]
+    assert task1[0].error is not None
+    assert task1[1].error is None
+
+
+def test_attempt_log_records_terminal_failure():
+    plan = FaultPlan([
+        FaultSpec("raise", 0, attempt=a) for a in (1, 2, 3)
+    ])
+    sup = Supervisor(SerialBackend(), FAST, plan)
+    results, failures = sup.submit_batch(_square, [5])
+    assert results == [None]
+    assert len(failures) == 1
+    outcomes = [a.outcome for a in sup.attempt_log if a.index == 0]
+    assert outcomes == ["fail", "fail", "fail"]
+
+
+def test_attempt_log_resets_per_batch():
+    sup = Supervisor(SerialBackend(), FAST)
+    sup.submit_batch(_square, [1, 2])
+    sup.submit_batch(_square, [3])
+    assert len(sup.attempt_log) == 1
+
+
+def test_attempt_log_recorded_without_tracing():
+    """The history is a supervisor feature, not a tracing feature."""
+    sup = Supervisor(SerialBackend(), FAST, tracer=NULL_TRACER)
+    sup.submit_batch(_square, [1, 2])
+    assert len(sup.attempt_log) == 2
+
+
+def test_retry_counters_exposed_when_traced():
+    plan = FaultPlan([FaultSpec("raise", 1, attempt=1)])
+    tracer = Tracer(None)  # enabled drop sink: counts without a file
+    sup = Supervisor(SerialBackend(), FAST, plan, tracer=tracer)
+    results, failures = sup.submit_batch(_square, [1, 2, 3])
+    assert results == [1, 4, 9]
+    snap = tracer.metrics.snapshot()
+    assert snap["counters"]["supervisor.tasks_retried"] == 1
+    # 3 tasks + 1 retry = 4 attempts consumed
+    assert snap["counters"]["supervisor.attempts_total"] == 4
+
+
+def test_counters_absent_when_disabled():
+    plan = FaultPlan([FaultSpec("raise", 1, attempt=1)])
+    sup = Supervisor(SerialBackend(), FAST, plan, tracer=NULL_TRACER)
+    sup.submit_batch(_square, [1, 2, 3])
+    # the shared null tracer's registry stays empty
+    assert NULL_TRACER.metrics.snapshot()["counters"] == {}

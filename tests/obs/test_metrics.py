@@ -1,0 +1,98 @@
+"""Unit tests for the repro.obs metrics registry."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import (
+    HISTOGRAM_SAMPLE_CAP,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_increments():
+    c = Counter("tasks")
+    assert c.value == 0
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+
+
+def test_gauge_holds_last_value():
+    g = Gauge("depth")
+    g.set(3.5)
+    g.set(2.0)
+    assert g.value == 2.0
+
+
+def test_histogram_summary_stats():
+    h = Histogram("lat")
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        h.observe(v)
+    s = h.summary()
+    assert s["count"] == 4
+    assert s["total"] == 10.0
+    assert s["min"] == 1.0
+    assert s["max"] == 4.0
+    assert s["mean"] == 2.5
+    assert 1.0 <= s["p50"] <= 4.0
+    assert s["p50"] <= s["p95"] <= 4.0
+
+
+def test_histogram_empty_summary():
+    assert Histogram("lat").summary() == {"count": 0}
+
+
+def test_histogram_sample_cap_keeps_count_and_total():
+    h = Histogram("lat")
+    n = HISTOGRAM_SAMPLE_CAP + 500
+    for i in range(n):
+        h.observe(1.0)
+    s = h.summary()
+    # count/total are exact even though the sample reservoir is capped
+    assert s["count"] == n
+    assert s["total"] == float(n)
+
+
+def test_registry_get_or_create_is_idempotent():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("g") is reg.gauge("g")
+    assert reg.histogram("h") is reg.histogram("h")
+    # the same name with a different type is a distinct metric
+    assert reg.counter("x") is not reg.gauge("x")
+
+
+def test_registry_snapshot_and_reset():
+    reg = MetricsRegistry()
+    reg.counter("tasks").inc(3)
+    reg.gauge("depth").set(7.0)
+    reg.histogram("lat").observe(1.5)
+    snap = reg.snapshot()
+    assert snap["counters"]["tasks"] == 3
+    assert snap["gauges"]["depth"] == 7.0
+    assert snap["histograms"]["lat"]["count"] == 1
+    reg.reset()
+    snap = reg.snapshot()
+    assert snap["counters"] == {}
+    assert snap["gauges"] == {}
+    assert snap["histograms"] == {}
+
+
+def test_counter_thread_safety():
+    c = Counter("n")
+    per_thread = 5000
+
+    def work():
+        for _ in range(per_thread):
+            c.inc()
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 4 * per_thread

@@ -1,0 +1,156 @@
+"""Tests for the trace loader, schema validator, and report CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.report import (
+    load_trace,
+    main,
+    render_summary,
+    summarize_trace,
+    validate_events,
+)
+from repro.obs.tracer import trace_to
+
+
+def _write_jsonl(path, events):
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event) + "\n")
+
+
+def _synthetic_events():
+    return [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "repro-driver"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 100,
+         "args": {"name": "worker-100"}},
+        {"name": "shard.partition", "cat": "shard", "ph": "X", "ts": 0,
+         "dur": 1000, "pid": 1, "tid": 1, "args": {"shards": 2}},
+        {"name": "shard.solve", "cat": "shard", "ph": "X", "ts": 1000,
+         "dur": 3000, "pid": 1, "tid": 1},
+        {"name": "map", "cat": "pram", "ph": "X", "ts": 100, "dur": 50,
+         "pid": 1, "tid": 1, "args": {"work": 10.0}},
+        {"name": "map", "cat": "pram", "ph": "X", "ts": 200, "dur": 150,
+         "pid": 1, "tid": 1, "args": {"work": 30.0}},
+        {"name": "exec", "cat": "backend", "ph": "X", "ts": 500, "dur": 400,
+         "pid": 1, "tid": 100, "args": {"task": 0}},
+        {"name": "queue_wait", "cat": "backend", "ph": "X", "ts": 400,
+         "dur": 100, "pid": 1, "tid": 100, "args": {"task": 0}},
+        {"name": "task_fail", "cat": "fault", "ph": "i", "s": "t", "ts": 600,
+         "pid": 1, "tid": 1, "args": {"task": 0, "attempt": 1}},
+        {"name": "shm_bytes", "cat": "metrics", "ph": "C", "ts": 700,
+         "pid": 1, "tid": 0, "args": {"bytes": 4096}},
+    ]
+
+
+def test_load_trace_roundtrip(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _write_jsonl(path, _synthetic_events())
+    events = load_trace(path)
+    assert len(events) == len(_synthetic_events())
+    assert events[0]["name"] == "process_name"
+
+
+def test_load_trace_skips_blank_lines(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"name":"a","ph":"M","pid":1,"tid":0}\n\n\n')
+    assert len(load_trace(path)) == 1
+
+
+def test_load_trace_rejects_bad_json_with_line_number(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"name":"a","ph":"M","pid":1,"tid":0}\nnot json\n')
+    with pytest.raises(ValueError, match=":2:"):
+        load_trace(path)
+
+
+def test_load_trace_rejects_non_object(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text("[1,2,3]\n")
+    with pytest.raises(ValueError, match="not an object"):
+        load_trace(path)
+
+
+def test_validate_events_accepts_synthetic_trace():
+    assert validate_events(_synthetic_events()) == []
+
+
+def test_validate_events_flags_defects():
+    bad = [
+        {"ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": 1},  # no name
+        {"name": "x", "ph": "Z", "pid": 1, "tid": 1, "ts": 0},  # bad phase
+        {"name": "x", "ph": "X", "pid": "p", "tid": 1, "ts": 0, "dur": 1},
+        {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": -5, "dur": 1},
+        {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0},  # no dur
+        {"name": "x", "ph": "C", "pid": 1, "tid": 1, "ts": 0},  # no args
+    ]
+    errors = validate_events(bad)
+    assert len(errors) == 6
+
+
+def test_summarize_trace_sections():
+    s = summarize_trace(_synthetic_events())
+    assert s["events"] == len(_synthetic_events())
+    assert s["wall_s"] == pytest.approx((4000 - 0) / 1e6)
+    assert [st["stage"] for st in s["stages"]] == ["shard.partition", "shard.solve"]
+    assert s["stages"][1]["share"] == pytest.approx(0.75)
+    assert s["primitives"]["map"]["count"] == 2
+    assert s["primitives"]["map"]["ledger_work"] == 40.0
+    lane = s["backend"]["lanes"]["worker-100"]
+    assert lane["tasks"] == 1
+    assert lane["busy_s"] == pytest.approx(400 / 1e6)
+    assert lane["queue_wait_s"] == pytest.approx(100 / 1e6)
+    assert s["backend"]["straggler"]["lane"] == "worker-100"
+    assert s["faults"]["counts"] == {"task_fail": 1}
+    assert s["counters"]["shm_bytes"] == {"bytes": 4096}
+
+
+def test_summarize_empty_trace():
+    s = summarize_trace([])
+    assert s["wall_s"] == 0.0
+    assert s["stages"] == []
+    assert s["primitives"] == {}
+
+
+def test_render_summary_mentions_all_sections():
+    text = render_summary(summarize_trace(_synthetic_events()))
+    for needle in ("shard.partition", "map", "worker-100", "task_fail", "shm_bytes"):
+        assert needle in text
+
+
+def test_summary_is_json_serializable():
+    json.dumps(summarize_trace(_synthetic_events()), default=float)
+
+
+def test_main_text_and_json(tmp_path, capsys):
+    path = tmp_path / "t.jsonl"
+    _write_jsonl(path, _synthetic_events())
+    assert main([str(path)]) == 0
+    assert "shard.partition" in capsys.readouterr().out
+    assert main([str(path), "--json"]) == 0
+    parsed = json.loads(capsys.readouterr().out)
+    assert parsed["events"] == len(_synthetic_events())
+
+
+def test_main_validate_flags_schema_errors(tmp_path, capsys):
+    path = tmp_path / "t.jsonl"
+    _write_jsonl(path, [{"name": "x", "ph": "Z", "pid": 1, "tid": 1}])
+    assert main([str(path), "--validate"]) == 1
+    assert "schema:" in capsys.readouterr().out
+
+
+def test_real_trace_passes_validation(tmp_path):
+    """A trace produced by the actual Tracer validates cleanly."""
+    path = tmp_path / "real.jsonl"
+    with trace_to(path) as t:
+        with t.span("stage", "shard", {"n": 1}):
+            t.instant("mark", "round", args={"i": 0})
+        t.counter_event("bytes", {"shm": 1})
+        t.flush()
+    events = load_trace(path)
+    assert validate_events(events) == []
+    summarize_trace(events)

@@ -1,0 +1,178 @@
+"""Unit tests for the span tracer: emission, activation, safety guards."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro.obs.tracer as tracer_mod
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_ENV,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    trace_to,
+)
+
+
+def _read(path):
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer_state(monkeypatch):
+    """Isolate process-wide tracer selection from other tests."""
+    monkeypatch.delenv(TRACE_ENV, raising=False)
+    prev = set_tracer(None)
+    monkeypatch.setattr(tracer_mod, "_env_tracer", None)
+    monkeypatch.setattr(tracer_mod, "_env_path", None)
+    yield
+    set_tracer(prev)
+
+
+def test_null_tracer_is_disabled_and_inert():
+    assert NULL_TRACER.enabled is False
+    assert NULL_TRACER.path is None
+    NULL_TRACER.complete("x", "cat", 0, 1)
+    NULL_TRACER.instant("x", "cat")
+    NULL_TRACER.counter_event("x", {"a": 1})
+    with NULL_TRACER.span("x"):
+        pass
+    NULL_TRACER.flush()
+    NULL_TRACER.close()
+    assert NULL_TRACER.worker_lane(123, 7) == 7
+
+
+def test_current_tracer_defaults_to_null():
+    assert current_tracer() is NULL_TRACER
+
+
+def test_env_var_activates_tracing(monkeypatch, tmp_path):
+    path = tmp_path / "env.jsonl"
+    monkeypatch.setenv(TRACE_ENV, str(path))
+    t = current_tracer()
+    assert t.enabled
+    assert t.path == str(path)
+    # cached per path
+    assert current_tracer() is t
+
+
+def test_explicit_tracer_wins_over_env(monkeypatch, tmp_path):
+    monkeypatch.setenv(TRACE_ENV, str(tmp_path / "env.jsonl"))
+    mine = Tracer(tmp_path / "mine.jsonl")
+    set_tracer(mine)
+    assert current_tracer() is mine
+    set_tracer(None)
+    assert current_tracer() is not mine
+
+
+def test_trace_to_scopes_and_restores(tmp_path):
+    path = tmp_path / "scoped.jsonl"
+    with trace_to(path) as t:
+        assert current_tracer() is t
+        with t.span("unit", "app", {"k": 1}):
+            pass
+    assert current_tracer() is NULL_TRACER
+    events = _read(path)
+    names = [e["name"] for e in events]
+    assert "process_name" in names  # metadata header
+    span = next(e for e in events if e["name"] == "unit")
+    assert span["ph"] == "X"
+    assert span["cat"] == "app"
+    assert span["dur"] >= 0
+    assert span["args"] == {"k": 1}
+
+
+def test_span_args_serialized_at_exit(tmp_path):
+    with trace_to(tmp_path / "t.jsonl") as t:
+        args = {"before": 1}
+        with t.span("late", "app", args):
+            args["after"] = 2
+    span = next(e for e in _read(tmp_path / "t.jsonl") if e["name"] == "late")
+    assert span["args"] == {"before": 1, "after": 2}
+
+
+def test_span_emitted_even_when_block_raises(tmp_path):
+    with trace_to(tmp_path / "t.jsonl") as t:
+        with pytest.raises(RuntimeError):
+            with t.span("boom", "app"):
+                raise RuntimeError("x")
+    assert any(e["name"] == "boom" for e in _read(tmp_path / "t.jsonl"))
+
+
+def test_instant_and_counter_events(tmp_path):
+    with trace_to(tmp_path / "t.jsonl") as t:
+        t.instant("mark", "round", args={"i": 3})
+        t.counter_event("bytes", {"shm": 42})
+    events = _read(tmp_path / "t.jsonl")
+    mark = next(e for e in events if e["name"] == "mark")
+    assert mark["ph"] == "i" and mark["s"] == "t" and mark["args"] == {"i": 3}
+    ctr = next(e for e in events if e["name"] == "bytes")
+    assert ctr["ph"] == "C" and ctr["args"] == {"shm": 42}
+
+
+def test_worker_lane_naming_and_metadata(tmp_path):
+    with trace_to(tmp_path / "t.jsonl") as t:
+        other = os.getpid() + 1
+        assert t.worker_lane(other, 5) == other
+        assert t.worker_lane(other, 9) == other  # metadata only once
+        lane = t.worker_lane(os.getpid(), 17)
+        assert lane == 17
+    events = _read(tmp_path / "t.jsonl")
+    meta = [e for e in events if e["name"] == "thread_name"]
+    labels = {e["tid"]: e["args"]["name"] for e in meta}
+    assert labels[other] == f"worker-{other}"
+    assert labels[17] == "driver-thread-17"
+    assert len(meta) == 2
+
+
+def test_forked_pid_guard_drops_events(tmp_path):
+    path = tmp_path / "t.jsonl"
+    t = Tracer(path)
+    t.instant("parent", "app")
+    t._pid = os.getpid() + 1  # simulate a forked child's view
+    t.instant("child", "app")
+    t.close()  # also pid-guarded: must not flush/close from the "child"
+    t._pid = os.getpid()
+    t.close()
+    names = [e["name"] for e in _read(path)]
+    assert "parent" in names
+    assert "child" not in names
+
+
+def test_drop_sink_writes_nothing(tmp_path):
+    t = Tracer(None)
+    assert t.enabled
+    with t.span("x", "app"):
+        pass
+    t.metrics.counter("n").inc()
+    t.flush()
+    t.close()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_flush_emits_metrics_snapshot(tmp_path):
+    with trace_to(tmp_path / "t.jsonl") as t:
+        t.metrics.counter("tasks").inc(3)
+        t.metrics.gauge("depth").set(2.0)
+        t.flush()
+    events = _read(tmp_path / "t.jsonl")
+    counters = next(e for e in events if e["name"] == "repro.counters")
+    assert counters["args"] == {"tasks": 3}
+    gauges = next(e for e in events if e["name"] == "repro.gauges")
+    assert gauges["args"] == {"depth": 2.0}
+
+
+def test_trace_lines_are_valid_jsonl(tmp_path):
+    path = tmp_path / "t.jsonl"
+    with trace_to(path) as t:
+        for i in range(10):
+            t.instant(f"e{i}", "app", args={"i": i})
+    with open(path) as fh:
+        for line in fh:
+            event = json.loads(line)
+            assert isinstance(event, dict)
