@@ -44,6 +44,11 @@ Six tiers, one JSON report (committed as ``BENCH_PR3.json`` /
   (scatter_min/scatter_add/segmented_argmin/segmented_scan_add) timed
   per :mod:`repro.pram.kernels` provider ({numpy, numba-if-present}),
   each output checked byte-identical against the numpy reference.
+* **serving** (PR 9) — the :mod:`repro.serve` loadgen against a live
+  thread-hosted server on a real process backend: fresh-solve
+  throughput/p50/p99 over concurrent clients, the result-cache speedup
+  on repeated identical requests, and a crash-injected server checked
+  byte-identical against a clean one through HTTP.
 
 Per-round traces are stored as **summary stats** (count/total/first/
 last/median work per round), never as raw per-round sample lists, so
@@ -411,6 +416,97 @@ def _measure_fault_recovery(
     }
 
 
+def _measure_serving(
+    *,
+    n,
+    dim,
+    k,
+    shards,
+    coreset_size,
+    neighbors,
+    clients,
+    requests,
+    cache_requests,
+    workers,
+    backend,
+    backend_workers,
+    seed,
+) -> dict:
+    """The serving tier (PR 9): loadgen against a thread-hosted server.
+
+    Three legs on one report entry: a **fresh** run (every request a
+    distinct seed, so each exercises the full queue → worker → solver
+    path), a **cached** run (one warmed identical request repeated —
+    the result-cache speedup claim), and a **fault** leg (a clean server
+    vs one with an injected worker crash must return byte-identical
+    solutions through HTTP, the PR 6 contract surviving the wire).
+    """
+    from repro.faults.plan import FaultPlan
+    from repro.serve import ServeClient, ServerConfig, serve_in_thread
+    from repro.serve.loadgen import run_loadgen
+
+    solve_params = {
+        "shards": int(shards),
+        "coreset_size": int(coreset_size),
+        "neighbors": int(neighbors),
+    }
+    out = {
+        "n": int(n), "dim": int(dim), "k": int(k), "clients": int(clients),
+        "requests": int(requests), "workers": int(workers), "backend": backend,
+        **solve_params,
+    }
+    config = ServerConfig(backend=backend, workers=workers, backend_workers=backend_workers)
+    with serve_in_thread(config) as handle:
+        out["fresh"] = run_loadgen(
+            handle.host, handle.port, clients=clients, requests=requests,
+            n=n, dim=dim, k=k, seed=seed, solve_params=solve_params,
+        )
+        # Cache leg: warm one identical request, then every repeat must
+        # be served from the result cache (distinct seed => distinct
+        # instance+key space from the fresh leg).
+        client = ServeClient(handle.host, handle.port)
+        cache_seed = int(seed) + 1_000_000
+        pts = np.random.default_rng(cache_seed).normal(size=(int(n), int(dim)))
+        client.solve_and_wait(points=pts, k=k, seed=cache_seed, **solve_params)
+        out["cached"] = run_loadgen(
+            handle.host, handle.port, clients=clients, requests=cache_requests,
+            n=n, dim=dim, k=k, seed=cache_seed, identical=True,
+            solve_params=solve_params,
+        )
+        counters = client.metrics()["counters"]
+    out["cache_speedup"] = out["fresh"]["time_per_request_s"] / max(
+        out["cached"]["time_per_request_s"], 1e-12
+    )
+    out["result_cache_hits"] = int(counters.get("serve.result_cache_hits", 0))
+    out["jobs_completed"] = int(counters.get("serve.jobs_completed", 0))
+
+    def _served_solution(extra):
+        cfg = ServerConfig(
+            backend=backend, workers=1, backend_workers=backend_workers, **extra
+        )
+        with serve_in_thread(cfg) as h:
+            job = ServeClient(h.host, h.port).solve_and_wait(
+                points=pts, k=k, seed=cache_seed, **solve_params
+            )
+        result = dict(job["result"])
+        result.pop("solve_s", None)  # wall clock, outside the identity claim
+        return result
+
+    clean = _served_solution({})
+    crashed = _served_solution(
+        {"fault_plan": FaultPlan.single("crash", int(shards) // 2)}
+    )
+    out["fault"] = {
+        "kind": "crash",
+        "crash_shard": int(shards) // 2,
+        "byte_identical": bool(
+            json.dumps(clean, sort_keys=True) == json.dumps(crashed, sort_keys=True)
+        ),
+        "cost_true": clean["true_cost"],
+    }
+    return out
+
+
 def run_sparse_bench(
     *,
     overlap_sizes=(1500, 3000),
@@ -443,6 +539,18 @@ def run_sparse_bench(
     kernel_micro_n: int = 2_000_000,
     kernel_micro_segments: int = 4_000,
     kernel_micro_repeats: int = 3,
+    serving_n: int = 400,
+    serving_dim: int = 2,
+    serving_k: int = 8,
+    serving_shards: int = 4,
+    serving_coreset_size: int = 128,
+    serving_neighbors: int = 32,
+    serving_clients: int = 4,
+    serving_requests: int = 60,
+    serving_cache_requests: int = 20,
+    serving_workers: int = 2,
+    serving_backend: str = "process",
+    serving_backend_workers: int | None = None,
 ) -> dict:
     """Run all six tiers and return the report dict (module docstring)."""
     report = {
@@ -474,6 +582,10 @@ def run_sparse_bench(
             "shard_store_workers": shard_store_workers,
             "kernel_micro_n": kernel_micro_n,
             "kernel_micro_segments": kernel_micro_segments,
+            "serving_n": serving_n,
+            "serving_clients": serving_clients,
+            "serving_requests": serving_requests,
+            "serving_backend": serving_backend,
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -677,6 +789,16 @@ def run_sparse_bench(
             neighbors=shard_neighbors, epsilon=clustering_epsilon,
             seed=machine_seed, workers=fault_workers, repeats=repeats,
         )
+
+    # -- serving: the loadgen report against a live server (PR 9) ----------
+    report["serving"] = _measure_serving(
+        n=serving_n, dim=serving_dim, k=serving_k,
+        shards=serving_shards, coreset_size=serving_coreset_size,
+        neighbors=serving_neighbors, clients=serving_clients,
+        requests=serving_requests, cache_requests=serving_cache_requests,
+        workers=serving_workers, backend=serving_backend,
+        backend_workers=serving_backend_workers, seed=seed,
+    )
     return report
 
 
@@ -752,6 +874,18 @@ def main(argv=None) -> None:
     parser.add_argument("--kernel-micro-n", type=int, default=2_000_000)
     parser.add_argument("--kernel-micro-segments", type=int, default=4_000)
     parser.add_argument(
+        "--serving-n", type=int, default=400, help="serving-tier instance size"
+    )
+    parser.add_argument("--serving-clients", type=int, default=4)
+    parser.add_argument(
+        "--serving-requests", type=int, default=60,
+        help="total fresh requests in the serving tier",
+    )
+    parser.add_argument(
+        "--serving-backend", default="process",
+        help="execution backend for the served solves",
+    )
+    parser.add_argument(
         "--fast",
         action="store_true",
         help="CI smoke sizes (overlap 400/300, scaling 2000/5000, 1 repeat)",
@@ -773,6 +907,7 @@ def main(argv=None) -> None:
         fault_scaling = (20_000,)
         shard_store_scaling = (20_000,)
         kernel_micro_n, kernel_micro_segments = 100_000, 500
+        serving_n, serving_requests = 240, 50
         repeats = 1
     else:
         overlap = _sizes(args.overlap)
@@ -786,6 +921,7 @@ def main(argv=None) -> None:
         shard_store_scaling = _sizes(args.shard_store_scaling)
         kernel_micro_n = args.kernel_micro_n
         kernel_micro_segments = args.kernel_micro_segments
+        serving_n, serving_requests = args.serving_n, args.serving_requests
         repeats = args.repeats
 
     report = run_sparse_bench(
@@ -812,6 +948,10 @@ def main(argv=None) -> None:
         shard_store_workers=args.shard_store_workers,
         kernel_micro_n=kernel_micro_n,
         kernel_micro_segments=kernel_micro_segments,
+        serving_n=serving_n,
+        serving_requests=serving_requests,
+        serving_clients=args.serving_clients,
+        serving_backend=args.serving_backend,
     )
     for name, entry in report["overlap"].items():
         for algorithm in _ALGORITHMS:
@@ -895,6 +1035,19 @@ def main(argv=None) -> None:
             f"{entry['drop_wall_s']:.1f}s ({entry['drop_ratio']:.2f}x, covered "
             f"{entry['drop_covered_weight_fraction']:.1%}, certificate "
             f"valid={entry['drop_certificate_valid']})"
+        )
+    serving = report.get("serving")
+    if serving:
+        fresh, cached = serving["fresh"], serving["cached"]
+        print(
+            f"serving[{serving['backend']} n={serving['n']}]: "
+            f"{fresh['completed']}/{fresh['requests_sent']} fresh solves over "
+            f"{fresh['clients']} clients, {fresh['throughput_rps']:.1f} req/s, "
+            f"p50 {fresh['latency_s']['p50'] * 1e3:.0f}ms "
+            f"p99 {fresh['latency_s']['p99'] * 1e3:.0f}ms, "
+            f"{fresh['failed']} failed | cached {serving['cache_speedup']:.1f}x "
+            f"faster | crash byte-identical="
+            f"{serving['fault']['byte_identical']}"
         )
     from repro.obs.tracer import current_tracer
 

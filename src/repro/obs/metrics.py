@@ -16,13 +16,16 @@ recording rate is per-task / per-primitive, not per-element.
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 
 #: Histograms keep at most this many raw observations for percentile
-#: estimates; past it, new values still update count/sum/min/max but
-#: the sample is frozen (bench runs record thousands of primitive
-#: latencies, not millions — the cap is a safety valve, not a design
-#: point).
+#: estimates. Past the cap the sample becomes a *reservoir* (Vitter's
+#: Algorithm R): every observation — first or ten-millionth — is
+#: retained with equal probability, so percentiles reflect the whole
+#: run. A frozen prefix would bias a long-running (serving) process's
+#: p50/p99 toward startup/JIT-era latencies forever.
 HISTOGRAM_SAMPLE_CAP = 8192
 
 
@@ -65,13 +68,24 @@ class Gauge:
 
 
 class Histogram:
-    """Latency/size distribution with O(1) totals and a capped sample.
+    """Latency/size distribution with O(1) totals and a reservoir sample.
 
-    ``observe`` is cheap (append + running totals); ``summary`` computes
-    count/total/min/max/mean plus p50/p95 over the retained sample.
+    ``observe`` is cheap (append/replace + running totals); ``summary``
+    computes count/total/min/max/mean — always exact — plus p50/p95/p99
+    over the retained sample. Below :data:`HISTOGRAM_SAMPLE_CAP` the
+    sample is every observation (percentiles exact); past it the sample
+    is a uniform reservoir over the *entire* stream (Algorithm R), so a
+    long-running process's percentiles track the whole run rather than
+    its startup era.
+
+    The reservoir's RNG is a private :class:`random.Random` seeded from
+    the instrument name (CRC32 — stable across processes and runs, no
+    ``PYTHONHASHSEED`` dependence): identical observation sequences
+    yield identical summaries, and nothing here ever touches the global
+    RNG streams the solvers' byte-identity invariant rests on.
     """
 
-    __slots__ = ("name", "_count", "_total", "_min", "_max", "_sample", "_lock")
+    __slots__ = ("name", "_count", "_total", "_min", "_max", "_sample", "_rng", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -80,6 +94,7 @@ class Histogram:
         self._min = float("inf")
         self._max = float("-inf")
         self._sample: list = []
+        self._rng = random.Random(zlib.crc32(str(name).encode("utf-8")))
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -93,6 +108,13 @@ class Histogram:
                 self._max = value
             if len(self._sample) < HISTOGRAM_SAMPLE_CAP:
                 self._sample.append(value)
+            else:
+                # Algorithm R: the i-th observation displaces a uniform
+                # slot with probability cap/i — every element of the
+                # stream is retained equiprobably.
+                j = self._rng.randrange(self._count)
+                if j < HISTOGRAM_SAMPLE_CAP:
+                    self._sample[j] = value
 
     @property
     def count(self) -> int:
@@ -115,6 +137,7 @@ class Histogram:
             "mean": self._total / self._count,
             "p50": _pct(0.50),
             "p95": _pct(0.95),
+            "p99": _pct(0.99),
         }
 
 

@@ -1323,16 +1323,20 @@ def shared_backend(spec: "str | Backend | None" = None, *, size: int | None = No
 
     ``spec=None`` reads ``REPRO_BACKEND`` (default ``"serial"``) —
     the hook the CI backend matrix uses to run the whole test suite on
-    a different substrate. ``REPRO_NUM_WORKERS`` and ``REPRO_GRAIN``
-    tune pool backends. Instances are cached per resolved
-    configuration and shared by every :class:`PramMachine` that did not
-    receive an explicit backend object, so a test run never stacks up
-    worker pools; they are closed atexit, and
-    ``PramMachine.close`` deliberately leaves them open.
+    a different substrate. An empty or whitespace-only value counts as
+    unset (CI matrices routinely materialize ``REPRO_BACKEND=""`` for
+    the default leg), never as a backend literally named ``""``.
+    ``REPRO_NUM_WORKERS`` and ``REPRO_GRAIN`` tune pool backends.
+    Instances are cached per resolved configuration and shared by every
+    :class:`PramMachine` that did not receive an explicit backend
+    object, so a test run never stacks up worker pools; they are closed
+    atexit, and ``PramMachine.close`` deliberately leaves them open.
     """
     if isinstance(spec, Backend):
         return spec
-    name = spec if spec is not None else os.environ.get("REPRO_BACKEND", "serial").strip()
+    name = spec if spec is not None else (
+        os.environ.get("REPRO_BACKEND", "").strip() or "serial"
+    )
     workers = _env_int("REPRO_NUM_WORKERS")
     grain = _env_int("REPRO_GRAIN")
     name = resolve_backend_name(name, size)
@@ -1346,5 +1350,28 @@ def shared_backend(spec: "str | Backend | None" = None, *, size: int | None = No
 
 @atexit.register
 def _close_shared_backends() -> None:
-    for backend in _SHARED_BACKENDS.values():
-        backend.close()
+    """Close every cached shared backend, tolerating late registrations.
+
+    Closing a pool can itself run drain/atexit-ordered hooks (a serving
+    tier flushing its last jobs, a supervisor respawning) that call
+    :func:`shared_backend` and register *new* entries — mutating the
+    cache mid-iteration. Drain by snapshot: pop a batch, close it, and
+    repeat until the cache stays empty. ``Backend.close`` is idempotent,
+    so an entry already closed by its owner is a no-op, and a close that
+    raises must not strand the remaining pools.
+
+    Bounded: each pass only sees backends registered during the previous
+    pass, and the pass cap turns a pathological close→register loop into
+    a silent stop instead of a hang at interpreter exit.
+    """
+    for _ in range(8):
+        if not _SHARED_BACKENDS:
+            break
+        for key in list(_SHARED_BACKENDS):
+            backend = _SHARED_BACKENDS.pop(key, None)
+            if backend is None:
+                continue
+            try:
+                backend.close()
+            except Exception:  # pragma: no cover - defensive at exit
+                pass

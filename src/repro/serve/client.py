@@ -1,0 +1,111 @@
+"""Blocking HTTP client for the serving tier (tests, examples, scripts).
+
+A thin ``http.client`` wrapper speaking the :mod:`repro.serve.server`
+JSON API. Each call opens one connection — simple and stateless; the
+concurrency-hungry path (load generation) uses the asyncio client in
+:mod:`repro.serve.loadgen` instead.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """The server answered with an error status; carries it as ``status``."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Blocking client for one server address.
+
+    Mutating calls raise :class:`ServeError` on non-2xx responses;
+    ``raw_request`` returns ``(status, payload)`` untouched for callers
+    that want to observe 4xx behavior (backpressure tests).
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # -- transport ----------------------------------------------------------
+
+    def raw_request(self, method: str, path: str, body: dict | None = None):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json", "Connection": "close"}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            data = resp.read()
+            return resp.status, json.loads(data) if data else {}
+        finally:
+            conn.close()
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        status, payload = self.raw_request(method, path, body)
+        if status >= 400:
+            raise ServeError(status, str(payload.get("error", payload)))
+        return payload
+
+    # -- API ----------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def submit_points(self, points, weights=None) -> dict:
+        body = {"points": np.asarray(points, dtype=float).tolist()}
+        if weights is not None:
+            body["weights"] = np.asarray(weights, dtype=float).tolist()
+        return self._request("POST", "/instances", body)
+
+    def solve(self, *, instance_id=None, points=None, weights=None, **params) -> dict:
+        body = dict(params)
+        if instance_id is not None:
+            body["instance_id"] = instance_id
+        if points is not None:
+            body["points"] = np.asarray(points, dtype=float).tolist()
+            if weights is not None:
+                body["weights"] = np.asarray(weights, dtype=float).tolist()
+        return self._request("POST", "/solve", body)
+
+    def poll(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, *, timeout: float = 60.0, interval: float = 0.01) -> dict:
+        """Poll until the job is terminal; raises on timeout or failure."""
+        deadline = time.perf_counter() + timeout
+        while True:
+            job = self.poll(job_id)
+            if job["status"] == "done":
+                return job
+            if job["status"] == "failed":
+                raise ServeError(500, f"job {job_id} failed: {job.get('error')}")
+            if time.perf_counter() >= deadline:
+                raise ServeError(
+                    504, f"job {job_id} still {job['status']} after {timeout}s"
+                )
+            time.sleep(interval)
+
+    def solve_and_wait(self, *, timeout: float = 60.0, **kwargs) -> dict:
+        """Submit and block until the result is available."""
+        job = self.solve(**kwargs)
+        if job["status"] == "done":
+            return job
+        return self.wait(job["job_id"], timeout=timeout)
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")

@@ -1,0 +1,285 @@
+"""Job lifecycle and the worker-side solve runner.
+
+A :class:`Job` is one accepted solve request moving through
+``queued → running → done|failed``. The :class:`JobTable` owns every
+job the server has seen, plus the **in-flight index**: a map from
+result-cache key to the job currently computing it, so concurrent
+identical requests coalesce onto one solve instead of racing the cache
+(the second client polls the first client's job and both read the same
+result).
+
+:class:`SolveRunner` is the blocking worker-side entry point executed
+on the server's executor threads. It runs
+:func:`repro.shard.shard_and_solve` over the cached point block on the
+server's shared backend under the PR 6 supervised-retry contract
+(``on_shard_failure="retry"``), so a worker crash mid-request is
+retried with the byte-identity guarantee — the response a client sees
+after a crash is bit-for-bit the response of an unfailed run. Jobs are
+seeded from their request parameters, never from server state, which is
+what makes results cacheable and reruns identical.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.faults.plan import FaultPlan
+from repro.faults.supervisor import RetryPolicy
+from repro.pram.machine import PramMachine
+from repro.serve.cache import StoredInstance, result_key
+from repro.shard.solve import _SOLVERS, shard_and_solve
+
+#: Request parameters a client may set, with server-side defaults filled
+#: by :func:`normalize_params`. The normalized dict *is* the cacheable
+#: identity of a solve (together with the instance content hash).
+_PARAM_DEFAULTS = {
+    "solver": "kmedian",
+    "shards": 2,
+    "coreset_size": None,
+    "neighbors": 32,
+    "epsilon": 0.5,
+    "seed": 0,
+    "fallback_slack": 1.0,
+}
+
+
+def normalize_params(body: dict, *, defaults: dict | None = None) -> dict:
+    """Validate and canonicalize a solve request's parameters.
+
+    Unknown keys are rejected (a typo'd parameter silently falling back
+    to a default would cache the wrong identity); the result is a flat
+    JSON-safe dict usable directly as the cache-key payload.
+    """
+    merged = dict(_PARAM_DEFAULTS)
+    if defaults:
+        merged.update(defaults)
+    if "k" not in body:
+        raise InvalidParameterError("solve request requires 'k'")
+    allowed = set(merged) | {"k"}
+    unknown = set(body) - allowed
+    if unknown:
+        raise InvalidParameterError(
+            f"unknown solve parameter(s) {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+    merged.update(body)
+    try:
+        params = {
+            "k": int(merged["k"]),
+            "solver": str(merged["solver"]),
+            "shards": int(merged["shards"]),
+            "coreset_size": (
+                None if merged["coreset_size"] is None else int(merged["coreset_size"])
+            ),
+            "neighbors": int(merged["neighbors"]),
+            "epsilon": float(merged["epsilon"]),
+            "seed": int(merged["seed"]),
+            "fallback_slack": float(merged["fallback_slack"]),
+        }
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"malformed solve parameter: {exc}") from exc
+    if params["solver"] not in _SOLVERS:
+        raise InvalidParameterError(
+            f"unknown solver {params['solver']!r}; expected one of {sorted(_SOLVERS)}"
+        )
+    if params["k"] < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {params['k']}")
+    if params["shards"] < 1:
+        raise InvalidParameterError(f"shards must be >= 1, got {params['shards']}")
+    if params["neighbors"] < 1:
+        raise InvalidParameterError(
+            f"neighbors must be >= 1, got {params['neighbors']}"
+        )
+    return params
+
+
+@dataclass
+class Job:
+    """One accepted solve request and its terminal payload."""
+
+    job_id: str
+    instance_id: str
+    key: str
+    params: dict
+    status: str = "queued"
+    result: dict | None = None
+    error: str | None = None
+    cached: bool = False
+    coalesced: bool = False
+    submitted_s: float = field(default_factory=time.perf_counter)
+    started_s: float | None = None
+    finished_s: float | None = None
+
+    def to_json(self) -> dict:
+        out = {
+            "job_id": self.job_id,
+            "instance_id": self.instance_id,
+            "status": self.status,
+            "params": self.params,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+        }
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        if self.finished_s is not None:
+            out["wall_s"] = self.finished_s - self.submitted_s
+        return out
+
+
+class JobTable:
+    """Thread-safe registry of every job plus the in-flight dedup index."""
+
+    def __init__(self):
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, str] = {}
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def create(self, instance_id: str, params: dict) -> "tuple[Job, bool]":
+        """Register a job for ``(instance, params)``.
+
+        Returns ``(job, fresh)``: when an identical request is already
+        in flight, the existing job rides again (``fresh=False``,
+        ``coalesced=True`` on the caller's view) — one solve serves
+        every concurrent identical client.
+        """
+        key = result_key(instance_id, params)
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                job = self._jobs[existing]
+                if job.status in ("queued", "running"):
+                    return job, False
+            self._counter += 1
+            job = Job(
+                job_id=f"job-{self._counter:06d}",
+                instance_id=instance_id,
+                key=key,
+                params=params,
+            )
+            self._jobs[job.job_id] = job
+            self._inflight[key] = job.job_id
+            return job, True
+
+    def add_completed(self, instance_id: str, params: dict, result: dict) -> Job:
+        """Register a pre-completed job (a result-cache hit) so polling
+        works uniformly whether the answer was solved or served."""
+        with self._lock:
+            self._counter += 1
+            job = Job(
+                job_id=f"job-{self._counter:06d}",
+                instance_id=instance_id,
+                key=result_key(instance_id, params),
+                params=params,
+                status="done",
+                result=result,
+                cached=True,
+            )
+            job.finished_s = time.perf_counter()
+            self._jobs[job.job_id] = job
+            return job
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def finish(self, job: Job, *, result: dict | None = None, error: str | None = None):
+        with self._lock:
+            job.finished_s = time.perf_counter()
+            if error is not None:
+                job.status = "failed"
+                job.error = error
+            else:
+                job.status = "done"
+                job.result = result
+            self._inflight.pop(job.key, None)
+
+    def fail_queued(self, reason: str) -> int:
+        """Terminal sweep at shutdown: jobs still queued when the server
+        stops are failed loudly instead of left hanging for pollers."""
+        failed = 0
+        with self._lock:
+            for job in self._jobs.values():
+                if job.status == "queued":
+                    job.status = "failed"
+                    job.error = reason
+                    job.finished_s = time.perf_counter()
+                    self._inflight.pop(job.key, None)
+                    failed += 1
+        return failed
+
+    def counts(self) -> dict:
+        with self._lock:
+            out = {"total": len(self._jobs)}
+            for job in self._jobs.values():
+                out[job.status] = out.get(job.status, 0) + 1
+            return out
+
+
+class SolveRunner:
+    """Blocking per-job solver executed on the server's worker threads.
+
+    Every job builds a fresh :class:`PramMachine` (own ledger, seeded
+    from the request) over the server's *shared* backend — one worker
+    pool serves every request, which is the whole point of the tier.
+    ``shard_and_solve`` runs under the supervised-retry contract so a
+    crashed solve retries with byte-identical recovery; the optional
+    ``fault_plan`` is the same deterministic injection hook CI uses
+    (``REPRO_FAULT_PLAN`` is consulted when it is ``None``).
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+    ):
+        self.backend = backend
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.0)
+        )
+        self.fault_plan = fault_plan
+
+    def solve(self, instance: StoredInstance, params: dict) -> dict:
+        p = dict(params)
+        n = instance.points.shape[0]
+        shards = min(p["shards"], n)
+        machine = PramMachine(backend=self.backend, seed=p["seed"])
+        t0 = time.perf_counter()
+        sol = shard_and_solve(
+            instance.points,
+            p["k"],
+            shards=shards,
+            coreset_size=p["coreset_size"],
+            solver=p["solver"],
+            neighbors=p["neighbors"],
+            fallback_slack=p["fallback_slack"],
+            epsilon=p["epsilon"],
+            weights=instance.weights,
+            seed=p["seed"],
+            machine=machine,
+            on_shard_failure="retry",
+            retry_policy=self.retry_policy,
+            fault_plan=self.fault_plan,
+        )
+        wall = time.perf_counter() - t0
+        return {
+            "centers": [int(c) for c in np.sort(sol.centers)],
+            "cost": float(sol.cost),
+            "true_cost": float(sol.true_cost),
+            "objective": sol.objective,
+            "shards": int(sol.shards),
+            "movement": float(sol.movement),
+            "degraded": bool(sol.degraded),
+            "covered_weight_fraction": float(sol.covered_weight_fraction),
+            "solve_s": wall,
+        }

@@ -1,0 +1,548 @@
+"""The asyncio serving tier: JSON/HTTP over ``shard_and_solve``.
+
+:class:`SolveServer` is a stdlib-only asyncio HTTP/1.1 server (no
+FastAPI dependency — the API surface is FastAPI-shaped JSON, the
+transport is ``asyncio.start_server``) exposing the batch solver stack
+as an always-on service:
+
+==========================  ================================================
+``GET /health``             liveness + queue/cache/worker stats
+``GET /metrics``            metrics-registry snapshot (counters/histograms)
+``POST /instances``         upload a point payload; content-hash dedup +
+                            admission control (413 over budget)
+``POST /solve``             submit a solve; result-cache hit answers
+                            immediately, identical in-flight requests
+                            coalesce, queue-full is 429 backpressure
+``GET /jobs/<id>``          poll a job: queued/running/done/failed
+``POST /shutdown``          stop the server (drains the queue first)
+==========================  ================================================
+
+Requests flow **admission → cache → queue → worker pool**: an async
+job queue (bounded — the 429 is real backpressure, not a buffer) drains
+into ``asyncio`` worker tasks that hand each job to an executor thread
+running :class:`~repro.serve.jobs.SolveRunner` on the server's shared
+execution backend (:class:`~repro.pram.backends.ProcessBackend` by
+default). Solves run under the PR 6 supervised-retry contract, so a
+crashed worker process retries with byte-identical recovery and the
+client never sees the crash.
+
+Every request is traced (``cat="serve"`` spans via the ambient
+:func:`repro.obs.current_tracer`) and counted in a server-owned
+:class:`~repro.obs.MetricsRegistry`; request/solve latencies go through
+the reservoir-sampled histograms so a long-lived server's p50/p99
+reflect the whole run, not its warm-up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidParameterError, ReproError
+from repro.faults.plan import FaultPlan
+from repro.faults.supervisor import RetryPolicy
+from repro.obs import MetricsRegistry, current_tracer
+from repro.pram.backends import Backend, fn_picklable, make_backend
+from repro.serve.cache import (
+    AdmissionController,
+    AdmissionError,
+    LruBytesCache,
+    store_points,
+)
+from repro.serve.jobs import JobTable, SolveRunner, normalize_params
+
+_JSON = "application/json"
+
+
+@dataclass
+class ServerConfig:
+    """Everything a :class:`SolveServer` needs, in one picklable bag.
+
+    ``backend`` may be a registry name (the server then owns and closes
+    the pool) or a live :class:`~repro.pram.backends.Backend` (borrowed;
+    the caller keeps ownership). ``queue_size`` bounds accepted-but-
+    unstarted jobs — the backpressure knob. ``budget_bytes`` gates
+    admission, ``cache_bytes`` bounds each LRU cache. ``fault_plan``
+    injects deterministic faults into every served solve (tests/CI;
+    ``None`` defers to ``REPRO_FAULT_PLAN``). ``solve_fn`` overrides
+    the runner for tests: a callable ``(instance, params) -> dict``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    queue_size: int = 64
+    backend: "str | Backend" = "process"
+    backend_workers: int | None = None
+    budget_bytes: int = 256 * 2**20
+    cache_bytes: int = 64 * 2**20
+    retry_policy: RetryPolicy | None = None
+    fault_plan: FaultPlan | None = None
+    read_timeout_s: float = 30.0
+    defaults: dict = field(default_factory=dict)
+    solve_fn: object = None
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class SolveServer:
+    """One serving tier instance. See the module docstring for the API."""
+
+    def __init__(self, config: ServerConfig | None = None):
+        self.config = config if config is not None else ServerConfig()
+        self.metrics = MetricsRegistry()
+        self.admission = AdmissionController(self.config.budget_bytes)
+        self.instances = LruBytesCache(self.config.cache_bytes)
+        self.results = LruBytesCache(self.config.cache_bytes)
+        self.jobs = JobTable()
+        if isinstance(self.config.backend, Backend):
+            self.backend = self.config.backend
+            self._owns_backend = False
+        else:
+            self.backend = make_backend(
+                self.config.backend, num_workers=self.config.backend_workers
+            )
+            self._owns_backend = True
+        self.runner = SolveRunner(
+            self.backend,
+            retry_policy=self.config.retry_policy,
+            fault_plan=self.config.fault_plan,
+        )
+        # Picklability probe (the cached repro.pram probe): a custom
+        # solve_fn that cannot cross a process pool is fine — supervised
+        # execution falls back inline — but worth surfacing as a gauge
+        # so capacity surprises are diagnosable from /metrics.
+        solve = self.config.solve_fn if self.config.solve_fn is not None else self.runner.solve
+        self.metrics.gauge("serve.solve_fn_picklable").set(float(fn_picklable(solve)))
+        self._solve = solve
+        self._queue: asyncio.Queue | None = None
+        self._executor = None
+        self._server: asyncio.AbstractServer | None = None
+        self._worker_tasks: list = []
+        self._stop_event: asyncio.Event | None = None
+        self._started_s = time.perf_counter()
+        self.host = self.config.host
+        self.port = self.config.port
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._queue = asyncio.Queue(maxsize=self.config.queue_size)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="serve-worker"
+        )
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        self._started_s = time.perf_counter()
+        self._worker_tasks = [
+            asyncio.create_task(self._worker(i)) for i in range(self.config.workers)
+        ]
+
+    async def run(self, *, ready: "threading.Event | None" = None) -> None:
+        """Start, signal readiness, serve until :meth:`request_stop`."""
+        await self.start()
+        if ready is not None:
+            ready.set()
+        await self._stop_event.wait()
+        await self.shutdown()
+
+    def request_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def shutdown(self) -> None:
+        """Drain and stop: close the listener, finish queued jobs, stop
+        workers, release the executor and (when owned) the backend.
+
+        Ordering matters — the backend closes *last*, after every
+        worker that could still submit batches to it has exited, and
+        idempotently, so a shared/cached backend already swept by
+        ``_close_shared_backends`` is tolerated (and vice versa)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._queue is not None:
+            await self._queue.join()
+        for task in self._worker_tasks:
+            task.cancel()
+        if self._worker_tasks:
+            await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._worker_tasks = []
+        self.jobs.fail_queued("server stopped before the job ran")
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._owns_backend:
+            self.backend.close()
+
+    # -- workers ------------------------------------------------------------
+
+    async def _worker(self, index: int) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            try:
+                job.status = "running"
+                job.started_s = time.perf_counter()
+                instance = self.instances.get(job.instance_id)
+                if instance is None:
+                    self.jobs.finish(
+                        job, error="instance evicted from cache before the solve ran"
+                    )
+                    self.metrics.counter("serve.jobs_failed").inc()
+                    continue
+                try:
+                    result = await loop.run_in_executor(
+                        self._executor, self._solve_traced, instance, job
+                    )
+                except Exception as exc:
+                    self.jobs.finish(job, error=f"{type(exc).__name__}: {exc}")
+                    self.metrics.counter("serve.jobs_failed").inc()
+                    continue
+                self.results.put(job.key, result, _result_nbytes(result))
+                self.jobs.finish(job, result=result)
+                self.metrics.counter("serve.jobs_completed").inc()
+                self.metrics.histogram("serve.solve_latency_s").observe(
+                    time.perf_counter() - job.started_s
+                )
+            finally:
+                self._queue.task_done()
+
+    def _solve_traced(self, instance, job):
+        tracer = current_tracer()
+        with tracer.span(
+            "serve.solve",
+            "serve",
+            {"job": job.job_id, "n": instance.meta["n"], "solver": job.params["solver"]},
+        ):
+            return self._solve(instance, job.params)
+
+    # -- HTTP ---------------------------------------------------------------
+
+    async def _handle_conn(self, reader, writer) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                t0 = time.perf_counter()
+                tracer = current_tracer()
+                status = 500
+                try:
+                    with tracer.span(
+                        "serve.request", "serve", args := {"method": method, "path": path}
+                    ):
+                        status, payload = await self._route(method, path, body)
+                        args["status"] = status
+                finally:
+                    self.metrics.counter("serve.requests_total").inc()
+                    if status >= 400:
+                        self.metrics.counter("serve.requests_errored").inc()
+                    self.metrics.histogram("serve.request_latency_s").observe(
+                        time.perf_counter() - t0
+                    )
+                keep = headers.get("connection", "keep-alive").lower() != "close"
+                await self._write_response(writer, status, payload, keep_alive=keep)
+                if not keep:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader):
+        try:
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=self.config.read_timeout_s
+            )
+        except asyncio.TimeoutError:
+            return None
+        if not line:
+            return None
+        try:
+            method, path, _version = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return None
+        headers = {}
+        while True:
+            raw = await asyncio.wait_for(
+                reader.readline(), timeout=self.config.read_timeout_s
+            )
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = b""
+        if length:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=self.config.read_timeout_s
+            )
+        return method.upper(), path, headers, body
+
+    async def _write_response(self, writer, status, payload, *, keep_alive) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {_JSON}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing ------------------------------------------------------------
+
+    async def _route(self, method, path, body):
+        try:
+            if path == "/health" and method == "GET":
+                return 200, self._health()
+            if path == "/metrics" and method == "GET":
+                return 200, self._metrics_payload()
+            if path == "/instances" and method == "POST":
+                return self._post_instance(_parse_json(body))
+            if path == "/solve" and method == "POST":
+                return self._post_solve(_parse_json(body))
+            if path.startswith("/jobs/") and method == "GET":
+                return self._get_job(path[len("/jobs/"):])
+            if path == "/shutdown" and method == "POST":
+                asyncio.get_running_loop().call_soon(self.request_stop)
+                return 202, {"status": "stopping"}
+            if path in ("/health", "/metrics", "/instances", "/solve", "/shutdown"):
+                return 405, {"error": f"{method} not allowed on {path}"}
+            return 404, {"error": f"no route {method} {path}"}
+        except _HttpError as exc:
+            return exc.status, {"error": exc.message}
+        except AdmissionError as exc:
+            self.metrics.counter("serve.rejected_admission").inc()
+            return 413, {"error": str(exc)}
+        except (InvalidParameterError, ReproError) as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def _health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": time.perf_counter() - self._started_s,
+            "workers": self.config.workers,
+            "backend": getattr(self.backend, "name", "?"),
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "queue_capacity": self.config.queue_size,
+            "jobs": self.jobs.counts(),
+            "instances": self.instances.stats(),
+            "results": self.results.stats(),
+        }
+
+    def _metrics_payload(self) -> dict:
+        snap = self.metrics.snapshot()
+        snap["caches"] = {
+            "instances": self.instances.stats(),
+            "results": self.results.stats(),
+        }
+        return snap
+
+    def _post_instance(self, body: dict):
+        stored, created = self._admit_and_store(body)
+        return 200, {
+            "instance_id": stored.instance_id,
+            "cached": not created,
+            "n": stored.meta["n"],
+            "dim": stored.meta["dim"],
+            "bytes": stored.nbytes,
+        }
+
+    def _admit_and_store(self, body: dict):
+        if "points" not in body:
+            raise _HttpError(400, "instance payload requires 'points'")
+        points = body["points"]
+        try:
+            n, dim = len(points), len(points[0])
+        except (TypeError, IndexError) as exc:
+            raise _HttpError(400, f"points must be a non-empty (n, dim) nested list: {exc}")
+        self.admission.admit_instance(n, dim)
+        stored = store_points(points, body.get("weights"))
+        if self.instances.get(stored.instance_id) is not None:
+            return stored, False
+        self.instances.put(stored.instance_id, stored, stored.nbytes)
+        self.metrics.counter("serve.instances_stored").inc()
+        return stored, True
+
+    def _post_solve(self, body: dict):
+        body = dict(body)
+        inline = body.pop("points", None)
+        inline_w = body.pop("weights", None)
+        instance_id = body.pop("instance_id", None)
+        if (inline is None) == (instance_id is None):
+            raise _HttpError(400, "pass exactly one of 'instance_id' or 'points'")
+        if inline is not None:
+            stored, _ = self._admit_and_store({"points": inline, "weights": inline_w})
+            instance_id = stored.instance_id
+        else:
+            stored = self.instances.get(instance_id)
+            if stored is None:
+                raise _HttpError(404, f"unknown instance_id {instance_id!r}")
+        params = normalize_params(body, defaults=self.config.defaults)
+        self.admission.admit_solve(
+            stored.meta["n"],
+            stored.meta["dim"],
+            k=params["k"],
+            shards=params["shards"],
+            coreset_size=params["coreset_size"],
+            neighbors=params["neighbors"],
+        )
+        from repro.serve.cache import result_key
+
+        cached = self.results.get(result_key(instance_id, params))
+        if cached is not None:
+            job = self.jobs.add_completed(instance_id, params, cached)
+            self.metrics.counter("serve.result_cache_hits").inc()
+            return 200, job.to_json()
+        job, fresh = self.jobs.create(instance_id, params)
+        if not fresh:
+            self.metrics.counter("serve.coalesced").inc()
+            payload = job.to_json()
+            payload["coalesced"] = True
+            return 202, payload
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.jobs.finish(job, error="queue full (backpressure)")
+            self.metrics.counter("serve.rejected_backpressure").inc()
+            return 429, {
+                "error": (
+                    f"job queue full ({self.config.queue_size} pending); "
+                    "retry with backoff"
+                )
+            }
+        self.metrics.counter("serve.jobs_enqueued").inc()
+        return 202, job.to_json()
+
+    def _get_job(self, job_id: str):
+        job = self.jobs.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job_id {job_id!r}"}
+        return 200, job.to_json()
+
+
+def _parse_json(body: bytes) -> dict:
+    if not body:
+        raise _HttpError(400, "empty request body; expected JSON")
+    try:
+        parsed = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise _HttpError(400, f"malformed JSON body: {exc}")
+    if not isinstance(parsed, dict):
+        raise _HttpError(400, "JSON body must be an object")
+    return parsed
+
+
+def _result_nbytes(result: dict) -> int:
+    return len(json.dumps(result).encode("utf-8"))
+
+
+# -- thread-hosted server (tests, bench, loadgen --spawn) -------------------
+
+
+class ServerHandle:
+    """A server running on a daemon thread's event loop.
+
+    ``host``/``port`` are live immediately (the constructor waits for
+    the listener). :meth:`stop` drains and joins; it is idempotent.
+    """
+
+    def __init__(self, server: SolveServer, thread: threading.Thread, loop):
+        self.server = server
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread.is_alive():
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_stop)
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+
+def serve_in_thread(config: ServerConfig | None = None) -> ServerHandle:
+    """Boot a :class:`SolveServer` on a background thread and wait until
+    it accepts connections. The caller owns the handle: ``stop()`` (or
+    use it as a context manager) when done."""
+    server = SolveServer(config)
+    ready = threading.Event()
+    loop_holder: dict = {}
+
+    def _run():
+        loop = asyncio.new_event_loop()
+        loop_holder["loop"] = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.run(ready=ready))
+        except BaseException as exc:  # startup failures surface to the caller
+            loop_holder["error"] = exc
+        finally:
+            ready.set()
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    thread.start()
+    if not ready.wait(timeout=30.0):
+        raise RuntimeError("serve thread failed to start within 30s")
+    if "error" in loop_holder:
+        thread.join(5.0)
+        raise RuntimeError(f"serve thread failed to start: {loop_holder['error']!r}")
+    return ServerHandle(server, thread, loop_holder["loop"])

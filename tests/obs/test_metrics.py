@@ -57,6 +57,44 @@ def test_histogram_sample_cap_keeps_count_and_total():
     assert s["total"] == float(n)
 
 
+def test_histogram_percentiles_exact_below_cap():
+    h = Histogram("lat")
+    for v in range(100):
+        h.observe(float(v))
+    s = h.summary()
+    assert s["p50"] == 50.0
+    assert s["p99"] == 99.0
+
+
+def test_histogram_reservoir_tracks_whole_run():
+    # A serving process observes a slow startup era then a fast steady
+    # state much longer than the cap. A frozen sample would report the
+    # startup p50 forever; the reservoir must follow the stream.
+    h = Histogram("serve.request_latency")
+    for _ in range(HISTOGRAM_SAMPLE_CAP):
+        h.observe(100.0)  # startup/JIT era: exactly fills the old cap
+    for _ in range(9 * HISTOGRAM_SAMPLE_CAP):
+        h.observe(1.0)  # steady state: 90% of the run
+    s = h.summary()
+    assert s["count"] == 10 * HISTOGRAM_SAMPLE_CAP
+    assert s["min"] == 1.0 and s["max"] == 100.0
+    # p50 of the true stream is 1.0; the frozen-sample bug reported 100.0
+    assert s["p50"] == 1.0
+    # the startup era is ~10% of the stream, so it still shows at p95+
+    assert s["p99"] == 100.0
+
+
+def test_histogram_reservoir_is_deterministic():
+    # Seeded from the instrument name: identical observation sequences
+    # yield identical summaries across instances (and processes).
+    def fill(h):
+        for v in range(3 * HISTOGRAM_SAMPLE_CAP):
+            h.observe(float(v % 977))
+        return h.summary()
+
+    assert fill(Histogram("lat")) == fill(Histogram("lat"))
+
+
 def test_registry_get_or_create_is_idempotent():
     reg = MetricsRegistry()
     assert reg.counter("a") is reg.counter("a")

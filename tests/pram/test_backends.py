@@ -302,6 +302,60 @@ def test_shared_backend_instance_passthrough():
     assert shared_backend(b) is b
 
 
+@pytest.mark.parametrize("raw", ["", "   ", "\t\n"])
+def test_shared_backend_empty_env_means_unset(monkeypatch, raw):
+    # CI matrices easily materialize REPRO_BACKEND="" for the default
+    # leg; that must resolve to the serial fallback, not to a backend
+    # literally named "".
+    monkeypatch.setenv("REPRO_BACKEND", raw)
+    b = shared_backend()
+    assert isinstance(b, SerialBackend)
+
+
+def test_shared_backend_env_still_strips_padding(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "  serial  ")
+    assert isinstance(shared_backend(), SerialBackend)
+
+
+def test_close_shared_backends_tolerates_late_registration(monkeypatch):
+    # Closing one shared backend may drain work that registers *new*
+    # shared backends (a serving tier flushing its queue at shutdown);
+    # the atexit sweep must not die on "dict changed size during
+    # iteration", must close the late arrivals too, and must tolerate
+    # entries that were already closed by their owner.
+    from repro.pram.backends import _SHARED_BACKENDS, _close_shared_backends
+
+    saved = dict(_SHARED_BACKENDS)
+    _SHARED_BACKENDS.clear()
+    closes = []
+    try:
+        class Tracked(SerialBackend):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def close(self):
+                closes.append(self.tag)
+                super().close()
+
+        late = Tracked("late")
+
+        class RegistersOnClose(Tracked):
+            def close(self):
+                _SHARED_BACKENDS[("late", None, None)] = late
+                super().close()
+
+        _SHARED_BACKENDS[("first", None, None)] = RegistersOnClose("first")
+        dead = ThreadBackend(1, grain=4)
+        dead.close()  # already closed by its owner: the sweep re-close is a no-op
+        _SHARED_BACKENDS[("dead", None, None)] = dead
+        _close_shared_backends()
+        assert "first" in closes and "late" in closes
+        assert not _SHARED_BACKENDS
+    finally:
+        _SHARED_BACKENDS.clear()
+        _SHARED_BACKENDS.update(saved)
+
+
 # -- submit_batch: the shard-parallel task fan-out (PR 5) -------------------
 
 def _square(x):

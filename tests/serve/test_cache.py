@@ -1,0 +1,164 @@
+"""Content hashing, admission control, and the byte-budget LRU."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.serve.cache import (
+    AdmissionController,
+    AdmissionError,
+    LruBytesCache,
+    estimate_request_bytes,
+    payload_hash,
+    result_key,
+    store_points,
+)
+
+
+class TestPayloadHash:
+    def test_deterministic_across_calls(self):
+        a = np.arange(12, dtype=float).reshape(4, 3)
+        assert payload_hash({"points": a}) == payload_hash({"points": a.copy()})
+
+    def test_sensitive_to_values(self):
+        a = np.arange(12, dtype=float).reshape(4, 3)
+        b = a.copy()
+        b[0, 0] += 1e-9
+        assert payload_hash({"points": a}) != payload_hash({"points": b})
+
+    def test_sensitive_to_shape_and_dtype(self):
+        a = np.arange(12, dtype=float)
+        assert payload_hash({"points": a}) != payload_hash({"points": a.reshape(4, 3)})
+        assert payload_hash({"points": a}) != payload_hash(
+            {"points": a.astype(np.float32)}
+        )
+
+    def test_member_names_matter(self):
+        a = np.arange(4, dtype=float)
+        assert payload_hash({"points": a}) != payload_hash({"weights": a})
+
+    def test_order_independent(self):
+        a = np.arange(4, dtype=float)
+        w = np.ones(4)
+        assert payload_hash({"points": a, "weights": w}) == payload_hash(
+            {"weights": w, "points": a}
+        )
+
+    def test_noncontiguous_input_matches_contiguous(self):
+        a = np.arange(24, dtype=float).reshape(4, 6)
+        view = a[:, ::2]
+        assert payload_hash({"points": view}) == payload_hash(
+            {"points": np.ascontiguousarray(view)}
+        )
+
+
+class TestResultKey:
+    def test_param_order_canonicalized(self):
+        p1 = {"k": 3, "seed": 0, "solver": "kmedian"}
+        p2 = {"solver": "kmedian", "seed": 0, "k": 3}
+        assert result_key("abc", p1) == result_key("abc", p2)
+
+    def test_distinct_params_distinct_keys(self):
+        assert result_key("abc", {"k": 3}) != result_key("abc", {"k": 4})
+        assert result_key("abc", {"k": 3}) != result_key("abd", {"k": 3})
+
+
+class TestAdmission:
+    def test_instance_within_budget(self):
+        ctrl = AdmissionController(budget_bytes=10_000)
+        assert ctrl.admit_instance(100, 2) == 100 * 2 * 8
+
+    def test_instance_over_budget(self):
+        ctrl = AdmissionController(budget_bytes=1_000)
+        with pytest.raises(AdmissionError, match="admission budget"):
+            ctrl.admit_instance(100, 2)
+
+    def test_admission_error_is_invalid_parameter(self):
+        # The HTTP layer maps InvalidParameterError -> 400 and the
+        # subclass first -> 413; the hierarchy is load-bearing.
+        assert issubclass(AdmissionError, InvalidParameterError)
+
+    def test_solve_estimate_monotone_in_neighbors(self):
+        lo = estimate_request_bytes(1000, 2, k=4, shards=2, coreset_size=64, neighbors=8)
+        hi = estimate_request_bytes(1000, 2, k=4, shards=2, coreset_size=64, neighbors=64)
+        assert hi > lo
+
+    def test_solve_estimate_capped_by_n(self):
+        # merged coreset can never exceed n points
+        small = estimate_request_bytes(50, 2, k=4, shards=8, coreset_size=1000, neighbors=8)
+        big = estimate_request_bytes(5000, 2, k=4, shards=8, coreset_size=1000, neighbors=8)
+        assert small < big
+
+    def test_solve_over_budget(self):
+        ctrl = AdmissionController(budget_bytes=10_000)
+        with pytest.raises(AdmissionError):
+            ctrl.admit_solve(10_000, 2, k=8, shards=4, coreset_size=512, neighbors=64)
+
+
+class TestLruBytesCache:
+    def test_hit_miss_accounting(self):
+        cache = LruBytesCache(100)
+        assert cache.get("a") is None
+        cache.put("a", 1, 10)
+        assert cache.get("a") == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_evicts_least_recently_used(self):
+        cache = LruBytesCache(30)
+        cache.put("a", "A", 10)
+        cache.put("b", "B", 10)
+        cache.put("c", "C", 10)
+        assert cache.get("a") == "A"  # refresh a
+        cache.put("d", "D", 10)  # evicts b, the LRU
+        assert cache.get("b") is None
+        assert cache.get("a") == "A"
+        assert cache.stats()["evictions"] == 1
+        assert cache.stats()["bytes"] <= 30
+
+    def test_oversize_entry_not_cached(self):
+        cache = LruBytesCache(10)
+        cache.put("huge", "x", 1000)
+        assert cache.get("huge") is None
+        assert cache.stats()["entries"] == 0
+
+    def test_replacing_entry_updates_bytes(self):
+        cache = LruBytesCache(100)
+        cache.put("a", 1, 60)
+        cache.put("a", 2, 30)
+        assert cache.get("a") == 2
+        assert cache.stats()["bytes"] == 30
+
+
+class TestStorePoints:
+    def test_content_id_stable(self):
+        pts = np.random.default_rng(0).normal(size=(20, 2))
+        s1 = store_points(pts)
+        s2 = store_points(pts.copy())
+        assert s1.instance_id == s2.instance_id
+        assert s1.meta == {"n": 20, "dim": 2}
+        assert not s1.points.flags.writeable
+
+    def test_weights_change_the_id(self):
+        pts = np.random.default_rng(0).normal(size=(20, 2))
+        assert store_points(pts).instance_id != store_points(
+            pts, np.full(20, 2.0)
+        ).instance_id
+
+    @pytest.mark.parametrize(
+        "points",
+        [np.zeros((0, 2)), np.zeros(5), np.array([[1.0, np.nan]])],
+        ids=["empty", "1d", "nan"],
+    )
+    def test_rejects_bad_points(self, points):
+        with pytest.raises(InvalidParameterError):
+            store_points(points)
+
+    def test_rejects_bad_weights(self):
+        pts = np.ones((4, 2))
+        with pytest.raises(InvalidParameterError):
+            store_points(pts, np.ones(3))
+        with pytest.raises(InvalidParameterError):
+            store_points(pts, np.array([1.0, 1.0, 0.0, 1.0]))

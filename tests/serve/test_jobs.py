@@ -1,0 +1,103 @@
+"""Parameter normalization and job-table lifecycle (incl. coalescing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.serve.jobs import JobTable, normalize_params
+
+
+class TestNormalizeParams:
+    def test_defaults_filled(self):
+        p = normalize_params({"k": 3})
+        assert p["k"] == 3
+        assert p["solver"] == "kmedian"
+        assert p["shards"] == 2
+        assert p["seed"] == 0
+
+    def test_k_required(self):
+        with pytest.raises(InvalidParameterError, match="requires 'k'"):
+            normalize_params({})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(InvalidParameterError, match="sharrds"):
+            normalize_params({"k": 3, "sharrds": 2})
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown solver"):
+            normalize_params({"k": 3, "solver": "kmode"})
+
+    @pytest.mark.parametrize("field", ["k", "shards", "neighbors"])
+    def test_positive_int_fields(self, field):
+        with pytest.raises(InvalidParameterError):
+            normalize_params({"k": 3, field: 0})
+
+    def test_malformed_value(self):
+        with pytest.raises(InvalidParameterError, match="malformed"):
+            normalize_params({"k": "three"})
+
+    def test_server_defaults_override(self):
+        p = normalize_params({"k": 3}, defaults={"shards": 7})
+        assert p["shards"] == 7
+
+    def test_json_roundtrip_canonical(self):
+        # The normalized dict is the cache identity; equivalent requests
+        # must normalize identically.
+        assert normalize_params({"k": 3, "epsilon": 0.5}) == normalize_params(
+            {"k": 3.0}
+        )
+
+
+class TestJobTable:
+    def test_create_and_finish(self):
+        table = JobTable()
+        job, fresh = table.create("inst", {"k": 3})
+        assert fresh and job.status == "queued"
+        table.finish(job, result={"cost": 1.0})
+        assert table.get(job.job_id).status == "done"
+        assert table.counts() == {"total": 1, "done": 1}
+
+    def test_identical_inflight_coalesces(self):
+        table = JobTable()
+        j1, fresh1 = table.create("inst", {"k": 3})
+        j2, fresh2 = table.create("inst", {"k": 3})
+        assert fresh1 and not fresh2
+        assert j1.job_id == j2.job_id
+
+    def test_different_params_do_not_coalesce(self):
+        table = JobTable()
+        j1, _ = table.create("inst", {"k": 3})
+        j2, fresh = table.create("inst", {"k": 4})
+        assert fresh and j1.job_id != j2.job_id
+
+    def test_finished_job_frees_the_key(self):
+        table = JobTable()
+        j1, _ = table.create("inst", {"k": 3})
+        table.finish(j1, result={})
+        j2, fresh = table.create("inst", {"k": 3})
+        assert fresh and j2.job_id != j1.job_id
+
+    def test_failed_job_reports_error(self):
+        table = JobTable()
+        job, _ = table.create("inst", {"k": 3})
+        table.finish(job, error="boom")
+        view = table.get(job.job_id).to_json()
+        assert view["status"] == "failed"
+        assert view["error"] == "boom"
+        assert "wall_s" in view
+
+    def test_fail_queued_sweeps_only_queued(self):
+        table = JobTable()
+        queued, _ = table.create("inst", {"k": 3})
+        done, _ = table.create("inst", {"k": 4})
+        table.finish(done, result={})
+        assert table.fail_queued("stopping") == 1
+        assert table.get(queued.job_id).status == "failed"
+        assert table.get(done.job_id).status == "done"
+
+    def test_add_completed_marks_cached(self):
+        table = JobTable()
+        job = table.add_completed("inst", {"k": 3}, {"cost": 2.0})
+        assert job.status == "done" and job.cached
+        assert table.get(job.job_id).result == {"cost": 2.0}

@@ -1,0 +1,294 @@
+"""End-to-end API tests against a thread-hosted server.
+
+A module-scoped server (thread backend — fast, and crash injection in
+the fault tests goes through the same supervised path) serves the
+read-mostly cases; behaviors that need clean counters or a rigged
+solver (backpressure, coalescing, shutdown ordering) boot their own.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.pram.backends import ThreadBackend
+from repro.serve import ServeClient, ServeError, ServerConfig, serve_in_thread
+
+
+def _points(seed=0, n=120, dim=2):
+    return np.random.default_rng(seed).normal(size=(n, dim))
+
+
+@pytest.fixture(scope="module")
+def served():
+    config = ServerConfig(backend="thread", backend_workers=2, workers=2)
+    with serve_in_thread(config) as handle:
+        yield ServeClient(handle.host, handle.port)
+
+
+class TestBasicApi:
+    def test_health(self, served):
+        health = served.health()
+        assert health["status"] == "ok"
+        assert health["backend"] == "thread"
+        assert health["queue_capacity"] == 64
+
+    def test_metrics_endpoint(self, served):
+        snap = served.metrics()
+        assert "counters" in snap
+        assert "caches" in snap
+
+    def test_instance_dedup_by_content(self, served):
+        pts = _points(seed=1)
+        first = served.submit_points(pts)
+        second = served.submit_points(pts.copy())
+        assert first["instance_id"] == second["instance_id"]
+        assert first["cached"] is False
+        assert second["cached"] is True
+
+    def test_solve_by_instance_id(self, served):
+        inst = served.submit_points(_points(seed=2))
+        job = served.solve_and_wait(instance_id=inst["instance_id"], k=3, seed=5)
+        assert job["status"] == "done"
+        result = job["result"]
+        assert len(result["centers"]) == 3
+        assert result["cost"] > 0
+        assert result["degraded"] is False
+
+    def test_solve_inline_points(self, served):
+        job = served.solve_and_wait(points=_points(seed=3), k=2)
+        assert job["status"] == "done"
+        assert len(job["result"]["centers"]) == 2
+
+    def test_repeat_request_hits_result_cache(self, served):
+        inst = served.submit_points(_points(seed=4))
+        first = served.solve_and_wait(instance_id=inst["instance_id"], k=3, seed=9)
+        second = served.solve(instance_id=inst["instance_id"], k=3, seed=9)
+        assert second["status"] == "done"
+        assert second["cached"] is True
+        assert second["result"] == first["result"]
+
+    def test_unknown_instance_404(self, served):
+        with pytest.raises(ServeError) as err:
+            served.solve(instance_id="deadbeef", k=2)
+        assert err.value.status == 404
+
+    def test_unknown_param_400(self, served):
+        inst = served.submit_points(_points(seed=5))
+        with pytest.raises(ServeError) as err:
+            served.solve(instance_id=inst["instance_id"], k=2, sharrds=3)
+        assert err.value.status == 400
+
+    def test_missing_source_400(self, served):
+        with pytest.raises(ServeError) as err:
+            served.solve(k=2)
+        assert err.value.status == 400
+
+    def test_unknown_job_404(self, served):
+        with pytest.raises(ServeError) as err:
+            served.poll("job-999999")
+        assert err.value.status == 404
+
+    def test_wrong_method_405(self, served):
+        status, _ = served.raw_request("GET", "/solve")
+        assert status == 405
+
+    def test_unknown_route_404(self, served):
+        status, _ = served.raw_request("GET", "/nope")
+        assert status == 404
+
+    def test_malformed_json_400(self, served):
+        import http.client
+
+        conn = http.client.HTTPConnection(served.host, served.port, timeout=10)
+        try:
+            conn.request(
+                "POST", "/solve", body="{not json",
+                headers={"Content-Type": "application/json", "Connection": "close"},
+            )
+            assert conn.getresponse().status == 400
+        finally:
+            conn.close()
+
+    def test_nonfinite_points_400(self, served):
+        with pytest.raises(ServeError) as err:
+            served.submit_points(np.array([[1.0, float("nan")]]))
+        assert err.value.status == 400
+
+
+class TestConcurrency:
+    def test_concurrent_identical_submits_share_one_solve(self):
+        config = ServerConfig(backend="thread", backend_workers=2, workers=2)
+        with serve_in_thread(config) as handle:
+            client = ServeClient(handle.host, handle.port)
+            inst = client.submit_points(_points(seed=7, n=200))
+            results, errors = [], []
+
+            def one():
+                try:
+                    c = ServeClient(handle.host, handle.port)
+                    job = c.solve_and_wait(
+                        instance_id=inst["instance_id"], k=4, seed=3
+                    )
+                    results.append(job["result"])
+                except Exception as exc:  # pragma: no cover - failure detail
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=one) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len(results) == 6
+            assert all(r == results[0] for r in results)
+            counters = client.metrics()["counters"]
+            # one real solve; everyone else coalesced or cache-served
+            assert counters["serve.jobs_completed"] == 1
+            shared = counters.get("serve.coalesced", 0) + counters.get(
+                "serve.result_cache_hits", 0
+            )
+            assert shared == 5
+
+    def test_concurrent_distinct_submits_all_solve_fresh(self):
+        config = ServerConfig(backend="thread", backend_workers=2, workers=2)
+        with serve_in_thread(config) as handle:
+            client = ServeClient(handle.host, handle.port)
+            inst = client.submit_points(_points(seed=8, n=200))
+            results, errors = [], []
+
+            def one(seed):
+                try:
+                    c = ServeClient(handle.host, handle.port)
+                    job = c.solve_and_wait(
+                        instance_id=inst["instance_id"], k=4, seed=seed
+                    )
+                    results.append(job["result"])
+                except Exception as exc:  # pragma: no cover - failure detail
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=one, args=(s,)) for s in range(5)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len(results) == 5
+            counters = client.metrics()["counters"]
+            assert counters["serve.jobs_completed"] == 5
+            assert counters.get("serve.result_cache_hits", 0) == 0
+
+
+class TestBackpressureAndAdmission:
+    def test_queue_full_is_429(self):
+        release = threading.Event()
+
+        def slow_solve(instance, params):
+            release.wait(timeout=30)
+            return {"cost": 0.0, "seed": params["seed"]}
+
+        config = ServerConfig(
+            backend="serial", workers=1, queue_size=1, solve_fn=slow_solve
+        )
+        with serve_in_thread(config) as handle:
+            client = ServeClient(handle.host, handle.port)
+            inst = client.submit_points(_points(seed=9))
+            try:
+                running = client.solve(instance_id=inst["instance_id"], k=2, seed=0)
+                # give the single worker a beat to dequeue the first job
+                deadline = time.perf_counter() + 5
+                while (
+                    client.poll(running["job_id"])["status"] == "queued"
+                    and time.perf_counter() < deadline
+                ):
+                    time.sleep(0.01)
+                queued = client.solve(instance_id=inst["instance_id"], k=2, seed=1)
+                assert queued["status"] == "queued"
+                with pytest.raises(ServeError) as err:
+                    client.solve(instance_id=inst["instance_id"], k=2, seed=2)
+                assert err.value.status == 429
+                assert client.metrics()["counters"]["serve.rejected_backpressure"] == 1
+            finally:
+                release.set()
+            done = client.wait(running["job_id"])
+            assert done["result"]["seed"] == 0
+
+    def test_over_budget_instance_413(self):
+        config = ServerConfig(backend="serial", budget_bytes=1000)
+        with serve_in_thread(config) as handle:
+            client = ServeClient(handle.host, handle.port)
+            with pytest.raises(ServeError) as err:
+                client.submit_points(_points(seed=10, n=500))
+            assert err.value.status == 413
+            assert client.metrics()["counters"]["serve.rejected_admission"] == 1
+
+    def test_over_budget_solve_413(self):
+        # the instance fits but the solve's CSR estimate does not
+        config = ServerConfig(backend="serial", budget_bytes=8000)
+        with serve_in_thread(config) as handle:
+            client = ServeClient(handle.host, handle.port)
+            inst = client.submit_points(_points(seed=11, n=64))
+            with pytest.raises(ServeError) as err:
+                client.solve(
+                    instance_id=inst["instance_id"], k=4, neighbors=64, shards=4
+                )
+            assert err.value.status == 413
+
+
+class TestLifecycle:
+    def test_shutdown_endpoint_stops_the_server(self):
+        config = ServerConfig(backend="serial", workers=1)
+        handle = serve_in_thread(config)
+        client = ServeClient(handle.host, handle.port)
+        assert client.shutdown() == {"status": "stopping"}
+        handle._thread.join(timeout=10)
+        assert not handle._thread.is_alive()
+        handle.stop()  # idempotent after the fact
+
+    def test_shutdown_drains_running_job_before_stopping(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_solve(instance, params):
+            started.set()
+            release.wait(timeout=30)
+            return {"cost": 1.0}
+
+        config = ServerConfig(backend="serial", workers=1, solve_fn=slow_solve)
+        handle = serve_in_thread(config)
+        client = ServeClient(handle.host, handle.port)
+        inst = client.submit_points(_points(seed=12))
+        job = client.solve(instance_id=inst["instance_id"], k=2)
+        assert started.wait(timeout=10)
+        stopper = threading.Thread(target=handle.stop)
+        stopper.start()
+        # shutdown must wait on the in-flight job, not abandon it
+        time.sleep(0.1)
+        assert stopper.is_alive()
+        release.set()
+        stopper.join(timeout=10)
+        assert not stopper.is_alive()
+        assert handle.server.jobs.get(job["job_id"]).status == "done"
+
+    def test_borrowed_backend_stays_open(self):
+        backend = ThreadBackend(2, grain=4)
+        try:
+            config = ServerConfig(backend=backend, workers=1)
+            with serve_in_thread(config) as handle:
+                client = ServeClient(handle.host, handle.port)
+                job = client.solve_and_wait(points=_points(seed=13), k=2)
+                assert job["status"] == "done"
+            assert not backend.closed
+        finally:
+            backend.close()
+
+    def test_owned_backend_closes_on_stop(self):
+        config = ServerConfig(backend="thread", backend_workers=2, workers=1)
+        handle = serve_in_thread(config)
+        ServeClient(handle.host, handle.port).health()
+        backend = handle.server.backend
+        handle.stop()
+        assert backend.closed
