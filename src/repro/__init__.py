@@ -41,12 +41,21 @@ from repro.faults import (
     supervised_submit_batch,
 )
 from repro.obs import (
+    EventLog,
     MetricsRegistry,
     NullTracer,
+    SloEvaluator,
+    SloTarget,
     Tracer,
+    current_log,
+    current_trace_id,
     current_tracer,
+    log_to,
+    new_trace_id,
     run_with_peak_rss,
+    set_log,
     set_tracer,
+    trace_context,
     trace_to,
 )
 from repro.metrics import (
@@ -148,12 +157,21 @@ __all__ = [
     "TaskFailure",
     "supervised_submit_batch",
     # obs
+    "EventLog",
     "MetricsRegistry",
     "NullTracer",
+    "SloEvaluator",
+    "SloTarget",
     "Tracer",
+    "current_log",
+    "current_trace_id",
     "current_tracer",
+    "log_to",
+    "new_trace_id",
     "run_with_peak_rss",
+    "set_log",
     "set_tracer",
+    "trace_context",
     "trace_to",
     # metrics
     "MetricSpace",

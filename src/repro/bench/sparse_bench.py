@@ -64,6 +64,7 @@ import argparse
 import json
 import os
 import platform
+import tempfile
 import time
 import tracemalloc
 
@@ -442,6 +443,7 @@ def _measure_serving(
     solutions through HTTP, the PR 6 contract surviving the wire).
     """
     from repro.faults.plan import FaultPlan
+    from repro.obs import SloTarget, trace_to
     from repro.serve import ServeClient, ServerConfig, serve_in_thread
     from repro.serve.loadgen import run_loadgen
 
@@ -455,7 +457,16 @@ def _measure_serving(
         "requests": int(requests), "workers": int(workers), "backend": backend,
         **solve_params,
     }
-    config = ServerConfig(backend=backend, workers=workers, backend_workers=backend_workers)
+    # A deliberately generous SLO: the point is to exercise and report
+    # the evaluator's verdict over a real run, not to fail the bench on
+    # machine noise.
+    slo_target = SloTarget(
+        p99_latency_s=60.0, max_error_rate=0.5, window_s=600.0, min_samples=5
+    )
+    config = ServerConfig(
+        backend=backend, workers=workers, backend_workers=backend_workers,
+        slo=slo_target,
+    )
     with serve_in_thread(config) as handle:
         out["fresh"] = run_loadgen(
             handle.host, handle.port, clients=clients, requests=requests,
@@ -474,11 +485,56 @@ def _measure_serving(
             solve_params=solve_params,
         )
         counters = client.metrics()["counters"]
+        health_status, health = client.raw_request("GET", "/health")
+        out["slo"] = {
+            "target": slo_target.to_json(),
+            "health_status": int(health_status),
+            **health.get("slo", {}),
+        }
     out["cache_speedup"] = out["fresh"]["time_per_request_s"] / max(
         out["cached"]["time_per_request_s"], 1e-12
     )
     out["result_cache_hits"] = int(counters.get("serve.result_cache_hits", 0))
     out["jobs_completed"] = int(counters.get("serve.jobs_completed", 0))
+
+    # Tracing-on overhead (PR 10): the same small loadgen leg against an
+    # untraced and a traced server; both sides of the wire share the
+    # in-process tracer, so the traced number carries the full
+    # trace-context propagation + span-emission cost.
+    overhead_requests = max(min(int(requests) // 4, 16), 8)
+
+    def _overhead_leg(tracing: bool) -> float:
+        cfg = ServerConfig(
+            backend=backend, workers=workers, backend_workers=backend_workers
+        )
+        if tracing:
+            trace_path = os.path.join(
+                tempfile.mkdtemp(prefix="bench-trace-"), "trace.jsonl"
+            )
+            with trace_to(trace_path):
+                with serve_in_thread(cfg) as h:
+                    rep = run_loadgen(
+                        h.host, h.port, clients=clients,
+                        requests=overhead_requests, n=n, dim=dim, k=k,
+                        seed=int(seed) + 2_000_000, solve_params=solve_params,
+                    )
+        else:
+            with serve_in_thread(cfg) as h:
+                rep = run_loadgen(
+                    h.host, h.port, clients=clients,
+                    requests=overhead_requests, n=n, dim=dim, k=k,
+                    seed=int(seed) + 2_000_000, solve_params=solve_params,
+                )
+        return float(rep["time_per_request_s"])
+
+    untraced_s = _overhead_leg(False)
+    traced_s = _overhead_leg(True)
+    out["tracing_overhead"] = {
+        "requests": int(overhead_requests),
+        "untraced_time_per_request_s": untraced_s,
+        "traced_time_per_request_s": traced_s,
+        "overhead": traced_s / max(untraced_s, 1e-12) - 1.0,
+    }
 
     def _served_solution(extra):
         cfg = ServerConfig(
@@ -1049,6 +1105,15 @@ def main(argv=None) -> None:
             f"faster | crash byte-identical="
             f"{serving['fault']['byte_identical']}"
         )
+        slo = serving.get("slo")
+        overhead = serving.get("tracing_overhead")
+        if slo or overhead:
+            parts = []
+            if slo:
+                parts.append(f"slo={slo.get('status', '?')}")
+            if overhead:
+                parts.append(f"tracing overhead {overhead['overhead']:+.1%}")
+            print("serving extras: " + " | ".join(parts))
     from repro.obs.tracer import current_tracer
 
     tracer = current_tracer()

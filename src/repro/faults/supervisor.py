@@ -69,7 +69,8 @@ from repro.faults.plan import (
     apply_fault_after,
     apply_fault_before,
 )
-from repro.obs.tracer import current_tracer
+from repro.obs.log import current_log
+from repro.obs.tracer import current_trace_id, current_tracer
 from repro.pram.backends import (
     _TracedResult,
     _unpack_value,
@@ -205,8 +206,11 @@ def _supervised_call(payload):
     every segment's lifetime. ``trace`` asks for worker-local timing:
     the raw result (with any injected corruption already applied, so
     fault semantics are identical either way) rides back wrapped in a
-    timing envelope the parent unwraps before validation."""
-    fn, item, spec, flags_name, slot, packed, trace = payload
+    timing envelope the parent unwraps before validation. ``trace_id``
+    is the request trace id the round was dispatched under (or None);
+    it rides back inside the envelope so worker spans are attributed to
+    the request even across the process boundary."""
+    fn, item, spec, flags_name, slot, packed, trace, trace_id = payload
     shm = None
     flags = None
     item_shms: list = []
@@ -249,6 +253,7 @@ def _supervised_call(payload):
                 threading.get_native_id(),
                 start_us,
                 time.perf_counter_ns() // 1000,
+                trace_id,
             )
         return result
     finally:
@@ -442,6 +447,15 @@ class Supervisor:
                 duration,
             )
         )
+        log = current_log()
+        if log.enabled and outcome != "ok":
+            log.event(
+                f"supervisor.task_{outcome}",
+                task=index,
+                attempt=attempt,
+                error=str(error)[:200] if error is not None else None,
+                duration_s=duration,
+            )
         if not tracer.enabled:
             return
         if outcome not in ("free", "suspect"):
@@ -505,6 +519,10 @@ class Supervisor:
             return value
         lane = tracer.worker_lane(value.pid, value.tid)
         args = {"task": idx, "attempt": attempt, "supervised": True}
+        if value.trace_id is not None:
+            # the id the round was dispatched under — authoritative even
+            # if the unwrapping thread's ambient context moved on
+            args["trace_id"] = value.trace_id
         if submit_ts is not None:
             tracer.complete(
                 "queue_wait",
@@ -534,7 +552,10 @@ class Supervisor:
             spec = self._spec(idx, attempts[idx])
             t0 = time.perf_counter()
             try:
-                value = _supervised_call((fn, items[idx], spec, None, 0, False, trace))
+                value = _supervised_call(
+                    (fn, items[idx], spec, None, 0, False, trace,
+                     current_trace_id())
+                )
                 value = self._unwrap_traced(tracer, value, idx, attempts[idx], None)
             except Exception as exc:
                 outcomes.append(
@@ -581,6 +602,7 @@ class Supervisor:
             if packed:
                 round_items, _ = pack_batch_items(round_items, item_shms)
             submit_ts = tracer.now() if trace else None
+            trace_id = current_trace_id()
             futures = []
             for slot, idx in enumerate(pending):
                 spec = self._spec(idx, attempts[idx])
@@ -592,6 +614,7 @@ class Supervisor:
                     slot,
                     packed,
                     trace,
+                    trace_id,
                 )
                 try:
                     futures.append(pool.submit(_supervised_call, payload))
@@ -682,7 +705,20 @@ class Supervisor:
                             },
                         )
                         tracer.metrics.counter("supervisor.pool_respawns").inc()
+                    log = current_log()
+                    if log.enabled:
+                        log.event(
+                            "supervisor.pool_respawn",
+                            backend=getattr(self.backend, "name", "?"),
+                            broke=broke,
+                            timed_out=timed_out,
+                        )
                     respawn()
+                    # the torn-down pool's pids may be recycled by the
+                    # OS: retire their trace lanes so replacement
+                    # workers get fresh rows
+                    if trace:
+                        tracer.bump_lane_epoch()
             return raw
         finally:
             for item_shm in item_shms:

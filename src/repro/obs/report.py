@@ -198,6 +198,163 @@ def summarize_trace(events) -> dict:
     }
 
 
+def stitch_request_trace(events, trace_id) -> dict:
+    """Stitch one request's spans — across processes — into one tree.
+
+    Selects every span/instant whose ``args.trace_id`` matches, then
+    nests spans per lane by interval containment (a span is a child of
+    the innermost same-lane span that encloses it). Spans timed inside
+    forked worker processes share the machine-wide monotonic clock with
+    driver spans (see :mod:`repro.obs.tracer`), so containment across
+    the process boundary is plain interval arithmetic — the worker's
+    ``exec`` span lands under nothing on its own lane but is still part
+    of the request's tree via the shared trace id.
+
+    Returns a dict with the request ``roots`` (one tree per outermost
+    span, ordered by start time), the lanes touched (worker lanes keep
+    their ``worker-<pid>`` labels so "which processes served this
+    request" is readable), plus flat ``span_names`` / ``categories`` /
+    ``stages`` indexes for assertions and quick scanning. ``found`` is
+    False when the trace holds nothing for that id (e.g. a request
+    served before tracing was enabled).
+    """
+    trace_id = str(trace_id)
+    lanes = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            lanes[event["tid"]] = event.get("args", {}).get("name", str(event["tid"]))
+
+    def _matches(event):
+        return event.get("args", {}).get("trace_id") == trace_id
+
+    spans = [e for e in events if e.get("ph") == "X" and _matches(e)]
+    instants = [e for e in events if e.get("ph") == "i" and _matches(e)]
+    if not spans and not instants:
+        return {
+            "trace_id": trace_id,
+            "found": False,
+            "events": 0,
+            "wall_s": 0.0,
+            "roots": [],
+            "lanes": {},
+            "worker_lanes": [],
+            "span_names": [],
+            "categories": [],
+            "stages": [],
+            "instants": [],
+        }
+
+    t0 = min(e["ts"] for e in spans + instants)
+    t1 = max(e["ts"] + e.get("dur", 0) for e in spans + instants)
+
+    def _node(event):
+        args = {k: v for k, v in event.get("args", {}).items() if k != "trace_id"}
+        return {
+            "name": event["name"],
+            "cat": event.get("cat", ""),
+            "lane": lanes.get(event["tid"], str(event["tid"])),
+            "start_ms": (event["ts"] - t0) / 1e3,
+            "dur_ms": event.get("dur", 0) / 1e3,
+            "args": args,
+            "children": [],
+        }
+
+    # Per-lane containment nesting: sort by (start, -dur) so an
+    # enclosing span precedes its children, then keep a stack of open
+    # ancestors. A 2µs slack absorbs integer-microsecond rounding at
+    # span edges.
+    slack = 2
+    roots = []
+    by_lane: dict = {}
+    for event in spans:
+        by_lane.setdefault(event["tid"], []).append(event)
+    for tid in sorted(by_lane):
+        stack: list = []  # (end_ts, node)
+        for event in sorted(by_lane[tid], key=lambda e: (e["ts"], -e.get("dur", 0))):
+            node = _node(event)
+            end = event["ts"] + event.get("dur", 0)
+            while stack and event["ts"] + slack >= stack[-1][0]:
+                stack.pop()
+            if stack:
+                stack[-1][1]["children"].append(node)
+            else:
+                roots.append((event["ts"], node))
+            stack.append((end + slack, node))
+    roots.sort(key=lambda pair: pair[0])
+
+    span_names = sorted({e["name"] for e in spans})
+    categories = sorted({e.get("cat", "") for e in spans + instants} - {""})
+    worker_lanes = sorted(
+        {
+            lanes.get(e["tid"], str(e["tid"]))
+            for e in spans
+            if str(lanes.get(e["tid"], "")).startswith("worker-")
+        }
+    )
+    stages = [
+        e["name"]
+        for e in sorted(spans, key=lambda e: e["ts"])
+        if e.get("cat") == "shard"
+    ]
+    return {
+        "trace_id": trace_id,
+        "found": True,
+        "events": len(spans) + len(instants),
+        "wall_s": (t1 - t0) / 1e6,
+        "roots": [node for _, node in roots],
+        "lanes": {
+            str(tid): lanes.get(tid, str(tid))
+            for tid in sorted({e["tid"] for e in spans + instants})
+        },
+        "worker_lanes": worker_lanes,
+        "span_names": span_names,
+        "categories": categories,
+        "stages": stages,
+        "instants": [
+            {
+                "name": e["name"],
+                "cat": e.get("cat", ""),
+                "lane": lanes.get(e["tid"], str(e["tid"])),
+                "at_ms": (e["ts"] - t0) / 1e3,
+                "args": {
+                    k: v for k, v in e.get("args", {}).items() if k != "trace_id"
+                },
+            }
+            for e in sorted(instants, key=lambda e: e["ts"])
+        ],
+    }
+
+
+def render_request_trace(stitched: dict) -> str:
+    """Text rendering of :func:`stitch_request_trace` output."""
+    if not stitched["found"]:
+        return f"trace {stitched['trace_id']}: no events found"
+    lines = [
+        f"request {stitched['trace_id']}: {stitched['events']} events, "
+        f"wall {stitched['wall_s'] * 1e3:.1f}ms, "
+        f"lanes {', '.join(stitched['lanes'].values())}"
+    ]
+
+    def _walk(node, depth):
+        args = f"  {node['args']}" if node["args"] else ""
+        lines.append(
+            f"  {'  ' * depth}{node['name']} [{node['cat']}] "
+            f"@{node['start_ms']:.2f}ms +{node['dur_ms']:.2f}ms "
+            f"({node['lane']}){args}"
+        )
+        for child in node["children"]:
+            _walk(child, depth + 1)
+
+    for root in stitched["roots"]:
+        _walk(root, 0)
+    for mark in stitched["instants"]:
+        lines.append(
+            f"  * {mark['name']} [{mark['cat']}] @{mark['at_ms']:.2f}ms "
+            f"({mark['lane']}) {mark['args']}"
+        )
+    return "\n".join(lines)
+
+
 def render_summary(summary: dict) -> str:
     """Human-readable text rendering of :func:`summarize_trace` output."""
     lines = []
@@ -275,6 +432,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="also check every event against the trace-event schema",
     )
+    parser.add_argument(
+        "--trace-id",
+        default=None,
+        help="stitch and print one request's cross-process trace tree "
+        "instead of the whole-trace summary",
+    )
     ns = parser.parse_args(argv)
 
     events = load_trace(ns.trace)
@@ -284,6 +447,13 @@ def main(argv=None) -> int:
             for err in errors[:50]:
                 print(f"schema: {err}")
             return 1
+    if ns.trace_id is not None:
+        stitched = stitch_request_trace(events, ns.trace_id)
+        if ns.json:
+            print(json.dumps(stitched, indent=2, sort_keys=True, default=float))
+        else:
+            print(render_request_trace(stitched))
+        return 0 if stitched["found"] else 1
     summary = summarize_trace(events)
     if ns.json:
         print(json.dumps(summary, indent=2, sort_keys=True, default=float))

@@ -1,0 +1,183 @@
+"""SLO evaluation: sliding-window latency/error-rate targets.
+
+A serving tier needs a yes/no answer to "are we meeting our targets
+*right now*?" — not over the process lifetime (a morning incident would
+poison the error rate all day) and not over the last N requests (a
+quiet service would hold stale samples forever). So the evaluator keeps
+request-terminal records ``(when, latency_s, error)`` in a sliding
+**time** window and grades the window against a :class:`SloTarget`:
+
+- ``p99_latency_s``: the windowed p99 latency must not exceed it;
+- ``max_error_rate``: the windowed error fraction must not exceed it.
+
+:meth:`SloEvaluator.evaluate` returns a :class:`SloStatus` whose
+``status`` is ``"ok"``, ``"degraded"`` (with human-readable reasons),
+or ``"insufficient_data"`` when fewer than ``min_samples`` requests
+landed in the window — a cold service is not a degraded service. The
+serving tier surfaces this in ``/health`` (degraded → HTTP 503) so load
+balancers can drain a struggling instance, and the load generator
+grades its own client-side report against the same targets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """Service-level objective targets; ``None`` disables a check."""
+
+    p99_latency_s: float | None = None
+    max_error_rate: float | None = None
+    window_s: float = 60.0
+    min_samples: int = 20
+
+    def __post_init__(self):
+        if self.p99_latency_s is not None and self.p99_latency_s <= 0:
+            raise ValueError("p99_latency_s must be positive")
+        if self.max_error_rate is not None and not 0 <= self.max_error_rate <= 1:
+            raise ValueError("max_error_rate must be in [0, 1]")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+
+    def to_json(self) -> dict:
+        return {
+            "p99_latency_s": self.p99_latency_s,
+            "max_error_rate": self.max_error_rate,
+            "window_s": self.window_s,
+            "min_samples": self.min_samples,
+        }
+
+
+@dataclass
+class SloStatus:
+    """One evaluation verdict: status, reasons, and the measured window."""
+
+    status: str  # "ok" | "degraded" | "insufficient_data"
+    reasons: list = field(default_factory=list)
+    measured: dict = field(default_factory=dict)
+    target: dict = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == "degraded"
+
+    def to_json(self) -> dict:
+        return {
+            "status": self.status,
+            "reasons": list(self.reasons),
+            "measured": dict(self.measured),
+            "target": dict(self.target),
+        }
+
+
+def _pct(sorted_values: list, q: float) -> float:
+    """Nearest-rank percentile over a sorted list (same estimator as
+    :meth:`repro.obs.metrics.Histogram.summary`)."""
+    return sorted_values[min(int(q * len(sorted_values)), len(sorted_values) - 1)]
+
+
+class SloEvaluator:
+    """Thread-safe sliding-window recorder + grader for one target."""
+
+    #: Hard cap on retained records — a window misconfigured to hours
+    #: under heavy load must not grow without bound.
+    MAX_RECORDS = 65536
+
+    def __init__(self, target: SloTarget):
+        self.target = target
+        self._records: deque = deque()  # (monotonic_s, latency_s, error)
+        self._lock = threading.Lock()
+
+    def record(self, latency_s: float, *, error: bool = False, now=None) -> None:
+        """Record one request-terminal observation."""
+        now = time.monotonic() if now is None else float(now)
+        with self._lock:
+            self._records.append((now, float(latency_s), bool(error)))
+            self._trim(now)
+
+    def _trim(self, now: float) -> None:
+        cutoff = now - self.target.window_s
+        records = self._records
+        while records and records[0][0] < cutoff:
+            records.popleft()
+        while len(records) > self.MAX_RECORDS:
+            records.popleft()
+
+    def window(self, now=None) -> dict:
+        """Measured stats over the current window (count may be 0)."""
+        now = time.monotonic() if now is None else float(now)
+        with self._lock:
+            self._trim(now)
+            records = list(self._records)
+        count = len(records)
+        errors = sum(1 for r in records if r[2])
+        out = {
+            "count": count,
+            "errors": errors,
+            "error_rate": (errors / count) if count else 0.0,
+            "window_s": self.target.window_s,
+        }
+        if count:
+            latencies = sorted(r[1] for r in records)
+            out["p50_latency_s"] = _pct(latencies, 0.50)
+            out["p99_latency_s"] = _pct(latencies, 0.99)
+        return out
+
+    def evaluate(self, now=None) -> SloStatus:
+        """Grade the current window against the target."""
+        measured = self.window(now)
+        target = self.target.to_json()
+        if measured["count"] < self.target.min_samples:
+            return SloStatus("insufficient_data", [], measured, target)
+        reasons = []
+        if (
+            self.target.p99_latency_s is not None
+            and measured["p99_latency_s"] > self.target.p99_latency_s
+        ):
+            reasons.append(
+                f"p99 latency {measured['p99_latency_s']:.3f}s > target "
+                f"{self.target.p99_latency_s:.3f}s over last "
+                f"{self.target.window_s:.0f}s (n={measured['count']})"
+            )
+        if (
+            self.target.max_error_rate is not None
+            and measured["error_rate"] > self.target.max_error_rate
+        ):
+            reasons.append(
+                f"error rate {measured['error_rate']:.3f} > target "
+                f"{self.target.max_error_rate:.3f} over last "
+                f"{self.target.window_s:.0f}s "
+                f"({measured['errors']}/{measured['count']})"
+            )
+        return SloStatus("degraded" if reasons else "ok", reasons, measured, target)
+
+
+def grade_report(report: dict, *, p99_latency_s=None, max_failure_rate=None) -> list:
+    """Grade a loadgen report dict against client-side thresholds.
+
+    Returns a list of breach reasons (empty == within targets). Used by
+    ``python -m repro.serve.loadgen`` to exit non-zero in CI when the
+    measured run violates its SLO.
+    """
+    reasons = []
+    if p99_latency_s is not None:
+        p99 = report.get("latency_s", {}).get("p99", 0.0)
+        if p99 > p99_latency_s:
+            reasons.append(
+                f"client-side p99 latency {p99:.3f}s > target {p99_latency_s:.3f}s"
+            )
+    if max_failure_rate is not None:
+        rate = report.get("failure_rate", 0.0)
+        if rate > max_failure_rate:
+            reasons.append(
+                f"failure rate {rate:.4f} > target {max_failure_rate:.4f} "
+                f"({report.get('failed', 0)}/{report.get('requests_sent', 0)})"
+            )
+    return reasons

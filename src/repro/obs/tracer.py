@@ -41,6 +41,7 @@ the driver on per-worker lanes.
 from __future__ import annotations
 
 import atexit
+import contextvars
 import json
 import os
 import threading
@@ -56,6 +57,77 @@ TRACE_ENV = "REPRO_TRACE"
 def _now_us() -> int:
     """Microseconds on the machine-wide monotonic clock."""
     return time.perf_counter_ns() // 1000
+
+
+# -- request trace context ----------------------------------------------
+#
+# A request-scoped trace id rides a ContextVar: the serving tier sets it
+# around each request (HTTP edge, async worker task, executor thread)
+# and every span/instant the tracer emits while it is set gets a
+# ``trace_id`` arg stamped in. Because all driver-side emission for a
+# solve (pram primitives, backend unwrap, shard stages, fault marks)
+# happens in the thread running that solve, one ``trace_context`` around
+# the solve correlates the whole pipeline. Worker-process envelopes
+# additionally carry the id explicitly (see ``_TracedTask``) so spans
+# timed inside forked workers ride back already attributed.
+
+_TRACE_ID: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_trace_id", default=None
+)
+
+
+def new_trace_id() -> str:
+    """Mint a 16-hex-char trace id.
+
+    Uses :func:`os.urandom`, not numpy/random — minting ids must never
+    perturb the RNG streams the solvers' byte-identity rests on.
+    """
+    return os.urandom(8).hex()
+
+
+def current_trace_id() -> "str | None":
+    """The ambient request trace id, or ``None`` outside any request."""
+    return _TRACE_ID.get()
+
+
+def set_trace_id(trace_id):
+    """Set the ambient trace id; returns the previous value.
+
+    Prefer :func:`trace_context` — this exists for call sites that
+    cannot use a ``with`` block (e.g. long-lived worker loops).
+    """
+    previous = _TRACE_ID.get()
+    _TRACE_ID.set(str(trace_id) if trace_id is not None else None)
+    return previous
+
+
+@contextmanager
+def trace_context(trace_id):
+    """Scope the ambient trace id to a block (``None`` clears it)."""
+    token = _TRACE_ID.set(str(trace_id) if trace_id is not None else None)
+    try:
+        yield trace_id
+    finally:
+        _TRACE_ID.reset(token)
+
+
+def _stamp_trace(args):
+    """Return ``args`` with the ambient trace id added (copy, not mutate).
+
+    An explicit ``trace_id`` already in ``args`` wins — envelopes from
+    worker processes carry the id they were dispatched under, which is
+    authoritative even if the unwrapping thread's context moved on.
+    """
+    trace_id = _TRACE_ID.get()
+    if trace_id is None:
+        return args
+    if args is None:
+        return {"trace_id": trace_id}
+    if "trace_id" in args:
+        return args
+    out = dict(args)
+    out["trace_id"] = trace_id
+    return out
 
 
 class _NullSpan:
@@ -106,6 +178,9 @@ class NullTracer:
     def worker_lane(self, pid, tid) -> int:
         return int(tid)
 
+    def bump_lane_epoch(self) -> None:
+        pass
+
     def span(self, name, cat="app", args=None):
         return _NULL_SPAN
 
@@ -141,7 +216,12 @@ class Tracer:
         self._pid = os.getpid()
         self._lock = threading.Lock()
         self._fh = None
-        self._lanes: dict = {}
+        # Lane bookkeeping has its own lock: ``worker_lane`` must not
+        # hold the emit lock (not reentrant) while writing metadata.
+        self._lane_lock = threading.Lock()
+        self._lanes: dict = {}  # lane key -> lane int
+        self._lane_taken: set = set()  # lane ints already assigned
+        self._lane_epoch = 0
 
     def now(self) -> int:
         return _now_us()
@@ -177,7 +257,12 @@ class Tracer:
             self._fh.write(line + "\n")
 
     def complete(self, name, cat, ts, dur, *, tid=None, args=None) -> None:
-        """Span: ``ts``/``dur`` in microseconds on the monotonic clock."""
+        """Span: ``ts``/``dur`` in microseconds on the monotonic clock.
+
+        When a request :func:`trace_context` is active its trace id is
+        stamped into ``args`` (into a copy — the caller's dict is never
+        mutated); an explicit ``trace_id`` key in ``args`` wins.
+        """
         event = {
             "name": str(name),
             "cat": str(cat),
@@ -187,6 +272,7 @@ class Tracer:
             "pid": self._pid,
             "tid": int(tid) if tid is not None else threading.get_native_id(),
         }
+        args = _stamp_trace(args)
         if args:
             event["args"] = args
         self.emit(event)
@@ -202,6 +288,7 @@ class Tracer:
             "pid": self._pid,
             "tid": int(tid) if tid is not None else threading.get_native_id(),
         }
+        args = _stamp_trace(args)
         if args:
             event["args"] = args
         self.emit(event)
@@ -227,23 +314,53 @@ class Tracer:
         executed in-driver (serial fallback, thread pool) gets a lane
         per native thread id. The first sighting of a lane emits its
         ``thread_name`` metadata so viewers label the row.
+
+        Lane assignment is lock-guarded (concurrent first sightings of
+        one lane must emit exactly one metadata line) and worker lanes
+        are keyed by pool epoch: after the supervisor respawns a pool
+        (:meth:`bump_lane_epoch`) a recycled OS pid gets a *fresh* lane
+        instead of silently interleaving two workers' spans on one row.
         """
-        if int(pid) == self._pid:
-            lane, label = int(tid), f"driver-thread-{int(tid)}"
+        pid, tid = int(pid), int(tid)
+        if pid == self._pid:
+            key = ("driver", tid)
+            lane, label = tid, f"driver-thread-{tid}"
         else:
-            lane, label = int(pid), f"worker-{int(pid)}"
-        if lane not in self._lanes:
-            self._lanes[lane] = label
-            self.emit(
-                {
-                    "name": "thread_name",
-                    "ph": "M",
-                    "pid": self._pid,
-                    "tid": lane,
-                    "args": {"name": label},
-                }
-            )
+            with self._lane_lock:
+                epoch = self._lane_epoch
+            key = ("worker", epoch, pid)
+            lane = pid
+            label = f"worker-{pid}" if epoch == 0 else f"worker-{pid}-g{epoch}"
+        with self._lane_lock:
+            existing = self._lanes.get(key)
+            if existing is not None:
+                return existing
+            # Collision: the natural lane int is already another row
+            # (pid reuse across epochs, or a driver tid matching a dead
+            # worker pid) — shift to a free synthetic lane id.
+            while lane in self._lane_taken:
+                lane += 1_000_000
+            self._lanes[key] = lane
+            self._lane_taken.add(lane)
+        self.emit(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": self._pid,
+                "tid": lane,
+                "args": {"name": label},
+            }
+        )
         return lane
+
+    def bump_lane_epoch(self) -> None:
+        """Advance the worker-lane epoch (call after a pool respawn).
+
+        Subsequent worker pids map to fresh lanes even when the OS
+        recycles a pid from the torn-down pool.
+        """
+        with self._lane_lock:
+            self._lane_epoch += 1
 
     @contextmanager
     def span(self, name, cat="app", args=None):

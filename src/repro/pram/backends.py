@@ -58,7 +58,7 @@ from multiprocessing import get_context, resource_tracker, shared_memory
 import numpy as np
 
 from repro.errors import InvalidParameterError
-from repro.obs.tracer import current_tracer
+from repro.obs.tracer import current_trace_id, current_tracer
 from repro.pram.operators import AssociativeOp
 
 
@@ -143,19 +143,21 @@ class _TracedResult:
     same machine, so they land on the driver's time axis directly.
     """
 
-    __slots__ = ("value", "pid", "tid", "start_us", "end_us")
+    __slots__ = ("value", "pid", "tid", "start_us", "end_us", "trace_id")
 
-    def __init__(self, value, pid, tid, start_us, end_us):
+    def __init__(self, value, pid, tid, start_us, end_us, trace_id=None):
         self.value = value
         self.pid = pid
         self.tid = tid
         self.start_us = start_us
         self.end_us = end_us
+        self.trace_id = trace_id
 
     def __reduce__(self):
         return (
             _TracedResult,
-            (self.value, self.pid, self.tid, self.start_us, self.end_us),
+            (self.value, self.pid, self.tid, self.start_us, self.end_us,
+             self.trace_id),
         )
 
 
@@ -166,12 +168,21 @@ class _TracedTask:
     ``submit_batch``; works identically on every execution path — pool
     worker, thread pool, serial fallback, cancellation rerun — because
     it *is* the fn the backend runs.
+
+    The driver's ambient request trace id (if any) is captured at
+    construction and pickled with the task, so the envelope a forked
+    worker sends back is already stamped with the request it served —
+    the cross-process half of request tracing.
     """
 
-    __slots__ = ("fn",)
+    __slots__ = ("fn", "trace_id")
+    _UNSET = object()
 
-    def __init__(self, fn):
+    def __init__(self, fn, trace_id=_UNSET):
         self.fn = fn
+        self.trace_id = (
+            current_trace_id() if trace_id is _TracedTask._UNSET else trace_id
+        )
 
     def __call__(self, item):
         start = time.perf_counter_ns() // 1000
@@ -182,10 +193,11 @@ class _TracedTask:
             threading.get_native_id(),
             start,
             time.perf_counter_ns() // 1000,
+            self.trace_id,
         )
 
     def __reduce__(self):
-        return (_TracedTask, (self.fn,))
+        return (_TracedTask, (self.fn, self.trace_id))
 
 
 def _traced_batch(backend, tracer, fn, items) -> list:
@@ -208,6 +220,10 @@ def _traced_batch(backend, tracer, fn, items) -> list:
             queued = max(out.start_us - submit_ts, 0)
             dur = max(out.end_us - out.start_us, 0)
             task_args = {"task": i, "backend": backend.name}
+            if out.trace_id is not None:
+                # the id the task was dispatched under — authoritative
+                # even if this thread's ambient context moved on
+                task_args["trace_id"] = out.trace_id
             tracer.complete("queue_wait", "backend", submit_ts, queued, tid=lane, args=task_args)
             tracer.complete("exec", "backend", out.start_us, dur, tid=lane, args=task_args)
             wait_hist.observe(queued)

@@ -40,20 +40,36 @@ class ServeClient:
 
     # -- transport ----------------------------------------------------------
 
-    def raw_request(self, method: str, path: str, body: dict | None = None):
+    def raw_request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        headers: dict | None = None,
+    ):
         conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             payload = None if body is None else json.dumps(body)
-            headers = {"Content-Type": "application/json", "Connection": "close"}
-            conn.request(method, path, body=payload, headers=headers)
+            send_headers = {"Content-Type": "application/json", "Connection": "close"}
+            if headers:
+                send_headers.update(headers)
+            conn.request(method, path, body=payload, headers=send_headers)
             resp = conn.getresponse()
             data = resp.read()
             return resp.status, json.loads(data) if data else {}
         finally:
             conn.close()
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
-        status, payload = self.raw_request(method, path, body)
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        headers: dict | None = None,
+    ) -> dict:
+        status, payload = self.raw_request(method, path, body, headers=headers)
         if status >= 400:
             raise ServeError(status, str(payload.get("error", payload)))
         return payload
@@ -72,7 +88,18 @@ class ServeClient:
             body["weights"] = np.asarray(weights, dtype=float).tolist()
         return self._request("POST", "/instances", body)
 
-    def solve(self, *, instance_id=None, points=None, weights=None, **params) -> dict:
+    def solve(
+        self,
+        *,
+        instance_id=None,
+        points=None,
+        weights=None,
+        trace_id=None,
+        **params,
+    ) -> dict:
+        """Submit a solve; ``trace_id`` rides in ``X-Repro-Trace-Id`` so
+        the caller picks the request's trace id instead of the server
+        minting one."""
         body = dict(params)
         if instance_id is not None:
             body["instance_id"] = instance_id
@@ -80,10 +107,15 @@ class ServeClient:
             body["points"] = np.asarray(points, dtype=float).tolist()
             if weights is not None:
                 body["weights"] = np.asarray(weights, dtype=float).tolist()
-        return self._request("POST", "/solve", body)
+        headers = {"X-Repro-Trace-Id": str(trace_id)} if trace_id is not None else None
+        return self._request("POST", "/solve", body, headers=headers)
 
     def poll(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")
+
+    def trace(self, job_id: str) -> dict:
+        """The stitched request trace for a job (server must be tracing)."""
+        return self._request("GET", f"/trace/{job_id}")
 
     def wait(self, job_id: str, *, timeout: float = 60.0, interval: float = 0.01) -> dict:
         """Poll until the job is terminal; raises on timeout or failure."""

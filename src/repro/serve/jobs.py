@@ -30,6 +30,7 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.faults.plan import FaultPlan
 from repro.faults.supervisor import RetryPolicy
+from repro.obs.log import current_log
 from repro.pram.machine import PramMachine
 from repro.serve.cache import StoredInstance, result_key
 from repro.shard.solve import _SOLVERS, shard_and_solve
@@ -110,6 +111,10 @@ class Job:
     error: str | None = None
     cached: bool = False
     coalesced: bool = False
+    #: The request trace id the job was submitted under (None when the
+    #: submit carried none) — the key that joins a polled job to its
+    #: spans in a trace file (``GET /trace/<job_id>``).
+    trace_id: str | None = None
     submitted_s: float = field(default_factory=time.perf_counter)
     started_s: float | None = None
     finished_s: float | None = None
@@ -123,6 +128,8 @@ class Job:
             "cached": self.cached,
             "coalesced": self.coalesced,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         if self.result is not None:
             out["result"] = self.result
         if self.error is not None:
@@ -141,13 +148,17 @@ class JobTable:
         self._counter = 0
         self._lock = threading.Lock()
 
-    def create(self, instance_id: str, params: dict) -> "tuple[Job, bool]":
+    def create(
+        self, instance_id: str, params: dict, *, trace_id: str | None = None
+    ) -> "tuple[Job, bool]":
         """Register a job for ``(instance, params)``.
 
         Returns ``(job, fresh)``: when an identical request is already
         in flight, the existing job rides again (``fresh=False``,
-        ``coalesced=True`` on the caller's view) — one solve serves
-        every concurrent identical client.
+        ``coalesced=True`` on the caller's view, and the job keeps the
+        *original* submitter's trace id — the trace belongs to the
+        request that actually solves) — one solve serves every
+        concurrent identical client.
         """
         key = result_key(instance_id, params)
         with self._lock:
@@ -162,12 +173,22 @@ class JobTable:
                 instance_id=instance_id,
                 key=key,
                 params=params,
+                trace_id=trace_id,
             )
             self._jobs[job.job_id] = job
             self._inflight[key] = job.job_id
-            return job, True
+        log = current_log()
+        if log.enabled:
+            log.event(
+                "job.created", job_id=job.job_id, instance_id=instance_id,
+                k=params.get("k"), seed=params.get("seed"),
+            )
+        return job, True
 
-    def add_completed(self, instance_id: str, params: dict, result: dict) -> Job:
+    def add_completed(
+        self, instance_id: str, params: dict, result: dict,
+        *, trace_id: str | None = None,
+    ) -> Job:
         """Register a pre-completed job (a result-cache hit) so polling
         works uniformly whether the answer was solved or served."""
         with self._lock:
@@ -180,6 +201,7 @@ class JobTable:
                 status="done",
                 result=result,
                 cached=True,
+                trace_id=trace_id,
             )
             job.finished_s = time.perf_counter()
             self._jobs[job.job_id] = job
@@ -199,6 +221,16 @@ class JobTable:
                 job.status = "done"
                 job.result = result
             self._inflight.pop(job.key, None)
+        log = current_log()
+        if log.enabled:
+            log.event(
+                "job.finished",
+                job_id=job.job_id,
+                status=job.status,
+                wall_s=job.finished_s - job.submitted_s,
+                error=error,
+                trace_id=job.trace_id,
+            )
 
     def fail_queued(self, reason: str) -> int:
         """Terminal sweep at shutdown: jobs still queued when the server

@@ -185,6 +185,13 @@ async def _loadgen_async(
         "k": int(k),
         "qps_target": qps,
     }
+    # Scrape the server's own SLO verdict (when it evaluates one) so the
+    # report carries both views of the run: client-observed latency and
+    # server-side health. Raw _http because a degraded server answers
+    # 503 and the verdict is exactly what we came for.
+    status, payload = await _http(host, port, "GET", "/health", timeout=timeout)
+    if status in (200, 503) and isinstance(payload, dict) and "slo" in payload:
+        report["slo"] = payload["slo"]
     return report
 
 
@@ -232,7 +239,7 @@ def run_loadgen(
     )
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8000)
@@ -257,6 +264,15 @@ def main(argv=None) -> None:
     parser.add_argument("--poll-interval", type=float, default=0.01)
     parser.add_argument("--timeout", type=float, default=60.0)
     parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--slo-p99", type=float, default=None,
+        help="fail (exit 1) when client-observed p99 latency exceeds this "
+        "many seconds",
+    )
+    parser.add_argument(
+        "--max-failure-rate", type=float, default=None,
+        help="fail (exit 1) when the failure rate exceeds this fraction",
+    )
     parser.add_argument(
         "--spawn", action="store_true",
         help="boot an in-process server first (self-contained smoke)",
@@ -310,12 +326,24 @@ def main(argv=None) -> None:
     finally:
         if handle is not None:
             handle.stop()
+
+    from repro.obs.slo import grade_report
+
+    breaches = grade_report(
+        report, p99_latency_s=args.slo_p99, max_failure_rate=args.max_failure_rate
+    )
+    report["breaches"] = breaches
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text + "\n")
     print(text)
+    if breaches:
+        for reason in breaches:
+            print(f"SLO BREACH: {reason}")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -37,14 +37,26 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
 import threading
 import time
+import urllib.parse
 from dataclasses import dataclass, field
 
 from repro.errors import InvalidParameterError, ReproError
 from repro.faults.plan import FaultPlan
 from repro.faults.supervisor import RetryPolicy
-from repro.obs import MetricsRegistry, current_tracer
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    SloEvaluator,
+    SloTarget,
+    current_log,
+    current_tracer,
+    new_trace_id,
+    render_prometheus,
+    trace_context,
+)
 from repro.pram.backends import Backend, fn_picklable, make_backend
 from repro.serve.cache import (
     AdmissionController,
@@ -69,6 +81,9 @@ class ServerConfig:
     injects deterministic faults into every served solve (tests/CI;
     ``None`` defers to ``REPRO_FAULT_PLAN``). ``solve_fn`` overrides
     the runner for tests: a callable ``(instance, params) -> dict``.
+    ``slo`` (an :class:`~repro.obs.SloTarget`, default off) makes
+    ``/health`` grade a sliding window of served-solve terminals and
+    answer 503 with reasons when degraded.
     """
 
     host: str = "127.0.0.1"
@@ -84,6 +99,7 @@ class ServerConfig:
     read_timeout_s: float = 30.0
     defaults: dict = field(default_factory=dict)
     solve_fn: object = None
+    slo: SloTarget | None = None
 
 
 class _HttpError(Exception):
@@ -99,10 +115,29 @@ _STATUS_TEXT = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+#: Shape an incoming ``X-Repro-Trace-Id`` must have to be honored; a
+#: header that fails this (or is absent) gets a freshly minted id.
+_TRACE_ID_RE = re.compile(r"[A-Za-z0-9_.:-]{1,128}")
+
+#: Prometheus text exposition content type.
+_PROM_TEXT = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _TextPayload:
+    """A non-JSON response body (``/metrics?format=prometheus``)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str = _PROM_TEXT):
+        self.text = text
+        self.content_type = content_type
 
 
 class SolveServer:
@@ -135,6 +170,9 @@ class SolveServer:
         solve = self.config.solve_fn if self.config.solve_fn is not None else self.runner.solve
         self.metrics.gauge("serve.solve_fn_picklable").set(float(fn_picklable(solve)))
         self._solve = solve
+        self.slo = (
+            SloEvaluator(self.config.slo) if self.config.slo is not None else None
+        )
         self._queue: asyncio.Queue | None = None
         self._executor = None
         self._server: asyncio.AbstractServer | None = None
@@ -209,40 +247,73 @@ class SolveServer:
         while True:
             job = await self._queue.get()
             try:
-                job.status = "running"
-                job.started_s = time.perf_counter()
-                instance = self.instances.get(job.instance_id)
-                if instance is None:
-                    self.jobs.finish(
-                        job, error="instance evicted from cache before the solve ran"
-                    )
-                    self.metrics.counter("serve.jobs_failed").inc()
-                    continue
-                try:
-                    result = await loop.run_in_executor(
-                        self._executor, self._solve_traced, instance, job
-                    )
-                except Exception as exc:
-                    self.jobs.finish(job, error=f"{type(exc).__name__}: {exc}")
-                    self.metrics.counter("serve.jobs_failed").inc()
-                    continue
-                self.results.put(job.key, result, _result_nbytes(result))
-                self.jobs.finish(job, result=result)
-                self.metrics.counter("serve.jobs_completed").inc()
-                self.metrics.histogram("serve.solve_latency_s").observe(
-                    time.perf_counter() - job.started_s
-                )
+                # re-enter the job's request context: the worker task
+                # outlives any one request, so the trace id rides on the
+                # job, not on this task's ambient state
+                with trace_context(job.trace_id):
+                    await self._run_job(loop, job)
             finally:
                 self._queue.task_done()
 
+    async def _run_job(self, loop, job) -> None:
+        job.status = "running"
+        job.started_s = time.perf_counter()
+        tracer = current_tracer()
+        if tracer.enabled:
+            # queued → dequeued, on the job's trace. perf_counter and
+            # the tracer share CLOCK_MONOTONIC, so the job's submit
+            # timestamp is already on the trace's time axis.
+            tracer.complete(
+                "serve.queue_wait",
+                "serve",
+                int(job.submitted_s * 1e6),
+                int((job.started_s - job.submitted_s) * 1e6),
+                args={"job": job.job_id},
+            )
+        instance = self.instances.get(job.instance_id)
+        if instance is None:
+            self.jobs.finish(
+                job, error="instance evicted from cache before the solve ran"
+            )
+            self.metrics.counter("serve.jobs_failed").inc()
+            self._slo_record(job, error=True)
+            return
+        try:
+            result = await loop.run_in_executor(
+                self._executor, self._solve_traced, instance, job
+            )
+        except Exception as exc:
+            self.jobs.finish(job, error=f"{type(exc).__name__}: {exc}")
+            self.metrics.counter("serve.jobs_failed").inc()
+            self._slo_record(job, error=True)
+            return
+        self.results.put(job.key, result, _result_nbytes(result))
+        self.jobs.finish(job, result=result)
+        self.metrics.counter("serve.jobs_completed").inc()
+        self.metrics.histogram("serve.solve_latency_s").observe(
+            time.perf_counter() - job.started_s
+        )
+        self._slo_record(job, error=False)
+
+    def _slo_record(self, job, *, error: bool) -> None:
+        """Feed one job terminal into the SLO window (submit → finish)."""
+        if self.slo is not None:
+            end = job.finished_s if job.finished_s is not None else time.perf_counter()
+            self.slo.record(max(end - job.submitted_s, 0.0), error=error)
+
     def _solve_traced(self, instance, job):
         tracer = current_tracer()
-        with tracer.span(
-            "serve.solve",
-            "serve",
-            {"job": job.job_id, "n": instance.meta["n"], "solver": job.params["solver"]},
-        ):
-            return self._solve(instance, job.params)
+        # executor threads have no request context of their own — adopt
+        # the job's, so every span the solve emits (pram primitives,
+        # shard stages, backend exec, supervisor marks) is stamped with
+        # the request's trace id
+        with trace_context(job.trace_id):
+            with tracer.span(
+                "serve.solve",
+                "serve",
+                {"job": job.job_id, "n": instance.meta["n"], "solver": job.params["solver"]},
+            ):
+                return self._solve(instance, job.params)
 
     # -- HTTP ---------------------------------------------------------------
 
@@ -255,22 +326,54 @@ class SolveServer:
                 method, path, headers, body = request
                 t0 = time.perf_counter()
                 tracer = current_tracer()
+                # honor a well-formed incoming X-Repro-Trace-Id (caller
+                # joins this hop into a wider trace); mint otherwise
+                offered = headers.get("x-repro-trace-id", "").strip()
+                trace_id = (
+                    offered if _TRACE_ID_RE.fullmatch(offered) else new_trace_id()
+                )
                 status = 500
                 try:
-                    with tracer.span(
-                        "serve.request", "serve", args := {"method": method, "path": path}
-                    ):
-                        status, payload = await self._route(method, path, body)
-                        args["status"] = status
+                    with trace_context(trace_id):
+                        with tracer.span(
+                            "serve.request",
+                            "serve",
+                            args := {"method": method, "path": path},
+                        ):
+                            status, payload = await self._route(
+                                method, path, body, trace_id=trace_id
+                            )
+                            args["status"] = status
                 finally:
+                    dur = time.perf_counter() - t0
                     self.metrics.counter("serve.requests_total").inc()
+                    self.metrics.counter(
+                        "serve.requests_by_status", labels={"status": str(status)}
+                    ).inc()
                     if status >= 400:
                         self.metrics.counter("serve.requests_errored").inc()
-                    self.metrics.histogram("serve.request_latency_s").observe(
-                        time.perf_counter() - t0
-                    )
+                    self.metrics.histogram(
+                        "serve.request_latency_s",
+                        buckets=DEFAULT_LATENCY_BUCKETS_S,
+                    ).observe(dur)
+                    if self.slo is not None and status >= 500:
+                        # infra errors count against the SLO even when
+                        # no job ever existed to record a terminal
+                        self.slo.record(dur, error=True)
+                    log = current_log()
+                    if log.enabled:
+                        log.event(
+                            "serve.request",
+                            method=method,
+                            path=path,
+                            status=status,
+                            dur_s=round(dur, 6),
+                            trace_id=trace_id,
+                        )
                 keep = headers.get("connection", "keep-alive").lower() != "close"
-                await self._write_response(writer, status, payload, keep_alive=keep)
+                await self._write_response(
+                    writer, status, payload, keep_alive=keep, trace_id=trace_id
+                )
                 if not keep:
                     break
         except (
@@ -317,12 +420,23 @@ class SolveServer:
             )
         return method.upper(), path, headers, body
 
-    async def _write_response(self, writer, status, payload, *, keep_alive) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    async def _write_response(
+        self, writer, status, payload, *, keep_alive, trace_id=None
+    ) -> None:
+        if isinstance(payload, _TextPayload):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = _JSON
+        # the trace id always rides the response header, even on errors
+        # whose JSON carries none — curl -i is enough to correlate
+        trace_header = f"X-Repro-Trace-Id: {trace_id}\r\n" if trace_id else ""
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: {_JSON}\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{trace_header}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         ).encode("latin-1")
@@ -331,18 +445,24 @@ class SolveServer:
 
     # -- routing ------------------------------------------------------------
 
-    async def _route(self, method, path, body):
+    async def _route(self, method, path, body, trace_id=None):
+        path, _, query_str = path.partition("?")
         try:
             if path == "/health" and method == "GET":
-                return 200, self._health()
+                return self._health()
             if path == "/metrics" and method == "GET":
+                query = urllib.parse.parse_qs(query_str)
+                if query.get("format", ["json"])[0] == "prometheus":
+                    return 200, _TextPayload(render_prometheus(self.metrics))
                 return 200, self._metrics_payload()
             if path == "/instances" and method == "POST":
                 return self._post_instance(_parse_json(body))
             if path == "/solve" and method == "POST":
-                return self._post_solve(_parse_json(body))
+                return self._post_solve(_parse_json(body), trace_id=trace_id)
             if path.startswith("/jobs/") and method == "GET":
                 return self._get_job(path[len("/jobs/"):])
+            if path.startswith("/trace/") and method == "GET":
+                return self._get_trace(path[len("/trace/"):])
             if path == "/shutdown" and method == "POST":
                 asyncio.get_running_loop().call_soon(self.request_stop)
                 return 202, {"status": "stopping"}
@@ -359,8 +479,8 @@ class SolveServer:
         except Exception as exc:  # pragma: no cover - last-resort guard
             return 500, {"error": f"{type(exc).__name__}: {exc}"}
 
-    def _health(self) -> dict:
-        return {
+    def _health(self):
+        payload = {
             "status": "ok",
             "uptime_s": time.perf_counter() - self._started_s,
             "workers": self.config.workers,
@@ -371,6 +491,16 @@ class SolveServer:
             "instances": self.instances.stats(),
             "results": self.results.stats(),
         }
+        if self.slo is not None:
+            verdict = self.slo.evaluate()
+            payload["slo"] = verdict.to_json()
+            if verdict.degraded:
+                # 503 with reasons: load balancers drain the instance,
+                # humans read why. An under-sampled window is "ok" —
+                # a cold service is not a degraded one.
+                payload["status"] = "degraded"
+                return 503, payload
+        return 200, payload
 
     def _metrics_payload(self) -> dict:
         snap = self.metrics.snapshot()
@@ -406,7 +536,7 @@ class SolveServer:
         self.metrics.counter("serve.instances_stored").inc()
         return stored, True
 
-    def _post_solve(self, body: dict):
+    def _post_solve(self, body: dict, trace_id=None):
         body = dict(body)
         inline = body.pop("points", None)
         inline_w = body.pop("weights", None)
@@ -433,10 +563,13 @@ class SolveServer:
 
         cached = self.results.get(result_key(instance_id, params))
         if cached is not None:
-            job = self.jobs.add_completed(instance_id, params, cached)
+            job = self.jobs.add_completed(
+                instance_id, params, cached, trace_id=trace_id
+            )
             self.metrics.counter("serve.result_cache_hits").inc()
+            self._slo_record(job, error=False)
             return 200, job.to_json()
-        job, fresh = self.jobs.create(instance_id, params)
+        job, fresh = self.jobs.create(instance_id, params, trace_id=trace_id)
         if not fresh:
             self.metrics.counter("serve.coalesced").inc()
             payload = job.to_json()
@@ -461,6 +594,40 @@ class SolveServer:
         if job is None:
             return 404, {"error": f"unknown job_id {job_id!r}"}
         return 200, job.to_json()
+
+    def _get_trace(self, job_id: str):
+        """Stitch and return one job's cross-process request trace.
+
+        Needs an active file-backed tracer (the trace events live in
+        its JSONL, not in server memory) — without one the answer is
+        409 explaining how to enable tracing, not a silent empty tree.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job_id {job_id!r}"}
+        if job.trace_id is None:
+            return 409, {
+                "error": f"job {job_id} carries no trace id",
+                "job_id": job_id,
+            }
+        tracer = current_tracer()
+        if not tracer.enabled or tracer.path is None:
+            return 409, {
+                "error": (
+                    "tracing is not active on this server; start it under "
+                    "REPRO_TRACE=<path> (or trace_to) to make request "
+                    "traces retrievable"
+                ),
+                "job_id": job_id,
+                "trace_id": job.trace_id,
+            }
+        from repro.obs.report import load_trace, stitch_request_trace
+
+        tracer.flush()
+        stitched = stitch_request_trace(load_trace(tracer.path), job.trace_id)
+        stitched["job_id"] = job.job_id
+        stitched["status"] = job.status
+        return 200, stitched
 
 
 def _parse_json(body: bytes) -> dict:

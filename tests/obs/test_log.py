@@ -1,0 +1,164 @@
+"""Unit tests for the structured JSONL event log."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro.obs.log as log_mod
+from repro.obs.log import (
+    LOG_ENV,
+    NULL_LOG,
+    EventLog,
+    current_log,
+    log_to,
+    read_log,
+    set_log,
+)
+from repro.obs.tracer import trace_context
+
+
+@pytest.fixture(autouse=True)
+def _clean_log_state(monkeypatch):
+    """Isolate process-wide log selection from other tests."""
+    monkeypatch.delenv(LOG_ENV, raising=False)
+    prev = set_log(None)
+    monkeypatch.setattr(log_mod, "_env_log", None)
+    monkeypatch.setattr(log_mod, "_env_path", None)
+    yield
+    set_log(prev)
+
+
+def test_null_log_is_disabled_and_inert():
+    assert NULL_LOG.enabled is False
+    NULL_LOG.event("anything", x=1)
+    NULL_LOG.flush()
+    NULL_LOG.close()
+
+
+def test_current_log_defaults_to_null():
+    assert current_log() is NULL_LOG
+
+
+def test_event_records_ts_pid_and_fields(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with log_to(path):
+        current_log().event("job.created", job_id="job-000001", k=3)
+    records = read_log(path)
+    assert len(records) == 1
+    rec = records[0]
+    assert rec["event"] == "job.created"
+    assert rec["job_id"] == "job-000001"
+    assert rec["k"] == 3
+    assert rec["pid"] == os.getpid()
+    assert rec["ts"] > 0
+
+
+def test_none_fields_are_omitted(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with log_to(path):
+        current_log().event("job.finished", error=None, wall_s=0.5)
+    rec = read_log(path)[0]
+    assert "error" not in rec
+    assert rec["wall_s"] == 0.5
+
+
+def test_ambient_trace_id_is_stamped(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with log_to(path):
+        with trace_context("abc123"):
+            current_log().event("inside")
+        current_log().event("outside")
+    inside, outside = read_log(path)
+    assert inside["trace_id"] == "abc123"
+    assert "trace_id" not in outside
+
+
+def test_explicit_trace_id_wins_over_ambient(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with log_to(path):
+        with trace_context("ambient"):
+            current_log().event("e", trace_id="explicit")
+    assert read_log(path)[0]["trace_id"] == "explicit"
+
+
+def test_env_var_activates_logging(monkeypatch, tmp_path):
+    path = tmp_path / "env.jsonl"
+    monkeypatch.setenv(LOG_ENV, str(path))
+    log = current_log()
+    assert log.enabled
+    assert log.path == str(path)
+    assert current_log() is log  # cached per path
+
+
+def test_explicit_wins_over_env(monkeypatch, tmp_path):
+    monkeypatch.setenv(LOG_ENV, str(tmp_path / "env.jsonl"))
+    mine = EventLog(tmp_path / "mine.jsonl")
+    set_log(mine)
+    assert current_log() is mine
+    set_log(None)
+    assert current_log() is not mine
+
+
+def test_append_mode_accumulates_across_logs(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with log_to(path):
+        current_log().event("first")
+    with log_to(path):
+        current_log().event("second")
+    assert [r["event"] for r in read_log(path)] == ["first", "second"]
+
+
+def test_forked_pid_guard_drops_events(tmp_path):
+    path = tmp_path / "log.jsonl"
+    log = EventLog(path)
+    log.event("parent")
+    log._pid = os.getpid() + 1  # simulate a forked child's view
+    log.event("child")
+    log.close()  # pid-guarded too
+    log._pid = os.getpid()
+    log.close()
+    assert [r["event"] for r in read_log(path)] == ["parent"]
+
+
+def test_drop_sink_enabled_without_path(tmp_path):
+    log = EventLog(None)
+    assert log.enabled
+    log.event("x", a=1)
+    log.close()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_stream_sink_writes_lines():
+    import io
+
+    buf = io.StringIO()
+    log = EventLog(stream=buf)
+    log.event("streamed", n=2)
+    rec = json.loads(buf.getvalue())
+    assert rec["event"] == "streamed" and rec["n"] == 2
+
+
+def test_read_log_rejects_bad_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"event": "ok"}\nnot json\n')
+    with pytest.raises(ValueError, match="bad JSON"):
+        read_log(path)
+    path.write_text('[1, 2]\n')
+    with pytest.raises(ValueError, match="not an object"):
+        read_log(path)
+
+
+def test_read_log_skips_blank_lines(tmp_path):
+    path = tmp_path / "log.jsonl"
+    path.write_text('{"event": "a"}\n\n{"event": "b"}\n')
+    assert [r["event"] for r in read_log(path)] == ["a", "b"]
+
+
+def test_non_serializable_fields_fall_back_to_str(tmp_path):
+    path = tmp_path / "log.jsonl"
+    with log_to(path):
+        current_log().event("odd", obj={1, 2}.__class__)
+    assert "class" in read_log(path)[0]["obj"]

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import threading
 
+import pytest
+
 from repro.obs.metrics import (
     HISTOGRAM_SAMPLE_CAP,
     Counter,
@@ -134,3 +136,194 @@ def test_counter_thread_safety():
     for t in threads:
         t.join()
     assert c.value == 4 * per_thread
+
+
+class TestLabels:
+    def test_labeled_instruments_are_distinct(self):
+        reg = MetricsRegistry()
+        ok = reg.counter("requests", labels={"status": "200"})
+        bad = reg.counter("requests", labels={"status": "500"})
+        assert ok is not bad
+        ok.inc(3)
+        bad.inc()
+        snap = reg.snapshot()
+        assert snap["counters"]['requests{status="200"}'] == 3
+        assert snap["counters"]['requests{status="500"}'] == 1
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        a = reg.counter("c", labels={"x": 1, "y": 2})
+        b = reg.counter("c", labels={"y": 2, "x": 1})
+        assert a is b
+        assert a.sample_name == 'c{x="1",y="2"}'
+
+    def test_unlabeled_names_stay_bare(self):
+        # the historical snapshot format must not change
+        reg = MetricsRegistry()
+        reg.counter("tasks").inc()
+        reg.gauge("depth").set(1.0)
+        reg.histogram("lat").observe(0.5)
+        snap = reg.snapshot()
+        assert set(snap["counters"]) == {"tasks"}
+        assert set(snap["gauges"]) == {"depth"}
+        assert set(snap["histograms"]) == {"lat"}
+        assert "buckets" not in snap["histograms"]["lat"]
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c", labels={"path": 'a"b\\c'})
+        assert c.sample_name == 'c{path="a\\"b\\\\c"}'
+
+
+class TestBuckets:
+    def test_bucket_counts_are_cumulative_le(self):
+        h = Histogram("lat", buckets=(0.1, 0.5, 1.0))
+        for v in (0.05, 0.1, 0.3, 2.0):
+            h.observe(v)
+        counts = h.bucket_counts()
+        # le semantics: 0.1 catches 0.05 and the exactly-equal 0.1
+        assert counts[0.1] == 2
+        assert counts[0.5] == 3
+        assert counts[1.0] == 3
+        assert counts[float("inf")] == 4
+
+    def test_unbucketed_histogram_has_no_bucket_counts(self):
+        assert Histogram("lat").bucket_counts() is None
+
+    def test_summary_carries_buckets_only_when_configured(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        s = h.summary()
+        assert s["buckets"] == {"1.0": 1, "+Inf": 1}
+        h2 = Histogram("lat2")
+        h2.observe(0.5)
+        assert "buckets" not in h2.summary()
+
+    def test_registry_buckets_apply_on_first_creation_only(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        again = reg.histogram("lat", buckets=(9.0,))
+        assert again is h
+        assert h.buckets == (1.0, 2.0)
+
+
+class TestPrometheus:
+    def test_render_and_parse_round_trip(self):
+        from repro.obs.metrics import parse_prometheus_text, render_prometheus
+
+        reg = MetricsRegistry()
+        reg.counter("serve.requests_total").inc(7)
+        reg.counter("serve.requests_by_status", labels={"status": "200"}).inc(6)
+        reg.gauge("serve.queue_depth").set(2.0)
+        hist = reg.histogram("serve.request_latency_s", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        reg.histogram("solve.lat").observe(0.25)
+
+        text = render_prometheus(reg)
+        parsed = parse_prometheus_text(text)
+        types, samples = parsed["types"], parsed["samples"]
+        assert types["serve_requests_total"] == "counter"
+        assert types["serve_queue_depth"] == "gauge"
+        assert types["serve_request_latency_s"] == "histogram"
+        assert types["solve_lat"] == "summary"
+        assert samples["serve_requests_total"] == 7
+        assert samples['serve_requests_by_status{status="200"}'] == 6
+        assert samples['serve_request_latency_s_bucket{le="0.1"}'] == 1
+        assert samples['serve_request_latency_s_bucket{le="1"}'] == 2
+        assert samples['serve_request_latency_s_bucket{le="+Inf"}'] == 2
+        assert samples["serve_request_latency_s_count"] == 2
+        assert samples["serve_request_latency_s_sum"] == 0.55
+        assert samples['solve_lat{quantile="0.50"}'] == 0.25
+        assert samples["solve_lat_count"] == 1
+
+    def test_parse_rejects_untyped_samples(self):
+        from repro.obs.metrics import parse_prometheus_text
+
+        with pytest.raises(ValueError, match="missing # TYPE"):
+            parse_prometheus_text("lonely_sample 1\n")
+
+    def test_parse_rejects_bad_values(self):
+        from repro.obs.metrics import parse_prometheus_text
+
+        with pytest.raises(ValueError, match="bad value"):
+            parse_prometheus_text("# TYPE x counter\nx nope\n")
+
+    def test_name_sanitization(self):
+        from repro.obs.metrics import _prom_name
+
+        assert _prom_name("serve.request_latency_s") == "serve_request_latency_s"
+        assert _prom_name("9lives") == "_9lives"
+
+    def test_empty_registry_renders_empty(self):
+        from repro.obs.metrics import render_prometheus
+
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestRaces:
+    def test_snapshot_during_concurrent_registration(self):
+        # Regression: snapshot() used to iterate the live instrument
+        # dict; a concurrent counter() registration could raise
+        # RuntimeError(dict changed size during iteration) or tear the
+        # view. Hammer both sides and require clean snapshots.
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def register():
+            i = 0
+            while not stop.is_set():
+                reg.counter(f"c{i % 997}").inc()
+                i += 1
+
+        def snapshot():
+            try:
+                for _ in range(300):
+                    snap = reg.snapshot()
+                    assert isinstance(snap["counters"], dict)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=register) for _ in range(3)]
+        threads.append(threading.Thread(target=snapshot))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_summary_is_not_torn_under_concurrent_observes(self):
+        # Regression: summary() read count/total after releasing the
+        # lock, so a mid-snapshot observe could yield mean > max.
+        h = Histogram("lat", buckets=(10.0,))
+        stop = threading.Event()
+        errors = []
+
+        def observe():
+            while not stop.is_set():
+                h.observe(1.0)
+
+        def check():
+            try:
+                for _ in range(2000):
+                    s = h.summary()
+                    if s["count"] == 0:
+                        continue
+                    assert s["total"] == s["count"] * 1.0
+                    assert s["min"] == s["max"] == s["mean"] == 1.0
+                    assert s["buckets"]["+Inf"] == s["count"]
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=observe) for _ in range(3)]
+        threads.append(threading.Thread(target=check))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

@@ -154,3 +154,163 @@ def test_real_trace_passes_validation(tmp_path):
     events = load_trace(path)
     assert validate_events(events) == []
     summarize_trace(events)
+
+
+def _traced_request_events():
+    """A two-lane request: driver spans nested on tid 1, a worker exec
+    on lane 100, an instant, plus unrelated spans from another request."""
+    tid = {"trace_id": "req-1"}
+    return [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "repro-driver"}},
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 100,
+         "args": {"name": "worker-100"}},
+        {"name": "serve.request", "cat": "serve", "ph": "X", "ts": 0,
+         "dur": 10_000, "pid": 1, "tid": 1, "args": {"path": "/solve", **tid}},
+        {"name": "serve.solve", "cat": "serve", "ph": "X", "ts": 1000,
+         "dur": 8000, "pid": 1, "tid": 1, "args": dict(tid)},
+        {"name": "shard.solve", "cat": "shard", "ph": "X", "ts": 2000,
+         "dur": 5000, "pid": 1, "tid": 1, "args": dict(tid)},
+        {"name": "exec", "cat": "backend", "ph": "X", "ts": 3000,
+         "dur": 2000, "pid": 1, "tid": 100, "args": {"task": 0, **tid}},
+        {"name": "task_fail", "cat": "fault", "ph": "i", "s": "t",
+         "ts": 4000, "pid": 1, "tid": 1, "args": {"task": 0, **tid}},
+        # another request's span — must not leak into req-1's tree
+        {"name": "serve.request", "cat": "serve", "ph": "X", "ts": 0,
+         "dur": 500, "pid": 1, "tid": 2, "args": {"trace_id": "req-2"}},
+        # untraced span
+        {"name": "map", "cat": "pram", "ph": "X", "ts": 100, "dur": 50,
+         "pid": 1, "tid": 1},
+    ]
+
+
+class TestStitchRequestTrace:
+    def test_selects_only_the_requested_trace(self):
+        from repro.obs.report import stitch_request_trace
+
+        stitched = stitch_request_trace(_traced_request_events(), "req-1")
+        assert stitched["found"] is True
+        assert stitched["events"] == 5
+        assert stitched["span_names"] == [
+            "exec", "serve.request", "serve.solve", "shard.solve",
+        ]
+        assert "map" not in stitched["span_names"]
+
+    def test_nesting_by_containment_per_lane(self):
+        from repro.obs.report import stitch_request_trace
+
+        stitched = stitch_request_trace(_traced_request_events(), "req-1")
+        # driver lane: request > solve > shard; worker lane: exec root
+        roots = {r["name"]: r for r in stitched["roots"]}
+        assert set(roots) == {"serve.request", "exec"}
+        req = roots["serve.request"]
+        assert [c["name"] for c in req["children"]] == ["serve.solve"]
+        assert [c["name"] for c in req["children"][0]["children"]] == [
+            "shard.solve"
+        ]
+
+    def test_worker_lanes_and_stages_indexed(self):
+        from repro.obs.report import stitch_request_trace
+
+        stitched = stitch_request_trace(_traced_request_events(), "req-1")
+        assert stitched["worker_lanes"] == ["worker-100"]
+        assert stitched["stages"] == ["shard.solve"]
+        assert [i["name"] for i in stitched["instants"]] == ["task_fail"]
+        # trace_id is implied by the query, stripped from node args
+        assert all(
+            "trace_id" not in r["args"] for r in stitched["roots"]
+        )
+
+    def test_empty_trace_not_found(self):
+        from repro.obs.report import stitch_request_trace
+
+        stitched = stitch_request_trace([], "req-1")
+        assert stitched["found"] is False
+        assert stitched["events"] == 0
+        assert stitched["roots"] == []
+        assert stitched["worker_lanes"] == []
+
+    def test_unknown_id_not_found(self):
+        from repro.obs.report import stitch_request_trace
+
+        stitched = stitch_request_trace(_traced_request_events(), "nope")
+        assert stitched["found"] is False
+
+    def test_instants_only_trace_is_found(self):
+        from repro.obs.report import stitch_request_trace
+
+        events = [
+            {"name": "mark", "cat": "app", "ph": "i", "s": "t", "ts": 10,
+             "pid": 1, "tid": 1, "args": {"trace_id": "solo"}},
+        ]
+        stitched = stitch_request_trace(events, "solo")
+        assert stitched["found"] is True
+        assert stitched["roots"] == []
+        assert [i["name"] for i in stitched["instants"]] == ["mark"]
+
+    def test_worker_only_request_still_stitches(self):
+        # A request whose driver spans were lost (e.g. trace enabled
+        # mid-run) must still surface its worker-emitted spans.
+        from repro.obs.report import stitch_request_trace
+
+        events = [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 100,
+             "args": {"name": "worker-100"}},
+            {"name": "exec", "cat": "backend", "ph": "X", "ts": 0,
+             "dur": 100, "pid": 1, "tid": 100,
+             "args": {"trace_id": "orphan"}},
+        ]
+        stitched = stitch_request_trace(events, "orphan")
+        assert stitched["found"] is True
+        assert stitched["worker_lanes"] == ["worker-100"]
+        assert stitched["roots"][0]["name"] == "exec"
+
+    def test_render_request_trace_text(self):
+        from repro.obs.report import render_request_trace, stitch_request_trace
+
+        stitched = stitch_request_trace(_traced_request_events(), "req-1")
+        text = render_request_trace(stitched)
+        assert "req-1" in text
+        for needle in ("serve.request", "shard.solve", "exec", "task_fail"):
+            assert needle in text
+        missing = render_request_trace(stitch_request_trace([], "x"))
+        assert "no events found" in missing
+
+    def test_main_trace_id_flag(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        _write_jsonl(path, _traced_request_events())
+        assert main([str(path), "--trace-id", "req-1"]) == 0
+        assert "serve.request" in capsys.readouterr().out
+        assert main([str(path), "--trace-id", "req-1", "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["found"] is True
+        assert main([str(path), "--trace-id", "nope"]) == 1
+        assert "no events found" in capsys.readouterr().out
+
+    def test_trace_id_round_trip_through_process_backend(self, tmp_path):
+        # The end-to-end propagation claim at the obs layer: spans
+        # emitted inside forked worker processes come back stamped with
+        # the ambient trace id of the submitting driver thread.
+        from repro.obs.tracer import trace_context
+        from repro.pram.backends import ProcessBackend
+
+        path = tmp_path / "t.jsonl"
+        backend = ProcessBackend(2, grain=1)
+        try:
+            with trace_to(path) as t:
+                with trace_context("proc-req"):
+                    out = backend.submit_batch(_double, list(range(8)))
+                t.flush()
+        finally:
+            backend.close()
+        assert out == [0, 2, 4, 6, 8, 10, 12, 14]
+        from repro.obs.report import stitch_request_trace
+
+        stitched = stitch_request_trace(load_trace(path), "proc-req")
+        assert stitched["found"] is True
+        assert stitched["worker_lanes"]  # >= 1 forked worker lane
+        assert "exec" in stitched["span_names"]
+
+
+def _double(x):
+    return x * 2

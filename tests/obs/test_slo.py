@@ -1,0 +1,146 @@
+"""Unit tests for the sliding-window SLO evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import SloEvaluator, SloTarget, grade_report
+
+
+def _fill(ev, count, *, latency=0.01, error=False, now=100.0):
+    for _ in range(count):
+        ev.record(latency, error=error, now=now)
+
+
+class TestTarget:
+    def test_defaults_disable_both_checks(self):
+        t = SloTarget()
+        assert t.p99_latency_s is None
+        assert t.max_error_rate is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"p99_latency_s": 0.0},
+            {"p99_latency_s": -1.0},
+            {"max_error_rate": -0.1},
+            {"max_error_rate": 1.5},
+            {"window_s": 0.0},
+            {"min_samples": 0},
+        ],
+    )
+    def test_invalid_targets_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SloTarget(**kwargs)
+
+    def test_to_json_round_trips_fields(self):
+        t = SloTarget(p99_latency_s=1.0, max_error_rate=0.1, window_s=30.0)
+        assert t.to_json() == {
+            "p99_latency_s": 1.0,
+            "max_error_rate": 0.1,
+            "window_s": 30.0,
+            "min_samples": 20,
+        }
+
+
+class TestEvaluator:
+    def test_cold_service_is_insufficient_data_not_degraded(self):
+        ev = SloEvaluator(SloTarget(p99_latency_s=0.001, min_samples=5))
+        _fill(ev, 4, latency=10.0)  # wildly over target, but too few
+        verdict = ev.evaluate(now=100.0)
+        assert verdict.status == "insufficient_data"
+        assert not verdict.degraded
+        assert verdict.reasons == []
+
+    def test_ok_within_targets(self):
+        ev = SloEvaluator(
+            SloTarget(p99_latency_s=1.0, max_error_rate=0.5, min_samples=5)
+        )
+        _fill(ev, 10, latency=0.01)
+        verdict = ev.evaluate(now=100.0)
+        assert verdict.status == "ok"
+        assert verdict.measured["count"] == 10
+        assert verdict.measured["p99_latency_s"] == 0.01
+
+    def test_latency_breach_degrades_with_reason(self):
+        ev = SloEvaluator(SloTarget(p99_latency_s=0.05, min_samples=5))
+        _fill(ev, 20, latency=0.2)
+        verdict = ev.evaluate(now=100.0)
+        assert verdict.degraded
+        assert any("p99 latency" in r for r in verdict.reasons)
+
+    def test_error_rate_breach_degrades_with_reason(self):
+        ev = SloEvaluator(SloTarget(max_error_rate=0.1, min_samples=5))
+        _fill(ev, 8, error=False)
+        _fill(ev, 2, error=True)
+        verdict = ev.evaluate(now=100.0)
+        assert verdict.degraded
+        assert any("error rate" in r for r in verdict.reasons)
+        assert verdict.measured["error_rate"] == pytest.approx(0.2)
+
+    def test_both_breaches_report_both_reasons(self):
+        ev = SloEvaluator(
+            SloTarget(p99_latency_s=0.01, max_error_rate=0.01, min_samples=2)
+        )
+        _fill(ev, 5, latency=1.0, error=True)
+        verdict = ev.evaluate(now=100.0)
+        assert len(verdict.reasons) == 2
+
+    def test_old_records_age_out_of_the_window(self):
+        # A burst of failures outside the window must not poison the
+        # verdict forever — that is the whole point of a *time* window.
+        ev = SloEvaluator(
+            SloTarget(max_error_rate=0.1, window_s=60.0, min_samples=5)
+        )
+        _fill(ev, 20, error=True, now=100.0)
+        assert ev.evaluate(now=110.0).degraded
+        _fill(ev, 10, error=False, now=500.0)
+        verdict = ev.evaluate(now=500.0)
+        assert verdict.status == "ok"
+        assert verdict.measured["errors"] == 0
+
+    def test_record_cap_bounds_memory(self):
+        ev = SloEvaluator(SloTarget(window_s=1e9))
+        for i in range(SloEvaluator.MAX_RECORDS + 100):
+            ev.record(0.01, now=float(i) * 1e-6)
+        assert len(ev._records) == SloEvaluator.MAX_RECORDS
+
+    def test_nearest_rank_p99(self):
+        ev = SloEvaluator(SloTarget(min_samples=1))
+        for v in range(100):
+            ev.record(float(v), now=100.0)
+        window = ev.window(now=100.0)
+        assert window["p50_latency_s"] == 50.0
+        assert window["p99_latency_s"] == 99.0
+
+    def test_status_to_json_shape(self):
+        ev = SloEvaluator(SloTarget(p99_latency_s=1.0, min_samples=1))
+        ev.record(0.01, now=100.0)
+        out = ev.evaluate(now=100.0).to_json()
+        assert set(out) == {"status", "reasons", "measured", "target"}
+        assert out["status"] == "ok"
+
+
+class TestGradeReport:
+    REPORT = {
+        "latency_s": {"p99": 0.5},
+        "failure_rate": 0.25,
+        "failed": 1,
+        "requests_sent": 4,
+    }
+
+    def test_no_thresholds_no_breaches(self):
+        assert grade_report(self.REPORT) == []
+
+    def test_p99_breach(self):
+        breaches = grade_report(self.REPORT, p99_latency_s=0.1)
+        assert len(breaches) == 1 and "p99" in breaches[0]
+
+    def test_failure_rate_breach(self):
+        breaches = grade_report(self.REPORT, max_failure_rate=0.1)
+        assert len(breaches) == 1 and "failure rate" in breaches[0]
+
+    def test_within_thresholds(self):
+        assert grade_report(
+            self.REPORT, p99_latency_s=1.0, max_failure_rate=0.5
+        ) == []

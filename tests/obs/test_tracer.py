@@ -176,3 +176,140 @@ def test_trace_lines_are_valid_jsonl(tmp_path):
         for line in fh:
             event = json.loads(line)
             assert isinstance(event, dict)
+
+
+class TestTraceContext:
+    def test_new_trace_id_is_hex_and_unique(self):
+        from repro.obs.tracer import new_trace_id
+
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 16 and int(i, 16) >= 0 for i in ids)
+
+    def test_new_trace_id_leaves_global_rng_alone(self):
+        # trace-id minting must never perturb the RNG streams the
+        # solvers' byte-identity invariant rests on
+        import random as _random
+
+        from repro.obs.tracer import new_trace_id
+
+        _random.seed(42)
+        expected = _random.random()
+        _random.seed(42)
+        new_trace_id()
+        assert _random.random() == expected
+
+    def test_trace_context_scopes_and_restores(self):
+        from repro.obs.tracer import current_trace_id, trace_context
+
+        assert current_trace_id() is None
+        with trace_context("outer"):
+            assert current_trace_id() == "outer"
+            with trace_context("inner"):
+                assert current_trace_id() == "inner"
+            assert current_trace_id() == "outer"
+        assert current_trace_id() is None
+
+    def test_trace_context_none_clears(self):
+        from repro.obs.tracer import current_trace_id, trace_context
+
+        with trace_context("req"):
+            with trace_context(None):
+                assert current_trace_id() is None
+            assert current_trace_id() == "req"
+
+    def test_set_trace_id_returns_previous(self):
+        from repro.obs.tracer import current_trace_id, set_trace_id
+
+        assert set_trace_id("a") is None
+        assert set_trace_id("b") == "a"
+        assert current_trace_id() == "b"
+        set_trace_id(None)
+        assert current_trace_id() is None
+
+    def test_spans_and_instants_stamped_with_ambient_id(self, tmp_path):
+        from repro.obs.tracer import trace_context
+
+        with trace_to(tmp_path / "t.jsonl") as t:
+            with trace_context("req-1"):
+                with t.span("inside", "app", {"k": 1}):
+                    pass
+                t.instant("mark", "app")
+            with t.span("outside", "app"):
+                pass
+        events = _read(tmp_path / "t.jsonl")
+        inside = next(e for e in events if e["name"] == "inside")
+        assert inside["args"] == {"k": 1, "trace_id": "req-1"}
+        mark = next(e for e in events if e["name"] == "mark")
+        assert mark["args"] == {"trace_id": "req-1"}
+        outside = next(e for e in events if e["name"] == "outside")
+        assert "args" not in outside
+
+    def test_explicit_trace_id_wins_over_ambient(self, tmp_path):
+        from repro.obs.tracer import trace_context
+
+        with trace_to(tmp_path / "t.jsonl") as t:
+            with trace_context("ambient"):
+                t.instant("e", "app", args={"trace_id": "envelope"})
+        e = next(x for x in _read(tmp_path / "t.jsonl") if x["name"] == "e")
+        assert e["args"]["trace_id"] == "envelope"
+
+    def test_counter_events_are_not_stamped(self, tmp_path):
+        # counters are process-wide series, not request-scoped
+        from repro.obs.tracer import trace_context
+
+        with trace_to(tmp_path / "t.jsonl") as t:
+            with trace_context("req"):
+                t.counter_event("bytes", {"shm": 1})
+        ctr = next(e for e in _read(tmp_path / "t.jsonl") if e["name"] == "bytes")
+        assert ctr["args"] == {"shm": 1}
+
+
+class TestWorkerLanes:
+    def test_worker_lane_is_race_free_under_concurrency(self, tmp_path):
+        # Regression: an unlocked check-then-set let two threads both
+        # miss the cache and emit duplicate thread_name metadata.
+        import threading
+
+        with trace_to(tmp_path / "t.jsonl") as t:
+            other = os.getpid() + 1
+            barrier = threading.Barrier(8)
+
+            def hammer():
+                barrier.wait()
+                for _ in range(50):
+                    assert t.worker_lane(other, 5) == other
+
+            threads = [threading.Thread(target=hammer) for _ in range(8)]
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+        meta = [e for e in _read(tmp_path / "t.jsonl") if e["name"] == "thread_name"]
+        assert len(meta) == 1
+
+    def test_lane_epoch_separates_recycled_pids(self, tmp_path):
+        # Regression: after a pool respawn the OS may hand a new worker
+        # a previously-seen pid; keying lanes by pid alone silently
+        # merged two different workers' spans into one lane.
+        with trace_to(tmp_path / "t.jsonl") as t:
+            other = os.getpid() + 1
+            first = t.worker_lane(other, 5)
+            assert first == other
+            t.bump_lane_epoch()
+            second = t.worker_lane(other, 5)
+            assert second != first  # distinct lane for the reused pid
+        meta = [e for e in _read(tmp_path / "t.jsonl") if e["name"] == "thread_name"]
+        labels = sorted(e["args"]["name"] for e in meta)
+        assert labels == [f"worker-{other}", f"worker-{other}-g1"]
+
+    def test_driver_lanes_unaffected_by_epoch(self, tmp_path):
+        with trace_to(tmp_path / "t.jsonl") as t:
+            assert t.worker_lane(os.getpid(), 17) == 17
+            t.bump_lane_epoch()
+            assert t.worker_lane(os.getpid(), 17) == 17
+        meta = [e for e in _read(tmp_path / "t.jsonl") if e["name"] == "thread_name"]
+        assert len(meta) == 1
+
+    def test_null_tracer_bump_is_inert(self):
+        NULL_TRACER.bump_lane_epoch()

@@ -102,3 +102,79 @@ def test_cli_spawn_smoke(tmp_path, capsys):
     assert report["failed"] == 0
     printed = json.loads(capsys.readouterr().out)
     assert printed == report
+
+
+def test_report_scrapes_server_slo(tmp_path):
+    from repro.obs import SloTarget
+
+    config = ServerConfig(
+        backend="thread", backend_workers=2, workers=2,
+        slo=SloTarget(p99_latency_s=60.0, min_samples=1),
+    )
+    with serve_in_thread(config) as handle:
+        report = run_loadgen(
+            handle.host, handle.port, clients=2, requests=4, n=120, k=2, seed=500
+        )
+    assert report["slo"]["status"] == "ok"
+    assert report["slo"]["measured"]["count"] >= 4
+
+
+def test_report_has_no_slo_key_when_server_has_no_target(served):
+    report = run_loadgen(
+        served.host, served.port, clients=2, requests=4, n=120, k=2, seed=600
+    )
+    assert "slo" not in report
+
+
+def test_cli_exits_zero_within_thresholds(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    code = loadgen_main(
+        [
+            "--spawn", "--spawn-backend", "thread",
+            "--clients", "2", "--requests", "4", "--n", "120", "--k", "2",
+            "--slo-p99", "60", "--max-failure-rate", "0.5",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["breaches"] == []
+    capsys.readouterr()
+
+
+def test_cli_exits_nonzero_on_slo_breach(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    code = loadgen_main(
+        [
+            "--spawn", "--spawn-backend", "thread",
+            "--clients", "2", "--requests", "4", "--n", "120", "--k", "2",
+            "--slo-p99", "0.000001",  # impossible target
+            "--out", str(out),
+        ]
+    )
+    assert code == 1
+    report = json.loads(out.read_text())
+    assert len(report["breaches"]) == 1
+    assert "p99" in report["breaches"][0]
+    assert "SLO BREACH" in capsys.readouterr().out
+
+
+def test_cli_exits_nonzero_on_failure_breach(tmp_path, capsys):
+    def failing_solve(instance, params):
+        raise RuntimeError("rigged")
+
+    config = ServerConfig(backend="serial", workers=1, solve_fn=failing_solve)
+    with serve_in_thread(config) as handle:
+        code = loadgen_main(
+            [
+                "--host", handle.host, "--port", str(handle.port),
+                "--clients", "2", "--requests", "4", "--n", "120", "--k", "2",
+                "--max-failure-rate", "0.0",
+                "--out", str(tmp_path / "r.json"),
+            ]
+        )
+    assert code == 1
+    report = json.loads((tmp_path / "r.json").read_text())
+    assert report["failed"] == 4
+    assert any("failure rate" in b for b in report["breaches"])
+    capsys.readouterr()

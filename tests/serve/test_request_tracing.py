@@ -1,0 +1,150 @@
+"""PR 10 acceptance: one HTTP request, one stitched cross-process trace.
+
+A solve submitted over HTTP against a process-backend server with fault
+injection enabled must yield a stitched trace containing spans from the
+server edge, the job queue, at least one shard stage, and at least one
+forked backend worker — all sharing the request's single trace id —
+while the solution stays byte-identical to a tracing-off run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.obs import trace_to
+from repro.obs.tracer import NULL_TRACER, set_tracer
+from repro.serve import ServeClient, ServerConfig, serve_in_thread
+
+N, DIM, K, SEED = 400, 2, 4, 7
+PARAMS = {"k": K, "seed": SEED, "shards": 4, "coreset_size": 96, "neighbors": 24}
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off_between_tests():
+    prev = set_tracer(NULL_TRACER)
+    yield
+    set_tracer(prev)
+
+
+def _points():
+    return np.random.default_rng(SEED).normal(size=(N, DIM))
+
+
+def _config():
+    return ServerConfig(
+        backend="process",
+        backend_workers=2,
+        workers=1,
+        fault_plan=FaultPlan.single("crash", 1),
+    )
+
+
+def _strip(result):
+    out = dict(result)
+    out.pop("solve_s", None)
+    return out
+
+
+@pytest.fixture(scope="module")
+def traced_solve(tmp_path_factory):
+    """One traced served solve (+ its stitched trace) shared by the
+    assertions below."""
+    path = tmp_path_factory.mktemp("trace") / "serve.jsonl"
+    with trace_to(path):
+        with serve_in_thread(_config()) as handle:
+            client = ServeClient(handle.host, handle.port)
+            job = client.solve_and_wait(
+                points=_points(), trace_id="req-accept", **PARAMS
+            )
+            stitched = client.trace(job["job_id"])
+    set_tracer(NULL_TRACER)
+    return job, stitched
+
+
+def test_served_solution_byte_identical_tracing_on_off(traced_solve):
+    traced_job, _ = traced_solve
+    with serve_in_thread(_config()) as handle:
+        untraced_job = ServeClient(handle.host, handle.port).solve_and_wait(
+            points=_points(), **PARAMS
+        )
+    assert json.dumps(_strip(traced_job["result"]), sort_keys=True) == json.dumps(
+        _strip(untraced_job["result"]), sort_keys=True
+    )
+
+
+def test_stitched_trace_found_under_the_offered_id(traced_solve):
+    job, stitched = traced_solve
+    assert job["trace_id"] == "req-accept"
+    assert stitched["trace_id"] == "req-accept"
+    assert stitched["found"] is True
+    assert stitched["status"] == "done"
+    assert stitched["events"] > 0
+
+
+def test_stitched_trace_spans_every_layer(traced_solve):
+    _, stitched = traced_solve
+    names = set(stitched["span_names"])
+    # server edge: the HTTP request span
+    assert "serve.request" in names
+    # job queue: submit-to-start wait + the queue-side solve span
+    assert "serve.queue_wait" in names
+    assert "serve.solve" in names
+    # >= 1 shard pipeline stage
+    assert stitched["stages"]
+    assert any(s.startswith("shard.") for s in stitched["stages"])
+    # >= 1 forked backend worker process lane
+    assert stitched["worker_lanes"]
+    assert all(lane.startswith("worker-") for lane in stitched["worker_lanes"])
+    assert "exec" in names
+
+
+def test_fault_injection_visible_in_the_same_trace(traced_solve):
+    # the injected crash's supervisor events ride the same trace id
+    _, stitched = traced_solve
+    instant_names = {i["name"] for i in stitched["instants"]}
+    assert any("task_" in n or "fault" in n for n in instant_names)
+
+
+def test_trace_endpoint_matches_report_stitcher(traced_solve):
+    # the HTTP answer is the same stitch the offline report CLI produces
+    from repro.obs.report import render_request_trace
+
+    _, stitched = traced_solve
+    text = render_request_trace(stitched)
+    assert "req-accept" in text
+    assert "serve.request" in text
+
+
+def test_distinct_requests_get_distinct_traces(tmp_path):
+    path = tmp_path / "two.jsonl"
+    with trace_to(path):
+        with serve_in_thread(_config()) as handle:
+            client = ServeClient(handle.host, handle.port)
+            first = client.solve_and_wait(
+                points=_points(), trace_id="req-a", **PARAMS
+            )
+            second_params = dict(PARAMS, seed=SEED + 1)
+            second = client.solve_and_wait(
+                points=_points(), trace_id="req-b", **second_params
+            )
+            a = client.trace(first["job_id"])
+            b = client.trace(second["job_id"])
+    assert a["found"] and b["found"]
+    assert a["trace_id"] == "req-a" and b["trace_id"] == "req-b"
+    assert a["events"] > 0 and b["events"] > 0
+
+
+def test_cache_hit_poll_carries_submitters_trace_id():
+    with serve_in_thread(_config()) as handle:
+        client = ServeClient(handle.host, handle.port)
+        client.solve_and_wait(points=_points(), **PARAMS)
+        t0 = time.perf_counter()
+        cached = client.solve(points=_points(), trace_id="req-cached", **PARAMS)
+        assert cached["cached"] is True
+        assert cached["trace_id"] == "req-cached"
+        assert time.perf_counter() - t0 < 5.0

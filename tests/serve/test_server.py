@@ -292,3 +292,178 @@ class TestLifecycle:
         backend = handle.server.backend
         handle.stop()
         assert backend.closed
+
+
+class TestObservability:
+    def test_per_status_request_counters(self):
+        config = ServerConfig(backend="serial", workers=1)
+        with serve_in_thread(config) as handle:
+            client = ServeClient(handle.host, handle.port)
+            client.health()
+            client.raw_request("GET", "/nope")
+            counters = client.metrics()["counters"]
+            assert counters['serve.requests_by_status{status="200"}'] >= 1
+            assert counters['serve.requests_by_status{status="404"}'] == 1
+            assert counters["serve.requests_errored"] == 1
+            # the /metrics request itself is counted after its response
+            # is built, so at snapshot time exactly two are recorded
+            assert counters["serve.requests_total"] == 2
+
+    def test_request_latency_histogram_has_buckets(self, served):
+        served.health()
+        snap = served.metrics()
+        hist = snap["histograms"]["serve.request_latency_s"]
+        assert hist["count"] >= 1
+        assert "buckets" in hist
+        assert hist["buckets"]["+Inf"] == hist["count"]
+
+    def test_trace_id_minted_and_echoed(self, served):
+        import http.client
+
+        conn = http.client.HTTPConnection(served.host, served.port, timeout=10)
+        try:
+            conn.request("GET", "/health", headers={"Connection": "close"})
+            resp = conn.getresponse()
+            minted = resp.getheader("X-Repro-Trace-Id")
+            resp.read()
+        finally:
+            conn.close()
+        assert minted and len(minted) == 16
+
+    def test_offered_trace_id_honored(self, served):
+        import http.client
+
+        conn = http.client.HTTPConnection(served.host, served.port, timeout=10)
+        try:
+            conn.request(
+                "GET", "/health",
+                headers={"Connection": "close", "X-Repro-Trace-Id": "my-req.01"},
+            )
+            resp = conn.getresponse()
+            echoed = resp.getheader("X-Repro-Trace-Id")
+            resp.read()
+        finally:
+            conn.close()
+        assert echoed == "my-req.01"
+
+    def test_invalid_offered_trace_id_replaced(self, served):
+        import http.client
+
+        conn = http.client.HTTPConnection(served.host, served.port, timeout=10)
+        try:
+            conn.request(
+                "GET", "/health",
+                headers={"Connection": "close", "X-Repro-Trace-Id": "bad id!"},
+            )
+            resp = conn.getresponse()
+            echoed = resp.getheader("X-Repro-Trace-Id")
+            resp.read()
+        finally:
+            conn.close()
+        assert echoed != "bad id!"
+        assert len(echoed) == 16
+
+    def test_solve_response_carries_trace_id(self, served):
+        job = served.solve(points=_points(seed=20), k=2, trace_id="ride-along")
+        assert job["trace_id"] == "ride-along"
+        polled = served.poll(job["job_id"])
+        assert polled["trace_id"] == "ride-along"
+
+    def test_prometheus_exposition_endpoint(self, served):
+        import http.client
+
+        from repro.obs import parse_prometheus_text
+
+        served.health()
+        conn = http.client.HTTPConnection(served.host, served.port, timeout=10)
+        try:
+            conn.request(
+                "GET", "/metrics?format=prometheus",
+                headers={"Connection": "close"},
+            )
+            resp = conn.getresponse()
+            assert resp.status == 200
+            assert resp.getheader("Content-Type").startswith("text/plain")
+            text = resp.read().decode("utf-8")
+        finally:
+            conn.close()
+        parsed = parse_prometheus_text(text)
+        assert parsed["types"]["serve_requests_total"] == "counter"
+        assert parsed["samples"]["serve_requests_total"] >= 1
+        assert parsed["types"]["serve_request_latency_s"] == "histogram"
+
+    def test_metrics_json_unchanged_by_default(self, served):
+        snap = served.metrics()
+        assert "counters" in snap and "gauges" in snap and "histograms" in snap
+
+    def test_trace_endpoint_unknown_job_404(self, served):
+        status, _ = served.raw_request("GET", "/trace/job-999999")
+        assert status == 404
+
+    def test_trace_endpoint_409_when_not_tracing(self, served):
+        job = served.solve_and_wait(points=_points(seed=21), k=2)
+        status, payload = served.raw_request("GET", f"/trace/{job['job_id']}")
+        assert status == 409
+        assert "tracing is not active" in payload["error"]
+
+
+class TestSloHealth:
+    def test_health_has_no_slo_section_by_default(self, served):
+        assert "slo" not in served.health()
+
+    def test_health_reports_insufficient_data_cold(self):
+        from repro.obs import SloTarget
+
+        config = ServerConfig(
+            backend="serial", workers=1,
+            slo=SloTarget(p99_latency_s=1.0, min_samples=5),
+        )
+        with serve_in_thread(config) as handle:
+            client = ServeClient(handle.host, handle.port)
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["slo"]["status"] == "insufficient_data"
+
+    def test_health_ok_within_target(self):
+        from repro.obs import SloTarget
+
+        config = ServerConfig(
+            backend="serial", workers=1,
+            slo=SloTarget(p99_latency_s=30.0, max_error_rate=0.9, min_samples=3),
+        )
+        with serve_in_thread(config) as handle:
+            client = ServeClient(handle.host, handle.port)
+            for seed in range(4):
+                client.solve_and_wait(points=_points(seed=30 + seed), k=2)
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["slo"]["status"] == "ok"
+            assert health["slo"]["measured"]["count"] >= 3
+
+    def test_degraded_health_is_503_with_reasons(self):
+        from repro.obs import SloTarget
+
+        def failing_solve(instance, params):
+            raise RuntimeError("rigged to fail")
+
+        config = ServerConfig(
+            backend="serial", workers=1, solve_fn=failing_solve,
+            slo=SloTarget(max_error_rate=0.1, min_samples=3),
+        )
+        with serve_in_thread(config) as handle:
+            client = ServeClient(handle.host, handle.port)
+            inst = client.submit_points(_points(seed=40))
+            for seed in range(4):
+                job = client.solve(
+                    instance_id=inst["instance_id"], k=2, seed=seed
+                )
+                deadline = time.perf_counter() + 10
+                while (
+                    client.poll(job["job_id"])["status"] != "failed"
+                    and time.perf_counter() < deadline
+                ):
+                    time.sleep(0.01)
+            status, payload = client.raw_request("GET", "/health")
+            assert status == 503
+            assert payload["status"] == "degraded"
+            assert any("error rate" in r for r in payload["slo"]["reasons"])
